@@ -1,0 +1,23 @@
+//! Criterion bench regenerating **Fig. 1**'s workload: hierarchical
+//! wafer sampling (global + local variation). The rendered figure is
+//! produced by the `fig1` binary; this bench tracks the sampler cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use glova_stats::rng::seeded;
+use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
+use glova_variation::sampler::{MismatchSampler, VarianceLayers};
+
+fn bench_wafer_sampling(c: &mut Criterion) {
+    let domain = MismatchDomain::new(
+        vec![DeviceSpec::nmos("m", 1.0, 0.05)],
+        PelgromModel::cmos28(),
+    );
+    let sampler = MismatchSampler::new(domain, VarianceLayers::GLOBAL_LOCAL);
+    let mut rng = seeded(1);
+    c.bench_function("fig1_wafer_16x200", |b| {
+        b.iter(|| black_box(sampler.sample_wafer(&mut rng, 16, 200)))
+    });
+}
+
+criterion_group!(benches, bench_wafer_sampling);
+criterion_main!(benches);

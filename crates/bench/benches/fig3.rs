@@ -1,0 +1,35 @@
+//! Criterion bench regenerating **Fig. 3**'s workload: a traced GLOVA
+//! campaign whose per-iteration reliability-bound series is the figure's
+//! data. The rendered series is produced by the `fig3` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glova::optimizer::{GlovaConfig, GlovaOptimizer};
+use glova_circuits::{Circuit, StrongArmLatch};
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+fn bench_traced_run(c: &mut Criterion) {
+    let circuit: Arc<dyn Circuit> = Arc::new(StrongArmLatch::new());
+    let mut group = c.benchmark_group("fig3_traced_campaign");
+    group.sample_size(10);
+    group.bench_function("sal_cmcl_traced", |b| {
+        b.iter_batched(
+            || {
+                let mut config =
+                    GlovaConfig::paper(VerificationMethod::CornerLocalMc).with_trace();
+                config.max_iterations = 60;
+                GlovaOptimizer::new(circuit.clone(), config)
+            },
+            |mut opt| {
+                let result = opt.run(1);
+                assert!(result.trace.len() <= 60);
+                result
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traced_run);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench regenerating a scaled-down **Table II** cell per
+//! framework: one full sizing campaign on the StrongARM latch under
+//! corner verification. The full table is produced by the `table2` binary;
+//! this bench tracks the end-to-end cost of a campaign per framework.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glova::optimizer::{GlovaConfig, GlovaOptimizer};
+use glova_baselines::pvtsizing::{PvtSizing, PvtSizingConfig};
+use glova_baselines::robustanalog::{RobustAnalog, RobustAnalogConfig};
+use glova_circuits::{Circuit, StrongArmLatch};
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let circuit: Arc<dyn Circuit> = Arc::new(StrongArmLatch::new());
+    let mut group = c.benchmark_group("table2_sal_corner");
+    group.sample_size(10);
+
+    group.bench_function("glova", |b| {
+        b.iter_batched(
+            || {
+                let mut config = GlovaConfig::paper(VerificationMethod::Corner);
+                config.max_iterations = 100;
+                GlovaOptimizer::new(circuit.clone(), config)
+            },
+            |mut opt| opt.run(1),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("pvtsizing", |b| {
+        b.iter_batched(
+            || {
+                let mut config = PvtSizingConfig::new(VerificationMethod::Corner);
+                config.max_iterations = 100;
+                PvtSizing::new(circuit.clone(), config)
+            },
+            |mut opt| opt.run(1),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("robustanalog", |b| {
+        b.iter_batched(
+            || {
+                let mut config = RobustAnalogConfig::new(VerificationMethod::Corner);
+                config.max_iterations = 200;
+                RobustAnalog::new(circuit.clone(), config)
+            },
+            |mut opt| opt.run(1),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_cell);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench regenerating a scaled-down **Table III** comparison:
+//! the cost of a GLOVA campaign on the DRAM core with and without each
+//! proposed component (corner verification for speed). The full ablation
+//! table is produced by the `table3` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use glova::optimizer::{GlovaConfig, GlovaOptimizer};
+use glova_circuits::{Circuit, DramCoreSense};
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+fn bench_ablations(c: &mut Criterion) {
+    let circuit: Arc<dyn Circuit> = Arc::new(DramCoreSense::new());
+    let mut group = c.benchmark_group("table3_dram_corner");
+    group.sample_size(10);
+
+    let variants: Vec<(&str, Box<dyn Fn() -> GlovaConfig>)> = vec![
+        ("proposed", Box::new(|| GlovaConfig::paper(VerificationMethod::Corner))),
+        (
+            "without_ec",
+            Box::new(|| GlovaConfig::paper(VerificationMethod::Corner).without_ensemble_critic()),
+        ),
+        (
+            "without_mu_sigma",
+            Box::new(|| GlovaConfig::paper(VerificationMethod::Corner).without_mu_sigma()),
+        ),
+        (
+            "without_sr",
+            Box::new(|| GlovaConfig::paper(VerificationMethod::Corner).without_reordering()),
+        ),
+    ];
+    for (name, make) in variants {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut config = make();
+                    config.max_iterations = 120;
+                    GlovaOptimizer::new(circuit.clone(), config)
+                },
+                |mut opt| opt.run(1),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

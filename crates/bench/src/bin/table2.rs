@@ -1,0 +1,107 @@
+//! Regenerates **Table II** of the paper: optimization results on the
+//! three real-world circuits under all three verification methods, for
+//! GLOVA (Ours), PVTSizing and RobustAnalog.
+//!
+//! ```sh
+//! cargo run --release -p glova-bench --bin table2            # full (default 3 seeds)
+//! cargo run --release -p glova-bench --bin table2 -- --quick # reduced budgets, 2 seeds
+//! cargo run --release -p glova-bench --bin table2 -- --seeds 5
+//! ```
+//!
+//! Expected *shape* (absolute numbers depend on the analytic substrate,
+//! see `EXPERIMENTS.md`): GLOVA needs the fewest iterations and
+//! simulations in every cell, PVTSizing sits in between, RobustAnalog is
+//! the most expensive and drops success rate on the hard DRAM cells.
+
+use glova_bench::{fmt_mean, fmt_ratio, run_cell, table2_circuits, Budget, CellResult, Framework};
+use glova_variation::config::VerificationMethod;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 2 } else { 3 });
+
+    println!("=== Table II: optimization results on real-world circuits ===");
+    println!(
+        "(seeds per cell: {seeds}{}; means over successful runs only, as in the paper)\n",
+        if quick { ", quick budgets" } else { "" }
+    );
+
+    let circuits = table2_circuits();
+    let methods = VerificationMethod::ALL;
+
+    // results[circuit][method][framework]
+    let mut results: Vec<Vec<Vec<CellResult>>> = Vec::new();
+    for (name, circuit) in &circuits {
+        let budget = Budget::for_circuit(name, quick);
+        let mut per_method = Vec::new();
+        for method in methods {
+            let mut per_framework = Vec::new();
+            for framework in Framework::ALL {
+                eprintln!("running {name} / {method} / {}...", framework.name());
+                per_framework.push(run_cell(circuit, method, framework, seeds, budget));
+            }
+            per_method.push(per_framework);
+        }
+        results.push(per_method);
+    }
+
+    // Header
+    print!("{:<22}", "Testcases");
+    for (name, _) in &circuits {
+        print!("{:^33}", name);
+    }
+    println!();
+    print!("{:<22}", "Verification");
+    for _ in &circuits {
+        for m in methods {
+            print!("{:^11}", m.short_name());
+        }
+    }
+    println!();
+
+    let row = |label: &str, f: &dyn Fn(&CellResult, &CellResult) -> String, fw: usize| {
+        print!("{label:<22}");
+        for per_method in &results {
+            for per_framework in per_method {
+                let ours = &per_framework[0];
+                print!("{:^11}", f(&per_framework[fw], ours));
+            }
+        }
+        println!();
+    };
+
+    println!("\n-- RL Iteration --");
+    for (fi, fw) in Framework::ALL.iter().enumerate() {
+        row(fw.name(), &|c, _| fmt_mean(c.mean_iterations), fi);
+    }
+    println!("\n-- # Simulation --");
+    for (fi, fw) in Framework::ALL.iter().enumerate() {
+        row(fw.name(), &|c, _| fmt_mean(c.mean_simulations), fi);
+    }
+    println!("\n-- Norm. Runtime (vs Ours) --");
+    for (fi, fw) in Framework::ALL.iter().enumerate() {
+        row(
+            fw.name(),
+            &|c, ours| {
+                if !ours.any_success() || !c.any_success() {
+                    "-".to_string()
+                } else {
+                    fmt_ratio(c.mean_wall.as_secs_f64() / ours.mean_wall.as_secs_f64().max(1e-12))
+                }
+            },
+            fi,
+        );
+    }
+    println!("\n-- Success Rate --");
+    for (fi, fw) in Framework::ALL.iter().enumerate() {
+        row(fw.name(), &|c, _| format!("{:.0}%", c.success_rate * 100.0), fi);
+    }
+
+    println!("\n(cells with '-' had no successful run within the iteration budget)");
+}

@@ -1,0 +1,334 @@
+//! Floating inverter amplifier (FIA) testcase — paper §VI.A, topology from
+//! Tang et al., "An Energy-Efficient Comparator with Dynamic Floating
+//! Inverter Amplifier" (ref [25]).
+//!
+//! 6 design parameters: NMOS/PMOS widths, NMOS/PMOS lengths, reservoir and
+//! load capacitances. Metrics and targets (technology-scaled per [9]):
+//!
+//! | metric                | target    |
+//! |-----------------------|-----------|
+//! | energy per conversion | ≤ 0.1 pJ  |
+//! | output noise          | ≤ 130 mV  |
+//!
+//! The FIA is a dynamic preamplifier: a floating charge reservoir `C_RES`
+//! powers an inverter pair for an amplification window `t_amp`, producing
+//! gain `G = (g_mn+g_mp)·t_amp / C_L`. Energy is the reservoir recharge
+//! per conversion; output-referred noise combines integrated channel noise
+//! with amplified residual offset (the pair's differential ΔV_th), so local
+//! mismatch directly attacks the noise budget — the mechanism that makes the
+//! FIA harder than the SAL under MC verification.
+
+use crate::physics::{self, MismatchView, SizedTransistor};
+use crate::spec::{DesignSpec, MetricSpec};
+use crate::Circuit;
+use glova_spice::model::MosModel;
+use glova_variation::corner::PvtCorner;
+use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
+use glova_variation::sampler::MismatchVector;
+
+/// The floating inverter amplifier sizing problem.
+#[derive(Debug, Clone)]
+pub struct FloatingInverterAmp {
+    spec: DesignSpec,
+}
+
+/// Mismatch layout: Na Nb Pa Pb (4 transistors), then C_RES, C_La, C_Lb.
+const N_TRANSISTORS: usize = 4;
+
+/// Fraction of `V_DD` the reservoir droops during amplification.
+const RESERVOIR_DROOP: f64 = 0.2;
+/// Fixed comparator-input wiring capacitance per side, farads.
+const C_WIRE: f64 = 2e-15;
+/// Fraction of the amplified offset that reaches the output as error.
+const OFFSET_GAIN_FACTOR: f64 = 0.3;
+/// Effective gate drive during amplification as a fraction of `V_DD` —
+/// the inverter inputs start from the rails, not the trip point.
+const DRIVE_FRACTION: f64 = 0.75;
+/// The amplification window is bounded by the comparator clock phase.
+const T_AMP_MAX: f64 = 2e-9;
+/// Below this gain the preamplifier no longer overdrives the latch: the
+/// decision is noise-dominated (modeled as an output-noise penalty).
+const GAIN_MIN: f64 = 3.0;
+
+const W_BOUNDS: (f64, f64) = (0.28, 32.8);
+const L_BOUNDS: (f64, f64) = (0.03, 0.33);
+const C_BOUNDS: (f64, f64) = (0.005e-12, 5.5e-12);
+
+impl FloatingInverterAmp {
+    /// Creates the testcase with the paper's constraint targets.
+    pub fn new() -> Self {
+        Self {
+            spec: DesignSpec::new(vec![
+                MetricSpec::below("energy_pj", 0.1),
+                MetricSpec::below("noise_mv", 130.0),
+            ]),
+        }
+    }
+
+    /// A hand-calibrated feasible design (normalized).
+    pub fn reference_design(&self) -> Vec<f64> {
+        normalize(&[6.0, 12.0, 0.12, 0.12, 0.05e-12, 0.01e-12])
+    }
+
+    fn unpack(&self, x_norm: &[f64]) -> (f64, f64, f64, f64, f64, f64) {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        let p = self.denormalize(x_norm);
+        (p[0], p[1], p[2], p[3], p[4], p[5])
+    }
+}
+
+impl Default for FloatingInverterAmp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bounds() -> Vec<(f64, f64)> {
+    vec![W_BOUNDS, W_BOUNDS, L_BOUNDS, L_BOUNDS, C_BOUNDS, C_BOUNDS]
+}
+
+fn denormalize_impl(x_norm: &[f64]) -> Vec<f64> {
+    bounds()
+        .iter()
+        .enumerate()
+        .zip(x_norm)
+        .map(|((i, &(lo, hi)), &u)| {
+            let u = u.clamp(0.0, 1.0);
+            if i >= 4 {
+                (lo.ln() + (hi.ln() - lo.ln()) * u).exp()
+            } else {
+                lo + (hi - lo) * u
+            }
+        })
+        .collect()
+}
+
+fn normalize(phys: &[f64]) -> Vec<f64> {
+    bounds()
+        .iter()
+        .enumerate()
+        .zip(phys)
+        .map(|((i, &(lo, hi)), &v)| {
+            if i >= 4 {
+                ((v.ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+            } else {
+                ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+impl Circuit for FloatingInverterAmp {
+    fn name(&self) -> &str {
+        "FIA"
+    }
+
+    fn dim(&self) -> usize {
+        6
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        bounds()
+    }
+
+    fn parameter_names(&self) -> Vec<String> {
+        vec![
+            "wn_um".into(),
+            "wp_um".into(),
+            "ln_um".into(),
+            "lp_um".into(),
+            "cres_f".into(),
+            "cl_f".into(),
+        ]
+    }
+
+    fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn denormalize(&self, x_norm: &[f64]) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        denormalize_impl(x_norm)
+    }
+
+    fn mismatch_domain(&self, x_norm: &[f64]) -> MismatchDomain {
+        let (wn, wp, ln_, lp, cres, cl) = self.unpack(x_norm);
+        MismatchDomain::new(
+            vec![
+                DeviceSpec::nmos("mna", wn, ln_),
+                DeviceSpec::nmos("mnb", wn, ln_),
+                DeviceSpec::pmos("mpa", wp, lp),
+                DeviceSpec::pmos("mpb", wp, lp),
+                DeviceSpec::capacitor("cres", cres),
+                DeviceSpec::capacitor("cla", cl),
+                DeviceSpec::capacitor("clb", cl),
+            ],
+            PelgromModel::cmos28(),
+        )
+    }
+
+    fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
+        let (wn, wp, ln_, lp, cres, cl) = self.unpack(x_norm);
+        let h = MismatchView::new(mismatch, N_TRANSISTORS);
+        let vdd = corner.vdd;
+        let (na, nb, pa, pb) = (0, 1, 2, 3);
+
+        // Side-averaged cards for bias, differential for offset.
+        let n_avg = SizedTransistor::new(
+            MosModel::nmos_28nm(),
+            corner,
+            wn,
+            ln_,
+            0.5 * (h.vth(na) + h.vth(nb)),
+            0.5 * (h.beta(na) + h.beta(nb)),
+        );
+        let p_avg = SizedTransistor::new(
+            MosModel::pmos_28nm(),
+            corner,
+            wp,
+            lp,
+            0.5 * (h.vth(pa) + h.vth(pb)),
+            0.5 * (h.beta(pa) + h.beta(pb)),
+        );
+
+        // The inverter inputs launch from the rails: effective drive is a
+        // large fraction of V_DD, so the stage stays on even at the slow
+        // cold/low-voltage corners.
+        let i_n = n_avg.id_sat(DRIVE_FRACTION * vdd);
+        let i_p = p_avg.id_sat(DRIVE_FRACTION * vdd);
+        let i_inv = (0.5 * (i_n + i_p)).max(1e-9);
+        let gm_n = n_avg.gm_at(i_inv);
+        let gm_p = p_avg.gm_at(i_inv);
+        let gm = gm_n + gm_p;
+
+        // Effective capacitances with mismatch.
+        let cres_eff = cres * (1.0 + h.cap(0));
+        let cl_eff = cl * (1.0 + 0.5 * (h.cap(1) + h.cap(2)))
+            + n_avg.cdd()
+            + p_avg.cdd()
+            + C_WIRE;
+
+        // Amplification window: reservoir droops by RESERVOIR_DROOP·VDD
+        // while supplying both sides (2·i_inv), bounded by the clock phase.
+        let t_amp =
+            (cres_eff * RESERVOIR_DROOP * vdd / (2.0 * i_inv)).clamp(1e-13, T_AMP_MAX);
+        let gain = (gm * t_amp / cl_eff).max(0.1);
+
+        // Energy per conversion: reservoir recharge + parasitic swing.
+        let c_par = 2.0 * (n_avg.cgg() + p_avg.cgg()) + 2.0 * cl_eff;
+        let energy = (cres_eff * RESERVOIR_DROOP + 0.25 * c_par) * vdd * vdd;
+
+        // Output noise: integrated channel noise amplified onto C_L plus
+        // amplified residual offset.
+        let kt = physics::kt(corner);
+        let qn2 = 4.0 * kt * physics::GAMMA_NOISE * gm * t_amp;
+        let vn_thermal = qn2.sqrt() / cl_eff.max(1e-18);
+        let v_os = h.vth_pair_diff(na, nb) + (gm_p / gm.max(1e-12)) * h.vth_pair_diff(pa, pb)
+            + 0.05 * vdd * (h.cap(1) - h.cap(2));
+        // Insufficient preamp gain leaves the latch decision
+        // noise-dominated: penalize as equivalent output noise.
+        let undergain_penalty = 0.05 * (GAIN_MIN - gain).max(0.0);
+        let vn_total = vn_thermal + OFFSET_GAIN_FACTOR * v_os.abs() * gain + undergain_penalty;
+
+        vec![energy * 1e12, vn_total * 1e3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_variation::corner::CornerSet;
+    use proptest::prelude::*;
+
+    fn nominal(c: &FloatingInverterAmp, x: &[f64]) -> MismatchVector {
+        MismatchVector::nominal(c.mismatch_domain(x).dim())
+    }
+
+    #[test]
+    fn reference_design_feasible_at_all_corners() {
+        let fia = FloatingInverterAmp::new();
+        let x = fia.reference_design();
+        let h = nominal(&fia, &x);
+        for corner in CornerSet::industrial_30().iter() {
+            let metrics = fia.evaluate(&x, corner, &h);
+            assert!(
+                fia.spec().satisfied(&metrics),
+                "reference infeasible at {corner}: {metrics:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_reservoir_violates_energy() {
+        let fia = FloatingInverterAmp::new();
+        let mut x = fia.reference_design();
+        x[4] = 1.0; // C_RES → 5.5 pF
+        let metrics = fia.evaluate(&x, &PvtCorner::typical(), &nominal(&fia, &x));
+        assert!(metrics[0] > 0.1, "expected energy failure: {metrics:?}");
+    }
+
+    #[test]
+    fn offset_mismatch_raises_noise() {
+        let fia = FloatingInverterAmp::new();
+        let x = fia.reference_design();
+        let dim = fia.mismatch_domain(&x).dim();
+        let mut values = vec![0.0; dim];
+        values[0] = 0.010; // 10 mV on one NMOS side
+        let base = fia.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim));
+        let off = fia.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(values));
+        assert!(off[1] > base[1] * 1.2, "offset must hurt noise: {} vs {}", off[1], base[1]);
+    }
+
+    #[test]
+    fn global_vth_shift_cancels_in_offset() {
+        let fia = FloatingInverterAmp::new();
+        let x = fia.reference_design();
+        let dim = fia.mismatch_domain(&x).dim();
+        let mut values = vec![0.0; dim];
+        for t in 0..N_TRANSISTORS {
+            values[2 * t] = 0.02;
+        }
+        let base = fia.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim));
+        let glob = fia.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(values));
+        // Noise moves only through bias (mild), not through amplified offset.
+        assert!(glob[1] < base[1] * 1.6, "global shift should not explode noise");
+    }
+
+    #[test]
+    fn bigger_devices_reduce_offset_noise_but_cost_energy() {
+        let fia = FloatingInverterAmp::new();
+        let x_small = normalize(&[2.0, 4.0, 0.06, 0.06, 0.05e-12, 0.01e-12]);
+        let x_big = normalize(&[12.0, 24.0, 0.2, 0.2, 0.05e-12, 0.01e-12]);
+        // Same differential vth mismatch applied to both.
+        let dim = fia.mismatch_domain(&x_small).dim();
+        let mut values = vec![0.0; dim];
+        values[0] = 0.008;
+        let h = MismatchVector::from_values(values);
+        let m_small = fia.evaluate(&x_small, &PvtCorner::typical(), &h);
+        let m_big = fia.evaluate(&x_big, &PvtCorner::typical(), &h);
+        assert!(m_big[0] > m_small[0], "bigger devices must cost energy");
+    }
+
+    #[test]
+    fn mismatch_domain_dimension() {
+        let fia = FloatingInverterAmp::new();
+        let x = fia.reference_design();
+        assert_eq!(fia.mismatch_domain(&x).dim(), 2 * N_TRANSISTORS + 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_finite_positive(
+            x in proptest::collection::vec(0.0f64..1.0, 6),
+            corner_idx in 0usize..30,
+        ) {
+            let fia = FloatingInverterAmp::new();
+            let corner = CornerSet::industrial_30().corner(corner_idx);
+            let h = MismatchVector::nominal(fia.mismatch_domain(&x).dim());
+            let metrics = fia.evaluate(&x, &corner, &h);
+            for m in &metrics {
+                prop_assert!(m.is_finite() && *m > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Shared device-physics helpers for the analytic testcase models.
+//!
+//! All three testcases are built from the same primitives: corner- and
+//! mismatch-specialized square-law transistor cards (from `glova-spice`),
+//! gate/junction capacitance estimates, thermal noise, and differential
+//! offset aggregation. Centralizing them keeps corner behaviour consistent
+//! across circuits (SS is slow *everywhere*).
+
+use glova_spice::model::MosModel;
+use glova_variation::corner::PvtCorner;
+use glova_variation::sampler::MismatchVector;
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Gate capacitance density at 28 nm, F/µm².
+pub const COX_PER_UM2: f64 = 30e-15;
+
+/// Junction/overlap capacitance per µm of device width, F/µm.
+pub const CJ_PER_UM: f64 = 0.6e-15;
+
+/// Thermal-noise excess factor γ for short-channel devices.
+pub const GAMMA_NOISE: f64 = 1.5;
+
+/// `kT` at a corner's temperature, joules.
+pub fn kt(corner: &PvtCorner) -> f64 {
+    BOLTZMANN * corner.temp_k()
+}
+
+/// Gate capacitance of a `w × l` µm transistor, farads.
+pub fn gate_cap(w_um: f64, l_um: f64) -> f64 {
+    COX_PER_UM2 * w_um * l_um
+}
+
+/// Drain-junction capacitance of a `w` µm wide transistor, farads.
+pub fn junction_cap(w_um: f64) -> f64 {
+    CJ_PER_UM * w_um
+}
+
+/// Accessor into a circuit's mismatch vector with the layout convention
+/// used by every testcase: all transistors first (`ΔV_th`, `Δβ/β` pairs in
+/// declaration order), then capacitors (`ΔC/C`).
+#[derive(Debug, Clone, Copy)]
+pub struct MismatchView<'a> {
+    values: &'a [f64],
+    transistor_count: usize,
+}
+
+impl<'a> MismatchView<'a> {
+    /// Wraps a mismatch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is shorter than `2 × transistor_count`.
+    pub fn new(mismatch: &'a MismatchVector, transistor_count: usize) -> Self {
+        assert!(
+            mismatch.dim() >= 2 * transistor_count,
+            "mismatch vector too short: {} < {}",
+            mismatch.dim(),
+            2 * transistor_count
+        );
+        Self { values: mismatch.values(), transistor_count }
+    }
+
+    /// `ΔV_th` of transistor `idx` (declaration order), volts.
+    pub fn vth(&self, idx: usize) -> f64 {
+        assert!(idx < self.transistor_count, "transistor index out of range");
+        self.values[2 * idx]
+    }
+
+    /// `Δβ/β` of transistor `idx`.
+    pub fn beta(&self, idx: usize) -> f64 {
+        assert!(idx < self.transistor_count, "transistor index out of range");
+        self.values[2 * idx + 1]
+    }
+
+    /// `ΔC/C` of capacitor `idx` (declared after all transistors).
+    pub fn cap(&self, idx: usize) -> f64 {
+        let pos = 2 * self.transistor_count + idx;
+        assert!(pos < self.values.len(), "capacitor index out of range");
+        self.values[pos]
+    }
+
+    /// Differential `ΔV_th` between a device pair `(a, b)` — the quantity
+    /// that becomes input-referred offset in differential circuits. Global
+    /// (die-level) shifts cancel here, exactly as on silicon.
+    pub fn vth_pair_diff(&self, a: usize, b: usize) -> f64 {
+        self.vth(a) - self.vth(b)
+    }
+
+    /// Differential `Δβ/β` between a device pair.
+    pub fn beta_pair_diff(&self, a: usize, b: usize) -> f64 {
+        self.beta(a) - self.beta(b)
+    }
+}
+
+/// A corner- and mismatch-specialized transistor with geometry, providing
+/// the per-instance quantities the analytic models need.
+#[derive(Debug, Clone, Copy)]
+pub struct SizedTransistor {
+    model: MosModel,
+    w_um: f64,
+    l_um: f64,
+}
+
+impl SizedTransistor {
+    /// Specializes `base` to a corner and per-device mismatch.
+    pub fn new(
+        base: MosModel,
+        corner: &PvtCorner,
+        w_um: f64,
+        l_um: f64,
+        delta_vth: f64,
+        delta_beta: f64,
+    ) -> Self {
+        Self { model: base.at_corner(corner).with_mismatch(delta_vth, delta_beta), w_um, l_um }
+    }
+
+    /// Width, µm.
+    pub fn w_um(&self) -> f64 {
+        self.w_um
+    }
+
+    /// Length, µm.
+    pub fn l_um(&self) -> f64 {
+        self.l_um
+    }
+
+    /// Effective threshold voltage magnitude, volts.
+    pub fn vth(&self) -> f64 {
+        self.model.vth0
+    }
+
+    /// `k' · W/L`, A/V².
+    pub fn beta(&self) -> f64 {
+        self.model.kp * self.w_um / self.l_um
+    }
+
+    /// Saturation drain current at gate overdrive `vov = vgs − vth`
+    /// (0 when below threshold), amperes.
+    pub fn id_sat(&self, vgs: f64) -> f64 {
+        let vov = (vgs - self.model.vth0).max(0.0);
+        0.5 * self.beta() * vov * vov
+    }
+
+    /// Transconductance in saturation at the given current, S
+    /// (`gm = √(2 β I_D)`).
+    pub fn gm_at(&self, id: f64) -> f64 {
+        (2.0 * self.beta() * id.max(0.0)).sqrt()
+    }
+
+    /// Gate capacitance, farads.
+    pub fn cgg(&self) -> f64 {
+        gate_cap(self.w_um, self.l_um)
+    }
+
+    /// Drain junction capacitance, farads.
+    pub fn cdd(&self) -> f64 {
+        junction_cap(self.w_um)
+    }
+
+    /// Subthreshold-ish leakage current at the corner, amperes. Scales
+    /// exponentially with threshold (hot/fast corners leak more) — drives
+    /// the DRAM droop and static-power terms.
+    pub fn leakage(&self, vdd: f64, corner: &PvtCorner) -> f64 {
+        let ut = corner.thermal_voltage();
+        // I_leak = I0 · (W/L) · e^{−V_th / (n·U_T)}, n = 1.5.
+        let i0 = 1e-6; // A, calibration constant
+        i0 * (self.w_um / self.l_um) * (-self.model.vth0 / (1.5 * ut)).exp() * (vdd / 0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_variation::corner::{ProcessCorner, PvtCorner};
+
+    fn typical_transistor() -> SizedTransistor {
+        SizedTransistor::new(
+            MosModel::nmos_28nm(),
+            &PvtCorner::typical(),
+            2.0,
+            0.03,
+            0.0,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn kt_scales_with_temperature() {
+        let cold = PvtCorner { temp_c: -40.0, ..PvtCorner::typical() };
+        let hot = PvtCorner { temp_c: 80.0, ..PvtCorner::typical() };
+        assert!(kt(&hot) > kt(&cold));
+        assert!((kt(&PvtCorner::typical()) - 4.14e-21).abs() < 1e-22);
+    }
+
+    #[test]
+    fn current_increases_with_width() {
+        let narrow = SizedTransistor::new(
+            MosModel::nmos_28nm(),
+            &PvtCorner::typical(),
+            1.0,
+            0.03,
+            0.0,
+            0.0,
+        );
+        let wide = SizedTransistor::new(
+            MosModel::nmos_28nm(),
+            &PvtCorner::typical(),
+            4.0,
+            0.03,
+            0.0,
+            0.0,
+        );
+        assert!(wide.id_sat(0.9) > 3.9 * narrow.id_sat(0.9));
+    }
+
+    #[test]
+    fn gm_follows_square_law() {
+        let t = typical_transistor();
+        let id = 1e-3;
+        let gm = t.gm_at(id);
+        assert!((gm - (2.0 * t.beta() * id).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_grows_when_hot_and_fast() {
+        let base = MosModel::nmos_28nm();
+        let tt = PvtCorner::typical();
+        let hot_ff = PvtCorner { process: ProcessCorner::Ff, temp_c: 80.0, ..tt };
+        let t_tt = SizedTransistor::new(base, &tt, 2.0, 0.03, 0.0, 0.0);
+        let t_ff = SizedTransistor::new(base, &hot_ff, 2.0, 0.03, 0.0, 0.0);
+        assert!(
+            t_ff.leakage(0.9, &hot_ff) > 5.0 * t_tt.leakage(0.9, &tt),
+            "leak {} vs {}",
+            t_ff.leakage(0.9, &hot_ff),
+            t_tt.leakage(0.9, &tt)
+        );
+    }
+
+    #[test]
+    fn mismatch_view_layout() {
+        let h = MismatchVector::from_values(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let view = MismatchView::new(&h, 2);
+        assert_eq!(view.vth(0), 1.0);
+        assert_eq!(view.beta(0), 2.0);
+        assert_eq!(view.vth(1), 3.0);
+        assert_eq!(view.beta(1), 4.0);
+        assert_eq!(view.cap(0), 5.0);
+        assert_eq!(view.vth_pair_diff(1, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn mismatch_view_checks_length() {
+        let h = MismatchVector::from_values(vec![1.0]);
+        MismatchView::new(&h, 2);
+    }
+
+    #[test]
+    fn cutoff_current_is_zero() {
+        let t = typical_transistor();
+        assert_eq!(t.id_sat(0.1), 0.0);
+    }
+}

@@ -1,0 +1,518 @@
+//! StrongARM latch (SAL) testcase — paper §VI.A, topology from Razavi's
+//! "The StrongARM Latch" (refs [24]).
+//!
+//! 14 design parameters: six transistor widths, six lengths, two
+//! capacitances. Metrics and targets (same as PVTSizing [9]):
+//!
+//! | metric       | target    |
+//! |--------------|-----------|
+//! | power        | ≤ 40 µW   |
+//! | set delay    | ≤ 4 ns    |
+//! | reset delay  | ≤ 4 ns    |
+//! | input noise  | ≤ 120 µV  |
+//!
+//! The analytic model follows the classic two-phase decomposition:
+//! an **integration** phase where the input pair discharges the internal
+//! nodes (`t_int = C_X·V_thn / I_half`), then **regeneration** with time
+//! constant `τ = C_L/(g_m,regen)` amplifying the initial imbalance
+//! `ΔV₀ ∝ g_m1·V_in,eff·t_int/C_L`. Mismatch enters as input-referred
+//! offset (differential ΔV_th of the pairs), reducing the effective input;
+//! corner/temperature enter through every model card.
+
+use crate::physics::{self, MismatchView, SizedTransistor};
+use crate::spec::{DesignSpec, MetricSpec};
+use crate::Circuit;
+use glova_spice::model::MosModel;
+use glova_variation::corner::PvtCorner;
+use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
+use glova_variation::sampler::MismatchVector;
+
+/// The StrongARM latch sizing problem.
+#[derive(Debug, Clone)]
+pub struct StrongArmLatch {
+    spec: DesignSpec,
+}
+
+/// Transistor roles, indexing into the width/length parameter blocks.
+const ROLE_INPUT: usize = 0; // M1: input differential pair (NMOS)
+const ROLE_CROSS_N: usize = 1; // M2: cross-coupled NMOS
+const ROLE_CROSS_P: usize = 2; // M3: cross-coupled PMOS
+const ROLE_TAIL: usize = 3; // M4: clocked tail (NMOS)
+const ROLE_PRECHARGE: usize = 4; // M5: precharge (PMOS)
+const ROLE_BUFFER: usize = 5; // M6: output buffer (NMOS)
+
+/// Mismatch-vector transistor instance order (pairs are a/b sides).
+/// M1a M1b M2a M2b M3a M3b M4 M5a M5b M6a M6b → 11 transistors, then
+/// capacitors C1a C1b C2a C2b.
+const N_TRANSISTORS: usize = 11;
+
+/// Comparator clock frequency assumed by the power model, Hz.
+const F_CLK: f64 = 50e6;
+/// Differential input amplitude the latch must resolve, volts.
+const V_IN: f64 = 20e-3;
+/// Fixed wiring capacitance per output node, farads.
+const C_WIRE: f64 = 3e-15;
+/// Effective regeneration overdrive for the cross-coupled pairs at the
+/// onset of regeneration, volts.
+const V_OV_REGEN: f64 = 0.02;
+
+impl StrongArmLatch {
+    /// Creates the testcase with the paper's constraint targets.
+    pub fn new() -> Self {
+        Self {
+            spec: DesignSpec::new(vec![
+                MetricSpec::below("power_uw", 40.0),
+                MetricSpec::below("set_delay_ns", 4.0),
+                MetricSpec::below("reset_delay_ns", 4.0),
+                MetricSpec::below("noise_uv", 120.0),
+            ]),
+        }
+    }
+
+    /// A hand-calibrated feasible design (normalized), used as a
+    /// documentation example and test baseline.
+    pub fn reference_design(&self) -> Vec<f64> {
+        let phys = [
+            16.0, 8.0, 8.0, 0.6, 8.0, 2.0, // widths µm (tail kept weak on purpose)
+            0.05, 0.05, 0.05, 0.30, 0.05, 0.05, // lengths µm
+            20e-15, 100e-15, // C1, C2 F
+        ];
+        normalize(&phys)
+    }
+
+    fn unpack(&self, x_norm: &[f64]) -> Params {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        let p = self.denormalize(x_norm);
+        Params {
+            w: [p[0], p[1], p[2], p[3], p[4], p[5]],
+            l: [p[6], p[7], p[8], p[9], p[10], p[11]],
+            c1: p[12],
+            c2: p[13],
+        }
+    }
+}
+
+impl Default for StrongArmLatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Params {
+    w: [f64; 6],
+    l: [f64; 6],
+    c1: f64,
+    c2: f64,
+}
+
+/// Width bounds µm (paper), length bounds µm, capacitance bounds F.
+const W_BOUNDS: (f64, f64) = (0.28, 32.8);
+const L_BOUNDS: (f64, f64) = (0.03, 0.33);
+const C_BOUNDS: (f64, f64) = (0.005e-12, 5.5e-12);
+
+fn bounds() -> Vec<(f64, f64)> {
+    let mut b = vec![W_BOUNDS; 6];
+    b.extend(vec![L_BOUNDS; 6]);
+    b.extend(vec![C_BOUNDS; 2]);
+    b
+}
+
+/// Capacitances span three decades; they are mapped log-uniformly so the
+/// optimizer sees the decades evenly (standard practice in sizing tools).
+fn denormalize_impl(x_norm: &[f64]) -> Vec<f64> {
+    bounds()
+        .iter()
+        .enumerate()
+        .zip(x_norm)
+        .map(|((i, &(lo, hi)), &u)| {
+            let u = u.clamp(0.0, 1.0);
+            if i >= 12 {
+                (lo.ln() + (hi.ln() - lo.ln()) * u).exp()
+            } else {
+                lo + (hi - lo) * u
+            }
+        })
+        .collect()
+}
+
+fn normalize(phys: &[f64]) -> Vec<f64> {
+    bounds()
+        .iter()
+        .enumerate()
+        .zip(phys)
+        .map(|((i, &(lo, hi)), &v)| {
+            if i >= 12 {
+                ((v.ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+            } else {
+                ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+impl Circuit for StrongArmLatch {
+    fn name(&self) -> &str {
+        "SAL"
+    }
+
+    fn dim(&self) -> usize {
+        14
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        bounds()
+    }
+
+    fn parameter_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = (1..=6).map(|i| format!("w{i}_um")).collect();
+        names.extend((1..=6).map(|i| format!("l{i}_um")));
+        names.push("c1_f".into());
+        names.push("c2_f".into());
+        names
+    }
+
+    fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn denormalize(&self, x_norm: &[f64]) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        denormalize_impl(x_norm)
+    }
+
+    fn mismatch_domain(&self, x_norm: &[f64]) -> MismatchDomain {
+        let p = self.unpack(x_norm);
+        let mut devices = Vec::with_capacity(N_TRANSISTORS + 4);
+        let pair_roles =
+            [(ROLE_INPUT, "m1"), (ROLE_CROSS_N, "m2"), (ROLE_CROSS_P, "m3")];
+        for (role, name) in pair_roles {
+            for side in ["a", "b"] {
+                let spec = if role == ROLE_CROSS_P {
+                    DeviceSpec::pmos(format!("{name}{side}"), p.w[role], p.l[role])
+                } else {
+                    DeviceSpec::nmos(format!("{name}{side}"), p.w[role], p.l[role])
+                };
+                devices.push(spec);
+            }
+        }
+        devices.push(DeviceSpec::nmos("m4", p.w[ROLE_TAIL], p.l[ROLE_TAIL]));
+        for side in ["a", "b"] {
+            devices.push(DeviceSpec::pmos(
+                format!("m5{side}"),
+                p.w[ROLE_PRECHARGE],
+                p.l[ROLE_PRECHARGE],
+            ));
+        }
+        for side in ["a", "b"] {
+            devices.push(DeviceSpec::nmos(format!("m6{side}"), p.w[ROLE_BUFFER], p.l[ROLE_BUFFER]));
+        }
+        devices.push(DeviceSpec::capacitor("c1a", p.c1));
+        devices.push(DeviceSpec::capacitor("c1b", p.c1));
+        devices.push(DeviceSpec::capacitor("c2a", p.c2));
+        devices.push(DeviceSpec::capacitor("c2b", p.c2));
+        MismatchDomain::new(devices, PelgromModel::cmos28())
+    }
+
+    fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
+        let p = self.unpack(x_norm);
+        let h = MismatchView::new(mismatch, N_TRANSISTORS);
+        let vdd = corner.vdd;
+        let nmos = MosModel::nmos_28nm();
+        let pmos = MosModel::pmos_28nm();
+
+        // Instance indices in the mismatch layout.
+        let (m1a, m1b, m2a, m2b, m3a, m3b, m4, m5a, m5b, m6a, _m6b) =
+            (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
+
+        // --- bias: clocked tail current -----------------------------------
+        let tail = SizedTransistor::new(
+            nmos,
+            corner,
+            p.w[ROLE_TAIL],
+            p.l[ROLE_TAIL],
+            h.vth(m4),
+            h.beta(m4),
+        );
+        let i_tail = tail.id_sat(vdd).max(1e-9);
+        let i_half = 0.5 * i_tail;
+
+        // --- input pair (side-averaged for bias, differential for offset) -
+        let in_a = SizedTransistor::new(
+            nmos,
+            corner,
+            p.w[ROLE_INPUT],
+            p.l[ROLE_INPUT],
+            h.vth(m1a),
+            h.beta(m1a),
+        );
+        let in_b = SizedTransistor::new(
+            nmos,
+            corner,
+            p.w[ROLE_INPUT],
+            p.l[ROLE_INPUT],
+            h.vth(m1b),
+            h.beta(m1b),
+        );
+        let gm1 = 0.5 * (in_a.gm_at(i_half) + in_b.gm_at(i_half));
+
+        // --- cross-coupled devices ----------------------------------------
+        let cross_n = SizedTransistor::new(
+            nmos,
+            corner,
+            p.w[ROLE_CROSS_N],
+            p.l[ROLE_CROSS_N],
+            0.5 * (h.vth(m2a) + h.vth(m2b)),
+            0.5 * (h.beta(m2a) + h.beta(m2b)),
+        );
+        let cross_p = SizedTransistor::new(
+            pmos,
+            corner,
+            p.w[ROLE_CROSS_P],
+            p.l[ROLE_CROSS_P],
+            0.5 * (h.vth(m3a) + h.vth(m3b)),
+            0.5 * (h.beta(m3a) + h.beta(m3b)),
+        );
+
+        // --- node capacitances (per side, with capacitor mismatch) --------
+        let c1_eff = p.c1 * (1.0 + 0.5 * (h.cap(0) + h.cap(1)));
+        let c2_eff = p.c2 * (1.0 + 0.5 * (h.cap(2) + h.cap(3)));
+        let cx = c2_eff
+            + cross_n.cgg()
+            + physics::junction_cap(p.w[ROLE_INPUT])
+            + physics::junction_cap(p.w[ROLE_CROSS_N]);
+        let cl = c1_eff
+            + cross_n.cgg()
+            + cross_p.cgg()
+            + physics::junction_cap(p.w[ROLE_CROSS_N])
+            + physics::junction_cap(p.w[ROLE_CROSS_P])
+            + physics::junction_cap(p.w[ROLE_PRECHARGE])
+            + physics::gate_cap(p.w[ROLE_BUFFER], p.l[ROLE_BUFFER])
+            + C_WIRE;
+
+        // --- integration phase --------------------------------------------
+        let t_int = (cx * cross_n.vth() / i_half).max(1e-13);
+
+        // --- input-referred offset (differential mismatch) -----------------
+        let gm2 = cross_n.gm_at(i_half);
+        let gm3 = cross_p.gm_at(i_half);
+        let vov1 = (2.0 * i_half / in_a.beta().max(1e-12)).sqrt();
+        let v_os = h.vth_pair_diff(m1a, m1b)
+            + (gm2 / gm1.max(1e-9)) * h.vth_pair_diff(m2a, m2b)
+            + 0.5 * (gm3 / gm1.max(1e-9)) * h.vth_pair_diff(m3a, m3b)
+            + 0.5 * vov1 * h.beta_pair_diff(m1a, m1b)
+            + 0.05 * vdd * (h.cap(0) - h.cap(1));
+
+        // --- set delay: integration + regeneration -------------------------
+        let v_eff = (V_IN - v_os.abs()).max(V_IN / 100.0);
+        let dv0 = (gm1 * v_eff * t_int / cl).clamp(1e-6, 0.5 * vdd);
+        let gm_regen = (cross_n.beta() + cross_p.beta()) * V_OV_REGEN;
+        let tau = cl / gm_regen.max(1e-9);
+        // Offsets approaching the input amplitude push the latch toward
+        // (deep) metastability: the differential at regeneration onset
+        // shrinks and the recovery multiplies the regeneration time — the
+        // smooth delay blow-up HSPICE shows near the metastable point.
+        // Escalation starts at half the input amplitude so the worst-of-N'
+        // sampling sees a graded (not cliff-like) response.
+        let v_deficit = (v_os.abs() / V_IN - 0.5).max(0.0);
+        let meta_penalty = 1.0 + 4.0 * v_deficit * v_deficit;
+        let t_regen = tau * (0.5 * vdd / dv0).ln().max(0.0) * meta_penalty;
+        let set_delay = t_int + t_regen;
+
+        // --- reset delay: precharge PMOS restores X and outputs ------------
+        let pre = SizedTransistor::new(
+            pmos,
+            corner,
+            p.w[ROLE_PRECHARGE],
+            p.l[ROLE_PRECHARGE],
+            0.5 * (h.vth(m5a) + h.vth(m5b)),
+            0.5 * (h.beta(m5a) + h.beta(m5b)),
+        );
+        let i_pre = pre.id_sat(vdd).max(1e-9);
+        let reset_delay = 0.8 * (cx + cl) * vdd / (0.7 * i_pre);
+
+        // --- power: dynamic + integration charge + leakage -----------------
+        let c_clk = tail.cgg() + 2.0 * pre.cgg();
+        let q_int = i_tail * (t_int + t_regen).min(4.0 * t_int);
+        let buffer = SizedTransistor::new(
+            nmos,
+            corner,
+            p.w[ROLE_BUFFER],
+            p.l[ROLE_BUFFER],
+            h.vth(m6a),
+            h.beta(m6a),
+        );
+        let leak = tail.leakage(vdd, corner) + buffer.leakage(vdd, corner);
+        let power = F_CLK * (vdd * vdd * (2.0 * cx + 2.0 * cl + c_clk) + q_int * vdd) + leak * vdd;
+
+        // --- input-referred noise ------------------------------------------
+        // Half-circuit channel noise referred to the differential input:
+        // 2kTγ/(g_m1·t_int) with a cross-pair excess term, plus the output
+        // kT/C noise divided by the integration gain.
+        let kt = physics::kt(corner);
+        let g_out = (gm1 * t_int / cl).max(1e-3);
+        let vn2 = 2.0 * kt * physics::GAMMA_NOISE / (gm1 * t_int).max(1e-18)
+            * (1.0 + 0.3 * (gm2 + gm3) / gm1.max(1e-9))
+            + kt / cl.max(1e-18) / (g_out * g_out);
+        let noise = vn2.sqrt();
+
+        vec![power * 1e6, set_delay * 1e9, reset_delay * 1e9, noise * 1e6]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_variation::corner::CornerSet;
+    use proptest::prelude::*;
+
+    fn nominal(circuit: &StrongArmLatch, x: &[f64]) -> MismatchVector {
+        MismatchVector::nominal(circuit.mismatch_domain(x).dim())
+    }
+
+    #[test]
+    fn reference_design_is_feasible_at_typical() {
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        let metrics = sal.evaluate(&x, &PvtCorner::typical(), &nominal(&sal, &x));
+        assert!(
+            sal.spec().satisfied(&metrics),
+            "reference design infeasible: {metrics:?} vs {:?}",
+            sal.spec().metrics().iter().map(|m| m.limit).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reference_design_is_feasible_at_all_corners() {
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        let h = nominal(&sal, &x);
+        for corner in CornerSet::industrial_30().iter() {
+            let metrics = sal.evaluate(&x, corner, &h);
+            assert!(
+                sal.spec().satisfied(&metrics),
+                "reference infeasible at {corner}: {metrics:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimum_sizes_violate_noise() {
+        // A minimum-size latch has tiny gm·t_int: noise must blow past
+        // 120 µV.
+        let sal = StrongArmLatch::new();
+        let x = vec![0.0; 14];
+        let metrics = sal.evaluate(&x, &PvtCorner::typical(), &nominal(&sal, &x));
+        assert!(metrics[3] > 120.0, "expected noise failure, got {metrics:?}");
+    }
+
+    #[test]
+    fn huge_caps_violate_power() {
+        let sal = StrongArmLatch::new();
+        let mut x = sal.reference_design();
+        x[12] = 1.0; // C1 → 5.5 pF
+        x[13] = 1.0; // C2 → 5.5 pF
+        let metrics = sal.evaluate(&x, &PvtCorner::typical(), &nominal(&sal, &x));
+        assert!(metrics[0] > 40.0, "expected power failure, got {metrics:?}");
+    }
+
+    #[test]
+    fn ss_cold_low_v_is_slowest_corner_family() {
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        let h = nominal(&sal, &x);
+        let fast = PvtCorner {
+            process: glova_variation::corner::ProcessCorner::Ff,
+            vdd: 0.9,
+            temp_c: 27.0,
+        };
+        let slow = PvtCorner {
+            process: glova_variation::corner::ProcessCorner::Ss,
+            vdd: 0.8,
+            temp_c: -40.0,
+        };
+        let m_fast = sal.evaluate(&x, &fast, &h);
+        let m_slow = sal.evaluate(&x, &slow, &h);
+        assert!(m_slow[1] > m_fast[1], "set delay must degrade at SS/0.8V/−40C");
+        assert!(m_slow[2] > m_fast[2], "reset delay must degrade at SS/0.8V/−40C");
+    }
+
+    #[test]
+    fn offset_mismatch_increases_set_delay() {
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        let dim = sal.mismatch_domain(&x).dim();
+        let mut values = vec![0.0; dim];
+        values[0] = 0.012; // +12 mV on M1a ΔVth → large differential offset
+        let with_offset = MismatchVector::from_values(values);
+        let base = sal.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim));
+        let off = sal.evaluate(&x, &PvtCorner::typical(), &with_offset);
+        assert!(off[1] > base[1], "offset must slow the latch: {} vs {}", off[1], base[1]);
+    }
+
+    #[test]
+    fn global_shift_cancels_in_offset_unlike_differential_shift() {
+        // Identical ΔVth on every transistor (pure global/die shift) cancels
+        // in the differential offset: set delay moves only through bias. A
+        // differential shift of the same magnitude on one input device does
+        // not cancel and must slow the latch much more.
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        let dim = sal.mismatch_domain(&x).dim();
+        let mut global = vec![0.0; dim];
+        for t in 0..N_TRANSISTORS {
+            global[2 * t] = 0.025;
+        }
+        let mut differential = vec![0.0; dim];
+        differential[0] = 0.025; // only M1a — past the metastability onset
+        let base = sal.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim))[1];
+        let glob = sal.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(global))[1];
+        let diff = sal
+            .evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(differential))[1];
+        assert!(glob < 1.5 * base, "global shift must not blow up delay: {glob} vs {base}");
+        assert!(diff > glob, "differential offset must hurt more: {diff} vs {glob}");
+    }
+
+    #[test]
+    fn wider_input_pair_lowers_noise() {
+        let sal = StrongArmLatch::new();
+        let mut x = sal.reference_design();
+        let h = nominal(&sal, &x);
+        let base = sal.evaluate(&x, &PvtCorner::typical(), &h)[3];
+        x[0] = (x[0] + 0.2).min(1.0); // widen W1
+        let wide = sal.evaluate(&x, &PvtCorner::typical(), &nominal(&sal, &x))[3];
+        assert!(wide < base, "noise should improve with wider input pair");
+    }
+
+    #[test]
+    fn mismatch_domain_dimension() {
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        assert_eq!(sal.mismatch_domain(&x).dim(), 2 * N_TRANSISTORS + 4);
+    }
+
+    #[test]
+    fn denormalize_roundtrip_on_reference() {
+        let sal = StrongArmLatch::new();
+        let x = sal.reference_design();
+        let phys = sal.denormalize(&x);
+        assert!((phys[0] - 16.0).abs() < 1e-9);
+        assert!((phys[9] - 0.30).abs() < 1e-9);
+        assert!((phys[12] - 20e-15).abs() < 1e-18);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_finite_positive_everywhere(
+            x in proptest::collection::vec(0.0f64..1.0, 14),
+            corner_idx in 0usize..30,
+        ) {
+            let sal = StrongArmLatch::new();
+            let corner = CornerSet::industrial_30().corner(corner_idx);
+            let h = MismatchVector::nominal(sal.mismatch_domain(&x).dim());
+            let metrics = sal.evaluate(&x, &corner, &h);
+            for m in &metrics {
+                prop_assert!(m.is_finite() && *m > 0.0, "bad metric {m} in {metrics:?}");
+            }
+        }
+    }
+}

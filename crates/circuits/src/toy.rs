@@ -1,0 +1,176 @@
+//! A synthetic circuit for fast, deterministic tests of the optimization
+//! and verification stacks.
+//!
+//! `ToyQuadratic` has one metric: the squared distance to a known optimum,
+//! plus corner-dependent and mismatch-dependent penalties. The feasible set
+//! is a ball whose radius is known analytically, so tests can assert exact
+//! behaviours (e.g. "µ-σ must reject this design") without circuit-model
+//! noise.
+
+use crate::spec::{DesignSpec, MetricSpec};
+use crate::Circuit;
+use glova_variation::corner::PvtCorner;
+use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
+use glova_variation::sampler::MismatchVector;
+
+/// A `p`-dimensional quadratic-bowl testcase.
+///
+/// Metric: `m(x|t,h) = ‖x − x*‖² + corner_penalty(t) + Σh` with target
+/// `m ≤ limit`. The optimum `x*` and the limit are configurable.
+#[derive(Debug, Clone)]
+pub struct ToyQuadratic {
+    optimum: Vec<f64>,
+    spec: DesignSpec,
+    corner_sensitivity: f64,
+    mismatch_sensitivity: f64,
+}
+
+impl ToyQuadratic {
+    /// Creates a toy problem with optimum at `optimum` (normalized
+    /// coordinates) and feasibility threshold `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `optimum` is empty or `limit <= 0`.
+    pub fn new(optimum: Vec<f64>, limit: f64) -> Self {
+        assert!(!optimum.is_empty(), "optimum must be non-empty");
+        assert!(limit > 0.0, "limit must be positive");
+        // Worst-corner penalty (SS / 0.8 V / −40 °C) is ≈ 2.56 × the
+        // sensitivity; the default keeps the optimum feasible at every
+        // corner of the standard instance (limit 0.05).
+        Self {
+            optimum,
+            spec: DesignSpec::new(vec![MetricSpec::below("distance_sq", limit)]),
+            corner_sensitivity: 0.01,
+            mismatch_sensitivity: 1.0,
+        }
+    }
+
+    /// Default 4-dimensional instance: optimum at `(0.7, 0.3, 0.5, 0.6)`,
+    /// limit `0.05`.
+    pub fn standard() -> Self {
+        Self::new(vec![0.7, 0.3, 0.5, 0.6], 0.05)
+    }
+
+    /// Overrides the corner-penalty scale (builder style).
+    pub fn with_corner_sensitivity(mut self, s: f64) -> Self {
+        self.corner_sensitivity = s;
+        self
+    }
+
+    /// Overrides the mismatch-penalty scale (builder style).
+    pub fn with_mismatch_sensitivity(mut self, s: f64) -> Self {
+        self.mismatch_sensitivity = s;
+        self
+    }
+
+    /// The known optimum (normalized).
+    pub fn optimum(&self) -> &[f64] {
+        &self.optimum
+    }
+}
+
+impl Circuit for ToyQuadratic {
+    fn name(&self) -> &str {
+        "TOY"
+    }
+
+    fn dim(&self) -> usize {
+        self.optimum.len()
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); self.optimum.len()]
+    }
+
+    fn parameter_names(&self) -> Vec<String> {
+        (0..self.dim()).map(|i| format!("x{i}")).collect()
+    }
+
+    fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn mismatch_domain(&self, _x_norm: &[f64]) -> MismatchDomain {
+        // Two pseudo-devices give a 4-dimensional mismatch vector with
+        // realistic sigma scales.
+        MismatchDomain::new(
+            vec![DeviceSpec::nmos("t0", 1.0, 0.1), DeviceSpec::nmos("t1", 1.0, 0.1)],
+            PelgromModel::cmos28(),
+        )
+    }
+
+    fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        let dist2: f64 =
+            x_norm.iter().zip(&self.optimum).map(|(x, o)| (x - o) * (x - o)).sum();
+        // Corner penalty: worst at SS / low V / cold.
+        let corner_penalty = self.corner_sensitivity
+            * ((0.9 - corner.vdd) / 0.1 - corner.process.nmos_skew()
+                + (27.0 - corner.temp_c) / 120.0)
+                .max(0.0);
+        // Mismatch penalty: |Σ h| scaled (components are ~mV scale).
+        let mism: f64 = mismatch.values().iter().sum::<f64>().abs();
+        let value = dist2 + corner_penalty + self.mismatch_sensitivity * mism;
+        vec![value]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_variation::corner::{CornerSet, ProcessCorner};
+
+    #[test]
+    fn optimum_is_feasible() {
+        let toy = ToyQuadratic::standard();
+        let x = toy.optimum().to_vec();
+        let h = MismatchVector::nominal(toy.mismatch_domain(&x).dim());
+        let m = toy.evaluate(&x, &PvtCorner::typical(), &h);
+        assert!(toy.spec().satisfied(&m));
+        assert!(m[0] < 0.05);
+    }
+
+    #[test]
+    fn far_point_is_infeasible() {
+        let toy = ToyQuadratic::standard();
+        let x = vec![0.0; 4];
+        let h = MismatchVector::nominal(toy.mismatch_domain(&x).dim());
+        let m = toy.evaluate(&x, &PvtCorner::typical(), &h);
+        assert!(!toy.spec().satisfied(&m));
+    }
+
+    #[test]
+    fn worst_corner_is_ss_low_v_cold() {
+        let toy = ToyQuadratic::standard();
+        let x = toy.optimum().to_vec();
+        let h = MismatchVector::nominal(toy.mismatch_domain(&x).dim());
+        let worst = PvtCorner { process: ProcessCorner::Ss, vdd: 0.8, temp_c: -40.0 };
+        let m_typ = toy.evaluate(&x, &PvtCorner::typical(), &h)[0];
+        let m_worst = toy.evaluate(&x, &worst, &h)[0];
+        assert!(m_worst > m_typ);
+        // And it is the maximum across the full set.
+        let max = CornerSet::industrial_30()
+            .iter()
+            .map(|c| toy.evaluate(&x, c, &h)[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - m_worst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_shifts_metric() {
+        let toy = ToyQuadratic::standard();
+        let x = toy.optimum().to_vec();
+        let dim = toy.mismatch_domain(&x).dim();
+        let h = MismatchVector::from_values(vec![0.02; dim]);
+        let base = toy.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim))[0];
+        let shifted = toy.evaluate(&x, &PvtCorner::typical(), &h)[0];
+        assert!(shifted > base);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_limit_panics() {
+        ToyQuadratic::new(vec![0.5], 0.0);
+    }
+}

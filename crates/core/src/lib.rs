@@ -1,0 +1,61 @@
+//! # GLOVA — variation-aware analog sizing with risk-sensitive RL
+//!
+//! Reproduction of *"GLOVA: Global and Local Variation-Aware Analog
+//! Circuit Design with Risk-Sensitive Reinforcement Learning"* (DAC 2025,
+//! arXiv:2505.11208). This crate is the framework layer tying together the
+//! substrates in the workspace:
+//!
+//! - [`SizingProblem`](problem::SizingProblem) — a
+//!   [`Circuit`](glova_circuits::Circuit) plus a verification method
+//!   (Table I), with simulation counting and hierarchical mismatch
+//!   sampling (Eq. 3);
+//! - the **optimization phase** ([`optimizer`]) — TuRBO initial sampling
+//!   followed by the risk-sensitive RL loop of Algorithm 1 / Fig. 2;
+//! - the **verification phase** ([`verification`]) — Algorithm 2:
+//!   [µ-σ evaluation](evaluation) (Eq. 7) and
+//!   [simulation reordering](reorder) (t-SCORE, Eq. 8; h-SCORE,
+//!   Eq. 9–10);
+//! - ablation switches for Table III (disable the ensemble critic, the
+//!   µ-σ gate, or the reordering);
+//! - run reports ([`report`]) with iteration/simulation counts and the
+//!   reliability-bound trace behind Fig. 3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use glova::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Size the synthetic toy circuit under corner-only verification.
+//! let circuit = Arc::new(glova_circuits::ToyQuadratic::standard());
+//! let config = GlovaConfig::quick(VerificationMethod::Corner);
+//! let mut optimizer = GlovaOptimizer::new(circuit, config);
+//! let result = optimizer.run(42);
+//! assert!(result.success);
+//! ```
+
+pub mod evaluation;
+pub mod optimizer;
+pub mod problem;
+pub mod reorder;
+pub mod report;
+pub mod sensitivity;
+pub mod verification;
+pub mod yield_est;
+
+pub use evaluation::MuSigmaEvaluation;
+pub use optimizer::{GlovaConfig, GlovaOptimizer};
+pub use problem::SizingProblem;
+pub use report::{IterationTrace, RunResult};
+pub use sensitivity::{sensitivity_sweep, SensitivityReport};
+pub use verification::{VerificationOutcome, Verifier};
+pub use yield_est::{estimate_yield, YieldEstimate};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::optimizer::{GlovaConfig, GlovaOptimizer};
+    pub use crate::problem::SizingProblem;
+    pub use crate::report::RunResult;
+    pub use glova_circuits::Circuit;
+    pub use glova_variation::config::VerificationMethod;
+}

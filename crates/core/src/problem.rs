@@ -1,0 +1,186 @@
+//! The sizing problem: circuit × verification method, with simulation
+//! accounting.
+
+use glova_circuits::Circuit;
+use glova_stats::rng::Rng64;
+use glova_variation::config::{OperatingConfig, VerificationMethod};
+use glova_variation::corner::PvtCorner;
+use glova_variation::sampler::{MismatchSampler, MismatchVector};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// One simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Raw metrics in spec order.
+    pub metrics: Vec<f64>,
+    /// The consolidated reward (paper Eq. 4–5).
+    pub reward: f64,
+}
+
+/// A sizing problem: the circuit under a chosen verification method.
+///
+/// Every call to [`SizingProblem::simulate`] increments the simulation
+/// counter — the `# Simulation` column of the paper's Table II.
+#[derive(Clone)]
+pub struct SizingProblem {
+    circuit: Arc<dyn Circuit>,
+    config: OperatingConfig,
+    simulations: Cell<u64>,
+}
+
+impl std::fmt::Debug for SizingProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SizingProblem")
+            .field("circuit", &self.circuit.name())
+            .field("method", &self.config.method)
+            .field("simulations", &self.simulations.get())
+            .finish()
+    }
+}
+
+impl SizingProblem {
+    /// Creates a problem for `circuit` under `method`.
+    pub fn new(circuit: Arc<dyn Circuit>, method: VerificationMethod) -> Self {
+        Self { circuit, config: method.operating_config(), simulations: Cell::new(0) }
+    }
+
+    /// The circuit.
+    pub fn circuit(&self) -> &Arc<dyn Circuit> {
+        &self.circuit
+    }
+
+    /// The operating configuration (Table I row).
+    pub fn config(&self) -> &OperatingConfig {
+        &self.config
+    }
+
+    /// Design-space dimension.
+    pub fn dim(&self) -> usize {
+        self.circuit.dim()
+    }
+
+    /// Total simulations run so far.
+    pub fn simulations(&self) -> u64 {
+        self.simulations.get()
+    }
+
+    /// Resets the simulation counter (between experiment arms).
+    pub fn reset_simulations(&self) {
+        self.simulations.set(0);
+    }
+
+    /// Runs one simulation: metrics + consolidated reward.
+    pub fn simulate(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> SimOutcome {
+        self.simulations.set(self.simulations.get() + 1);
+        let metrics = self.circuit.evaluate(x, corner, h);
+        let reward = self.circuit.spec().reward(&metrics);
+        SimOutcome { metrics, reward }
+    }
+
+    /// Simulates under the typical condition without mismatch (initial
+    /// TuRBO sampling target).
+    pub fn simulate_typical(&self, x: &[f64]) -> SimOutcome {
+        let h = MismatchVector::nominal(self.circuit.mismatch_domain(x).dim());
+        self.simulate(x, &PvtCorner::typical(), &h)
+    }
+
+    /// Samples `n` mismatch conditions for design `x` per Eq. 3 under this
+    /// problem's variance layers (one shared global draw — a single die).
+    pub fn sample_conditions(&self, x: &[f64], n: usize, rng: &mut Rng64) -> Vec<MismatchVector> {
+        let sampler =
+            MismatchSampler::new(self.circuit.mismatch_domain(x), self.config.variance_layers());
+        sampler.sample_set(rng, n)
+    }
+
+    /// Samples `n` mismatch conditions with a fresh global draw per sample
+    /// (one die per Monte-Carlo point) — used by full verification, where
+    /// each sign-off sample models an independent die.
+    pub fn sample_conditions_independent(
+        &self,
+        x: &[f64],
+        n: usize,
+        rng: &mut Rng64,
+    ) -> Vec<MismatchVector> {
+        let sampler =
+            MismatchSampler::new(self.circuit.mismatch_domain(x), self.config.variance_layers());
+        sampler.sample_independent(rng, n)
+    }
+
+    /// Simulates `x` under one corner across a set of mismatch conditions;
+    /// returns the per-condition outcomes and the worst reward.
+    pub fn simulate_conditions(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        conditions: &[MismatchVector],
+    ) -> (Vec<SimOutcome>, f64) {
+        let outcomes: Vec<SimOutcome> =
+            conditions.iter().map(|h| self.simulate(x, corner, h)).collect();
+        let worst =
+            outcomes.iter().map(|o| o.reward).fold(f64::INFINITY, f64::min);
+        (outcomes, worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_circuits::ToyQuadratic;
+    use glova_stats::rng::seeded;
+
+    fn problem(method: VerificationMethod) -> SizingProblem {
+        SizingProblem::new(Arc::new(ToyQuadratic::standard()), method)
+    }
+
+    #[test]
+    fn simulation_counter_counts() {
+        let p = problem(VerificationMethod::Corner);
+        let x = vec![0.5; 4];
+        let h = MismatchVector::nominal(p.circuit().mismatch_domain(&x).dim());
+        assert_eq!(p.simulations(), 0);
+        p.simulate(&x, &PvtCorner::typical(), &h);
+        p.simulate(&x, &PvtCorner::typical(), &h);
+        assert_eq!(p.simulations(), 2);
+        p.reset_simulations();
+        assert_eq!(p.simulations(), 0);
+    }
+
+    #[test]
+    fn corner_method_samples_nominal_conditions() {
+        let p = problem(VerificationMethod::Corner);
+        let mut rng = seeded(1);
+        let conditions = p.sample_conditions(&vec![0.5; 4], 3, &mut rng);
+        assert_eq!(conditions.len(), 3);
+        assert!(conditions.iter().all(MismatchVector::is_nominal));
+    }
+
+    #[test]
+    fn mc_methods_sample_nonzero_conditions() {
+        let p = problem(VerificationMethod::CornerLocalMc);
+        let mut rng = seeded(2);
+        let conditions = p.sample_conditions(&vec![0.5; 4], 3, &mut rng);
+        assert!(conditions.iter().all(|c| !c.is_nominal()));
+    }
+
+    #[test]
+    fn worst_reward_is_minimum() {
+        let p = problem(VerificationMethod::CornerLocalMc);
+        let mut rng = seeded(3);
+        let x = vec![0.5; 4];
+        let conditions = p.sample_conditions(&x, 5, &mut rng);
+        let (outcomes, worst) = p.simulate_conditions(&x, &PvtCorner::typical(), &conditions);
+        let min = outcomes.iter().map(|o| o.reward).fold(f64::INFINITY, f64::min);
+        assert_eq!(worst, min);
+        assert_eq!(p.simulations(), 5);
+    }
+
+    #[test]
+    fn feasible_design_earns_satisfied_reward() {
+        let toy = ToyQuadratic::standard();
+        let optimum = toy.optimum().to_vec();
+        let p = SizingProblem::new(Arc::new(toy), VerificationMethod::Corner);
+        let outcome = p.simulate_typical(&optimum);
+        assert_eq!(outcome.reward, glova_circuits::spec::SATISFIED_REWARD);
+    }
+}

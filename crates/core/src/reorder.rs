@@ -1,0 +1,156 @@
+//! Simulation reordering (paper §V.B, Eq. 8–10).
+//!
+//! Verification runs thousands of simulations; detecting failure *early*
+//! lets the framework abort and return to optimization cheaply. Two
+//! orderings are computed from the `N'` pre-sampled points:
+//!
+//! - **Corner reordering** — corners are ranked by
+//!   `t-SCORE_j = Σ_i e_{j,i}` (Eq. 8): the corner whose µ-σ bounds sit
+//!   closest to (or beyond) the constraints is simulated first.
+//! - **MC reordering** — within a corner, the Pearson correlation vector
+//!   `ρ_j` between mismatch components and the aggregate degradation `g`
+//!   (Eq. 9) scores each *unsimulated* mismatch condition by
+//!   `h-SCORE = Σ h ∘ ρ` (Eq. 10); high scores are simulated first.
+
+use crate::problem::SimOutcome;
+use glova_circuits::spec::DesignSpec;
+use glova_stats::correlation::column_pearson;
+use glova_variation::sampler::MismatchVector;
+
+/// Sorts corner indices by descending t-SCORE (most-likely-to-fail first);
+/// ties broken by index for determinism.
+pub fn order_corners_by_t_score(t_scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..t_scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        t_scores[b]
+            .partial_cmp(&t_scores[a])
+            .expect("t-scores are finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// The Pearson correlation vector `ρ_j` (Eq. 9) between each mismatch
+/// component and the aggregate degradation `g = Σ_i degradation_i` of the
+/// pre-sampled points.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn correlation_vector(
+    spec: &DesignSpec,
+    conditions: &[MismatchVector],
+    outcomes: &[SimOutcome],
+) -> Vec<f64> {
+    assert_eq!(conditions.len(), outcomes.len(), "condition/outcome count mismatch");
+    let rows: Vec<Vec<f64>> = conditions.iter().map(|c| c.values().to_vec()).collect();
+    let g: Vec<f64> = outcomes.iter().map(|o| spec.degradation(&o.metrics)).collect();
+    column_pearson(&rows, &g)
+}
+
+/// The h-SCORE of one mismatch condition (Eq. 10): `Σ_i h_i · ρ_i`.
+/// Higher = more likely to fail.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn h_score(condition: &MismatchVector, rho: &[f64]) -> f64 {
+    assert_eq!(condition.dim(), rho.len(), "mismatch/correlation dimension mismatch");
+    condition.values().iter().zip(rho).map(|(h, r)| h * r).sum()
+}
+
+/// Sorts condition indices by descending h-SCORE (most-likely-to-fail
+/// first); ties broken by index.
+pub fn order_conditions_by_h_score(conditions: &[MismatchVector], rho: &[f64]) -> Vec<usize> {
+    let scores: Vec<f64> = conditions.iter().map(|c| h_score(c, rho)).collect();
+    let mut order: Vec<usize> = (0..conditions.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("h-scores are finite").then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_circuits::spec::{DesignSpec, MetricSpec};
+    use proptest::prelude::*;
+
+    fn spec() -> DesignSpec {
+        DesignSpec::new(vec![MetricSpec::below("m", 10.0)])
+    }
+
+    #[test]
+    fn corner_ordering_descends() {
+        let order = order_corners_by_t_score(&[0.1, 2.0, 0.0, 0.5]);
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn corner_ordering_ties_are_deterministic() {
+        let order = order_corners_by_t_score(&[1.0, 1.0, 1.0]);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn correlation_identifies_harmful_component() {
+        // Component 0 drives degradation; component 1 is irrelevant.
+        let conditions: Vec<MismatchVector> = (0..10)
+            .map(|i| MismatchVector::from_values(vec![i as f64 * 0.01, 0.5]))
+            .collect();
+        let outcomes: Vec<SimOutcome> = (0..10)
+            .map(|i| SimOutcome { metrics: vec![5.0 + i as f64], reward: 0.0 })
+            .collect();
+        let rho = correlation_vector(&spec(), &conditions, &outcomes);
+        assert!(rho[0] > 0.99);
+        assert_eq!(rho[1], 0.0);
+    }
+
+    #[test]
+    fn h_score_ranks_harmful_conditions_first() {
+        let rho = vec![1.0, 0.0];
+        let conditions = vec![
+            MismatchVector::from_values(vec![0.01, 0.9]),
+            MismatchVector::from_values(vec![0.05, -0.9]),
+            MismatchVector::from_values(vec![-0.02, 0.0]),
+        ];
+        let order = order_conditions_by_h_score(&conditions, &rho);
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn negative_correlation_flips_ranking() {
+        // If a component protects (negative ρ), large positive values of it
+        // rank last.
+        let rho = vec![-1.0];
+        let conditions = vec![
+            MismatchVector::from_values(vec![0.5]),
+            MismatchVector::from_values(vec![-0.5]),
+        ];
+        let order = order_conditions_by_h_score(&conditions, &rho);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_orderings_are_permutations(scores in proptest::collection::vec(-10.0f64..10.0, 0..40)) {
+            let order = order_corners_by_t_score(&scores);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..scores.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_h_score_ordering_is_descending(
+            values in proptest::collection::vec(-1.0f64..1.0, 1..30),
+        ) {
+            let rho = vec![1.0];
+            let conditions: Vec<MismatchVector> =
+                values.iter().map(|&v| MismatchVector::from_values(vec![v])).collect();
+            let order = order_conditions_by_h_score(&conditions, &rho);
+            for w in order.windows(2) {
+                prop_assert!(values[w[0]] >= values[w[1]]);
+            }
+        }
+    }
+}

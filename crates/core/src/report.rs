@@ -1,0 +1,92 @@
+//! Run reports: the quantities the paper's tables and figures are built
+//! from.
+
+use std::time::Duration;
+
+/// Per-iteration trace record — the series behind the paper's Fig. 3
+/// (reliability-bound estimation over RL iterations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationTrace {
+    /// RL iteration number (1-based).
+    pub iteration: usize,
+    /// Ensemble-mean critic prediction at the proposed design.
+    pub critic_mean: f64,
+    /// Risk-sensitive reliability bound `E[Q] + β₁σ[Q]` (Eq. 6).
+    pub critic_bound: f64,
+    /// Worst-case reward actually sampled this iteration.
+    pub sampled_worst: f64,
+    /// Corner index the iteration simulated (the current worst corner).
+    pub corner_index: usize,
+}
+
+/// Outcome of one sizing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Whether full verification passed within the iteration budget.
+    pub success: bool,
+    /// RL iterations consumed (Table II row "RL Iteration").
+    pub rl_iterations: usize,
+    /// Total simulations consumed, including initial sampling and
+    /// verification (Table II row "# Simulation").
+    pub simulations: u64,
+    /// Number of full-verification attempts made.
+    pub verification_attempts: usize,
+    /// Wall-clock time of the run (Table II row "Norm. Runtime" before
+    /// normalization).
+    pub wall_time: Duration,
+    /// The final (verified) design, normalized coordinates.
+    pub final_design: Option<Vec<f64>>,
+    /// Per-iteration trace (empty unless tracing was enabled).
+    pub trace: Vec<IterationTrace>,
+}
+
+impl RunResult {
+    /// A failed run with the given accounting.
+    pub fn failed(rl_iterations: usize, simulations: u64, wall_time: Duration) -> Self {
+        Self {
+            success: false,
+            rl_iterations,
+            simulations,
+            verification_attempts: 0,
+            wall_time,
+            final_design: None,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{status}: {iters} RL iterations, {sims} simulations, {attempts} verification attempts, {ms:.1} ms",
+            status = if self.success { "success" } else { "failure" },
+            iters = self.rl_iterations,
+            sims = self.simulations,
+            attempts = self.verification_attempts,
+            ms = self.wall_time.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_constructor() {
+        let r = RunResult::failed(10, 500, Duration::from_millis(20));
+        assert!(!r.success);
+        assert_eq!(r.rl_iterations, 10);
+        assert_eq!(r.simulations, 500);
+        assert!(r.final_design.is_none());
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let r = RunResult::failed(3, 77, Duration::from_millis(5));
+        let s = r.to_string();
+        assert!(s.contains("failure"));
+        assert!(s.contains("77 simulations"));
+    }
+}

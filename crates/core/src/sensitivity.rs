@@ -1,0 +1,187 @@
+//! One-at-a-time design-parameter sensitivity analysis.
+//!
+//! After sizing, designers want to know which parameters the verified
+//! solution is *fragile* in: how much does each metric's worst-corner
+//! margin move per unit of normalized parameter change? This drives both
+//! layout-margin decisions and which devices deserve tighter matching.
+
+use crate::problem::SizingProblem;
+use glova_variation::sampler::MismatchVector;
+
+/// Sensitivity of each metric to each design parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// `gradients[p][m]` = ∂(normalized margin of metric `m` at its worst
+    /// corner)/∂(normalized parameter `p`), by central differences.
+    pub gradients: Vec<Vec<f64>>,
+    /// Parameter names, aligned with the first axis.
+    pub parameter_names: Vec<String>,
+    /// Metric names, aligned with the second axis.
+    pub metric_names: Vec<String>,
+    /// Step used for the central differences (normalized units).
+    pub step: f64,
+}
+
+impl SensitivityReport {
+    /// The parameter index with the largest absolute margin gradient for
+    /// `metric` — the knob that most affects that spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metric` is out of range.
+    pub fn most_sensitive_parameter(&self, metric: usize) -> usize {
+        assert!(metric < self.metric_names.len(), "metric index out of range");
+        self.gradients
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1[metric]
+                    .abs()
+                    .partial_cmp(&b.1[metric].abs())
+                    .expect("finite gradients")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one parameter")
+    }
+}
+
+impl std::fmt::Display for SensitivityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:<14}", "parameter")?;
+        for m in &self.metric_names {
+            write!(f, "{m:>16}")?;
+        }
+        writeln!(f)?;
+        for (pi, name) in self.parameter_names.iter().enumerate() {
+            write!(f, "{name:<14}")?;
+            for mi in 0..self.metric_names.len() {
+                write!(f, "{:>16.4}", self.gradients[pi][mi])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the nominal-mismatch worst-corner margin of every metric at a
+/// design point.
+fn worst_corner_margins(problem: &SizingProblem, x: &[f64]) -> Vec<f64> {
+    let spec = problem.circuit().spec();
+    let h = MismatchVector::nominal(problem.circuit().mismatch_domain(x).dim());
+    let mut worst = vec![f64::INFINITY; spec.len()];
+    for corner in problem.config().corners.clone().iter() {
+        let outcome = problem.simulate(x, corner, &h);
+        for (w, f_i) in worst.iter_mut().zip(spec.normalized(&outcome.metrics)) {
+            *w = w.min(f_i);
+        }
+    }
+    worst
+}
+
+/// One-at-a-time central-difference sensitivity of the worst-corner
+/// normalized margins around design `x`.
+///
+/// Costs `2 · p · k` simulations (`p` parameters, `k` corners), counted on
+/// the problem's simulation counter like any other work.
+///
+/// # Panics
+///
+/// Panics if `step` is not in `(0, 0.5)` or `x` has the wrong dimension.
+pub fn sensitivity_sweep(problem: &SizingProblem, x: &[f64], step: f64) -> SensitivityReport {
+    assert!(step > 0.0 && step < 0.5, "step must be in (0, 0.5)");
+    assert_eq!(x.len(), problem.dim(), "design dimension mismatch");
+    let circuit = problem.circuit();
+    let mut gradients = Vec::with_capacity(x.len());
+    for p in 0..x.len() {
+        let mut x_hi = x.to_vec();
+        let mut x_lo = x.to_vec();
+        x_hi[p] = (x[p] + step).min(1.0);
+        x_lo[p] = (x[p] - step).max(0.0);
+        let span = x_hi[p] - x_lo[p];
+        let m_hi = worst_corner_margins(problem, &x_hi);
+        let m_lo = worst_corner_margins(problem, &x_lo);
+        gradients.push(
+            m_hi.iter().zip(&m_lo).map(|(hi, lo)| (hi - lo) / span.max(1e-12)).collect(),
+        );
+    }
+    SensitivityReport {
+        gradients,
+        parameter_names: circuit.parameter_names(),
+        metric_names: circuit.spec().metrics().iter().map(|m| m.name.clone()).collect(),
+        step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_circuits::{Circuit, ToyQuadratic};
+    use glova_variation::config::VerificationMethod;
+    use std::sync::Arc;
+
+    fn problem() -> SizingProblem {
+        SizingProblem::new(Arc::new(ToyQuadratic::standard()), VerificationMethod::Corner)
+    }
+
+    #[test]
+    fn gradient_points_toward_optimum() {
+        // At a point left of the optimum in dim 0, increasing x0 must
+        // improve (raise) the margin.
+        let p = problem();
+        let mut x = ToyQuadratic::standard().optimum().to_vec();
+        x[0] -= 0.15;
+        let report = sensitivity_sweep(&p, &x, 0.05);
+        assert!(
+            report.gradients[0][0] > 0.0,
+            "moving toward the optimum should raise the margin: {:?}",
+            report.gradients
+        );
+    }
+
+    #[test]
+    fn gradient_near_zero_at_optimum() {
+        let p = problem();
+        let x = ToyQuadratic::standard().optimum().to_vec();
+        let report = sensitivity_sweep(&p, &x, 0.05);
+        for row in &report.gradients {
+            assert!(row[0].abs() < 1.0, "near-stationary at the optimum: {row:?}");
+        }
+    }
+
+    #[test]
+    fn most_sensitive_parameter_is_largest_displacement() {
+        let p = problem();
+        let mut x = ToyQuadratic::standard().optimum().to_vec();
+        x[2] -= 0.3; // strongly displaced in dim 2
+        let report = sensitivity_sweep(&p, &x, 0.05);
+        assert_eq!(report.most_sensitive_parameter(0), 2);
+    }
+
+    #[test]
+    fn simulation_cost_is_accounted() {
+        let p = problem();
+        let x = ToyQuadratic::standard().optimum().to_vec();
+        p.reset_simulations();
+        let _ = sensitivity_sweep(&p, &x, 0.05);
+        // 2 sides × 4 params × 30 corners.
+        assert_eq!(p.simulations(), 2 * 4 * 30);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let p = problem();
+        let x = ToyQuadratic::standard().optimum().to_vec();
+        let report = sensitivity_sweep(&p, &x, 0.05);
+        let text = report.to_string();
+        assert!(text.contains("parameter"));
+        assert!(text.contains("distance_sq"));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be in")]
+    fn bad_step_panics() {
+        let p = problem();
+        let x = vec![0.5; 4];
+        sensitivity_sweep(&p, &x, 0.9);
+    }
+}

@@ -1,0 +1,2 @@
+//! Placeholder library: this crate exists to host the repository-root
+//! `tests/` integration suite (see `Cargo.toml` `[[test]]` entries).

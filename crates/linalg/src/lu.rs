@@ -1,0 +1,207 @@
+//! LU factorization with partial pivoting.
+//!
+//! The MNA circuit engine solves `G x = b` at every Newton iteration and
+//! every transient time step; the matrices are unsymmetric (voltage-source
+//! branch equations), so Cholesky does not apply and LU with partial
+//! pivoting is the workhorse.
+
+use crate::{LinalgError, Matrix};
+
+/// Compact LU factorization `P A = L U` with partial pivoting.
+///
+/// `L` (unit lower) and `U` (upper) are stored interleaved in a single
+/// matrix; `perm` records row swaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Pivot threshold below which the matrix is declared singular.
+    const SINGULARITY_EPS: f64 = 1e-13;
+
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// - [`LinalgError::Singular`] if a pivot column is all (numerically)
+    ///   zero.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch { context: "lu of non-square matrix" });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        // Scale factors for scaled partial pivoting: more robust for the
+        // badly scaled MNA matrices (conductances span ~1e-12..1e3).
+        let scale: Vec<f64> = (0..n)
+            .map(|i| lu.row(i).iter().fold(0.0f64, |m, v| m.max(v.abs())))
+            .collect();
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut pivot_row = k;
+            let mut best = 0.0;
+            for i in k..n {
+                let s = if scale[perm[i]] > 0.0 { scale[perm[i]] } else { 1.0 };
+                let mag = lu[(i, k)].abs() / s;
+                if mag > best {
+                    best = mag;
+                    pivot_row = i;
+                }
+            }
+            if lu[(pivot_row, k)].abs() < Self::SINGULARITY_EPS {
+                return Err(LinalgError::Singular { index: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    lu[(i, j)] -= factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in i + 1..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        self.sign * (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        // 2x + y = 3, x + 3y = 5 → x = 4/5, y = 7/5
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(3, 2);
+        assert!(matches!(a.lu(), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.lu().unwrap().determinant() + 2.0).abs() < 1e-12);
+        let eye = Matrix::identity(4);
+        assert!((eye.lu().unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn badly_scaled_system() {
+        // Conductance-like scaling: entries spanning 12 orders of magnitude.
+        let a = Matrix::from_rows(&[&[1e-9, 1.0], &[1.0, 1e3]]);
+        let lu = a.lu().unwrap();
+        let x_true = [2.0, 3.0];
+        let b = a.mat_vec(&x_true);
+        let x = lu.solve(&b);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 3.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_residual_small(
+            entries in proptest::collection::vec(-5.0f64..5.0, 16),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            // Diagonally dominate to guarantee non-singularity.
+            let mut a = Matrix::from_fn(4, 4, |i, j| entries[i * 4 + j]);
+            for i in 0..4 {
+                a[(i, i)] += 25.0;
+            }
+            let lu = a.lu().unwrap();
+            let x = lu.solve(&rhs);
+            let back = a.mat_vec(&x);
+            for (bi, ri) in back.iter().zip(&rhs) {
+                prop_assert!((bi - ri).abs() < 1e-8 * (1.0 + ri.abs()));
+            }
+        }
+
+        #[test]
+        fn prop_determinant_of_permutation_is_pm_one(swap in 0usize..2) {
+            let a = if swap == 0 {
+                Matrix::identity(3)
+            } else {
+                Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]])
+            };
+            let det = a.lu().unwrap().determinant();
+            prop_assert!((det.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

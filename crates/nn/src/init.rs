@@ -1,0 +1,83 @@
+//! Weight initialization schemes.
+//!
+//! Ensemble-critic diversity in the paper comes from "randomness and varying
+//! initialization" of the base models — initialization quality directly
+//! affects how well the ensemble spread tracks epistemic uncertainty, so the
+//! standard Glorot/He schemes are implemented rather than ad-hoc uniform
+//! noise.
+
+use crate::Activation;
+use glova_stats::normal::StandardNormal;
+use rand::Rng;
+
+/// Draws one weight for a layer with the given fan-in/out under `scheme`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))` — suited to
+    /// tanh/sigmoid layers.
+    XavierNormal,
+    /// He normal: `N(0, 2 / fan_in)` — suited to ReLU layers.
+    HeNormal,
+}
+
+impl Init {
+    /// Picks the conventional scheme for an activation.
+    pub fn for_activation(activation: Activation) -> Self {
+        match activation {
+            Activation::Relu => Init::HeNormal,
+            _ => Init::XavierNormal,
+        }
+    }
+
+    /// Standard deviation for a `fan_in → fan_out` layer.
+    pub fn std_dev(self, fan_in: usize, fan_out: usize) -> f64 {
+        match self {
+            Init::XavierNormal => (2.0 / (fan_in + fan_out) as f64).sqrt(),
+            Init::HeNormal => (2.0 / fan_in.max(1) as f64).sqrt(),
+        }
+    }
+
+    /// Samples one weight.
+    pub fn sample<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        normal: &StandardNormal,
+        fan_in: usize,
+        fan_out: usize,
+    ) -> f64 {
+        normal.sample_scaled(rng, 0.0, self.std_dev(fan_in, fan_out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_stats::descriptive::RunningStats;
+    use glova_stats::rng::seeded;
+
+    #[test]
+    fn scheme_selection() {
+        assert_eq!(Init::for_activation(Activation::Relu), Init::HeNormal);
+        assert_eq!(Init::for_activation(Activation::Tanh), Init::XavierNormal);
+        assert_eq!(Init::for_activation(Activation::Sigmoid), Init::XavierNormal);
+    }
+
+    #[test]
+    fn std_dev_formulas() {
+        assert!((Init::XavierNormal.std_dev(10, 10) - (0.1f64).sqrt()).abs() < 1e-12);
+        assert!((Init::HeNormal.std_dev(8, 123) - 0.5f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments_match_scheme() {
+        let mut rng = seeded(3);
+        let normal = StandardNormal::new();
+        let mut stats = RunningStats::new();
+        for _ in 0..50_000 {
+            stats.push(Init::HeNormal.sample(&mut rng, &normal, 50, 50));
+        }
+        let expect = Init::HeNormal.std_dev(50, 50);
+        assert!(stats.mean().abs() < 0.005);
+        assert!((stats.std_dev() - expect).abs() < 0.005);
+    }
+}

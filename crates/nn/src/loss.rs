@@ -1,0 +1,91 @@
+//! Loss functions.
+//!
+//! Algorithm 1 of the paper uses plain MSE losses for both networks:
+//! `L_Qi = MSE(r̂, Q_i(x̂))` for each critic base model and
+//! `L_A = MSE(0.2, Q(A(x̂)))` for the actor (0.2 being the
+//! all-constraints-satisfied reward of Eq. 4).
+
+/// Mean squared error between `predictions` and `targets`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(glova_nn::mse(&[1.0, 2.0], &[0.0, 0.0]), 2.5);
+/// ```
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "mse length mismatch");
+    assert!(!predictions.is_empty(), "mse of empty slices");
+    predictions.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Gradient of [`mse`] with respect to `predictions`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse_gradient(predictions: &[f64], targets: &[f64]) -> Vec<f64> {
+    assert_eq!(predictions.len(), targets.len(), "mse length mismatch");
+    assert!(!predictions.is_empty(), "mse of empty slices");
+    let n = predictions.len() as f64;
+    predictions.iter().zip(targets).map(|(p, t)| 2.0 * (p - t) / n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_when_equal() {
+        assert_eq!(mse(&[1.0, -2.0], &[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        assert_eq!(mse(&[3.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let preds = [0.5, -1.0, 2.0];
+        let targets = [0.0, 0.0, 1.0];
+        let grad = mse_gradient(&preds, &targets);
+        let eps = 1e-7;
+        for i in 0..3 {
+            let mut pp = preds;
+            let mut pm = preds;
+            pp[i] += eps;
+            pm[i] -= eps;
+            let numeric = (mse(&pp, &targets) - mse(&pm, &targets)) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        mse(&[], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mse_nonnegative(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..50)
+        ) {
+            let p: Vec<f64> = pairs.iter().map(|x| x.0).collect();
+            let t: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+            prop_assert!(mse(&p, &t) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The risk-sensitive agent — Algorithm 1 of the paper.
+
+use crate::critic::EnsembleCritic;
+use crate::noise::GaussianNoise;
+use crate::replay::WorstCaseReplayBuffer;
+use glova_nn::{Activation, Adam, Gradients, Mlp, MlpConfig};
+use rand::Rng;
+
+/// Reward target for the actor loss `MSE(0.2, Q(A(x̂)))` (paper Eq. 4).
+pub const SATISFIED_REWARD: f64 = 0.2;
+
+/// Agent hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentConfig {
+    /// Design-space dimension `p`.
+    pub dim: usize,
+    /// Number of critic base models (1 disables the ensemble — the
+    /// "w/o EC" ablation of Table III).
+    pub ensemble_size: usize,
+    /// Risk parameter β₁ of Eq. 6 (paper: −3).
+    pub beta1: f64,
+    /// Training batch size (paper: 10).
+    pub batch_size: usize,
+    /// Hidden widths of both networks (4-layer nets per the paper).
+    pub hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Gradient steps per [`RiskSensitiveAgent::train_step`] call.
+    pub updates_per_step: usize,
+    /// Constant reward offset in Algorithm 1's losses.
+    pub bias: f64,
+    /// Weight of the DDPG-style critic-through gradient in the actor loss.
+    pub ddpg_weight: f64,
+    /// Weight of the proximal behaviour-cloning term pulling `A(x̂)`
+    /// toward the incumbent target (see
+    /// [`RiskSensitiveAgent::set_proximal_target`]). Stabilizes the actor
+    /// against critic-extrapolation artifacts early in training.
+    pub proximal_weight: f64,
+}
+
+impl AgentConfig {
+    /// Paper-default configuration for a `dim`-dimensional problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            dim,
+            ensemble_size: 5,
+            beta1: -3.0,
+            batch_size: 10,
+            hidden: vec![64, 64, 64],
+            actor_lr: 3e-4,
+            critic_lr: 1e-3,
+            updates_per_step: 8,
+            bias: 0.0,
+            ddpg_weight: 0.2,
+            proximal_weight: 1.0,
+        }
+    }
+
+    /// Disables the ensemble (single base model, risk-neutral) — the
+    /// Table III "w/o EC" ablation.
+    pub fn without_ensemble(mut self) -> Self {
+        self.ensemble_size = 1;
+        self
+    }
+}
+
+/// The risk-sensitive RL agent: actor, ensemble critic, worst-case replay
+/// buffer and exploration noise.
+#[derive(Debug, Clone)]
+pub struct RiskSensitiveAgent {
+    config: AgentConfig,
+    actor: Mlp,
+    actor_opt: Adam,
+    critic: EnsembleCritic,
+    buffer: WorstCaseReplayBuffer,
+    noise: GaussianNoise,
+    proximal_target: Option<Vec<f64>>,
+}
+
+impl RiskSensitiveAgent {
+    /// Creates an agent with freshly initialized networks.
+    pub fn new<R: Rng + ?Sized>(config: AgentConfig, rng: &mut R) -> Self {
+        let actor_cfg = MlpConfig::new(config.dim, &config.hidden, config.dim, Activation::Relu)
+            .with_output_activation(Activation::Sigmoid);
+        let actor = Mlp::new(&actor_cfg, rng);
+        let critic = EnsembleCritic::new(
+            config.dim,
+            config.ensemble_size,
+            &config.hidden,
+            config.beta1,
+            config.critic_lr,
+            config.bias,
+            rng,
+        );
+        Self {
+            actor,
+            actor_opt: Adam::new(config.actor_lr),
+            critic,
+            buffer: WorstCaseReplayBuffer::new(),
+            noise: GaussianNoise::standard(),
+            proximal_target: None,
+            config,
+        }
+    }
+
+    /// Restarts exploration at the given σ (stagnation recovery).
+    pub fn reset_noise(&mut self, sigma: f64) {
+        self.noise.reset(sigma);
+    }
+
+    /// Sets (or clears) the proximal behaviour-cloning target — typically
+    /// the incumbent best design, refreshed every iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target dimension is wrong.
+    pub fn set_proximal_target(&mut self, target: Option<Vec<f64>>) {
+        if let Some(t) = &target {
+            assert_eq!(t.len(), self.config.dim, "target dimension mismatch");
+        }
+        self.proximal_target = target;
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// The critic (read access for reliability-bound tracing, Fig. 3).
+    pub fn critic(&self) -> &EnsembleCritic {
+        &self.critic
+    }
+
+    /// The replay buffer.
+    pub fn buffer(&self) -> &WorstCaseReplayBuffer {
+        &self.buffer
+    }
+
+    /// Stores a `(design, worst-case reward)` observation (Algorithm 1's
+    /// "store the data in B_worst").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design dimension is wrong.
+    pub fn observe(&mut self, design: Vec<f64>, worst_reward: f64) {
+        assert_eq!(design.len(), self.config.dim, "design dimension mismatch");
+        self.buffer.push(design, worst_reward);
+    }
+
+    /// Proposes the next design from the last one: `A(x_last) + noise`,
+    /// clamped to the unit cube.
+    pub fn propose<R: Rng + ?Sized>(&self, x_last: &[f64], rng: &mut R) -> Vec<f64> {
+        assert_eq!(x_last.len(), self.config.dim, "design dimension mismatch");
+        let mut next = self.actor.forward(x_last);
+        self.noise.perturb(&mut next, rng);
+        next
+    }
+
+    /// Runs `updates_per_step` critic+actor gradient steps on replayed
+    /// worst-case data, then decays the exploration noise.
+    ///
+    /// No-op when the buffer is empty.
+    pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        for _ in 0..self.config.updates_per_step {
+            // Critic: one independent batch per base model.
+            let batches: Vec<Vec<(&[f64], f64)>> = (0..self.critic.ensemble_size())
+                .map(|_| self.buffer.sample(self.config.batch_size, rng))
+                .collect();
+            self.critic.train_batches(&batches);
+
+            // Actor: minimize MSE(0.2, Q(A(x̂))) (Algorithm 1) plus the
+            // proximal cloning term toward the incumbent.
+            let batch = self.buffer.sample(self.config.batch_size, rng);
+            let mut total = Gradients::zeros_like(&self.actor);
+            for (x, _) in &batch {
+                let (action, cache) = self.actor.forward_cached(x);
+                let q = self.critic.predict(&action);
+                let dq_da = self.critic.input_gradient(&action);
+                let dl_dq =
+                    self.config.ddpg_weight * 2.0 * (q - SATISFIED_REWARD) / batch.len() as f64;
+                let mut grad_out: Vec<f64> = dq_da.iter().map(|g| dl_dq * g).collect();
+                if let Some(target) = &self.proximal_target {
+                    for ((g, a), t) in grad_out.iter_mut().zip(&action).zip(target) {
+                        *g += self.config.proximal_weight * 2.0 * (a - t) / batch.len() as f64;
+                    }
+                }
+                let (g, _) = self.actor.backward(&cache, &grad_out);
+                total.accumulate(&g);
+            }
+            total.clip_global_norm(5.0);
+            self.actor_opt.step(&mut self.actor, &total);
+        }
+        self.noise.step();
+    }
+
+    /// The best stored design by worst-case reward, if any.
+    pub fn best_design(&self) -> Option<(&[f64], f64)> {
+        self.buffer.best()
+    }
+
+    /// Warm-starts the actor by behaviour cloning: `steps` gradient steps
+    /// of `‖A(x̂) − target‖²` over designs replayed from the buffer.
+    ///
+    /// A freshly initialized actor maps every input to its own arbitrary
+    /// fixed point; cloning toward the incumbent best design puts the
+    /// proposal distribution in a sane region before critic-driven updates
+    /// take over. No-op when the buffer is empty.
+    pub fn pretrain_actor_towards<R: Rng + ?Sized>(
+        &mut self,
+        target: &[f64],
+        steps: usize,
+        rng: &mut R,
+    ) {
+        assert_eq!(target.len(), self.config.dim, "target dimension mismatch");
+        if self.buffer.is_empty() {
+            return;
+        }
+        for _ in 0..steps {
+            let batch = self.buffer.sample(self.config.batch_size, rng);
+            let mut total = Gradients::zeros_like(&self.actor);
+            for (x, _) in &batch {
+                let (action, cache) = self.actor.forward_cached(x);
+                let grad_out: Vec<f64> = action
+                    .iter()
+                    .zip(target)
+                    .map(|(a, t)| 2.0 * (a - t) / batch.len() as f64)
+                    .collect();
+                let (g, _) = self.actor.backward(&cache, &grad_out);
+                total.accumulate(&g);
+            }
+            total.clip_global_norm(5.0);
+            self.actor_opt.step(&mut self.actor, &total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_stats::rng::seeded;
+
+    /// Synthetic worst-case reward: feasible ball of radius 0.25 around a
+    /// known optimum; outside the ball, negative distance margin.
+    fn toy_reward(x: &[f64]) -> f64 {
+        let optimum = [0.65, 0.35, 0.55];
+        let dist: f64 = x
+            .iter()
+            .zip(&optimum)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        if dist < 0.25 {
+            SATISFIED_REWARD
+        } else {
+            -(dist - 0.25)
+        }
+    }
+
+    fn config() -> AgentConfig {
+        AgentConfig {
+            hidden: vec![32, 32],
+            updates_per_step: 4,
+            ..AgentConfig::new(3)
+        }
+    }
+
+    #[test]
+    fn agent_improves_worst_case_reward() {
+        let mut rng = seeded(11);
+        let mut agent = RiskSensitiveAgent::new(config(), &mut rng);
+        // Seed with mediocre random designs.
+        let mut x = vec![0.1, 0.9, 0.1];
+        let initial_reward = toy_reward(&x);
+        agent.observe(x.clone(), initial_reward);
+        let mut best = initial_reward;
+        for _ in 0..60 {
+            agent.train_step(&mut rng);
+            let next = agent.propose(&x, &mut rng);
+            let r = toy_reward(&next);
+            agent.observe(next.clone(), r);
+            best = best.max(r);
+            x = next;
+            if best >= SATISFIED_REWARD {
+                break;
+            }
+        }
+        assert!(
+            best > initial_reward + 0.2,
+            "agent failed to improve: {initial_reward} -> {best}"
+        );
+    }
+
+    #[test]
+    fn proposals_live_in_unit_cube() {
+        let mut rng = seeded(12);
+        let mut agent = RiskSensitiveAgent::new(config(), &mut rng);
+        agent.observe(vec![0.5, 0.5, 0.5], -0.1);
+        agent.train_step(&mut rng);
+        for _ in 0..20 {
+            let p = agent.propose(&[0.2, 0.8, 0.5], &mut rng);
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn train_step_on_empty_buffer_is_noop() {
+        let mut rng = seeded(13);
+        let mut agent = RiskSensitiveAgent::new(config(), &mut rng);
+        agent.train_step(&mut rng); // must not panic
+        assert!(agent.best_design().is_none());
+    }
+
+    #[test]
+    fn risk_sensitive_critic_is_conservative_on_sparse_data() {
+        // With few observations, the ensemble bound must sit below the
+        // ensemble mean at unexplored points (risk avoidance).
+        let mut rng = seeded(14);
+        let mut agent = RiskSensitiveAgent::new(config(), &mut rng);
+        agent.observe(vec![0.6, 0.4, 0.5], 0.2);
+        agent.observe(vec![0.2, 0.2, 0.2], -0.4);
+        for _ in 0..10 {
+            agent.train_step(&mut rng);
+        }
+        let unexplored = [0.95, 0.05, 0.95];
+        let (mean, std) = agent.critic().predict_detail(&unexplored);
+        assert!(std > 0.0);
+        assert!(agent.critic().predict(&unexplored) < mean);
+    }
+
+    #[test]
+    fn without_ensemble_ablation_is_risk_neutral() {
+        let mut rng = seeded(15);
+        let agent = RiskSensitiveAgent::new(config().without_ensemble(), &mut rng);
+        let x = [0.3, 0.3, 0.3];
+        let (mean, std) = agent.critic().predict_detail(&x);
+        assert_eq!(std, 0.0);
+        assert_eq!(agent.critic().predict(&x), mean);
+    }
+
+    #[test]
+    fn best_design_tracks_buffer() {
+        let mut rng = seeded(16);
+        let mut agent = RiskSensitiveAgent::new(config(), &mut rng);
+        agent.observe(vec![0.1, 0.1, 0.1], -0.5);
+        agent.observe(vec![0.6, 0.4, 0.5], 0.2);
+        let (x, r) = agent.best_design().unwrap();
+        assert_eq!(r, 0.2);
+        assert_eq!(x, &[0.6, 0.4, 0.5]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Risk-sensitive reinforcement learning for analog sizing — the paper's
+//! Algorithm 1.
+//!
+//! The agent is DDPG-derived but specialized to the sizing setting:
+//!
+//! - The **actor** maps the previous normalized design vector to the next
+//!   one (a learned local-search step), with a sigmoid head keeping outputs
+//!   in `[0, 1]^p`.
+//! - The **critic** is an *ensemble* of base models predicting the
+//!   worst-case reward of a design. Its risk-sensitive aggregate
+//!   `Q = E[Q_i] + β₁·σ[Q_i]` with `β₁ < 0` (paper Eq. 6) estimates the
+//!   *design reliability bound*: when the ensemble disagrees (high
+//!   epistemic uncertainty from few worst-case samples), the bound drops,
+//!   steering the actor away from designs whose robustness is unproven.
+//! - Only the **worst-case reward** across the sampled PVT/mismatch
+//!   conditions is stored in the replay buffer ([`WorstCaseReplayBuffer`]).
+//! - A [`LastWorstBuffer`] tracks the most recent worst reward per corner,
+//!   used to pick the worst corner for the next iteration's simulations.
+//!
+//! # Example
+//!
+//! ```
+//! use glova_rl::{AgentConfig, RiskSensitiveAgent};
+//!
+//! let mut rng = glova_stats::rng::seeded(0);
+//! let mut agent = RiskSensitiveAgent::new(AgentConfig::new(4), &mut rng);
+//! // Seed the buffer with a few (design, worst reward) observations …
+//! agent.observe(vec![0.2, 0.2, 0.2, 0.2], -0.5);
+//! agent.observe(vec![0.7, 0.3, 0.5, 0.6], 0.2);
+//! // … train and propose the next design.
+//! agent.train_step(&mut rng);
+//! let next = agent.propose(&[0.7, 0.3, 0.5, 0.6], &mut rng);
+//! assert_eq!(next.len(), 4);
+//! assert!(next.iter().all(|v| (0.0..=1.0).contains(v)));
+//! ```
+
+pub mod agent;
+pub mod critic;
+pub mod noise;
+pub mod replay;
+
+pub use agent::{AgentConfig, RiskSensitiveAgent};
+pub use critic::EnsembleCritic;
+pub use noise::{GaussianNoise, OrnsteinUhlenbeckNoise};
+pub use replay::{LastWorstBuffer, WorstCaseReplayBuffer};

@@ -1,0 +1,209 @@
+//! Exploration noise.
+
+use glova_stats::normal::StandardNormal;
+use rand::Rng;
+
+/// Gaussian exploration noise with multiplicative decay — added to the
+/// actor's proposal in Algorithm 1 (`x_new = A(x_last) + noise`).
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    sigma: f64,
+    sigma_min: f64,
+    decay: f64,
+    normal: StandardNormal,
+}
+
+impl GaussianNoise {
+    /// Creates noise with initial `sigma`, decaying by `decay` per call to
+    /// [`GaussianNoise::step`] down to `sigma_min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are not in range (`sigma ≥ sigma_min ≥ 0`,
+    /// `0 < decay ≤ 1`).
+    pub fn new(sigma: f64, sigma_min: f64, decay: f64) -> Self {
+        assert!(sigma >= sigma_min && sigma_min >= 0.0, "sigma ordering invalid");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        Self { sigma, sigma_min, decay, normal: StandardNormal::new() }
+    }
+
+    /// Standard sizing-exploration defaults: σ 0.12 → 0.03, decay 0.985.
+    pub fn standard() -> Self {
+        Self::new(0.12, 0.03, 0.985)
+    }
+
+    /// Current standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Resets σ to `sigma` (exploration restart after stagnation).
+    pub fn reset(&mut self, sigma: f64) {
+        self.sigma = sigma.max(self.sigma_min);
+    }
+
+    /// Applies noise to a design in place, clamping to `[0, 1]`.
+    pub fn perturb<R: Rng + ?Sized>(&self, design: &mut [f64], rng: &mut R) {
+        for v in design.iter_mut() {
+            *v = (*v + self.normal.sample_scaled(rng, 0.0, self.sigma)).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Decays the noise level one step.
+    pub fn step(&mut self) {
+        self.sigma = (self.sigma * self.decay).max(self.sigma_min);
+    }
+}
+
+/// Ornstein–Uhlenbeck exploration noise — temporally correlated, the
+/// classic DDPG choice. Where [`GaussianNoise`] jumps independently each
+/// call, OU noise drifts smoothly, which explores narrow feasibility
+/// corridors (like the DRAM boost/energy ridge) more coherently.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeckNoise {
+    theta: f64,
+    sigma: f64,
+    state: Vec<f64>,
+    normal: StandardNormal,
+}
+
+impl OrnsteinUhlenbeckNoise {
+    /// Creates OU noise over `dim` dimensions with mean-reversion rate
+    /// `theta` and diffusion `sigma` (per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `(0, 1]` or `sigma < 0`.
+    pub fn new(dim: usize, theta: f64, sigma: f64) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { theta, sigma, state: vec![0.0; dim], normal: StandardNormal::new() }
+    }
+
+    /// The current noise state.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Advances the process one step and applies it to `design` in place,
+    /// clamping to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design.len()` differs from the noise dimension.
+    pub fn perturb<R: Rng + ?Sized>(&mut self, design: &mut [f64], rng: &mut R) {
+        assert_eq!(design.len(), self.state.len(), "dimension mismatch");
+        for (s, v) in self.state.iter_mut().zip(design.iter_mut()) {
+            *s += self.theta * (0.0 - *s) + self.normal.sample_scaled(rng, 0.0, self.sigma);
+            *v = (*v + *s).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Resets the process state to zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_stats::rng::seeded;
+
+    #[test]
+    fn perturb_stays_in_unit_cube() {
+        let noise = GaussianNoise::new(0.5, 0.1, 0.9);
+        let mut rng = seeded(1);
+        for _ in 0..100 {
+            let mut x = vec![0.05, 0.95, 0.5];
+            noise.perturb(&mut x, &mut rng);
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn decay_reaches_floor() {
+        let mut noise = GaussianNoise::new(0.2, 0.05, 0.5);
+        for _ in 0..20 {
+            noise.step();
+        }
+        assert_eq!(noise.sigma(), 0.05);
+    }
+
+    #[test]
+    fn noise_actually_perturbs() {
+        let noise = GaussianNoise::standard();
+        let mut rng = seeded(2);
+        let mut x = vec![0.5; 8];
+        noise.perturb(&mut x, &mut rng);
+        assert!(x.iter().any(|&v| (v - 0.5).abs() > 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn bad_decay_panics() {
+        GaussianNoise::new(0.1, 0.0, 0.0);
+    }
+
+    #[test]
+    fn ou_noise_is_temporally_correlated() {
+        // Consecutive OU states must correlate far more than independent
+        // Gaussian draws.
+        let mut ou = OrnsteinUhlenbeckNoise::new(1, 0.1, 0.05);
+        let mut rng = seeded(5);
+        let mut prev = 0.0;
+        let mut states = Vec::new();
+        for _ in 0..2000 {
+            let mut x = vec![0.5];
+            ou.perturb(&mut x, &mut rng);
+            states.push((prev, ou.state()[0]));
+            prev = ou.state()[0];
+        }
+        let a: Vec<f64> = states.iter().skip(1).map(|p| p.0).collect();
+        let b: Vec<f64> = states.iter().skip(1).map(|p| p.1).collect();
+        let rho = glova_stats::correlation::pearson(&a, &b);
+        assert!(rho > 0.7, "OU autocorrelation too low: {rho}");
+    }
+
+    #[test]
+    fn ou_noise_reverts_to_zero_mean() {
+        let mut ou = OrnsteinUhlenbeckNoise::new(4, 0.15, 0.02);
+        let mut rng = seeded(6);
+        let mut acc = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let mut x = vec![0.5; 4];
+            ou.perturb(&mut x, &mut rng);
+            acc += ou.state().iter().sum::<f64>() / 4.0;
+        }
+        assert!((acc / n as f64).abs() < 0.02, "OU mean drifted: {}", acc / n as f64);
+    }
+
+    #[test]
+    fn ou_reset_clears_state() {
+        let mut ou = OrnsteinUhlenbeckNoise::new(2, 0.1, 0.1);
+        let mut rng = seeded(7);
+        let mut x = vec![0.5; 2];
+        ou.perturb(&mut x, &mut rng);
+        assert!(ou.state().iter().any(|&s| s != 0.0));
+        ou.reset();
+        assert!(ou.state().iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn ou_perturb_stays_in_unit_cube() {
+        let mut ou = OrnsteinUhlenbeckNoise::new(3, 0.05, 0.3);
+        let mut rng = seeded(8);
+        for _ in 0..200 {
+            let mut x = vec![0.02, 0.98, 0.5];
+            ou.perturb(&mut x, &mut rng);
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn ou_bad_theta_panics() {
+        OrnsteinUhlenbeckNoise::new(2, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Small-signal AC analysis.
+//!
+//! Linearizes the circuit around its DC operating point (MOSFETs become
+//! `g_m`/`g_ds` elements, capacitors become `jωC` admittances) and solves
+//! the complex MNA system across a frequency sweep. The excitation is a
+//! unit AC source superimposed on one voltage source, so node results are
+//! transfer functions relative to it.
+
+use crate::complex::{Complex, ComplexMatrix};
+use crate::dc::{operating_point, OperatingPoint};
+use crate::device::Device;
+use crate::model::MosPolarity;
+use crate::netlist::{Netlist, NodeId};
+use crate::SpiceError;
+
+/// Result of an AC sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcResult {
+    frequencies: Vec<f64>,
+    solutions: Vec<Vec<Complex>>,
+    n_nodes: usize,
+}
+
+impl AcResult {
+    /// The swept frequencies, Hz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frequencies.is_empty()
+    }
+
+    /// Complex node voltage (transfer function vs. the AC source) at
+    /// frequency index `idx`.
+    pub fn voltage(&self, node: NodeId, idx: usize) -> Complex {
+        if node.is_ground() {
+            Complex::ZERO
+        } else {
+            self.solutions[idx][node.index() - 1]
+        }
+    }
+
+    /// Magnitude response of `node` in dB across the sweep.
+    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| 20.0 * self.voltage(node, i).abs().max(1e-30).log10())
+            .collect()
+    }
+
+    /// −3 dB bandwidth of `node` relative to its first-point gain, Hz
+    /// (`None` if the response never drops 3 dB within the sweep).
+    pub fn bandwidth_3db(&self, node: NodeId) -> Option<f64> {
+        let mags = self.magnitude_db(node);
+        let reference = *mags.first()?;
+        for (i, &m) in mags.iter().enumerate() {
+            if m <= reference - 3.0 {
+                return Some(self.frequencies[i]);
+            }
+        }
+        None
+    }
+}
+
+/// Logarithmic frequency sweep: `points_per_decade` points from `f_start`
+/// to `f_stop` (inclusive-ish).
+///
+/// # Panics
+///
+/// Panics if frequencies are non-positive or inverted, or
+/// `points_per_decade == 0`.
+pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start, "invalid sweep range");
+    assert!(points_per_decade > 0, "need at least one point per decade");
+    let decades = (f_stop / f_start).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|i| f_start * 10f64.powf(i as f64 / points_per_decade as f64))
+        .take_while(|&f| f <= f_stop * 1.0001)
+        .collect()
+}
+
+/// Runs an AC sweep with a 1 V AC excitation on voltage source
+/// `ac_source_name` (all other sources AC-grounded).
+///
+/// # Errors
+///
+/// - [`SpiceError::InvalidNetlist`] if the named source does not exist.
+/// - DC or complex-solve failures propagate as their respective errors.
+pub fn ac_sweep(
+    netlist: &Netlist,
+    ac_source_name: &str,
+    frequencies: &[f64],
+) -> Result<AcResult, SpiceError> {
+    let ac_branch = netlist.vsource_branch(ac_source_name).ok_or_else(|| {
+        SpiceError::InvalidNetlist { reason: format!("no voltage source named {ac_source_name}") }
+    })?;
+    let op = operating_point(netlist)?;
+    let n_nodes = netlist.node_count() - 1;
+    let n = netlist.unknown_count();
+
+    let mut solutions = Vec::with_capacity(frequencies.len());
+    for &freq in frequencies {
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        let mut a = ComplexMatrix::zeros(n);
+        let mut b = vec![Complex::ZERO; n];
+        stamp_ac(netlist, &op, omega, &mut a);
+        // Unit AC excitation on the chosen source's branch equation.
+        b[n_nodes + ac_branch] = Complex::ONE;
+        let x = a.solve(&b).map_err(|_| SpiceError::SingularMatrix)?;
+        solutions.push(x[..n_nodes].to_vec());
+    }
+    Ok(AcResult { frequencies: frequencies.to_vec(), solutions, n_nodes })
+}
+
+/// Stamps the linearized (small-signal) system at angular frequency ω.
+fn stamp_ac(netlist: &Netlist, op: &OperatingPoint, omega: f64, a: &mut ComplexMatrix) {
+    let n_nodes = netlist.node_count() - 1;
+    let idx = |node: NodeId| -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    };
+    // Small gmin keeps floating nodes solvable.
+    for i in 0..n_nodes {
+        a.add_at(i, i, Complex::real(1e-12));
+    }
+
+    let mut stamp = |i: Option<usize>, j: Option<usize>, v: Complex| {
+        if let (Some(i), Some(j)) = (i, j) {
+            a.add_at(i, j, v);
+        }
+    };
+
+    for device in netlist.devices() {
+        match device {
+            Device::Resistor { a: na, b: nb, ohms, .. } => {
+                let g = Complex::real(1.0 / ohms);
+                let (i, j) = (idx(*na), idx(*nb));
+                stamp(i, i, g);
+                stamp(j, j, g);
+                stamp(i, j, -g);
+                stamp(j, i, -g);
+            }
+            Device::Capacitor { a: na, b: nb, farads, .. } => {
+                let y = Complex::imag(omega * farads);
+                let (i, j) = (idx(*na), idx(*nb));
+                stamp(i, j, -y);
+                stamp(j, i, -y);
+                stamp(i, i, y);
+                stamp(j, j, y);
+            }
+            Device::Vsource { plus, minus, branch, .. } => {
+                let k = Some(n_nodes + branch);
+                let (p, m) = (idx(*plus), idx(*minus));
+                stamp(p, k, Complex::ONE);
+                stamp(m, k, -Complex::ONE);
+                stamp(k, p, Complex::ONE);
+                stamp(k, m, -Complex::ONE);
+                // RHS handled by the caller (AC source selection).
+            }
+            Device::Isource { .. } => {
+                // Independent current sources are AC-open.
+            }
+            Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
+                // Small-signal conductances at the DC operating point, in
+                // the same carrier-space formulation as the DC stamps.
+                let p = match model.polarity {
+                    MosPolarity::Nmos => 1.0,
+                    MosPolarity::Pmos => -1.0,
+                };
+                let v = |n: NodeId| -> f64 { op.voltage(n) };
+                let wd = p * v(*drain);
+                let wg = p * v(*gate);
+                let ws = p * v(*source);
+                let (nd, ns, wdd, wss) =
+                    if wd >= ws { (*drain, *source, wd, ws) } else { (*source, *drain, ws, wd) };
+                let ratio = w_um / l_um;
+                let (_, gm0, gds0) = model.ids(wg - wss, wdd - wss);
+                let gm = Complex::real(gm0 * ratio);
+                let gds = Complex::real(gds0 * ratio);
+                let (d, s, g) = (idx(nd), idx(ns), idx(*gate));
+                stamp(d, g, gm);
+                stamp(d, d, gds);
+                stamp(d, s, -(gm + gds));
+                stamp(s, g, -gm);
+                stamp(s, d, -gds);
+                stamp(s, s, gm + gds);
+                // Gate capacitance loads the driving node.
+                let cgg = Complex::imag(omega * crate::model_gate_cap(*w_um, *l_um));
+                stamp(g, g, cgg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MosModel;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn rc_lowpass_pole_at_expected_frequency() {
+        // R = 1 kΩ, C = 159.15 pF → f_3dB ≈ 1 MHz.
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VIN", vin, GROUND, 0.0);
+        nl.resistor("R1", vin, out, 1e3);
+        nl.capacitor("C1", out, GROUND, 159.15e-12);
+        let freqs = log_sweep(1e3, 1e8, 20);
+        let ac = ac_sweep(&nl, "VIN", &freqs).unwrap();
+        let bw = ac.bandwidth_3db(out).expect("pole inside sweep");
+        assert!(
+            (bw / 1e6 - 1.0).abs() < 0.15,
+            "RC pole at {bw:.3e} Hz, expected ~1 MHz"
+        );
+        // DC gain ≈ 0 dB.
+        assert!(ac.magnitude_db(out)[0].abs() < 0.1);
+        // Phase approaches −90° well past the pole.
+        let last = ac.voltage(out, ac.len() - 1);
+        assert!(last.arg().to_degrees() < -80.0);
+    }
+
+    #[test]
+    fn rc_highpass_blocks_dc() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VIN", vin, GROUND, 0.0);
+        nl.capacitor("C1", vin, out, 1e-9);
+        nl.resistor("R1", out, GROUND, 1e3);
+        let freqs = log_sweep(1e2, 1e9, 10);
+        let ac = ac_sweep(&nl, "VIN", &freqs).unwrap();
+        let mags = ac.magnitude_db(out);
+        assert!(mags[0] < -20.0, "low-frequency gain should be tiny: {}", mags[0]);
+        assert!(mags[mags.len() - 1] > -1.0, "high-frequency gain should be ~0 dB");
+    }
+
+    #[test]
+    fn common_source_amplifier_has_gain_and_rolls_off() {
+        // Resistor-loaded common-source stage biased in saturation:
+        // |A_v| = gm·(RL ∥ ro) at low frequency, rolling off with CL.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, 0.9);
+        nl.vsource("VIN", vin, GROUND, 0.5);
+        nl.resistor("RL", vdd, out, 20e3);
+        nl.mosfet("M1", out, vin, GROUND, MosModel::nmos_28nm(), 2.0, 0.2);
+        nl.capacitor("CL", out, GROUND, 1e-12);
+        let freqs = log_sweep(1e3, 1e10, 10);
+        let ac = ac_sweep(&nl, "VIN", &freqs).unwrap();
+        let mags = ac.magnitude_db(out);
+        assert!(mags[0] > 6.0, "expected low-frequency voltage gain, got {} dB", mags[0]);
+        let bw = ac.bandwidth_3db(out).expect("rolloff inside sweep");
+        assert!(bw > 1e5 && bw < 1e9, "bandwidth {bw:.3e}");
+        // Inverting stage: output phase ≈ 180° at low frequency.
+        let phase0 = ac.voltage(out, 0).arg().to_degrees().abs();
+        assert!((phase0 - 180.0).abs() < 15.0, "phase {phase0}");
+    }
+
+    #[test]
+    fn unknown_source_is_an_error() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, GROUND, 1.0);
+        nl.resistor("R", a, GROUND, 1e3);
+        assert!(matches!(
+            ac_sweep(&nl, "NOPE", &[1e3]),
+            Err(SpiceError::InvalidNetlist { .. })
+        ));
+    }
+
+    #[test]
+    fn log_sweep_is_logarithmic() {
+        let f = log_sweep(1e3, 1e6, 1);
+        assert_eq!(f.len(), 4);
+        assert!((f[1] / f[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep range")]
+    fn inverted_sweep_panics() {
+        log_sweep(1e6, 1e3, 10);
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal complex arithmetic and a complex LU solver for AC analysis.
+//!
+//! The standard library has no complex type and the offline crate set has
+//! no `num-complex`, so the small amount of complex linear algebra AC
+//! analysis needs lives here.
+
+/// A complex number `re + j·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Purely real value.
+    pub fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Purely imaginary value `j·im`.
+    pub fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.re * rhs.re + rhs.im * rhs.im;
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Dense complex matrix (row-major) with LU-with-partial-pivoting solve —
+/// just enough for MNA AC systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![Complex::ZERO; n * n] }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    pub fn at(&self, i: usize, j: usize) -> Complex {
+        self.data[i * self.n + j]
+    }
+
+    /// Adds `value` at `(i, j)`.
+    pub fn add_at(&mut self, i: usize, j: usize, value: Complex) {
+        self.data[i * self.n + j] += value;
+    }
+
+    /// Solves `A x = b` in place via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(pivot_index)` if the matrix is numerically singular.
+    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>, usize> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut x: Vec<Complex> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot on magnitude.
+            let mut pivot_row = k;
+            let mut best = 0.0;
+            for i in k..n {
+                let mag = self.at(i, k).abs();
+                if mag > best {
+                    best = mag;
+                    pivot_row = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(k);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    self.data.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+                x.swap(k, pivot_row);
+            }
+            let pivot = self.at(k, k);
+            for i in k + 1..n {
+                let factor = self.at(i, k) / pivot;
+                self.data[i * n + k] = factor;
+                for j in k + 1..n {
+                    let sub = factor * self.at(k, j);
+                    self.data[i * n + j] -= sub;
+                }
+                let sub = factor * x[k];
+                x[i] -= sub;
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in i + 1..n {
+                sum -= self.at(i, j) * x[j];
+            }
+            x[i] = sum / self.at(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-1.0, 2.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a + b), Complex::new(2.0, 6.0));
+        assert_eq!((a * Complex::ONE), a);
+        let quotient = a / b;
+        let back = quotient * b;
+        assert!((back - a).abs() < 1e-12);
+        assert_eq!(a.conj().im, -4.0);
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        let j = Complex::imag(1.0);
+        assert!((j * j - Complex::real(-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_complex_system() {
+        // (1+j) x0 + 2 x1 = 3 + j;  x0 - j x1 = 1
+        let mut a = ComplexMatrix::zeros(2);
+        a.add_at(0, 0, Complex::new(1.0, 1.0));
+        a.add_at(0, 1, Complex::real(2.0));
+        a.add_at(1, 0, Complex::ONE);
+        a.add_at(1, 1, Complex::imag(-1.0));
+        let b = [Complex::new(3.0, 1.0), Complex::ONE];
+        let x = a.clone().solve(&b).expect("nonsingular");
+        // Verify residual.
+        for i in 0..2 {
+            let mut acc = Complex::ZERO;
+            for j in 0..2 {
+                acc += a.at(i, j) * x[j];
+            }
+            assert!((acc - b[i]).abs() < 1e-12, "row {i} residual");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = ComplexMatrix::zeros(2);
+        assert!(a.solve(&[Complex::ONE, Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = ComplexMatrix::zeros(2);
+        a.add_at(0, 1, Complex::ONE);
+        a.add_at(1, 0, Complex::ONE);
+        let x = a.solve(&[Complex::real(2.0), Complex::real(3.0)]).unwrap();
+        assert!((x[0] - Complex::real(3.0)).abs() < 1e-12);
+        assert!((x[1] - Complex::real(2.0)).abs() < 1e-12);
+    }
+}

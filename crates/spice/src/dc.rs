@@ -1,0 +1,203 @@
+//! DC operating-point analysis with `gmin` stepping.
+
+use crate::mna::{newton_solve, NewtonOptions, StampContext};
+use crate::netlist::{Netlist, NodeId};
+use crate::SpiceError;
+
+/// A solved DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    solution: Vec<f64>,
+    n_nodes: usize,
+}
+
+impl OperatingPoint {
+    pub(crate) fn new(solution: Vec<f64>, n_nodes: usize) -> Self {
+        Self { solution, n_nodes }
+    }
+
+    /// Voltage of `node` (0 V for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.solution[node.index() - 1]
+        }
+    }
+
+    /// Branch current of voltage source `branch` (positive into the plus
+    /// terminal).
+    pub fn branch_current(&self, branch: usize) -> f64 {
+        self.solution[self.n_nodes + branch]
+    }
+
+    /// The raw MNA solution vector.
+    pub fn raw(&self) -> &[f64] {
+        &self.solution
+    }
+}
+
+/// The `gmin` continuation ladder: start heavily regularized, relax to the
+/// final operating point.
+const GMIN_LADDER: [f64; 5] = [1e-3, 1e-5, 1e-7, 1e-9, 1e-12];
+
+/// Computes the DC operating point (capacitors open, sources at `t = 0`).
+///
+/// Uses `gmin` stepping: each rung of the ladder reuses the previous rung's
+/// solution as its Newton starting point, which makes strongly nonlinear
+/// (positive-feedback) circuits like latches converge reliably.
+///
+/// # Errors
+///
+/// [`SpiceError::NonConvergent`] if even the most regularized rung fails,
+/// [`SpiceError::SingularMatrix`] for structurally singular netlists.
+pub fn operating_point(netlist: &Netlist) -> Result<OperatingPoint, SpiceError> {
+    operating_point_from(netlist, &vec![0.0; netlist.unknown_count()])
+}
+
+/// Like [`operating_point`] but starting from a caller-provided guess
+/// (e.g. a previous solve of a slightly perturbed netlist).
+///
+/// # Errors
+///
+/// See [`operating_point`].
+pub fn operating_point_from(
+    netlist: &Netlist,
+    initial: &[f64],
+) -> Result<OperatingPoint, SpiceError> {
+    let options = NewtonOptions::default();
+    let mut x = initial.to_vec();
+    let mut last_err = None;
+    let mut converged_any = false;
+
+    for &gmin in &GMIN_LADDER {
+        let ctx = StampContext { time: 0.0, step: None, gmin };
+        match newton_solve(netlist, &x, &ctx, &options) {
+            Ok(sol) => {
+                x = sol;
+                converged_any = true;
+            }
+            Err(e @ SpiceError::SingularMatrix) => return Err(e),
+            Err(e) => last_err = Some(e),
+        }
+    }
+
+    // The final rung must have converged for the result to be meaningful.
+    let final_ctx = StampContext { time: 0.0, step: None, gmin: *GMIN_LADDER.last().unwrap() };
+    match newton_solve(netlist, &x, &final_ctx, &options) {
+        Ok(sol) => Ok(OperatingPoint::new(sol, netlist.node_count() - 1)),
+        Err(e) => {
+            if converged_any {
+                Err(e)
+            } else {
+                Err(last_err.unwrap_or(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MosModel;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn resistor_divider() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let mid = nl.node("mid");
+        nl.vsource("V1", vin, GROUND, 1.0);
+        nl.resistor("R1", vin, mid, 1e3);
+        nl.resistor("R2", mid, GROUND, 1e3);
+        let op = operating_point(&nl).unwrap();
+        assert!((op.voltage(mid) - 0.5).abs() < 1e-8);
+        assert!((op.voltage(vin) - 1.0).abs() < 1e-10);
+        assert_eq!(op.voltage(GROUND), 0.0);
+    }
+
+    #[test]
+    fn diode_connected_nmos_sits_above_vth() {
+        // Current source into a diode-connected NMOS: V settles at
+        // vth + sqrt(2 I / (kp W/L)).
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let model = MosModel::nmos_28nm();
+        nl.isource("I1", GROUND, d, 100e-6);
+        nl.mosfet("M1", d, d, GROUND, model, 10.0, 0.1);
+        let op = operating_point(&nl).unwrap();
+        let v = op.voltage(d);
+        let expect = model.vth0 + (2.0 * 100e-6 / (model.kp * 100.0)).sqrt();
+        assert!((v - expect).abs() < 0.02, "diode voltage {v} vs {expect}");
+    }
+
+    #[test]
+    fn nmos_inverter_transfer_points() {
+        // Resistor-loaded NMOS inverter: input low → output high; input
+        // high → output pulled low.
+        let build = |vin_v: f64| {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let vin = nl.node("vin");
+            let out = nl.node("out");
+            nl.vsource("VDD", vdd, GROUND, 0.9);
+            nl.vsource("VIN", vin, GROUND, vin_v);
+            nl.resistor("RL", vdd, out, 10e3);
+            nl.mosfet("M1", out, vin, GROUND, MosModel::nmos_28nm(), 2.0, 0.1);
+            nl
+        };
+        let op_low = operating_point(&build(0.0)).unwrap();
+        let op_high = operating_point(&build(0.9)).unwrap();
+        let out_low = {
+            let mut nl = build(0.0);
+            let out = nl.node("out");
+            op_low.voltage(out)
+        };
+        let out_high = {
+            let mut nl = build(0.9);
+            let out = nl.node("out");
+            op_high.voltage(out)
+        };
+        assert!(out_low > 0.85, "output should be high, got {out_low}");
+        assert!(out_high < 0.2, "output should be pulled low, got {out_high}");
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let build = |vin_v: f64| -> (Netlist, NodeId) {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let vin = nl.node("vin");
+            let out = nl.node("out");
+            nl.vsource("VDD", vdd, GROUND, 0.9);
+            nl.vsource("VIN", vin, GROUND, vin_v);
+            nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm(), 2.0, 0.05);
+            nl.mosfet("MN", out, vin, GROUND, MosModel::nmos_28nm(), 1.0, 0.05);
+            (nl, out)
+        };
+        let (nl_low, out) = build(0.0);
+        let op = operating_point(&nl_low).unwrap();
+        assert!(op.voltage(out) > 0.88, "inverter high: {}", op.voltage(out));
+        let (nl_high, out) = build(0.9);
+        let op = operating_point(&nl_high).unwrap();
+        assert!(op.voltage(out) < 0.02, "inverter low: {}", op.voltage(out));
+    }
+
+    #[test]
+    fn branch_current_measures_supply_draw() {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        nl.vsource("VDD", vdd, GROUND, 1.0);
+        nl.resistor("R", vdd, GROUND, 1e3);
+        let op = operating_point(&nl).unwrap();
+        let branch = nl.vsource_branch("VDD").unwrap();
+        assert!((op.branch_current(branch) + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_netlist_is_trivially_solved() {
+        let nl = Netlist::new();
+        let op = operating_point(&nl).unwrap();
+        assert!(op.raw().is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Device instances stored in a netlist.
+
+use crate::model::MosModel;
+use crate::netlist::{NodeId, SourceWaveform};
+
+/// One device instance.
+///
+/// Kept as an enum rather than trait objects: the device set is closed (a
+/// SPICE engine's device library is part of its definition), matching is
+/// exhaustive at the stamping site, and instances stay `Clone`-able for
+/// netlist templating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// Linear resistor.
+    Resistor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance, Ω.
+        ohms: f64,
+    },
+    /// Linear capacitor.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance, F.
+        farads: f64,
+    },
+    /// Independent voltage source.
+    Vsource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Source waveform.
+        waveform: SourceWaveform,
+        /// MNA branch-unknown index.
+        branch: usize,
+    },
+    /// Independent current source (`amps` flows `from → to` through the
+    /// source, i.e. it is injected into `to`).
+    Isource {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves.
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Current, A.
+        amps: f64,
+    },
+    /// Level-1 MOSFET (three-terminal; bulk tied to source).
+    Mosfet {
+        /// Instance name.
+        name: String,
+        /// Drain.
+        drain: NodeId,
+        /// Gate.
+        gate: NodeId,
+        /// Source.
+        source: NodeId,
+        /// Model card (already specialized to corner/mismatch).
+        model: MosModel,
+        /// Gate width, µm.
+        w_um: f64,
+        /// Gate length, µm.
+        l_um: f64,
+    },
+}
+
+impl Device {
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Resistor { name, .. }
+            | Device::Capacitor { name, .. }
+            | Device::Vsource { name, .. }
+            | Device::Isource { name, .. }
+            | Device::Mosfet { name, .. } => name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn names_accessible() {
+        let d = Device::Resistor { name: "R1".into(), a: GROUND, b: GROUND, ohms: 1.0 };
+        assert_eq!(d.name(), "R1");
+        let m = Device::Mosfet {
+            name: "M1".into(),
+            drain: GROUND,
+            gate: GROUND,
+            source: GROUND,
+            model: MosModel::nmos_28nm(),
+            w_um: 1.0,
+            l_um: 0.03,
+        };
+        assert_eq!(m.name(), "M1");
+    }
+}

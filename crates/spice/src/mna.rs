@@ -1,0 +1,271 @@
+//! Modified nodal analysis: matrix/RHS assembly and Newton iteration.
+//!
+//! Unknowns are the non-ground node voltages followed by one branch current
+//! per voltage source. Nonlinear devices (MOSFETs) are linearized around the
+//! current solution estimate with companion stamps; capacitors contribute
+//! backward-Euler companion conductances during transient steps and are open
+//! in DC.
+
+use crate::device::Device;
+use crate::netlist::{Netlist, NodeId};
+use crate::SpiceError;
+use glova_linalg::Matrix;
+
+/// Assembly context: DC or one implicit transient step.
+#[derive(Debug, Clone, Copy)]
+pub struct StampContext<'a> {
+    /// Simulation time for source waveform evaluation, seconds.
+    pub time: f64,
+    /// `Some((dt, previous_solution))` during a transient step.
+    pub step: Option<(f64, &'a [f64])>,
+    /// Conductance from every node to ground (convergence aid + floating
+    /// node protection).
+    pub gmin: f64,
+}
+
+/// Maps a node to its row/column in the MNA system (`None` for ground).
+fn node_index(node: NodeId) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+/// Adds `value` at `(row(a), col(b))` when both are non-ground.
+fn stamp(matrix: &mut Matrix, a: Option<usize>, b: Option<usize>, value: f64) {
+    if let (Some(i), Some(j)) = (a, b) {
+        matrix[(i, j)] += value;
+    }
+}
+
+/// Adds `value` into the RHS at `row(a)` when non-ground.
+fn stamp_rhs(rhs: &mut [f64], a: Option<usize>, value: f64) {
+    if let Some(i) = a {
+        rhs[i] += value;
+    }
+}
+
+/// Assembles the linearized MNA system around solution estimate `x`.
+///
+/// Returns `(matrix, rhs)` such that solving gives the *next* Newton
+/// estimate directly (not a delta).
+pub fn assemble(netlist: &Netlist, x: &[f64], ctx: &StampContext<'_>) -> (Matrix, Vec<f64>) {
+    let n_nodes = netlist.node_count() - 1;
+    let n = netlist.unknown_count();
+    let mut a = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+
+    // Node voltage from the current estimate (ground = 0).
+    let volt = |node: NodeId| -> f64 {
+        match node_index(node) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    };
+
+    // Floating-node / convergence gmin.
+    for i in 0..n_nodes {
+        a[(i, i)] += ctx.gmin;
+    }
+
+    for device in netlist.devices() {
+        match device {
+            Device::Resistor { a: na, b: nb, ohms, .. } => {
+                let g = 1.0 / ohms;
+                let (ia, ib) = (node_index(*na), node_index(*nb));
+                stamp(&mut a, ia, ia, g);
+                stamp(&mut a, ib, ib, g);
+                stamp(&mut a, ia, ib, -g);
+                stamp(&mut a, ib, ia, -g);
+            }
+            Device::Capacitor { a: na, b: nb, farads, .. } => {
+                if let Some((dt, prev)) = ctx.step {
+                    // Backward-Euler companion: geq ∥ ieq.
+                    let geq = farads / dt;
+                    let (ia, ib) = (node_index(*na), node_index(*nb));
+                    let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
+                    let ieq = geq * (v_prev(ia) - v_prev(ib));
+                    stamp(&mut a, ia, ia, geq);
+                    stamp(&mut a, ib, ib, geq);
+                    stamp(&mut a, ia, ib, -geq);
+                    stamp(&mut a, ib, ia, -geq);
+                    stamp_rhs(&mut rhs, ia, ieq);
+                    stamp_rhs(&mut rhs, ib, -ieq);
+                }
+                // DC: capacitor is open — no stamp.
+            }
+            Device::Vsource { plus, minus, waveform, branch, .. } => {
+                let k = n_nodes + branch;
+                let (ip, im) = (node_index(*plus), node_index(*minus));
+                // Branch current enters the plus node.
+                stamp(&mut a, ip, Some(k), 1.0);
+                stamp(&mut a, im, Some(k), -1.0);
+                stamp(&mut a, Some(k), ip, 1.0);
+                stamp(&mut a, Some(k), im, -1.0);
+                rhs[k] = waveform.value_at(ctx.time);
+            }
+            Device::Isource { from, to, amps, .. } => {
+                stamp_rhs(&mut rhs, node_index(*to), *amps);
+                stamp_rhs(&mut rhs, node_index(*from), -*amps);
+            }
+            Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
+                // Polarity factor: work in "carrier space" w = p·v so PMOS
+                // reuses the NMOS equations; p² = 1 keeps the conductance
+                // stamps sign-free while the equivalent current gets p.
+                let p = match model.polarity {
+                    crate::model::MosPolarity::Nmos => 1.0,
+                    crate::model::MosPolarity::Pmos => -1.0,
+                };
+                let wd = p * volt(*drain);
+                let wg = p * volt(*gate);
+                let ws = p * volt(*source);
+                // The device is symmetric: the higher carrier-space terminal
+                // acts as drain.
+                let (nd, ns, wdd, wss) =
+                    if wd >= ws { (*drain, *source, wd, ws) } else { (*source, *drain, ws, wd) };
+                let vgs_c = wg - wss;
+                let vds_c = wdd - wss;
+                let ratio = w_um / l_um;
+                let (id0, gm0, gds0) = model.ids(vgs_c, vds_c);
+                let (id, gm, gds) = (id0 * ratio, gm0 * ratio, gds0 * ratio);
+                let ieq = id - gm * vgs_c - gds * vds_c;
+
+                let (idx_d, idx_s, idx_g) = (node_index(nd), node_index(ns), node_index(*gate));
+                stamp(&mut a, idx_d, idx_g, gm);
+                stamp(&mut a, idx_d, idx_d, gds);
+                stamp(&mut a, idx_d, idx_s, -(gm + gds));
+                stamp(&mut a, idx_s, idx_g, -gm);
+                stamp(&mut a, idx_s, idx_d, -gds);
+                stamp(&mut a, idx_s, idx_s, gm + gds);
+                stamp_rhs(&mut rhs, idx_d, -p * ieq);
+                stamp_rhs(&mut rhs, idx_s, p * ieq);
+            }
+        }
+    }
+    (a, rhs)
+}
+
+/// Newton-iteration controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum iterations before declaring non-convergence.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max voltage update, volts.
+    pub tolerance: f64,
+    /// Per-iteration clamp on any voltage update, volts (damping).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self { max_iterations: 200, tolerance: 1e-9, max_step: 0.5 }
+    }
+}
+
+/// Runs damped Newton iteration from `initial`, returning the solution.
+///
+/// # Errors
+///
+/// [`SpiceError::NonConvergent`] if the iteration stalls,
+/// [`SpiceError::SingularMatrix`] if a linear solve fails.
+pub fn newton_solve(
+    netlist: &Netlist,
+    initial: &[f64],
+    ctx: &StampContext<'_>,
+    options: &NewtonOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = netlist.unknown_count();
+    assert_eq!(initial.len(), n, "initial guess dimension mismatch");
+    let n_nodes = netlist.node_count() - 1;
+    let mut x = initial.to_vec();
+
+    for _ in 0..options.max_iterations {
+        let (a, rhs) = assemble(netlist, &x, ctx);
+        let lu = a.lu().map_err(SpiceError::from)?;
+        let x_new = lu.solve(&rhs);
+
+        // Damped update with per-component clamp on node voltages.
+        let mut max_delta = 0.0f64;
+        for i in 0..n {
+            let mut delta = x_new[i] - x[i];
+            if i < n_nodes {
+                delta = delta.clamp(-options.max_step, options.max_step);
+            }
+            x[i] += delta;
+            if i < n_nodes {
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < options.tolerance {
+            return Ok(x);
+        }
+    }
+    // Measure the final update magnitude as the reported residual.
+    let (a, rhs) = assemble(netlist, &x, ctx);
+    let residual = {
+        let ax = a.mat_vec(&x);
+        ax.iter().zip(&rhs).map(|(l, r)| (l - r).abs()).fold(0.0f64, f64::max)
+    };
+    Err(SpiceError::NonConvergent { residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn divider_assembles_and_solves_linearly() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let mid = nl.node("mid");
+        nl.vsource("V1", vin, GROUND, 2.0);
+        nl.resistor("R1", vin, mid, 1e3);
+        nl.resistor("R2", mid, GROUND, 3e3);
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-12 };
+        let x0 = vec![0.0; nl.unknown_count()];
+        let x = newton_solve(&nl, &x0, &ctx, &NewtonOptions::default()).unwrap();
+        assert!((x[vin.index() - 1] - 2.0).abs() < 1e-9);
+        assert!((x[mid.index() - 1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isource_into_resistor() {
+        let mut nl = Netlist::new();
+        let out = nl.node("out");
+        nl.isource("I1", GROUND, out, 1e-3);
+        nl.resistor("R1", out, GROUND, 2e3);
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-12 };
+        let x = newton_solve(&nl, &[0.0], &ctx, &NewtonOptions::default()).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vsource_branch_current_is_reported() {
+        // 1 V across 1 kΩ: branch current = −1 mA (flows out of plus
+        // terminal through the external circuit).
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, GROUND, 1.0);
+        nl.resistor("R1", a, GROUND, 1e3);
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-12 };
+        let x = newton_solve(&nl, &[0.0, 0.0], &ctx, &NewtonOptions::default()).unwrap();
+        let n_nodes = nl.node_count() - 1;
+        let branch = n_nodes + nl.vsource_branch("V1").unwrap();
+        assert!((x[branch] + 1e-3).abs() < 1e-9, "branch current {}", x[branch]);
+    }
+
+    #[test]
+    fn floating_gate_does_not_singularize() {
+        // A MOSFET whose gate is driven only through the gmin path.
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let g = nl.node("g");
+        nl.vsource("VD", d, GROUND, 0.9);
+        nl.mosfet("M1", d, g, GROUND, crate::model::MosModel::nmos_28nm(), 1.0, 0.03);
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-9 };
+        let x0 = vec![0.0; nl.unknown_count()];
+        assert!(newton_solve(&nl, &x0, &ctx, &NewtonOptions::default()).is_ok());
+    }
+}

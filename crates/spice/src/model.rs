@@ -1,0 +1,211 @@
+//! MOSFET model cards with PVT and mismatch dependence.
+//!
+//! A level-1 (square-law) model is deliberately chosen over BSIM-class
+//! models: the optimization loop needs the *shape* of PVT/mismatch response
+//! (threshold shifts, mobility-temperature scaling, corner skews), not
+//! sub-nanometer I–V accuracy, and the square law keeps Newton iteration
+//! robust across the whole sizing space.
+
+use glova_variation::corner::PvtCorner;
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// A level-1 MOSFET model card evaluated at a PVT corner.
+///
+/// Construct the 28 nm nominal cards with [`MosModel::nmos_28nm`] /
+/// [`MosModel::pmos_28nm`], then specialize with
+/// [`MosModel::at_corner`] and [`MosModel::with_mismatch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosModel {
+    /// Polarity.
+    pub polarity: MosPolarity,
+    /// Zero-bias threshold voltage magnitude, volts.
+    pub vth0: f64,
+    /// Transconductance parameter `k' = µ C_ox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+}
+
+impl MosModel {
+    /// Corner V_th skew per unit process skew, volts (fast ⇒ lower V_th).
+    const CORNER_VTH_SHIFT: f64 = 0.030;
+    /// Corner mobility skew per unit process skew (relative).
+    const CORNER_KP_FACTOR: f64 = 0.08;
+    /// Threshold temperature coefficient, V/K (V_th drops when hot).
+    const VTH_TEMP_COEFF: f64 = -8.0e-4;
+    /// Mobility–temperature exponent: `µ(T) = µ₀ (T/300K)^-1.3`.
+    const MOBILITY_TEMP_EXP: f64 = -1.3;
+    /// Reference temperature, K.
+    const T_REF: f64 = 300.15;
+
+    /// Nominal 28 nm NMOS card (TT, 27 °C).
+    pub fn nmos_28nm() -> Self {
+        Self { polarity: MosPolarity::Nmos, vth0: 0.35, kp: 300e-6, lambda: 0.10 }
+    }
+
+    /// Nominal 28 nm PMOS card (TT, 27 °C). `vth0` is the magnitude.
+    pub fn pmos_28nm() -> Self {
+        Self { polarity: MosPolarity::Pmos, vth0: 0.35, kp: 120e-6, lambda: 0.12 }
+    }
+
+    /// Specializes the card to a PVT corner: V_th skewed by the process
+    /// corner and temperature, mobility by corner skew and the
+    /// `(T/300)^-1.3` law.
+    pub fn at_corner(&self, corner: &PvtCorner) -> Self {
+        let skew = match self.polarity {
+            MosPolarity::Nmos => corner.process.nmos_skew(),
+            MosPolarity::Pmos => corner.process.pmos_skew(),
+        };
+        let dt = corner.temp_k() - Self::T_REF;
+        // Fast skew (+1) lowers V_th and raises mobility.
+        let vth = self.vth0 - skew * Self::CORNER_VTH_SHIFT + Self::VTH_TEMP_COEFF * dt;
+        let kp = self.kp
+            * (1.0 + skew * Self::CORNER_KP_FACTOR)
+            * (corner.temp_k() / Self::T_REF).powf(Self::MOBILITY_TEMP_EXP);
+        Self { polarity: self.polarity, vth0: vth, kp, lambda: self.lambda }
+    }
+
+    /// Applies per-device mismatch: an additive threshold shift and a
+    /// relative current-factor error.
+    pub fn with_mismatch(&self, delta_vth: f64, delta_beta_rel: f64) -> Self {
+        Self {
+            polarity: self.polarity,
+            vth0: self.vth0 + delta_vth,
+            kp: self.kp * (1.0 + delta_beta_rel),
+            lambda: self.lambda,
+        }
+    }
+
+    /// Drain current and small-signal conductances at the given bias.
+    ///
+    /// For NMOS the arguments are `(v_gs, v_ds)`; for PMOS pass
+    /// source-referenced magnitudes `(v_sg, v_sd)` — the netlist stamping
+    /// layer handles sign conventions. Returns `(i_d, g_m, g_ds)` with
+    /// `i_d ≥ 0` flowing drain→source.
+    pub fn ids(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        // Minimum output conductance keeps the Jacobian non-singular in
+        // cutoff.
+        const GMIN: f64 = 1e-12;
+        let vov = vgs - self.vth0;
+        if vov <= 0.0 {
+            // Cutoff: tiny subthreshold-ish leakage, linear in vds.
+            return (GMIN * vds, 0.0, GMIN);
+        }
+        if vds < vov {
+            // Triode.
+            let id = self.kp * (vov * vds - 0.5 * vds * vds) * (1.0 + self.lambda * vds);
+            let gm = self.kp * vds * (1.0 + self.lambda * vds);
+            let gds = self.kp
+                * ((vov - vds) * (1.0 + self.lambda * vds)
+                    + (vov * vds - 0.5 * vds * vds) * self.lambda)
+                + GMIN;
+            (id, gm, gds)
+        } else {
+            // Saturation.
+            let id = 0.5 * self.kp * vov * vov * (1.0 + self.lambda * vds);
+            let gm = self.kp * vov * (1.0 + self.lambda * vds);
+            let gds = 0.5 * self.kp * vov * vov * self.lambda + GMIN;
+            (id, gm, gds)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_variation::corner::{CornerSet, ProcessCorner, PvtCorner};
+
+    #[test]
+    fn regions_are_continuous_at_boundary() {
+        let m = MosModel::nmos_28nm();
+        let vgs = 0.8;
+        let vov = vgs - m.vth0;
+        let (i_triode, ..) = m.ids(vgs, vov - 1e-9);
+        let (i_sat, ..) = m.ids(vgs, vov + 1e-9);
+        assert!((i_triode - i_sat).abs() / i_sat < 1e-6);
+    }
+
+    #[test]
+    fn cutoff_is_nearly_off() {
+        let m = MosModel::nmos_28nm();
+        let (id, gm, _) = m.ids(0.1, 0.9);
+        assert!(id.abs() < 1e-11);
+        assert_eq!(gm, 0.0);
+    }
+
+    #[test]
+    fn conductances_match_finite_difference() {
+        let m = MosModel::nmos_28nm();
+        let eps = 1e-7;
+        for &(vgs, vds) in &[(0.6, 0.1), (0.6, 0.5), (0.9, 0.05), (0.9, 0.8)] {
+            let (_, gm, gds) = m.ids(vgs, vds);
+            let num_gm = (m.ids(vgs + eps, vds).0 - m.ids(vgs - eps, vds).0) / (2.0 * eps);
+            let num_gds = (m.ids(vgs, vds + eps).0 - m.ids(vgs, vds - eps).0) / (2.0 * eps);
+            assert!((gm - num_gm).abs() < 1e-6 * (1.0 + num_gm.abs()), "gm at {vgs},{vds}");
+            assert!((gds - num_gds).abs() < 1e-6 * (1.0 + num_gds.abs()), "gds at {vgs},{vds}");
+        }
+    }
+
+    #[test]
+    fn ss_corner_is_slower_ff_faster() {
+        let m = MosModel::nmos_28nm();
+        let base = PvtCorner::typical();
+        let ss = PvtCorner { process: ProcessCorner::Ss, ..base };
+        let ff = PvtCorner { process: ProcessCorner::Ff, ..base };
+        let (i_tt, ..) = m.at_corner(&base).ids(0.9, 0.9);
+        let (i_ss, ..) = m.at_corner(&ss).ids(0.9, 0.9);
+        let (i_ff, ..) = m.at_corner(&ff).ids(0.9, 0.9);
+        assert!(i_ss < i_tt && i_tt < i_ff, "corner ordering: {i_ss} {i_tt} {i_ff}");
+    }
+
+    #[test]
+    fn sf_corner_skews_polarities_oppositely() {
+        let base = PvtCorner::typical();
+        let sf = PvtCorner { process: ProcessCorner::Sf, ..base };
+        let n = MosModel::nmos_28nm().at_corner(&sf);
+        let p = MosModel::pmos_28nm().at_corner(&sf);
+        // SF: slow NMOS (higher vth), fast PMOS (lower vth magnitude).
+        assert!(n.vth0 > MosModel::nmos_28nm().at_corner(&base).vth0);
+        assert!(p.vth0 < MosModel::pmos_28nm().at_corner(&base).vth0);
+    }
+
+    #[test]
+    fn hot_is_slower_at_high_overdrive() {
+        // At high overdrive, mobility degradation dominates V_th reduction.
+        let m = MosModel::nmos_28nm();
+        let cold = PvtCorner { temp_c: -40.0, ..PvtCorner::typical() };
+        let hot = PvtCorner { temp_c: 80.0, ..PvtCorner::typical() };
+        let (i_cold, ..) = m.at_corner(&cold).ids(0.9, 0.9);
+        let (i_hot, ..) = m.at_corner(&hot).ids(0.9, 0.9);
+        assert!(i_hot < i_cold, "temperature inversion at high overdrive: {i_hot} vs {i_cold}");
+    }
+
+    #[test]
+    fn mismatch_shifts_current() {
+        let m = MosModel::nmos_28nm();
+        let (i0, ..) = m.ids(0.7, 0.7);
+        let (i_hi_vth, ..) = m.with_mismatch(0.03, 0.0).ids(0.7, 0.7);
+        let (i_hi_beta, ..) = m.with_mismatch(0.0, 0.05).ids(0.7, 0.7);
+        assert!(i_hi_vth < i0);
+        assert!((i_hi_beta / i0 - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_30_corners_yield_positive_kp_and_vth() {
+        for corner in CornerSet::industrial_30().iter() {
+            for base in [MosModel::nmos_28nm(), MosModel::pmos_28nm()] {
+                let m = base.at_corner(corner);
+                assert!(m.kp > 0.0, "kp at {corner}");
+                assert!(m.vth0 > 0.1 && m.vth0 < 0.6, "vth {} at {corner}", m.vth0);
+            }
+        }
+    }
+}

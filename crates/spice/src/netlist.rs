@@ -1,0 +1,276 @@
+//! Netlist representation.
+//!
+//! A [`Netlist`] is a flat list of device instances over named nodes.
+//! Nodes are created through [`Netlist::node`]; ground is the pre-existing
+//! node [`GROUND`].
+
+use crate::device::Device;
+use crate::model::MosModel;
+use std::collections::HashMap;
+
+/// Index of a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// The ground node (reference, 0 V).
+pub const GROUND: NodeId = NodeId(0);
+
+impl NodeId {
+    /// Raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Time-dependent source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// Single pulse: `low` until `delay`, then `high` until `delay + width`
+    /// (with linear `rise`/`fall` edges), then `low` again.
+    Pulse {
+        /// Level before/after the pulse.
+        low: f64,
+        /// Pulse level.
+        high: f64,
+        /// Pulse start time, s.
+        delay: f64,
+        /// Rise time, s.
+        rise: f64,
+        /// Fall time, s.
+        fall: f64,
+        /// Time spent at `high`, s.
+        width: f64,
+    },
+}
+
+impl SourceWaveform {
+    /// Value of the waveform at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match *self {
+            SourceWaveform::Dc(v) => v,
+            SourceWaveform::Pulse { low, high, delay, rise, fall, width } => {
+                if t < delay {
+                    low
+                } else if t < delay + rise {
+                    low + (high - low) * (t - delay) / rise.max(1e-18)
+                } else if t < delay + rise + width {
+                    high
+                } else if t < delay + rise + width + fall {
+                    high - (high - low) * (t - delay - rise - width) / fall.max(1e-18)
+                } else {
+                    low
+                }
+            }
+        }
+    }
+}
+
+/// A circuit: nodes plus device instances.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    devices: Vec<Device>,
+    vsource_count: usize,
+}
+
+impl Netlist {
+    /// Creates an empty netlist (ground pre-registered).
+    pub fn new() -> Self {
+        let mut nl = Self {
+            node_names: Vec::new(),
+            name_to_node: HashMap::new(),
+            devices: Vec::new(),
+            vsource_count: 0,
+        };
+        nl.node_names.push("0".to_string());
+        nl.name_to_node.insert("0".to_string(), GROUND);
+        nl
+    }
+
+    /// Returns the node with the given name, creating it if needed.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_to_node.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), id);
+        id
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of voltage sources (each adds one MNA branch unknown).
+    pub fn vsource_count(&self) -> usize {
+        self.vsource_count
+    }
+
+    /// The devices in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms <= 0`.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.devices.push(Device::Resistor { name: name.to_string(), a, b, ohms });
+        self
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads <= 0`.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
+        assert!(farads > 0.0, "capacitance must be positive");
+        self.devices.push(Device::Capacitor { name: name.to_string(), a, b, farads });
+        self
+    }
+
+    /// Adds a DC voltage source: `v(plus) − v(minus) = volts`.
+    pub fn vsource(&mut self, name: &str, plus: NodeId, minus: NodeId, volts: f64) -> &mut Self {
+        self.vsource_waveform(name, plus, minus, SourceWaveform::Dc(volts))
+    }
+
+    /// Adds a voltage source with an arbitrary waveform.
+    pub fn vsource_waveform(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        waveform: SourceWaveform,
+    ) -> &mut Self {
+        let branch = self.vsource_count;
+        self.vsource_count += 1;
+        self.devices.push(Device::Vsource { name: name.to_string(), plus, minus, waveform, branch });
+        self
+    }
+
+    /// Adds a DC current source pushing `amps` from `from` into `to`.
+    pub fn isource(&mut self, name: &str, from: NodeId, to: NodeId, amps: f64) -> &mut Self {
+        self.devices.push(Device::Isource { name: name.to_string(), from, to, amps });
+        self
+    }
+
+    /// Adds a MOSFET. `w_um`/`l_um` in micrometers; the model card fixes
+    /// polarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is non-positive.
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        model: MosModel,
+        w_um: f64,
+        l_um: f64,
+    ) -> &mut Self {
+        assert!(w_um > 0.0 && l_um > 0.0, "MOSFET geometry must be positive");
+        self.devices.push(Device::Mosfet {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            model,
+            w_um,
+            l_um,
+        });
+        self
+    }
+
+    /// Index of the MNA branch unknown of voltage source `name`, if any.
+    pub fn vsource_branch(&self, name: &str) -> Option<usize> {
+        self.devices.iter().find_map(|d| match d {
+            Device::Vsource { name: n, branch, .. } if n == name => Some(*branch),
+            _ => None,
+        })
+    }
+
+    /// Total number of MNA unknowns: non-ground nodes + V-source branches.
+    pub fn unknown_count(&self) -> usize {
+        (self.node_count() - 1) + self.vsource_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_interning() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        let b = nl.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(nl.node_count(), 3); // ground + a + b
+        assert_eq!(nl.node_name(a), "a");
+        assert!(GROUND.is_ground());
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn unknown_count_includes_branches() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, GROUND, 1.0);
+        nl.resistor("R1", a, b, 100.0);
+        assert_eq!(nl.unknown_count(), 3); // 2 nodes + 1 branch
+        assert_eq!(nl.vsource_branch("V1"), Some(0));
+        assert_eq!(nl.vsource_branch("nope"), None);
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = SourceWaveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 2e-9,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.05e-9) - 0.5).abs() < 1e-9); // mid-rise
+        assert_eq!(w.value_at(2e-9), 1.0);
+        assert_eq!(w.value_at(5e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistor_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R", a, GROUND, -5.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Binomial proportion confidence bounds for Monte-Carlo yield
+//! estimation.
+//!
+//! After sign-off, a designer wants "yield ≥ Y with confidence C" from
+//! `k` failures in `n` MC samples. The Clopper–Pearson interval is the
+//! standard conservative choice; it is computed here through the
+//! regularized incomplete beta function.
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's algorithm), accurate to ~1e-10 for the
+/// moderate `a`, `b` used in yield analysis.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0` or `x` is outside `[0, 1]`.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Use the symmetry relation for faster convergence.
+    if x > (a + 1.0) / (a + b + 2.0) {
+        return 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp() / a;
+
+    // Lentz continued fraction.
+    let mut f = 1.0f64;
+    let mut c = 1.0f64;
+    let mut d = 0.0f64;
+    const TINY: f64 = 1e-300;
+    for m in 0..200 {
+        let m_f = m as f64;
+        let numerator = if m == 0 {
+            1.0
+        } else if m % 2 == 0 {
+            let k = m_f / 2.0;
+            k * (b - k) * x / ((a + 2.0 * k - 1.0) * (a + 2.0 * k))
+        } else {
+            let k = (m_f - 1.0) / 2.0;
+            -(a + k) * (a + b + k) * x / ((a + 2.0 * k) * (a + 2.0 * k + 1.0))
+        };
+        d = 1.0 + numerator * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-12 {
+            break;
+        }
+    }
+    (front * (f - 1.0)).clamp(0.0, 1.0)
+}
+
+/// `ln B(a, b)` via Stirling-series `ln Γ`.
+fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9), |err| < 1e-10.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Two-sided Clopper–Pearson confidence interval for a binomial
+/// proportion: `k` successes in `n` trials at confidence `1 − alpha`.
+///
+/// Returns `(lower, upper)` bounds on the true proportion.
+///
+/// # Panics
+///
+/// Panics if `k > n`, `n == 0`, or `alpha` is outside `(0, 1)`.
+pub fn clopper_pearson(k: u64, n: u64, alpha: f64) -> (f64, f64) {
+    assert!(n > 0, "need at least one trial");
+    assert!(k <= n, "successes cannot exceed trials");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let (kf, nf) = (k as f64, n as f64);
+    let lower = if k == 0 {
+        0.0
+    } else {
+        // Inverse of I_p(k, n-k+1) = 1 - alpha/2, found by bisection.
+        invert_beta_cdf(kf, nf - kf + 1.0, alpha / 2.0)
+    };
+    let upper = if k == n {
+        1.0
+    } else {
+        invert_beta_cdf(kf + 1.0, nf - kf, 1.0 - alpha / 2.0)
+    };
+    (lower, upper)
+}
+
+/// Solves `I_p(a, b) = target` for `p` by bisection.
+fn invert_beta_cdf(a: f64, b: f64, target: f64) -> f64 {
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if regularized_incomplete_beta(a, b, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetric_uniform() {
+        // I_x(1, 1) = x.
+        for &x in &[0.1, 0.35, 0.8] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_value() {
+        // I_0.5(2, 2) = 0.5 by symmetry.
+        assert!((regularized_incomplete_beta(2.0, 2.0, 0.5) - 0.5).abs() < 1e-9);
+        // I_x(2, 1) = x².
+        assert!((regularized_incomplete_beta(2.0, 1.0, 0.3) - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clopper_pearson_contains_true_proportion() {
+        // 95 % CI for 950 passes in 1000 trials must contain 0.95.
+        let (lo, hi) = clopper_pearson(950, 1000, 0.05);
+        assert!(lo < 0.95 && 0.95 < hi, "interval [{lo}, {hi}]");
+        assert!(lo > 0.93 && hi < 0.97, "interval too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn zero_failures_give_exact_rule_of_three() {
+        // Upper bound on failure rate with 0 failures in n trials at 95 %
+        // one-sided-ish: Clopper-Pearson upper ≈ 3.7/n for alpha = 0.05.
+        let (lo, hi) = clopper_pearson(0, 1000, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 3.7e-3).abs() < 5e-4, "upper {hi}");
+    }
+
+    #[test]
+    fn all_successes_bound_is_one() {
+        let (lo, hi) = clopper_pearson(100, 100, 0.05);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.96, "lower {lo}");
+    }
+
+    #[test]
+    fn interval_narrows_with_more_trials() {
+        let (lo1, hi1) = clopper_pearson(90, 100, 0.05);
+        let (lo2, hi2) = clopper_pearson(900, 1000, 0.05);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed trials")]
+    fn k_above_n_panics() {
+        clopper_pearson(5, 4, 0.05);
+    }
+}

@@ -1,0 +1,189 @@
+//! Covariance and Pearson correlation.
+//!
+//! The MC-reordering method of the paper (Eq. 9) ranks mismatch samples by a
+//! correlation-weighted score: for each corner, the Pearson correlation
+//! between every mismatch-vector component and the aggregate performance
+//! degradation is computed over the `N'` pre-sampled points, then used to
+//! predict which of the remaining samples are most likely to fail.
+
+/// Sample covariance between two equally long slices (population form).
+///
+/// Returns `0.0` when fewer than two paired observations exist.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance over mismatched lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = crate::descriptive::mean(xs);
+    let my = crate::descriptive::mean(ys);
+    xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum::<f64>() / n as f64
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Returns `0.0` when either input is (numerically) constant — the
+/// correlation is undefined there, and `0.0` is the conservative choice for
+/// the reordering score (no predictive weight).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((glova_stats::correlation::pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson over mismatched lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = crate::descriptive::mean(xs);
+    let my = crate::descriptive::mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    let denom = (sxx * syy).sqrt();
+    if denom <= f64::EPSILON * n as f64 {
+        0.0
+    } else {
+        (sxy / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Pearson correlation of each *column* of `rows` against `ys`.
+///
+/// `rows` is a set of observations, each a feature vector of identical
+/// length `d`; the result has length `d`. This is the `ρ_j` vector of the
+/// paper's Eq. 9, where the rows are sampled mismatch vectors and `ys` the
+/// per-sample aggregate degradation.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != ys.len()` or the rows have inconsistent widths.
+pub fn column_pearson(rows: &[Vec<f64>], ys: &[f64]) -> Vec<f64> {
+    assert_eq!(rows.len(), ys.len(), "row/target count mismatch");
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let d = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == d), "ragged feature rows");
+    (0..d)
+        .map(|j| {
+            let column: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+            pearson(&column, ys)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let y_neg: Vec<f64> = x.iter().map(|v| -2.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y_pos) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_yields_zero() {
+        let x = [2.0, 2.0, 2.0];
+        let y = [1.0, 5.0, 9.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&y, &x), 0.0);
+    }
+
+    #[test]
+    fn short_inputs_yield_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(covariance(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn covariance_known_value() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 8.0];
+        // population covariance: E[(x-2)(y-6)] = (2 + 0 + 2)/3
+        assert!((covariance(&x, &y) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_pearson_identifies_driving_column() {
+        // Column 0 drives y; column 1 is constant noise-free irrelevance.
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, 1.0, -(i as f64)]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+        let rho = column_pearson(&rows, &ys);
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+        assert_eq!(rho[1], 0.0);
+        assert!((rho[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_pearson_empty() {
+        assert!(column_pearson(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched lengths")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_in_unit_interval(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&xs, &ys);
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_pearson_shift_scale_invariant(
+            pairs in proptest::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 3..50),
+            a in 0.1f64..10.0,
+            b in -5.0f64..5.0,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let xs2: Vec<f64> = xs.iter().map(|v| a * v + b).collect();
+            let r1 = pearson(&xs, &ys);
+            let r2 = pearson(&xs2, &ys);
+            prop_assert!((r1 - r2).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Descriptive statistics: running (Welford) moments, batch helpers,
+//! quantiles and compact summaries.
+//!
+//! The µ-σ evaluation of the paper (Eq. 7) computes `E[F_i] + β₂σ[F_i]` from
+//! a small pre-sampled subset of Monte-Carlo points; [`RunningStats`] is the
+//! numerically stable accumulator behind it.
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+///
+/// # Example
+///
+/// ```
+/// use glova_stats::descriptive::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`m2 / n`); `0.0` for fewer than two samples.
+    ///
+    /// The paper's µ-σ criterion and the ensemble-critic aggregation both
+    /// use population (biased) moments, matching the `σ[·]` of Eq. 6–7.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (`m2 / (n − 1)`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The µ + βσ bound used by the µ-σ evaluation (paper Eq. 7).
+    pub fn mu_sigma_bound(&self, beta: f64) -> f64 {
+        self.mean() + beta * self.std_dev()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Mean of a slice; `0.0` when empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<RunningStats>().variance()
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`) of a slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A compact five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let s = glova_stats::descriptive::Summary::of(&[1.0, 3.0]);
+    /// assert_eq!(s.count, 2);
+    /// assert_eq!(s.mean, 2.0);
+    /// ```
+    pub fn of(xs: &[f64]) -> Self {
+        let stats: RunningStats = xs.iter().copied().collect();
+        Self {
+            count: stats.count(),
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            min: stats.min(),
+            max: stats.max(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4e} std={:.4e} min={:.4e} max={:.4e}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_variance_zero() {
+        let mut s = RunningStats::new();
+        s.push(5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mu_sigma_bound_matches_manual() {
+        let s: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let expected = s.mean() + 4.0 * s.std_dev();
+        assert_eq!(s.mu_sigma_bound(4.0), expected);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let sequential: RunningStats = xs.iter().copied().collect();
+        let mut left: RunningStats = xs[..37].iter().copied().collect();
+        let right: RunningStats = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert!((left.mean() - sequential.mean()).abs() < 1e-10);
+        assert!((left.variance() - sequential.variance()).abs() < 1e-10);
+        assert_eq!(left.count(), sequential.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!(s.variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn prop_merge_matches_sequential(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+            ys in proptest::collection::vec(-1e3f64..1e3, 0..100),
+        ) {
+            let all: RunningStats = xs.iter().chain(ys.iter()).copied().collect();
+            let mut merged: RunningStats = xs.iter().copied().collect();
+            merged.merge(&ys.iter().copied().collect());
+            prop_assert!((merged.mean() - all.mean()).abs() < 1e-6);
+            prop_assert!((merged.variance() - all.variance()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Fixed-bin histograms for the figure-reproduction harnesses.
+//!
+//! The Fig. 1 harness visualizes the die-to-die (global) vs within-die
+//! (local) structure of sampled mismatch; a small text histogram is all the
+//! terminal output needs.
+
+/// A histogram with uniformly sized bins over `[lo, hi)`.
+///
+/// Out-of-range observations are counted in saturating edge bins so that no
+/// sample is silently dropped.
+///
+/// # Example
+///
+/// ```
+/// let mut h = glova_stats::Histogram::new(0.0, 10.0, 5);
+/// h.push(1.0);
+/// h.push(9.5);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Adds one observation (clamped into the edge bins if out of range).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend_from_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index {i} out of bounds");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Renders an ASCII bar chart, `width` characters at the tallest bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>10.3e} | {}{} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar_len),
+                " ".repeat(width - bar_len),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_receive_correct_samples() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for &x in &[0.1, 0.3, 0.6, 0.9, 0.99] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-5.0);
+        h.push(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend_from_slice(&[0.1, 0.2, 0.8]);
+        let text = h.render(10);
+        assert!(text.contains('#'));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Statistical primitives shared by every crate in the GLOVA workspace.
+//!
+//! The GLOVA framework (risk-sensitive RL sizing of analog circuits under
+//! PVT variation) is statistics-heavy: hierarchical Monte-Carlo mismatch
+//! sampling, µ-σ feasibility evaluation, Pearson-correlation-based
+//! simulation reordering, and reproducible multi-seed experiment harnesses.
+//! This crate provides the shared substrate:
+//!
+//! - [`rng`] — deterministic, seedable RNG construction and *fan-out*
+//!   (`fork`) so that independent experiment arms never share streams.
+//! - [`normal`] — Box–Muller standard-normal sampling (the offline crate
+//!   set has no `rand_distr`), plus truncated variants.
+//! - [`descriptive`] — Welford running statistics, means, standard
+//!   deviations, quantiles.
+//! - [`correlation`] — Pearson correlation and covariance, used by the
+//!   MC-reordering h-SCORE (paper Eq. 9–10).
+//! - [`histogram`] — fixed-bin histograms for the figure harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use glova_stats::rng::seeded;
+//! use glova_stats::normal::StandardNormal;
+//! use glova_stats::descriptive::RunningStats;
+//!
+//! let mut rng = seeded(42);
+//! let mut stats = RunningStats::new();
+//! let normal = StandardNormal::new();
+//! for _ in 0..10_000 {
+//!     stats.push(normal.sample(&mut rng));
+//! }
+//! assert!(stats.mean().abs() < 0.05);
+//! assert!((stats.std_dev() - 1.0).abs() < 0.05);
+//! ```
+
+pub mod binomial;
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod normal;
+pub mod rng;
+
+pub use binomial::clopper_pearson;
+pub use correlation::{covariance, pearson};
+pub use descriptive::{mean, quantile, std_dev, variance, RunningStats, Summary};
+pub use histogram::Histogram;
+pub use normal::StandardNormal;
+pub use rng::{fork, seeded, Rng64};

@@ -1,0 +1,87 @@
+//! Space-filling initial designs.
+
+use rand::Rng;
+
+/// Latin-hypercube sample of `n` points in `[0, 1]^dim`.
+///
+/// Each dimension is divided into `n` strata; every stratum is hit exactly
+/// once per dimension, with independent random permutations across
+/// dimensions and jitter within strata.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dim == 0`.
+///
+/// # Example
+///
+/// ```
+/// let mut rng = glova_stats::rng::seeded(1);
+/// let points = glova_turbo::latin_hypercube(8, 3, &mut rng);
+/// assert_eq!(points.len(), 8);
+/// assert!(points.iter().all(|p| p.len() == 3));
+/// ```
+pub fn latin_hypercube<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    assert!(n > 0, "need at least one sample");
+    assert!(dim > 0, "need at least one dimension");
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let mut strata: Vec<usize> = (0..n).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            strata.swap(i, j);
+        }
+        columns.push(
+            strata.iter().map(|&s| (s as f64 + rng.gen::<f64>()) / n as f64).collect(),
+        );
+    }
+    (0..n).map(|i| (0..dim).map(|d| columns[d][i]).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_stats::rng::seeded;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strata_are_hit_exactly_once() {
+        let mut rng = seeded(3);
+        let n = 16;
+        let points = latin_hypercube(n, 4, &mut rng);
+        for d in 0..4 {
+            let mut seen = vec![false; n];
+            for p in &points {
+                let stratum = (p[d] * n as f64).floor() as usize;
+                assert!(!seen[stratum.min(n - 1)], "stratum {stratum} hit twice in dim {d}");
+                seen[stratum.min(n - 1)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "dimension {d} missed strata");
+        }
+    }
+
+    #[test]
+    fn all_points_in_unit_cube() {
+        let mut rng = seeded(4);
+        for p in latin_hypercube(32, 6, &mut rng) {
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let mut rng = seeded(5);
+        latin_hypercube(0, 2, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shape(n in 1usize..20, dim in 1usize..8, seed in 0u64..16) {
+            let mut rng = seeded(seed);
+            let pts = latin_hypercube(n, dim, &mut rng);
+            prop_assert_eq!(pts.len(), n);
+            prop_assert!(pts.iter().all(|p| p.len() == dim));
+        }
+    }
+}

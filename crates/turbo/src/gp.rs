@@ -1,0 +1,224 @@
+//! Gaussian-process regression with marginal-likelihood hyperparameter
+//! search.
+
+use crate::kernel::Matern52;
+use glova_linalg::{Cholesky, Matrix};
+use glova_stats::normal::StandardNormal;
+use rand::Rng;
+
+/// A fitted Gaussian process over observations `(X, y)`.
+///
+/// Targets are standardized internally; predictions are returned in the
+/// original scale.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Matern52,
+    noise_variance: f64,
+    x: Vec<Vec<f64>>,
+    y_standardized: Vec<f64>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// Jitter added to the kernel matrix diagonal for numerical stability.
+    const JITTER: f64 = 1e-8;
+
+    /// Fits a GP with fixed hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths differ, or the kernel matrix cannot
+    /// be factored (should not happen with positive noise).
+    pub fn fit(kernel: Matern52, noise_variance: f64, x: &[Vec<f64>], y: &[f64]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a GP to zero observations");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(noise_variance > 0.0, "noise variance must be positive");
+
+        let y_mean = glova_stats::descriptive::mean(y);
+        let y_std = glova_stats::descriptive::std_dev(y).max(1e-9);
+        let y_n: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let n = x.len();
+        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+        k.add_diagonal(noise_variance + Self::JITTER);
+        let chol = k.cholesky(0.0).expect("kernel matrix must be SPD with positive noise");
+        let alpha = chol.solve(&y_n);
+        Self {
+            kernel,
+            noise_variance,
+            x: x.to_vec(),
+            y_standardized: y_n,
+            alpha,
+            chol,
+            y_mean,
+            y_std,
+        }
+    }
+
+    /// Fits hyperparameters by random search over log-space, maximizing the
+    /// log marginal likelihood, then returns the best fitted GP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or lengths differ.
+    pub fn fit_auto<R: Rng + ?Sized>(x: &[Vec<f64>], y: &[f64], rng: &mut R) -> Self {
+        assert!(!x.is_empty(), "cannot fit a GP to zero observations");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let dim = x[0].len();
+
+        let mut best: Option<(f64, Self)> = None;
+        // Random search: isotropic seeds plus ARD perturbations.
+        const TRIALS: usize = 24;
+        for trial in 0..TRIALS {
+            let base_ls = 10f64.powf(rng.gen_range(-1.2..0.5));
+            let lengthscales: Vec<f64> = (0..dim)
+                .map(|_| {
+                    if trial < TRIALS / 2 {
+                        base_ls
+                    } else {
+                        base_ls * 10f64.powf(rng.gen_range(-0.4..0.4))
+                    }
+                })
+                .collect();
+            let noise = 10f64.powf(rng.gen_range(-6.0..-2.0));
+            let kernel = Matern52::new(1.0, lengthscales);
+            let gp = Self::fit(kernel, noise, x, y);
+            let lml = gp.log_marginal_likelihood();
+            if best.as_ref().is_none_or(|(b, _)| lml > *b) {
+                best = Some((lml, gp));
+            }
+        }
+        best.expect("at least one trial").1
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the GP has no training points (never true post-`fit`).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Log marginal likelihood of the training data (standardized space).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.x.len() as f64;
+        let data_fit: f64 =
+            -0.5 * self.alpha.iter().zip(&self.y_standardized).map(|(a, y)| a * y).sum::<f64>();
+        data_fit - 0.5 * self.chol.log_determinant() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Posterior mean and variance at `query` (original target scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn predict(&self, query: &[f64]) -> (f64, f64) {
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, query)).collect();
+        let mean_n: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = self.chol.solve_lower(&k_star);
+        let k_ss = self.kernel.eval(query, query) + self.noise_variance;
+        let var_n = (k_ss - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+        (self.y_mean + self.y_std * mean_n, var_n * self.y_std * self.y_std)
+    }
+
+    /// Draws one Thompson sample value at `query` (independent
+    /// approximation: `µ + σ·z`).
+    pub fn thompson_sample<R: Rng + ?Sized>(
+        &self,
+        query: &[f64],
+        normal: &StandardNormal,
+        rng: &mut R,
+    ) -> f64 {
+        let (mu, var) = self.predict(query);
+        mu + var.sqrt() * normal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_stats::rng::seeded;
+
+    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit(Matern52::isotropic(1.0, 0.2, 1), 1e-6, &xs, &ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mu, _) = gp.predict(x);
+            assert!((mu - y).abs() < 0.01, "at {x:?}: {mu} vs {y}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit(Matern52::isotropic(1.0, 0.1, 1), 1e-6, &xs, &ys);
+        let (_, var_near) = gp.predict(&[0.5]);
+        let (_, var_far) = gp.predict(&[3.0]);
+        assert!(var_far > 10.0 * var_near, "{var_far} vs {var_near}");
+    }
+
+    #[test]
+    fn auto_fit_generalizes() {
+        let (xs, ys) = toy_data();
+        let mut rng = seeded(8);
+        let gp = GaussianProcess::fit_auto(&xs, &ys, &mut rng);
+        // Predict at held-out midpoints.
+        for i in 0..10 {
+            let x = [(2.0 * i as f64 + 1.0) / 38.0];
+            let truth = (6.0 * x[0]).sin();
+            let (mu, _) = gp.predict(&x);
+            assert!((mu - truth).abs() < 0.1, "at {x:?}: {mu} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn lml_prefers_sane_lengthscales() {
+        let (xs, ys) = toy_data();
+        let good = GaussianProcess::fit(Matern52::isotropic(1.0, 0.15, 1), 1e-4, &xs, &ys);
+        let bad = GaussianProcess::fit(Matern52::isotropic(1.0, 1e-3, 1), 1e-4, &xs, &ys);
+        assert!(good.log_marginal_likelihood() > bad.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn thompson_samples_spread_with_variance() {
+        let (xs, ys) = toy_data();
+        let gp = GaussianProcess::fit(Matern52::isotropic(1.0, 0.1, 1), 1e-6, &xs, &ys);
+        let normal = StandardNormal::new();
+        let mut rng = seeded(10);
+        let far: Vec<f64> =
+            (0..200).map(|_| gp.thompson_sample(&[5.0], &normal, &mut rng)).collect();
+        let near: Vec<f64> =
+            (0..200).map(|_| gp.thompson_sample(&[0.5], &normal, &mut rng)).collect();
+        assert!(
+            glova_stats::descriptive::std_dev(&far) > glova_stats::descriptive::std_dev(&near)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_fit_panics() {
+        GaussianProcess::fit(Matern52::isotropic(1.0, 0.1, 1), 1e-6, &[], &[]);
+    }
+
+    #[test]
+    fn prediction_scale_restored() {
+        // Targets far from zero: prediction must come back in original units.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 500.0 + 3.0 * x[0]).collect();
+        let gp = GaussianProcess::fit(Matern52::isotropic(1.0, 0.5, 1), 1e-6, &xs, &ys);
+        let (mu, _) = gp.predict(&[0.5]);
+        assert!((mu - 501.5).abs() < 0.5, "{mu}");
+    }
+}

@@ -1,0 +1,168 @@
+//! TuRBO's trust-region state machine.
+//!
+//! The trust region is a hyper-rectangle centered at the incumbent best
+//! point. Its base side length doubles after `success_tolerance`
+//! consecutive improvements and halves after `failure_tolerance`
+//! consecutive non-improvements; when it collapses below `length_min` the
+//! region restarts at full size (TuRBO restarts from scratch; our caller
+//! re-seeds the history).
+
+/// Trust-region geometry and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustRegion {
+    length: f64,
+    length_min: f64,
+    length_max: f64,
+    success_count: usize,
+    failure_count: usize,
+    success_tolerance: usize,
+    failure_tolerance: usize,
+}
+
+impl TrustRegion {
+    /// Creates a region with TuRBO's standard schedule for dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            length: 0.8,
+            length_min: 0.5f64.powi(7),
+            length_max: 1.6,
+            success_count: 0,
+            failure_count: 0,
+            success_tolerance: 3,
+            failure_tolerance: (4.0_f64).max(dim as f64).ceil() as usize,
+        }
+    }
+
+    /// Current base side length.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Whether the region has collapsed and triggered a restart on the last
+    /// update.
+    pub fn at_minimum(&self) -> bool {
+        self.length <= self.length_min
+    }
+
+    /// Records an iteration outcome; returns `true` if the region restarted
+    /// (collapsed below its minimum and was reset).
+    pub fn update(&mut self, improved: bool) -> bool {
+        if improved {
+            self.success_count += 1;
+            self.failure_count = 0;
+            if self.success_count >= self.success_tolerance {
+                self.length = (2.0 * self.length).min(self.length_max);
+                self.success_count = 0;
+            }
+        } else {
+            self.failure_count += 1;
+            self.success_count = 0;
+            if self.failure_count >= self.failure_tolerance {
+                self.length *= 0.5;
+                self.failure_count = 0;
+            }
+        }
+        if self.length < self.length_min {
+            self.length = 0.8;
+            self.success_count = 0;
+            self.failure_count = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The axis-aligned candidate box around `center`, clipped to `[0,1]`,
+    /// with per-dimension half-widths scaled by the GP lengthscales
+    /// (longer lengthscale → wider box side, TuRBO §4).
+    pub fn bounds_around(&self, center: &[f64], lengthscales: &[f64]) -> Vec<(f64, f64)> {
+        assert_eq!(center.len(), lengthscales.len(), "dimension mismatch");
+        // Normalize lengthscales to geometric mean 1.
+        let log_mean = lengthscales.iter().map(|l| l.ln()).sum::<f64>() / lengthscales.len() as f64;
+        let gm = log_mean.exp();
+        center
+            .iter()
+            .zip(lengthscales)
+            .map(|(&c, &l)| {
+                let half = 0.5 * self.length * (l / gm).clamp(0.25, 4.0);
+                ((c - half).max(0.0), (c + half).min(1.0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_after_successes() {
+        let mut tr = TrustRegion::new(4);
+        let start = tr.length();
+        for _ in 0..3 {
+            tr.update(true);
+        }
+        assert!((tr.length() - 2.0 * start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_caps_at_max() {
+        let mut tr = TrustRegion::new(4);
+        for _ in 0..30 {
+            tr.update(true);
+        }
+        assert!(tr.length() <= 1.6 + 1e-12);
+    }
+
+    #[test]
+    fn shrinks_after_failures() {
+        let mut tr = TrustRegion::new(4);
+        let start = tr.length();
+        for _ in 0..4 {
+            tr.update(false);
+        }
+        assert!((tr.length() - 0.5 * start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restart_on_collapse() {
+        let mut tr = TrustRegion::new(2);
+        let mut restarted = false;
+        for _ in 0..200 {
+            if tr.update(false) {
+                restarted = true;
+                break;
+            }
+        }
+        assert!(restarted, "region never restarted");
+        assert!(tr.length() > 0.5, "length reset after restart");
+    }
+
+    #[test]
+    fn mixed_outcomes_reset_counters() {
+        let mut tr = TrustRegion::new(4);
+        let start = tr.length();
+        // Alternating outcomes never hit either tolerance.
+        for i in 0..20 {
+            tr.update(i % 2 == 0);
+        }
+        assert!((tr.length() - start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_clip_to_unit_cube() {
+        let tr = TrustRegion::new(2);
+        let bounds = tr.bounds_around(&[0.05, 0.95], &[1.0, 1.0]);
+        assert!(bounds[0].0 >= 0.0 && bounds[1].1 <= 1.0);
+        assert!(bounds[0].0 < bounds[0].1);
+    }
+
+    #[test]
+    fn lengthscale_shaping_widens_long_dimensions() {
+        let tr = TrustRegion::new(2);
+        let bounds = tr.bounds_around(&[0.5, 0.5], &[1.0, 0.1]);
+        let w0 = bounds[0].1 - bounds[0].0;
+        let w1 = bounds[1].1 - bounds[1].0;
+        assert!(w0 > w1, "long-lengthscale dim should get the wider side");
+    }
+}

@@ -1,0 +1,164 @@
+//! Operational configuration — the paper's Table I.
+//!
+//! The verification method chosen by the user determines which corners are
+//! simulated, which variance layers are sampled, and how many samples the
+//! optimization and verification phases use.
+
+use crate::corner::CornerSet;
+use crate::sampler::VarianceLayers;
+
+/// Industrial verification method (paper Table I and §VI.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerificationMethod {
+    /// `C` — corner simulation only: 30 predefined PVT corners, no
+    /// mismatch. Full verification = 30 simulations.
+    #[default]
+    Corner,
+    /// `C-MC_L` — corner + local Monte Carlo: 0.1 K local MC samples on
+    /// each of the 30 corners. Full verification = 3 000 simulations.
+    CornerLocalMc,
+    /// `C-MC_G-L` — corner + global-local Monte Carlo: 1 K global-local MC
+    /// samples on each of the 6 VT corners. Full verification = 6 000
+    /// simulations.
+    CornerGlobalLocalMc,
+}
+
+impl VerificationMethod {
+    /// All three methods in Table-I order.
+    pub const ALL: [VerificationMethod; 3] = [
+        VerificationMethod::Corner,
+        VerificationMethod::CornerLocalMc,
+        VerificationMethod::CornerGlobalLocalMc,
+    ];
+
+    /// The operating configuration row of Table I for this method.
+    pub fn operating_config(self) -> OperatingConfig {
+        match self {
+            VerificationMethod::Corner => OperatingConfig {
+                method: self,
+                corners: CornerSet::industrial_30(),
+                include_global: false,
+                include_local: false,
+                optim_samples: 1,
+                verif_samples_per_corner: 1,
+            },
+            VerificationMethod::CornerLocalMc => OperatingConfig {
+                method: self,
+                corners: CornerSet::industrial_30(),
+                include_global: false,
+                include_local: true,
+                optim_samples: 3,
+                verif_samples_per_corner: 100,
+            },
+            VerificationMethod::CornerGlobalLocalMc => OperatingConfig {
+                method: self,
+                corners: CornerSet::vt_6(),
+                include_global: true,
+                include_local: true,
+                optim_samples: 3,
+                verif_samples_per_corner: 1000,
+            },
+        }
+    }
+
+    /// Short name as used in the paper's tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            VerificationMethod::Corner => "C",
+            VerificationMethod::CornerLocalMc => "C-MCL",
+            VerificationMethod::CornerGlobalLocalMc => "C-MCG-L",
+        }
+    }
+}
+
+impl std::fmt::Display for VerificationMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// One row of Table I: everything the framework needs to operate under a
+/// chosen verification method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingConfig {
+    /// The method this configuration realizes.
+    pub method: VerificationMethod,
+    /// Corners simulated during optimization and verification.
+    pub corners: CornerSet,
+    /// Whether global (die-to-die) variation is sampled.
+    pub include_global: bool,
+    /// Whether local (within-die) mismatch is sampled.
+    pub include_local: bool,
+    /// `N'` — mismatch samples per optimization iteration (paper: 2–5,
+    /// experiments use 3).
+    pub optim_samples: usize,
+    /// `N` — mismatch samples per corner in full verification.
+    pub verif_samples_per_corner: usize,
+}
+
+impl OperatingConfig {
+    /// The variance layers active under this configuration.
+    pub fn variance_layers(&self) -> VarianceLayers {
+        VarianceLayers { global: self.include_global, local: self.include_local }
+    }
+
+    /// Total simulation count of one *full* verification pass.
+    pub fn full_verification_cost(&self) -> usize {
+        self.corners.len() * self.verif_samples_per_corner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_rows() {
+        let c = VerificationMethod::Corner.operating_config();
+        assert_eq!(c.corners.len(), 30);
+        assert!(!c.include_global && !c.include_local);
+        assert_eq!(c.full_verification_cost(), 30);
+
+        let mcl = VerificationMethod::CornerLocalMc.operating_config();
+        assert_eq!(mcl.corners.len(), 30);
+        assert!(!mcl.include_global && mcl.include_local);
+        assert_eq!(mcl.full_verification_cost(), 3000);
+
+        let mcgl = VerificationMethod::CornerGlobalLocalMc.operating_config();
+        assert_eq!(mcgl.corners.len(), 6);
+        assert!(mcgl.include_global && mcgl.include_local);
+        assert_eq!(mcgl.full_verification_cost(), 6000);
+    }
+
+    #[test]
+    fn optim_samples_in_paper_range() {
+        for m in VerificationMethod::ALL {
+            let cfg = m.operating_config();
+            assert!((1..=5).contains(&cfg.optim_samples));
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(VerificationMethod::Corner.to_string(), "C");
+        assert_eq!(VerificationMethod::CornerLocalMc.to_string(), "C-MCL");
+        assert_eq!(VerificationMethod::CornerGlobalLocalMc.to_string(), "C-MCG-L");
+    }
+
+    #[test]
+    fn variance_layers_match_flags() {
+        use crate::sampler::VarianceLayers;
+        assert_eq!(
+            VerificationMethod::Corner.operating_config().variance_layers(),
+            VarianceLayers::NONE
+        );
+        assert_eq!(
+            VerificationMethod::CornerLocalMc.operating_config().variance_layers(),
+            VarianceLayers::LOCAL
+        );
+        assert_eq!(
+            VerificationMethod::CornerGlobalLocalMc.operating_config().variance_layers(),
+            VarianceLayers::GLOBAL_LOCAL
+        );
+    }
+}

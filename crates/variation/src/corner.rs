@@ -1,0 +1,252 @@
+//! PVT corner definitions.
+//!
+//! The paper's testcases are verified under 30 PVT conditions:
+//! `{TT, SS, FF, SF, FS} × {0.8 V, 0.9 V} × {−40 °C, 27 °C, 80 °C}`.
+//! Global-local Monte Carlo (`C-MC_G-L`) replaces the process-corner axis
+//! with statistically sampled global variation, leaving the 6 VT corners.
+
+/// Process corner: the first letter is the NMOS speed, the second the PMOS
+/// speed (S = slow, T = typical, F = fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum ProcessCorner {
+    /// Typical NMOS, typical PMOS.
+    #[default]
+    Tt,
+    /// Slow NMOS, slow PMOS.
+    Ss,
+    /// Fast NMOS, fast PMOS.
+    Ff,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+}
+
+impl ProcessCorner {
+    /// All five corners in the paper's order.
+    pub const ALL: [ProcessCorner; 5] =
+        [ProcessCorner::Tt, ProcessCorner::Ss, ProcessCorner::Ff, ProcessCorner::Sf, ProcessCorner::Fs];
+
+    /// NMOS speed skew in `{-1, 0, +1}` (+1 = fast ⇒ lower V_th).
+    pub fn nmos_skew(self) -> f64 {
+        match self {
+            ProcessCorner::Tt => 0.0,
+            ProcessCorner::Ss | ProcessCorner::Sf => -1.0,
+            ProcessCorner::Ff | ProcessCorner::Fs => 1.0,
+        }
+    }
+
+    /// PMOS speed skew in `{-1, 0, +1}` (+1 = fast ⇒ lower |V_th|).
+    pub fn pmos_skew(self) -> f64 {
+        match self {
+            ProcessCorner::Tt => 0.0,
+            ProcessCorner::Ss | ProcessCorner::Fs => -1.0,
+            ProcessCorner::Ff | ProcessCorner::Sf => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProcessCorner::Tt => "TT",
+            ProcessCorner::Ss => "SS",
+            ProcessCorner::Ff => "FF",
+            ProcessCorner::Sf => "SF",
+            ProcessCorner::Fs => "FS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One PVT condition: process corner, supply voltage and temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvtCorner {
+    /// Process corner.
+    pub process: ProcessCorner,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Junction temperature in °C.
+    pub temp_c: f64,
+}
+
+impl PvtCorner {
+    /// The nominal design condition: TT, 0.9 V, 27 °C.
+    pub fn typical() -> Self {
+        Self { process: ProcessCorner::Tt, vdd: 0.9, temp_c: 27.0 }
+    }
+
+    /// Absolute temperature in kelvin.
+    pub fn temp_k(&self) -> f64 {
+        self.temp_c + 273.15
+    }
+
+    /// Thermal voltage `kT/q` in volts at this corner's temperature.
+    pub fn thermal_voltage(&self) -> f64 {
+        const K_OVER_Q: f64 = 8.617_333e-5; // V/K
+        K_OVER_Q * self.temp_k()
+    }
+}
+
+impl Default for PvtCorner {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+impl std::fmt::Display for PvtCorner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{:.1}V/{:+.0}C", self.process, self.vdd, self.temp_c)
+    }
+}
+
+/// An ordered collection of PVT corners.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CornerSet {
+    corners: Vec<PvtCorner>,
+}
+
+impl CornerSet {
+    /// Supply voltages evaluated by the paper.
+    pub const VDD_LEVELS: [f64; 2] = [0.8, 0.9];
+    /// Temperatures evaluated by the paper (°C).
+    pub const TEMPERATURES: [f64; 3] = [-40.0, 27.0, 80.0];
+
+    /// Builds a corner set from an explicit list.
+    pub fn from_corners(corners: Vec<PvtCorner>) -> Self {
+        Self { corners }
+    }
+
+    /// The full industrial 30-corner set
+    /// `{TT,SS,FF,SF,FS} × {0.8, 0.9} × {−40, 27, 80}`.
+    pub fn industrial_30() -> Self {
+        let mut corners = Vec::with_capacity(30);
+        for process in ProcessCorner::ALL {
+            for &vdd in &Self::VDD_LEVELS {
+                for &temp_c in &Self::TEMPERATURES {
+                    corners.push(PvtCorner { process, vdd, temp_c });
+                }
+            }
+        }
+        Self { corners }
+    }
+
+    /// The 6 VT corners used with global-local MC (process fixed at TT —
+    /// global process variation is sampled statistically instead).
+    pub fn vt_6() -> Self {
+        let mut corners = Vec::with_capacity(6);
+        for &vdd in &Self::VDD_LEVELS {
+            for &temp_c in &Self::TEMPERATURES {
+                corners.push(PvtCorner { process: ProcessCorner::Tt, vdd, temp_c });
+            }
+        }
+        Self { corners }
+    }
+
+    /// Only the typical condition (initial TuRBO sampling target).
+    pub fn typical_only() -> Self {
+        Self { corners: vec![PvtCorner::typical()] }
+    }
+
+    /// Number of corners.
+    pub fn len(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.corners.is_empty()
+    }
+
+    /// The corners in order.
+    pub fn corners(&self) -> &[PvtCorner] {
+        &self.corners
+    }
+
+    /// Iterates over the corners.
+    pub fn iter(&self) -> std::slice::Iter<'_, PvtCorner> {
+        self.corners.iter()
+    }
+
+    /// The corner at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn corner(&self, index: usize) -> PvtCorner {
+        self.corners[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a CornerSet {
+    type Item = &'a PvtCorner;
+    type IntoIter = std::slice::Iter<'a, PvtCorner>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.corners.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_corners_enumerated() {
+        let set = CornerSet::industrial_30();
+        assert_eq!(set.len(), 30);
+        // All distinct.
+        for i in 0..set.len() {
+            for j in i + 1..set.len() {
+                assert_ne!(set.corner(i), set.corner(j));
+            }
+        }
+    }
+
+    #[test]
+    fn vt_set_is_tt_only() {
+        let set = CornerSet::vt_6();
+        assert_eq!(set.len(), 6);
+        assert!(set.iter().all(|c| c.process == ProcessCorner::Tt));
+    }
+
+    #[test]
+    fn skew_signs() {
+        assert_eq!(ProcessCorner::Tt.nmos_skew(), 0.0);
+        assert_eq!(ProcessCorner::Ss.nmos_skew(), -1.0);
+        assert_eq!(ProcessCorner::Ss.pmos_skew(), -1.0);
+        assert_eq!(ProcessCorner::Sf.nmos_skew(), -1.0);
+        assert_eq!(ProcessCorner::Sf.pmos_skew(), 1.0);
+        assert_eq!(ProcessCorner::Fs.nmos_skew(), 1.0);
+        assert_eq!(ProcessCorner::Fs.pmos_skew(), -1.0);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temp() {
+        let c = PvtCorner::typical();
+        assert!((c.thermal_voltage() - 0.02585).abs() < 1e-4);
+        assert!((c.temp_k() - 300.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_corner_values() {
+        let c = PvtCorner::typical();
+        assert_eq!(c.process, ProcessCorner::Tt);
+        assert_eq!(c.vdd, 0.9);
+        assert_eq!(c.temp_c, 27.0);
+        assert_eq!(PvtCorner::default(), c);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = PvtCorner { process: ProcessCorner::Sf, vdd: 0.8, temp_c: -40.0 };
+        assert_eq!(c.to_string(), "SF/0.8V/-40C");
+    }
+
+    #[test]
+    fn iteration_matches_len() {
+        let set = CornerSet::industrial_30();
+        assert_eq!(set.iter().count(), 30);
+        assert_eq!((&set).into_iter().count(), 30);
+    }
+}

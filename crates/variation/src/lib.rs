@@ -1,0 +1,47 @@
+//! PVT corners and hierarchical process-variation models for GLOVA.
+//!
+//! Analog performance degrades under **P**rocess, **V**oltage and
+//! **T**emperature variation. The paper models process variation
+//! hierarchically (its Eq. 3 and Fig. 1):
+//!
+//! - **global** (die-to-die) variation `h⁽¹⁾ ~ N(0, Σ_Global)` shifts every
+//!   device on a die together, and
+//! - **local** (within-die) mismatch `h⁽²⁾ ~ N(h⁽¹⁾, Σ_Local(x))` scatters
+//!   each device around the die median, with variance shrinking with device
+//!   area (Pelgrom's law) — so the variances depend on the sizing vector
+//!   `x`.
+//!
+//! This crate provides:
+//!
+//! - [`corner`] — process corners `{TT, SS, FF, SF, FS}`, supply voltages
+//!   `{0.8 V, 0.9 V}` and temperatures `{−40 °C, 27 °C, 80 °C}`, plus the
+//!   industrial 30-corner set and the 6 VT-corner set used by global-local
+//!   Monte Carlo.
+//! - [`mismatch`] — device descriptions and the Pelgrom σ models that build
+//!   `Σ_Global` / `Σ_Local(x)`.
+//! - [`sampler`] — the Eq.-3 hierarchical sampler producing mismatch
+//!   condition sets.
+//! - [`config`] — the operational configuration of Table I (verification
+//!   method → corner set, variances, sample counts).
+//!
+//! # Example
+//!
+//! ```
+//! use glova_variation::corner::CornerSet;
+//! use glova_variation::config::VerificationMethod;
+//!
+//! let cfg = VerificationMethod::CornerLocalMc.operating_config();
+//! assert_eq!(cfg.corners, CornerSet::industrial_30());
+//! assert_eq!(cfg.corners.len(), 30);
+//! assert!(cfg.include_local && !cfg.include_global);
+//! ```
+
+pub mod config;
+pub mod corner;
+pub mod mismatch;
+pub mod sampler;
+
+pub use config::{OperatingConfig, VerificationMethod};
+pub use corner::{CornerSet, ProcessCorner, PvtCorner};
+pub use mismatch::{DeviceKind, DeviceSpec, MismatchDomain, PelgromModel};
+pub use sampler::{MismatchSampler, MismatchVector};

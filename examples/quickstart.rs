@@ -1,0 +1,43 @@
+//! Quickstart: size the StrongARM latch under corner verification.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p glova --example quickstart
+//! ```
+
+use glova::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let circuit = Arc::new(glova_circuits::StrongArmLatch::new());
+    let spec = circuit.spec().clone();
+    let parameter_names = circuit.parameter_names();
+
+    println!("=== GLOVA quickstart: {} ({} parameters) ===", circuit.name(), circuit.dim());
+    println!("targets:");
+    for m in spec.metrics() {
+        println!("  {:<14} {} {}", m.name, if m.goal == glova_circuits::Goal::Below { "<=" } else { ">=" }, m.limit);
+    }
+
+    let config = GlovaConfig::paper(VerificationMethod::Corner);
+    let mut optimizer = GlovaOptimizer::new(circuit.clone(), config);
+    let result = optimizer.run(2025);
+
+    println!("\n{result}");
+    if let Some(x) = &result.final_design {
+        let phys = circuit.denormalize(x);
+        println!("\nverified sizing:");
+        for (name, value) in parameter_names.iter().zip(&phys) {
+            println!("  {name:<10} = {value:.4e}");
+        }
+        let h = glova_variation::sampler::MismatchVector::nominal(
+            circuit.mismatch_domain(x).dim(),
+        );
+        let metrics = circuit.evaluate(x, &glova_variation::corner::PvtCorner::typical(), &h);
+        println!("\ntypical-condition metrics:");
+        for (m, v) in spec.metrics().iter().zip(&metrics) {
+            println!("  {:<14} = {v:.3} (limit {})", m.name, m.limit);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Drive the MNA SPICE engine directly: DC sweeps and transients of a
+//! CMOS inverter across PVT corners.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p glova --example spice_playground
+//! ```
+
+use glova_spice::analysis::{crossing_time, Edge};
+use glova_spice::model::MosModel;
+use glova_spice::netlist::{Netlist, SourceWaveform, GROUND};
+use glova_spice::transient::{transient, TransientSpec};
+use glova_variation::corner::{CornerSet, ProcessCorner, PvtCorner};
+
+fn inverter(corner: &PvtCorner, vin_value: f64) -> (Netlist, glova_spice::netlist::NodeId) {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vin = nl.node("vin");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, GROUND, corner.vdd);
+    nl.vsource("VIN", vin, GROUND, vin_value);
+    nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm().at_corner(corner), 2.0, 0.05);
+    nl.mosfet("MN", out, vin, GROUND, MosModel::nmos_28nm().at_corner(corner), 1.0, 0.05);
+    (nl, out)
+}
+
+fn main() {
+    println!("=== CMOS inverter VTC at the typical corner ===");
+    let typical = PvtCorner::typical();
+    println!("{:>8} {:>10}", "vin (V)", "vout (V)");
+    for i in 0..=10 {
+        let vin = typical.vdd * i as f64 / 10.0;
+        let (nl, out) = inverter(&typical, vin);
+        let op = glova_spice::dc::operating_point(&nl).expect("dc converges");
+        println!("{vin:>8.2} {:>10.4}", op.voltage(out));
+    }
+
+    println!("\n=== propagation delay across process corners (falling output) ===");
+    for process in [ProcessCorner::Ss, ProcessCorner::Tt, ProcessCorner::Ff] {
+        let corner = PvtCorner { process, ..typical };
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, corner.vdd);
+        nl.vsource_waveform(
+            "VIN",
+            vin,
+            GROUND,
+            SourceWaveform::Pulse {
+                low: 0.0,
+                high: corner.vdd,
+                delay: 0.2e-9,
+                rise: 20e-12,
+                fall: 20e-12,
+                width: 3e-9,
+            },
+        );
+        nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm().at_corner(&corner), 2.0, 0.05);
+        nl.mosfet("MN", out, vin, GROUND, MosModel::nmos_28nm().at_corner(&corner), 1.0, 0.05);
+        nl.capacitor("CL", out, GROUND, 5e-15);
+        let result = transient(&nl, &TransientSpec::new(5e-12, 2e-9)).expect("transient runs");
+        let t_in = crossing_time(
+            result.times(),
+            &result.voltage_waveform(vin),
+            corner.vdd / 2.0,
+            Edge::Rising,
+        )
+        .expect("input crosses");
+        let t_out = crossing_time(
+            result.times(),
+            &result.voltage_waveform(out),
+            corner.vdd / 2.0,
+            Edge::Falling,
+        )
+        .expect("output crosses");
+        println!("  {process}: tpHL = {:.1} ps", (t_out - t_in) * 1e12);
+    }
+
+    println!("\n=== supply sensitivity across the 6 VT corners ===");
+    for corner in CornerSet::vt_6().iter() {
+        let (nl, out) = inverter(corner, corner.vdd / 2.0);
+        let op = glova_spice::dc::operating_point(&nl).expect("dc converges");
+        println!("  {corner}: V(out) at V_DD/2 input = {:.3} V", op.voltage(out));
+    }
+
+    println!("\n=== AC response of a common-source stage ===");
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vin = nl.node("in");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, GROUND, 0.9);
+    nl.vsource("VIN", vin, GROUND, 0.5);
+    nl.resistor("RL", vdd, out, 20e3);
+    nl.mosfet("M1", out, vin, GROUND, MosModel::nmos_28nm(), 2.0, 0.2);
+    nl.capacitor("CL", out, GROUND, 0.5e-12);
+    let freqs = glova_spice::log_sweep(1e4, 1e10, 4);
+    let ac = glova_spice::ac_sweep(&nl, "VIN", &freqs).expect("ac solves");
+    println!("{:>12} {:>10} {:>10}", "freq (Hz)", "gain (dB)", "phase (deg)");
+    for (i, &f) in ac.frequencies().iter().enumerate().step_by(4) {
+        let v = ac.voltage(out, i);
+        println!("{f:>12.3e} {:>10.2} {:>10.1}", 20.0 * v.abs().log10(), v.arg().to_degrees());
+    }
+    if let Some(bw) = ac.bandwidth_3db(out) {
+        println!("  -3 dB bandwidth: {bw:.3e} Hz");
+    }
+}

@@ -1,0 +1,98 @@
+//! Framework-versus-framework behaviour — the algorithmic contrasts that
+//! Table II quantifies, checked qualitatively on the fast toy circuit.
+
+use glova::optimizer::{GlovaConfig, GlovaOptimizer};
+use glova_baselines::pvtsizing::{PvtSizing, PvtSizingConfig};
+use glova_baselines::robustanalog::{RobustAnalog, RobustAnalogConfig};
+use glova_circuits::{Circuit, ToyQuadratic};
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+fn toy() -> Arc<dyn Circuit> {
+    Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05))
+}
+
+#[test]
+fn glova_uses_fewer_simulations_than_pvtsizing_on_average() {
+    // GLOVA simulates only the worst corner per iteration; PVTSizing all 30.
+    let seeds = [1u64, 2, 3];
+    let mut glova_sims = 0.0;
+    let mut pvt_sims = 0.0;
+    let mut glova_ok = 0;
+    let mut pvt_ok = 0;
+    for &seed in &seeds {
+        let mut g = GlovaOptimizer::new(toy(), GlovaConfig::paper(VerificationMethod::Corner));
+        let rg = g.run(seed);
+        if rg.success {
+            glova_sims += rg.simulations as f64;
+            glova_ok += 1;
+        }
+        let mut p = PvtSizing::new(toy(), PvtSizingConfig::new(VerificationMethod::Corner));
+        let rp = p.run(seed);
+        if rp.success {
+            pvt_sims += rp.simulations as f64;
+            pvt_ok += 1;
+        }
+    }
+    assert!(glova_ok >= 2, "GLOVA should succeed on most seeds");
+    assert!(pvt_ok >= 1, "PVTSizing should succeed on some seeds");
+    let glova_mean = glova_sims / glova_ok as f64;
+    let pvt_mean = pvt_sims / pvt_ok as f64;
+    assert!(
+        glova_mean < pvt_mean,
+        "GLOVA should be more sample-efficient: {glova_mean} vs {pvt_mean}"
+    );
+}
+
+#[test]
+fn robustanalog_runs_and_can_succeed_on_easy_problem() {
+    let mut config = RobustAnalogConfig::new(VerificationMethod::Corner);
+    config.max_iterations = 400;
+    let mut opt = RobustAnalog::new(toy(), config);
+    let mut successes = 0;
+    for seed in [1u64, 2, 3] {
+        if opt.run(seed).success {
+            successes += 1;
+        }
+    }
+    assert!(successes >= 1, "RobustAnalog should solve the toy at least once");
+}
+
+#[test]
+fn robustanalog_spends_fewer_sims_per_iteration_than_pvtsizing() {
+    // Corner clustering means RobustAnalog simulates ~n_clusters corners
+    // per iteration vs PVTSizing's full 30 — per *iteration*, not total.
+    let hard_seed = 424242; // unlikely to converge quickly for either
+    let mut p_cfg = PvtSizingConfig::new(VerificationMethod::Corner);
+    p_cfg.max_iterations = 20;
+    p_cfg.turbo_budget = 20;
+    let mut p = PvtSizing::new(toy(), p_cfg);
+    let rp = p.run(hard_seed);
+
+    let mut r_cfg = RobustAnalogConfig::new(VerificationMethod::Corner);
+    r_cfg.max_iterations = 20;
+    r_cfg.random_budget = 20;
+    let mut r = RobustAnalog::new(toy(), r_cfg);
+    let rr = r.run(hard_seed);
+
+    if !rp.success && !rr.success {
+        let p_per_iter = rp.simulations as f64 / rp.rl_iterations as f64;
+        let r_per_iter = rr.simulations as f64 / rr.rl_iterations as f64;
+        assert!(
+            r_per_iter < p_per_iter,
+            "clustered corners should cost less per iteration: {r_per_iter} vs {p_per_iter}"
+        );
+    }
+}
+
+#[test]
+fn all_frameworks_count_simulations_consistently() {
+    // Simulation counters must start at zero and be monotone across runs.
+    let mut g = GlovaOptimizer::new(toy(), GlovaConfig::quick(VerificationMethod::Corner));
+    let r1 = g.run(1);
+    assert!(r1.simulations > 0);
+    let r2 = g.run(2);
+    // Counter resets between runs: r2 counts only its own work.
+    assert!(r2.simulations > 0);
+    assert!(r2.simulations < r1.simulations + 100_000);
+}

@@ -1,0 +1,113 @@
+//! End-to-end sizing campaigns: the full GLOVA pipeline (TuRBO init →
+//! risk-sensitive RL → µ-σ gate → Algorithm-2 verification) on the real
+//! testcase circuits.
+
+use glova::prelude::*;
+use glova_variation::sampler::MismatchVector;
+use std::sync::Arc;
+
+/// Verifies the returned design really is corner-feasible, independently
+/// of the optimizer's own bookkeeping.
+fn assert_design_corner_feasible(circuit: &Arc<dyn Circuit>, x: &[f64]) {
+    let h = MismatchVector::nominal(circuit.mismatch_domain(x).dim());
+    for corner in glova_variation::corner::CornerSet::industrial_30().iter() {
+        let metrics = circuit.evaluate(x, corner, &h);
+        assert!(
+            circuit.spec().satisfied(&metrics),
+            "returned design infeasible at {corner}: {metrics:?}"
+        );
+    }
+}
+
+#[test]
+fn sal_corner_campaign_returns_verified_design() {
+    let circuit: Arc<dyn Circuit> = Arc::new(glova_circuits::StrongArmLatch::new());
+    let mut opt =
+        GlovaOptimizer::new(circuit.clone(), GlovaConfig::paper(VerificationMethod::Corner));
+    let result = opt.run(42);
+    assert!(result.success, "SAL corner campaign failed: {result}");
+    let x = result.final_design.expect("success carries a design");
+    assert_design_corner_feasible(&circuit, &x);
+    // Accounting sanity: a successful corner run includes the final
+    // 30-simulation verification.
+    assert!(result.simulations >= 30);
+    assert!(result.verification_attempts >= 1);
+}
+
+#[test]
+fn fia_corner_campaign_returns_verified_design() {
+    let circuit: Arc<dyn Circuit> = Arc::new(glova_circuits::FloatingInverterAmp::new());
+    let mut opt =
+        GlovaOptimizer::new(circuit.clone(), GlovaConfig::paper(VerificationMethod::Corner));
+    let result = opt.run(7);
+    assert!(result.success, "FIA corner campaign failed: {result}");
+    assert_design_corner_feasible(&circuit, &result.final_design.unwrap());
+}
+
+#[test]
+fn dram_corner_campaign_returns_verified_design() {
+    let circuit: Arc<dyn Circuit> = Arc::new(glova_circuits::DramCoreSense::new());
+    let mut config = GlovaConfig::paper(VerificationMethod::Corner);
+    config.max_iterations = 800;
+    let mut opt = GlovaOptimizer::new(circuit.clone(), config);
+    let result = opt.run(5);
+    assert!(result.success, "DRAM corner campaign failed: {result}");
+    assert_design_corner_feasible(&circuit, &result.final_design.unwrap());
+}
+
+#[test]
+fn sal_local_mc_campaign_survives_fresh_monte_carlo() {
+    // The verified design must hold up under a *fresh* local MC with a
+    // different seed than anything the optimizer saw.
+    let circuit: Arc<dyn Circuit> = Arc::new(glova_circuits::StrongArmLatch::new());
+    let mut opt = GlovaOptimizer::new(
+        circuit.clone(),
+        GlovaConfig::paper(VerificationMethod::CornerLocalMc),
+    );
+    let result = opt.run(42);
+    assert!(result.success, "SAL C-MCL campaign failed: {result}");
+    let x = result.final_design.unwrap();
+
+    let problem = glova::SizingProblem::new(circuit.clone(), VerificationMethod::CornerLocalMc);
+    let mut rng = glova_stats::rng::seeded(987_654);
+    let mut failures = 0u32;
+    let mut total = 0u32;
+    for corner in problem.config().corners.clone().iter() {
+        for h in problem.sample_conditions_independent(&x, 40, &mut rng) {
+            let outcome = problem.simulate(&x, corner, &h);
+            total += 1;
+            if outcome.reward != glova_circuits::spec::SATISFIED_REWARD {
+                failures += 1;
+            }
+        }
+    }
+    let rate = failures as f64 / total as f64;
+    assert!(rate < 0.01, "fresh MC failure rate too high: {failures}/{total}");
+}
+
+#[test]
+fn iteration_counts_grow_with_verification_strictness() {
+    // Table-II shape: C ≤ C-MC_L in RL iterations for the same circuit and
+    // seed family (averaged over a few seeds to damp noise).
+    let circuit: Arc<dyn Circuit> = Arc::new(glova_circuits::StrongArmLatch::new());
+    let mean_iters = |method: VerificationMethod| -> f64 {
+        let mut total = 0.0f64;
+        let mut n = 0.0f64;
+        for seed in [1u64, 2, 3] {
+            let mut opt = GlovaOptimizer::new(circuit.clone(), GlovaConfig::paper(method));
+            let r = opt.run(seed);
+            if r.success {
+                total += r.rl_iterations as f64;
+                n += 1.0;
+            }
+        }
+        total / n.max(1.0)
+    };
+    let c = mean_iters(VerificationMethod::Corner);
+    let mcl = mean_iters(VerificationMethod::CornerLocalMc);
+    assert!(c > 0.0 && mcl > 0.0, "campaigns must succeed");
+    assert!(
+        mcl >= c,
+        "local MC should not need fewer iterations than corner-only: {mcl} vs {c}"
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-checks between the MNA SPICE engine and the analytic
+//! device-physics layer used by the testcase circuits: both are built on
+//! the same corner-aware model cards, so their qualitative predictions
+//! must agree.
+
+use glova_spice::analysis::{crossing_time, Edge};
+use glova_spice::model::MosModel;
+use glova_spice::netlist::{Netlist, SourceWaveform, GROUND};
+use glova_spice::transient::{transient, TransientSpec};
+use glova_variation::corner::{CornerSet, ProcessCorner, PvtCorner};
+
+/// Simulated propagation delay of a loaded CMOS inverter at a corner.
+fn inverter_tphl(corner: &PvtCorner) -> f64 {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vin = nl.node("vin");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, GROUND, corner.vdd);
+    nl.vsource_waveform(
+        "VIN",
+        vin,
+        GROUND,
+        SourceWaveform::Pulse {
+            low: 0.0,
+            high: corner.vdd,
+            delay: 0.1e-9,
+            rise: 10e-12,
+            fall: 10e-12,
+            width: 3e-9,
+        },
+    );
+    nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm().at_corner(corner), 2.0, 0.05);
+    nl.mosfet("MN", out, vin, GROUND, MosModel::nmos_28nm().at_corner(corner), 1.0, 0.05);
+    nl.capacitor("CL", out, GROUND, 5e-15);
+    let result = transient(&nl, &TransientSpec::new(2e-12, 1.5e-9)).expect("transient converges");
+    let t_in = crossing_time(
+        result.times(),
+        &result.voltage_waveform(vin),
+        corner.vdd / 2.0,
+        Edge::Rising,
+    )
+    .expect("input edge");
+    let t_out = crossing_time(
+        result.times(),
+        &result.voltage_waveform(out),
+        corner.vdd / 2.0,
+        Edge::Falling,
+    )
+    .expect("output edge");
+    t_out - t_in
+}
+
+#[test]
+fn spice_corner_delay_ordering_matches_model_cards() {
+    // SS must be slower than TT must be slower than FF — the same ordering
+    // the analytic circuit models inherit from MosModel::at_corner.
+    let base = PvtCorner::typical();
+    let tphl_ss = inverter_tphl(&PvtCorner { process: ProcessCorner::Ss, ..base });
+    let tphl_tt = inverter_tphl(&base);
+    let tphl_ff = inverter_tphl(&PvtCorner { process: ProcessCorner::Ff, ..base });
+    assert!(
+        tphl_ss > tphl_tt && tphl_tt > tphl_ff,
+        "corner ordering broken: SS {tphl_ss:.2e}, TT {tphl_tt:.2e}, FF {tphl_ff:.2e}"
+    );
+}
+
+#[test]
+fn spice_low_supply_is_slower() {
+    let nominal = inverter_tphl(&PvtCorner::typical());
+    let low_v = inverter_tphl(&PvtCorner { vdd: 0.8, ..PvtCorner::typical() });
+    assert!(low_v > nominal, "0.8 V should be slower: {low_v:.2e} vs {nominal:.2e}");
+}
+
+#[test]
+fn spice_dc_solves_across_all_30_corners() {
+    // The DC solver must converge for the inverter at every industrial
+    // corner — the same corner set the sizing loop sweeps.
+    for corner in CornerSet::industrial_30().iter() {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, corner.vdd);
+        nl.vsource("VIN", vin, GROUND, corner.vdd / 2.0);
+        nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm().at_corner(corner), 2.0, 0.05);
+        nl.mosfet("MN", out, vin, GROUND, MosModel::nmos_28nm().at_corner(corner), 1.0, 0.05);
+        let op = glova_spice::dc::operating_point(&nl)
+            .unwrap_or_else(|e| panic!("DC failed at {corner}: {e}"));
+        let v = op.voltage(out);
+        assert!(
+            (0.0..=corner.vdd + 1e-9).contains(&v),
+            "out of rails at {corner}: {v}"
+        );
+    }
+}
+
+#[test]
+fn mismatch_shifts_spice_inverter_trip_point() {
+    // A +30 mV NMOS threshold shift must raise the inverter trip point —
+    // the same mechanism the DRAM model uses for its latch trip asymmetry.
+    let corner = PvtCorner::typical();
+    let trip = |dvth: f64| -> f64 {
+        // Bisection on the input voltage for v_out = vdd/2.
+        let mut lo = 0.0;
+        let mut hi = corner.vdd;
+        for _ in 0..30 {
+            let mid = 0.5 * (lo + hi);
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let vin = nl.node("vin");
+            let out = nl.node("out");
+            nl.vsource("VDD", vdd, GROUND, corner.vdd);
+            nl.vsource("VIN", vin, GROUND, mid);
+            nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm().at_corner(&corner), 2.0, 0.05);
+            nl.mosfet(
+                "MN",
+                out,
+                vin,
+                GROUND,
+                MosModel::nmos_28nm().at_corner(&corner).with_mismatch(dvth, 0.0),
+                1.0,
+                0.05,
+            );
+            let op = glova_spice::dc::operating_point(&nl).expect("dc converges");
+            if op.voltage(out) > corner.vdd / 2.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let trip_nominal = trip(0.0);
+    let trip_shifted = trip(0.030);
+    assert!(
+        trip_shifted > trip_nominal + 0.005,
+        "trip should rise with NMOS vth: {trip_nominal:.4} -> {trip_shifted:.4}"
+    );
+}

@@ -1,0 +1,105 @@
+//! Statistical integrity of the variation pipeline end to end: the
+//! mismatch conditions reaching the circuits must carry exactly the
+//! Pelgrom statistics the domain declares, through the `SizingProblem`
+//! layer used by the optimizer.
+
+use glova::SizingProblem;
+use glova_circuits::{Circuit, StrongArmLatch};
+use glova_stats::descriptive::RunningStats;
+use glova_stats::rng::seeded;
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+#[test]
+fn problem_level_sampling_matches_pelgrom_sigma() {
+    let circuit: Arc<dyn Circuit> = Arc::new(StrongArmLatch::new());
+    let x = StrongArmLatch::new().reference_design();
+    let problem = SizingProblem::new(circuit.clone(), VerificationMethod::CornerLocalMc);
+    let sigmas = circuit.mismatch_domain(&x).local_sigmas();
+
+    let mut rng = seeded(31);
+    let mut stats = vec![RunningStats::new(); sigmas.len()];
+    for _ in 0..4000 {
+        for h in problem.sample_conditions(&x, 1, &mut rng) {
+            for (s, &v) in stats.iter_mut().zip(h.values()) {
+                s.push(v);
+            }
+        }
+    }
+    for (i, (s, &expected)) in stats.iter().zip(&sigmas).enumerate() {
+        assert!(
+            (s.std_dev() - expected).abs() < 0.08 * expected,
+            "component {i}: measured {} vs expected {expected}",
+            s.std_dev()
+        );
+        assert!(s.mean().abs() < 0.1 * expected, "component {i} biased: {}", s.mean());
+    }
+}
+
+#[test]
+fn corner_only_problems_never_sample_mismatch() {
+    let circuit: Arc<dyn Circuit> = Arc::new(StrongArmLatch::new());
+    let x = StrongArmLatch::new().reference_design();
+    let problem = SizingProblem::new(circuit, VerificationMethod::Corner);
+    let mut rng = seeded(32);
+    for h in problem.sample_conditions(&x, 16, &mut rng) {
+        assert!(h.is_nominal());
+    }
+}
+
+#[test]
+fn global_local_sampling_adds_die_level_component() {
+    let circuit: Arc<dyn Circuit> = Arc::new(StrongArmLatch::new());
+    let x = StrongArmLatch::new().reference_design();
+    let local = SizingProblem::new(circuit.clone(), VerificationMethod::CornerLocalMc);
+    let both = SizingProblem::new(circuit.clone(), VerificationMethod::CornerGlobalLocalMc);
+
+    // Variance of the first component (ΔV_th of the input pair) across
+    // independent dies must exceed the local-only variance.
+    let mut rng = seeded(33);
+    let collect = |p: &SizingProblem, rng: &mut glova_stats::rng::Rng64| -> f64 {
+        let mut stats = RunningStats::new();
+        for h in p.sample_conditions_independent(&x, 3000, rng) {
+            stats.push(h.values()[0]);
+        }
+        stats.std_dev()
+    };
+    let sd_local = collect(&local, &mut rng);
+    let sd_both = collect(&both, &mut rng);
+    let sigma_g = 0.012; // PelgromModel::cmos28 global V_th sigma
+    let expected = (sd_local * sd_local + sigma_g * sigma_g).sqrt();
+    assert!(
+        (sd_both - expected).abs() < 0.1 * expected,
+        "compound sigma {sd_both} vs expected {expected}"
+    );
+}
+
+#[test]
+fn eq3_sets_share_their_die_but_independent_sets_do_not() {
+    let circuit: Arc<dyn Circuit> = Arc::new(StrongArmLatch::new());
+    let x = StrongArmLatch::new().reference_design();
+    let problem = SizingProblem::new(circuit, VerificationMethod::CornerGlobalLocalMc);
+    let mut rng = seeded(34);
+
+    // Within an Eq.-3 set, the shared global offset correlates samples.
+    let mut within_corr = Vec::new();
+    for _ in 0..600 {
+        let set = problem.sample_conditions(&x, 2, &mut rng);
+        within_corr.push((set[0].values()[0], set[1].values()[0]));
+    }
+    let a: Vec<f64> = within_corr.iter().map(|p| p.0).collect();
+    let b: Vec<f64> = within_corr.iter().map(|p| p.1).collect();
+    let rho_within = glova_stats::correlation::pearson(&a, &b);
+    assert!(rho_within > 0.1, "Eq.-3 samples should correlate: {rho_within}");
+
+    // Independent (fresh-die) samples must not.
+    let mut pairs = Vec::new();
+    for _ in 0..600 {
+        let set = problem.sample_conditions_independent(&x, 2, &mut rng);
+        pairs.push((set[0].values()[0], set[1].values()[0]));
+    }
+    let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let rho_indep = glova_stats::correlation::pearson(&a, &b);
+    assert!(rho_indep.abs() < 0.12, "fresh dies should not correlate: {rho_indep}");
+}

@@ -1,0 +1,128 @@
+//! Cross-crate behaviour of the verification phase (Algorithm 2):
+//! budgets, early abort, reuse accounting and ablation contrast.
+
+use glova::verification::{ReusableSamples, Verifier};
+use glova::SizingProblem;
+use glova_circuits::{Circuit, ToyQuadratic};
+use glova_stats::rng::seeded;
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+fn toy_problem(method: VerificationMethod) -> SizingProblem {
+    SizingProblem::new(
+        Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05)),
+        method,
+    )
+}
+
+fn natural(p: &SizingProblem) -> Vec<usize> {
+    (0..p.config().corners.len()).collect()
+}
+
+#[test]
+fn full_verification_budgets_match_table_one() {
+    // Passing designs must consume exactly the Table-I budget.
+    let optimum = ToyQuadratic::standard().optimum().to_vec();
+    for (method, expected) in [
+        (VerificationMethod::Corner, 30u64),
+        (VerificationMethod::CornerLocalMc, 3000),
+        (VerificationMethod::CornerGlobalLocalMc, 6000),
+    ] {
+        let p = toy_problem(method);
+        let mut rng = seeded(1);
+        let outcome = Verifier::new(&p, 4.0).verify(&optimum, &natural(&p), None, &mut rng);
+        assert!(outcome.passed, "{method}: optimum should verify");
+        assert_eq!(
+            outcome.simulations_used, expected,
+            "{method}: wrong full-verification budget"
+        );
+    }
+}
+
+#[test]
+fn early_abort_saves_simulations_on_bad_designs() {
+    let p = toy_problem(VerificationMethod::CornerLocalMc);
+    let bad = vec![0.05; 4];
+    let mut rng = seeded(2);
+    let outcome = Verifier::new(&p, 4.0).verify(&bad, &natural(&p), None, &mut rng);
+    assert!(!outcome.passed);
+    assert!(
+        outcome.simulations_used < 100,
+        "bad design should abort early, used {}",
+        outcome.simulations_used
+    );
+}
+
+#[test]
+fn reuse_reduces_simulation_count_exactly() {
+    let p = toy_problem(VerificationMethod::CornerLocalMc);
+    let optimum = ToyQuadratic::standard().optimum().to_vec();
+    let n_prime = p.config().optim_samples as u64;
+
+    let mut rng = seeded(3);
+    let conditions = p.sample_conditions(&optimum, n_prime as usize, &mut rng);
+    let corner = p.config().corners.corner(4);
+    let (outcomes, _) = p.simulate_conditions(&optimum, &corner, &conditions);
+    let reuse = ReusableSamples { corner_index: 4, conditions, outcomes };
+
+    let sims_before = p.simulations();
+    let outcome =
+        Verifier::new(&p, 4.0).verify(&optimum, &natural(&p), Some(&reuse), &mut rng);
+    assert!(outcome.passed);
+    assert_eq!(p.simulations() - sims_before, 3000 - n_prime);
+}
+
+#[test]
+fn corner_hint_order_is_respected_in_failure_attribution() {
+    // A design failing everywhere should be rejected at the hinted first
+    // corner when reordering is on.
+    let p = toy_problem(VerificationMethod::CornerLocalMc);
+    let bad = vec![0.0; 4];
+    let mut hint = natural(&p);
+    hint.rotate_left(13); // corner 13 first
+    let mut rng = seeded(4);
+    let outcome = Verifier::new(&p, 4.0).verify(&bad, &hint, None, &mut rng);
+    assert_eq!(outcome.failed_corner, Some(13));
+}
+
+#[test]
+fn mu_sigma_ablation_changes_rejection_behaviour() {
+    // Statistical contrast over seeds: the µ-σ verifier must reject
+    // marginal designs at least as often as the sample-only verifier.
+    let p = toy_problem(VerificationMethod::CornerLocalMc);
+    let mut marginal = ToyQuadratic::standard().optimum().to_vec();
+    marginal[0] += 0.16;
+    let mut strict_rejects = 0;
+    let mut lax_rejects = 0;
+    for seed in 0..10 {
+        let mut rng = seeded(100 + seed);
+        if !Verifier::new(&p, 4.0).verify(&marginal, &natural(&p), None, &mut rng).passed {
+            strict_rejects += 1;
+        }
+        let mut rng = seeded(100 + seed);
+        if !Verifier::new(&p, 4.0)
+            .without_mu_sigma()
+            .verify(&marginal, &natural(&p), None, &mut rng)
+            .passed
+        {
+            lax_rejects += 1;
+        }
+    }
+    assert!(
+        strict_rejects >= lax_rejects,
+        "µ-σ should reject at least as often: {strict_rejects} vs {lax_rejects}"
+    );
+}
+
+#[test]
+fn per_corner_worst_covers_all_corners_on_pass() {
+    let p = toy_problem(VerificationMethod::Corner);
+    let optimum = ToyQuadratic::standard().optimum().to_vec();
+    let mut rng = seeded(5);
+    let outcome = Verifier::new(&p, 4.0).verify(&optimum, &natural(&p), None, &mut rng);
+    assert!(outcome.passed);
+    let mut seen: Vec<usize> = outcome.per_corner_worst.iter().map(|&(c, _)| c).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 30, "every corner must report a worst reward");
+}
