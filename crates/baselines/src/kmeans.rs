@@ -49,12 +49,7 @@ pub fn kmeans<R: Rng + ?Sized>(
     while centroids.len() < k {
         let dists: Vec<f64> = points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| dist2(p, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| centroids.iter().map(|c| dist2(p, c)).fold(f64::INFINITY, f64::min))
             .collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
@@ -92,12 +87,8 @@ pub fn kmeans<R: Rng + ?Sized>(
         }
         // Update step.
         for (ci, centroid) in centroids.iter_mut().enumerate() {
-            let members: Vec<&Vec<f64>> = points
-                .iter()
-                .zip(&assignments)
-                .filter(|(_, &a)| a == ci)
-                .map(|(p, _)| p)
-                .collect();
+            let members: Vec<&Vec<f64>> =
+                points.iter().zip(&assignments).filter(|(_, &a)| a == ci).map(|(p, _)| p).collect();
             if members.is_empty() {
                 continue;
             }

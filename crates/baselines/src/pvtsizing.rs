@@ -9,12 +9,14 @@
 //! - full verification is attempted whenever all sampled conditions pass,
 //!   with **no µ-σ gate and no simulation reordering**.
 
+use glova::engine::EngineSpec;
 use glova::problem::SizingProblem;
 use glova::report::RunResult;
 use glova::verification::Verifier;
 use glova_circuits::spec::SATISFIED_REWARD;
 use glova_circuits::Circuit;
 use glova_rl::{AgentConfig, RiskSensitiveAgent};
+use glova_stats::reduce::finite_worst;
 use glova_stats::rng::forked;
 use glova_turbo::{Turbo, TurboConfig};
 use glova_variation::config::VerificationMethod;
@@ -36,6 +38,8 @@ pub struct PvtSizingConfig {
     pub hidden: Vec<usize>,
     /// Gradient updates per iteration.
     pub updates_per_step: usize,
+    /// Evaluation engine for simulation batches.
+    pub engine: EngineSpec,
 }
 
 impl PvtSizingConfig {
@@ -48,6 +52,7 @@ impl PvtSizingConfig {
             max_iterations: 500,
             hidden: vec![64, 64, 64],
             updates_per_step: 8,
+            engine: EngineSpec::Sequential,
         }
     }
 }
@@ -62,7 +67,8 @@ pub struct PvtSizing {
 impl PvtSizing {
     /// Creates an optimizer for `circuit`.
     pub fn new(circuit: Arc<dyn Circuit>, config: PvtSizingConfig) -> Self {
-        Self { problem: SizingProblem::new(circuit, config.method), config }
+        let problem = SizingProblem::with_engine(circuit, config.method, config.engine.build());
+        Self { problem, config }
     }
 
     /// The underlying problem.
@@ -88,10 +94,10 @@ impl PvtSizing {
         let mut feasible: Vec<Vec<f64>> = Vec::new();
         for _ in 0..self.config.turbo_budget {
             let x = turbo.ask(&mut turbo_rng);
-            let outcome = self.problem.simulate_typical(&x);
-            turbo.tell(x.clone(), outcome.reward);
-            evaluated.push((x.clone(), outcome.reward));
-            if outcome.reward == SATISFIED_REWARD {
+            let reward = finite_worst(self.problem.simulate_typical(&x).reward);
+            turbo.tell(x.clone(), reward);
+            evaluated.push((x.clone(), reward));
+            if reward == SATISFIED_REWARD {
                 feasible.push(x);
                 if feasible.len() >= self.config.n_initial_designs {
                     break;
@@ -142,7 +148,7 @@ impl PvtSizing {
             }
 
             // Batch sampling: every corner, every iteration.
-            let mut worst_reward = self.evaluate_all_corners(&x_new, n_prime, &mut sample_rng);
+            let worst_reward = self.evaluate_all_corners(&x_new, n_prime, &mut sample_rng);
 
             // Verification gate: all sampled conditions feasible. Note:
             // unlike GLOVA, failed verifications do NOT feed back into the
@@ -151,9 +157,8 @@ impl PvtSizing {
             // the paper's µ-σ machinery addresses.
             if worst_reward == SATISFIED_REWARD {
                 verification_attempts += 1;
-                let verifier = Verifier::new(&self.problem, 4.0)
-                    .without_mu_sigma()
-                    .without_reordering();
+                let verifier =
+                    Verifier::new(&self.problem, 4.0).without_mu_sigma().without_reordering();
                 let hint: Vec<usize> = (0..corners.len()).collect();
                 let outcome = verifier.verify(&x_new, &hint, None, &mut sample_rng);
                 if outcome.passed {
@@ -205,7 +210,7 @@ impl PvtSizing {
         for corner in self.problem.config().corners.clone().iter() {
             let conditions = self.problem.sample_conditions(x, n_prime, rng);
             let (_, corner_worst) = self.problem.simulate_conditions(x, corner, &conditions);
-            worst = worst.min(corner_worst);
+            worst = worst.min(finite_worst(corner_worst));
         }
         worst
     }
@@ -243,7 +248,7 @@ mod tests {
         config.turbo_budget = 5;
         let mut opt = PvtSizing::new(toy(), config);
         let result = opt.run(999); // hard seed: likely fails in 5 iters
-        // 5 turbo + 3 × 30 init + 5 × 30 iterations minimum (if no verification)
+                                   // 5 turbo + 3 × 30 init + 5 × 30 iterations minimum (if no verification)
         assert!(result.simulations >= (5 + 3 * 30 + 5 * 30) as u64 - 60);
     }
 

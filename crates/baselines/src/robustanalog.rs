@@ -12,12 +12,14 @@
 //! - risk-neutral critic; verification without µ-σ or reordering.
 
 use crate::kmeans::kmeans;
+use glova::engine::EngineSpec;
 use glova::problem::SizingProblem;
 use glova::report::RunResult;
 use glova::verification::Verifier;
 use glova_circuits::spec::SATISFIED_REWARD;
 use glova_circuits::Circuit;
 use glova_rl::{AgentConfig, RiskSensitiveAgent};
+use glova_stats::reduce::finite_worst;
 use glova_stats::rng::forked;
 use glova_variation::config::VerificationMethod;
 use rand::Rng;
@@ -43,6 +45,8 @@ pub struct RobustAnalogConfig {
     pub hidden: Vec<usize>,
     /// Gradient updates per iteration.
     pub updates_per_step: usize,
+    /// Evaluation engine for simulation batches.
+    pub engine: EngineSpec,
 }
 
 impl RobustAnalogConfig {
@@ -57,6 +61,7 @@ impl RobustAnalogConfig {
             recluster_every: 25,
             hidden: vec![64, 64, 64],
             updates_per_step: 8,
+            engine: EngineSpec::Sequential,
         }
     }
 }
@@ -71,7 +76,8 @@ pub struct RobustAnalog {
 impl RobustAnalog {
     /// Creates an optimizer for `circuit`.
     pub fn new(circuit: Arc<dyn Circuit>, config: RobustAnalogConfig) -> Self {
-        Self { problem: SizingProblem::new(circuit, config.method), config }
+        let problem = SizingProblem::with_engine(circuit, config.method, config.engine.build());
+        Self { problem, config }
     }
 
     /// The underlying problem.
@@ -96,9 +102,9 @@ impl RobustAnalog {
         let mut evaluated: Vec<(Vec<f64>, f64)> = Vec::new();
         for _ in 0..self.config.random_budget {
             let x: Vec<f64> = (0..dim).map(|_| init_rng.gen()).collect();
-            let outcome = self.problem.simulate_typical(&x);
-            let feasible = outcome.reward == SATISFIED_REWARD;
-            evaluated.push((x, outcome.reward));
+            let reward = finite_worst(self.problem.simulate_typical(&x).reward);
+            let feasible = reward == SATISFIED_REWARD;
+            evaluated.push((x, reward));
             if feasible
                 && evaluated.iter().filter(|(_, r)| *r == SATISFIED_REWARD).count()
                     >= self.config.n_initial_designs
@@ -107,11 +113,8 @@ impl RobustAnalog {
             }
         }
         evaluated.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rewards"));
-        let initial: Vec<Vec<f64>> = evaluated
-            .iter()
-            .take(self.config.n_initial_designs)
-            .map(|(x, _)| x.clone())
-            .collect();
+        let initial: Vec<Vec<f64>> =
+            evaluated.iter().take(self.config.n_initial_designs).map(|(x, _)| x.clone()).collect();
 
         // Risk-neutral agent.
         let agent_config = AgentConfig {
@@ -130,8 +133,8 @@ impl RobustAnalog {
             let mut worst = f64::INFINITY;
             for (ci, corner) in corners.iter().enumerate() {
                 let conditions = self.problem.sample_conditions(x, n_prime, &mut sample_rng);
-                let (_, corner_worst) =
-                    self.problem.simulate_conditions(x, corner, &conditions);
+                let (_, corner_worst) = self.problem.simulate_conditions(x, corner, &conditions);
+                let corner_worst = finite_worst(corner_worst);
                 corner_rewards[ci] = corner_worst;
                 worst = worst.min(corner_worst);
             }
@@ -163,6 +166,7 @@ impl RobustAnalog {
                 let conditions = self.problem.sample_conditions(&x_new, n_prime, &mut sample_rng);
                 let (_, corner_worst) =
                     self.problem.simulate_conditions(&x_new, &corner, &conditions);
+                let corner_worst = finite_worst(corner_worst);
                 corner_rewards[ci] = corner_worst;
                 worst_reward = worst_reward.min(corner_worst);
             }
@@ -174,13 +178,12 @@ impl RobustAnalog {
             // eventually discovers the failing corner.
             if worst_reward == SATISFIED_REWARD {
                 verification_attempts += 1;
-                let verifier = Verifier::new(&self.problem, 4.0)
-                    .without_mu_sigma()
-                    .without_reordering();
+                let verifier =
+                    Verifier::new(&self.problem, 4.0).without_mu_sigma().without_reordering();
                 let hint: Vec<usize> = (0..n_corners).collect();
                 let outcome = verifier.verify(&x_new, &hint, None, &mut sample_rng);
                 for &(ci, worst) in &outcome.per_corner_worst {
-                    corner_rewards[ci] = worst;
+                    corner_rewards[ci] = finite_worst(worst);
                 }
                 if outcome.passed {
                     return RunResult {
@@ -255,9 +258,7 @@ impl RobustAnalog {
                 .enumerate()
                 .filter(|(_, &a)| a == cluster)
                 .min_by(|a, b| {
-                    corner_rewards[a.0]
-                        .partial_cmp(&corner_rewards[b.0])
-                        .expect("finite rewards")
+                    corner_rewards[a.0].partial_cmp(&corner_rewards[b.0]).expect("finite rewards")
                 })
                 .map(|(i, _)| i);
             if let Some(ci) = worst {

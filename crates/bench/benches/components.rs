@@ -39,9 +39,7 @@ fn bench_mismatch_sampling(c: &mut Criterion) {
     let x = sal.reference_design();
     let sampler = MismatchSampler::new(sal.mismatch_domain(&x), VarianceLayers::GLOBAL_LOCAL);
     let mut rng = seeded(1);
-    c.bench_function("sample_set_n3", |b| {
-        b.iter(|| black_box(sampler.sample_set(&mut rng, 3)))
-    });
+    c.bench_function("sample_set_n3", |b| b.iter(|| black_box(sampler.sample_set(&mut rng, 3))));
     c.bench_function("sample_independent_n100", |b| {
         b.iter(|| black_box(sampler.sample_independent(&mut rng, 100)))
     });
@@ -76,9 +74,8 @@ fn bench_critic(c: &mut Criterion) {
 
 fn bench_gp(c: &mut Criterion) {
     let mut rng = seeded(4);
-    let xs: Vec<Vec<f64>> = (0..60)
-        .map(|i| vec![(i as f64 / 59.0), ((i * 7 % 60) as f64 / 59.0)])
-        .collect();
+    let xs: Vec<Vec<f64>> =
+        (0..60).map(|i| vec![(i as f64 / 59.0), ((i * 7 % 60) as f64 / 59.0)]).collect();
     let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.3).powi(2) + x[1]).collect();
     c.bench_function("gp_fit_auto_60pts", |b| {
         b.iter(|| black_box(GaussianProcess::fit_auto(&xs, &ys, &mut rng)))

@@ -8,10 +8,8 @@ use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::{MismatchSampler, VarianceLayers};
 
 fn bench_wafer_sampling(c: &mut Criterion) {
-    let domain = MismatchDomain::new(
-        vec![DeviceSpec::nmos("m", 1.0, 0.05)],
-        PelgromModel::cmos28(),
-    );
+    let domain =
+        MismatchDomain::new(vec![DeviceSpec::nmos("m", 1.0, 0.05)], PelgromModel::cmos28());
     let sampler = MismatchSampler::new(domain, VarianceLayers::GLOBAL_LOCAL);
     let mut rng = seeded(1);
     c.bench_function("fig1_wafer_16x200", |b| {

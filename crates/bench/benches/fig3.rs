@@ -15,8 +15,7 @@ fn bench_traced_run(c: &mut Criterion) {
     group.bench_function("sal_cmcl_traced", |b| {
         b.iter_batched(
             || {
-                let mut config =
-                    GlovaConfig::paper(VerificationMethod::CornerLocalMc).with_trace();
+                let mut config = GlovaConfig::paper(VerificationMethod::CornerLocalMc).with_trace();
                 config.max_iterations = 60;
                 GlovaOptimizer::new(circuit.clone(), config)
             },

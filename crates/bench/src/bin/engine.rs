@@ -1,0 +1,73 @@
+//! Evaluation-engine speedup harness: the same Monte-Carlo yield
+//! campaign (C-MC_L, fresh-die samples on every corner — the workload
+//! dominating GLOVA's wall clock) run once per engine, with a bitwise
+//! result comparison and the wall-clock ratio.
+//!
+//! ```sh
+//! cargo run --release -p glova-bench --bin engine
+//! cargo run --release -p glova-bench --bin engine -- --workers 8 --samples 400
+//! cargo run --release -p glova-bench --bin engine -- --circuit OCSA+SH
+//! ```
+//!
+//! Expected shape: identical yield estimates from every engine, and on a
+//! machine with ≥ 4 cores a ≥ 2× speedup for `threaded` over
+//! `sequential`.
+
+use glova::engine::EngineSpec;
+use glova::problem::SizingProblem;
+use glova::yield_est::{estimate_yield, YieldEstimate};
+use glova_circuits::Circuit;
+use glova_stats::rng::seeded;
+use glova_variation::config::VerificationMethod;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn campaign(
+    circuit: &Arc<dyn Circuit>,
+    spec: EngineSpec,
+    samples_per_corner: usize,
+) -> (YieldEstimate, Duration) {
+    let problem = SizingProblem::with_engine(
+        circuit.clone(),
+        VerificationMethod::CornerLocalMc,
+        spec.build(),
+    );
+    let x = vec![0.5; circuit.dim()];
+    let mut rng = seeded(2025);
+    let start = Instant::now();
+    let estimate = estimate_yield(&problem, &x, samples_per_corner, 0.95, &mut rng);
+    (estimate, start.elapsed())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = flag(&args, "--samples").and_then(|s| s.parse().ok()).unwrap_or(200);
+    let workers: usize = flag(&args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get));
+    let circuit_name = flag(&args, "--circuit").unwrap_or_else(|| "SAL".to_string());
+    let circuit: Arc<dyn Circuit> = match circuit_name.as_str() {
+        "FIA" => Arc::new(glova_circuits::FloatingInverterAmp::new()),
+        "OCSA+SH" => Arc::new(glova_circuits::DramCoreSense::new()),
+        _ => Arc::new(glova_circuits::StrongArmLatch::new()),
+    };
+
+    let corners = VerificationMethod::CornerLocalMc.operating_config().corners.len();
+    println!("=== engine speedup: C-MC_L yield campaign on {circuit_name} ===");
+    println!("({corners} corners x {samples} samples, {workers} workers)\n");
+
+    let (seq_est, seq_time) = campaign(&circuit, EngineSpec::Sequential, samples);
+    println!("{:<14} {:>10.1?}   {}", "sequential", seq_time, seq_est);
+    let (thr_est, thr_time) = campaign(&circuit, EngineSpec::Threaded(workers), samples);
+    println!("{:<14} {:>10.1?}   {}", format!("threaded:{workers}"), thr_time, thr_est);
+
+    assert_eq!(seq_est, thr_est, "engines must produce identical estimates");
+    println!("\nresults identical across engines ✓");
+    let speedup = seq_time.as_secs_f64() / thr_time.as_secs_f64().max(1e-9);
+    println!("speedup: {speedup:.2}x");
+}

@@ -15,10 +15,8 @@ use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::{MismatchSampler, VarianceLayers};
 
 fn main() {
-    let domain = MismatchDomain::new(
-        vec![DeviceSpec::nmos("m", 1.0, 0.05)],
-        PelgromModel::cmos28(),
-    );
+    let domain =
+        MismatchDomain::new(vec![DeviceSpec::nmos("m", 1.0, 0.05)], PelgromModel::cmos28());
     let sigma_local = domain.local_sigmas()[0];
     let sigma_global = domain.model().global_vth_sigma;
     let sampler = MismatchSampler::new(domain, VarianceLayers::GLOBAL_LOCAL);
@@ -40,7 +38,11 @@ fn main() {
     }
 
     println!("=== Fig. 1: global vs local variation ({DIES} dies x {DEVICES} devices) ===\n");
-    println!("model σ_Global = {:.2} mV, σ_Local = {:.2} mV", sigma_global * 1e3, sigma_local * 1e3);
+    println!(
+        "model σ_Global = {:.2} mV, σ_Local = {:.2} mV",
+        sigma_global * 1e3,
+        sigma_local * 1e3
+    );
     println!(
         "expected compound per-device σ = {:.2} mV\n",
         (sigma_global * sigma_global + sigma_local * sigma_local).sqrt() * 1e3

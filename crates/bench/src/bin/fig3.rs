@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --release -p glova-bench --bin fig3
 //! cargo run --release -p glova-bench --bin fig3 -- --circuit FIA
+//! cargo run --release -p glova-bench --bin fig3 -- --engine threaded:8
 //! ```
 //!
 //! Expected shape (paper's Fig. 3): the bound starts far below the
@@ -13,6 +14,7 @@
 
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
 use glova::prelude::*;
+use glova_bench::engine_from_args;
 use std::sync::Arc;
 
 fn main() {
@@ -29,7 +31,9 @@ fn main() {
         _ => Arc::new(glova_circuits::StrongArmLatch::new()),
     };
 
-    let mut config = GlovaConfig::paper(VerificationMethod::CornerLocalMc).with_trace();
+    let mut config = GlovaConfig::paper(VerificationMethod::CornerLocalMc)
+        .with_trace()
+        .with_engine(engine_from_args(&args));
     config.max_iterations = 400;
     let mut optimizer = GlovaOptimizer::new(circuit, config);
     let result = optimizer.run(2025);
@@ -54,11 +58,9 @@ fn main() {
     // Convergence summary: the uncertainty gap must shrink.
     if result.trace.len() >= 6 {
         let third = result.trace.len() / 3;
-        let early: f64 = result.trace[..third]
-            .iter()
-            .map(|t| t.critic_mean - t.critic_bound)
-            .sum::<f64>()
-            / third as f64;
+        let early: f64 =
+            result.trace[..third].iter().map(|t| t.critic_mean - t.critic_bound).sum::<f64>()
+                / third as f64;
         let late: f64 = result.trace[result.trace.len() - third..]
             .iter()
             .map(|t| t.critic_mean - t.critic_bound)

@@ -6,6 +6,7 @@
 //! cargo run --release -p glova-bench --bin table2            # full (default 3 seeds)
 //! cargo run --release -p glova-bench --bin table2 -- --quick # reduced budgets, 2 seeds
 //! cargo run --release -p glova-bench --bin table2 -- --seeds 5
+//! cargo run --release -p glova-bench --bin table2 -- --engine threaded:8
 //! ```
 //!
 //! Expected *shape* (absolute numbers depend on the analytic substrate,
@@ -13,7 +14,9 @@
 //! simulations in every cell, PVTSizing sits in between, RobustAnalog is
 //! the most expensive and drops success rate on the hard DRAM cells.
 
-use glova_bench::{fmt_mean, fmt_ratio, run_cell, table2_circuits, Budget, CellResult, Framework};
+use glova_bench::{
+    engine_from_args, fmt_mean, fmt_ratio, run_cell, table2_circuits, Budget, CellResult, Framework,
+};
 use glova_variation::config::VerificationMethod;
 
 fn main() {
@@ -25,10 +28,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 2 } else { 3 });
+    let engine = engine_from_args(&args);
 
     println!("=== Table II: optimization results on real-world circuits ===");
     println!(
-        "(seeds per cell: {seeds}{}; means over successful runs only, as in the paper)\n",
+        "(seeds per cell: {seeds}{}; engine: {engine}; means over successful runs only, as in the paper)\n",
         if quick { ", quick budgets" } else { "" }
     );
 
@@ -44,7 +48,7 @@ fn main() {
             let mut per_framework = Vec::new();
             for framework in Framework::ALL {
                 eprintln!("running {name} / {method} / {}...", framework.name());
-                per_framework.push(run_cell(circuit, method, framework, seeds, budget));
+                per_framework.push(run_cell(circuit, method, framework, seeds, budget, engine));
             }
             per_method.push(per_framework);
         }

@@ -6,6 +6,7 @@
 //! cargo run --release -p glova-bench --bin table3
 //! cargo run --release -p glova-bench --bin table3 -- --quick
 //! cargo run --release -p glova-bench --bin table3 -- --circuit SAL  # faster variant
+//! cargo run --release -p glova-bench --bin table3 -- --engine threaded:8
 //! ```
 //!
 //! Expected shape: every ablation costs iterations and/or simulations;
@@ -13,7 +14,7 @@
 //! count, matching the paper's Table III.
 
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
-use glova_bench::{fmt_mean, fmt_ratio, CellResult};
+use glova_bench::{engine_from_args, fmt_mean, fmt_ratio, CellResult};
 use glova_circuits::Circuit;
 use glova_variation::config::VerificationMethod;
 use std::sync::Arc;
@@ -65,6 +66,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "OCSA+SH".to_string());
+    let engine = engine_from_args(&args);
 
     let circuit: Arc<dyn Circuit> = match circuit_name.as_str() {
         "SAL" => Arc::new(glova_circuits::StrongArmLatch::new()),
@@ -88,7 +90,7 @@ fn main() {
             eprintln!("running {} / {method}...", ablation.name());
             let runs = (0..seeds)
                 .map(|seed| {
-                    let mut config = ablation.configure(method);
+                    let mut config = ablation.configure(method).with_engine(engine);
                     config.max_iterations = max_iterations;
                     GlovaOptimizer::new(circuit.clone(), config).run(4000 + seed)
                 })
@@ -126,7 +128,9 @@ fn main() {
         for (mi, cell) in results[ai].iter().enumerate() {
             let baseline = &results[0][mi];
             let ratio = if baseline.any_success() && cell.any_success() {
-                fmt_ratio(cell.mean_wall.as_secs_f64() / baseline.mean_wall.as_secs_f64().max(1e-12))
+                fmt_ratio(
+                    cell.mean_wall.as_secs_f64() / baseline.mean_wall.as_secs_f64().max(1e-12),
+                )
             } else {
                 "-".to_string()
             };

@@ -5,6 +5,7 @@
 //! runtime and success rate — averaged over repeated seeded runs, counting
 //! only successful runs for the means (the paper's `*` footnote).
 
+use glova::engine::EngineSpec;
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
 use glova::report::RunResult;
 use glova_baselines::pvtsizing::{PvtSizing, PvtSizingConfig};
@@ -69,10 +70,8 @@ impl CellResult {
     pub fn from_runs(runs: Vec<RunResult>) -> Self {
         let successes: Vec<&RunResult> = runs.iter().filter(|r| r.success).collect();
         let n = successes.len().max(1) as f64;
-        let mean_iterations =
-            successes.iter().map(|r| r.rl_iterations as f64).sum::<f64>() / n;
-        let mean_simulations =
-            successes.iter().map(|r| r.simulations as f64).sum::<f64>() / n;
+        let mean_iterations = successes.iter().map(|r| r.rl_iterations as f64).sum::<f64>() / n;
+        let mean_simulations = successes.iter().map(|r| r.simulations as f64).sum::<f64>() / n;
         let mean_wall = Duration::from_secs_f64(
             successes.iter().map(|r| r.wall_time.as_secs_f64()).sum::<f64>() / n,
         );
@@ -119,34 +118,59 @@ impl Budget {
 }
 
 /// Runs one Table-II cell: `seeds` runs of `framework` on `circuit` under
-/// `method`.
+/// `method`, dispatching simulation batches through `engine` (results are
+/// engine-independent; only wall time changes).
 pub fn run_cell(
     circuit: &Arc<dyn Circuit>,
     method: VerificationMethod,
     framework: Framework,
     seeds: u64,
     budget: Budget,
+    engine: EngineSpec,
 ) -> CellResult {
     let runs: Vec<RunResult> = (0..seeds)
         .map(|seed| match framework {
             Framework::Glova => {
-                let mut config = GlovaConfig::paper(method);
+                let mut config = GlovaConfig::paper(method).with_engine(engine);
                 config.max_iterations = budget.base_iterations;
                 GlovaOptimizer::new(circuit.clone(), config).run(1000 + seed)
             }
             Framework::PvtSizing => {
                 let mut config = PvtSizingConfig::new(method);
                 config.max_iterations = budget.base_iterations;
+                config.engine = engine;
                 PvtSizing::new(circuit.clone(), config).run(2000 + seed)
             }
             Framework::RobustAnalog => {
                 let mut config = RobustAnalogConfig::new(method);
                 config.max_iterations = budget.robustanalog_iterations;
+                config.engine = engine;
                 RobustAnalog::new(circuit.clone(), config).run(3000 + seed)
             }
         })
         .collect();
     CellResult::from_runs(runs)
+}
+
+/// Parses the shared `--engine sequential|threaded|threaded:N` flag of
+/// the bench bins (defaults to [`EngineSpec::Sequential`] when the flag
+/// is absent).
+///
+/// Exits with a usage message when the flag is present without a value
+/// or with a malformed one — bins call this before any long-running
+/// work, so a typo fails fast instead of silently running sequentially.
+pub fn engine_from_args(args: &[String]) -> EngineSpec {
+    let Some(flag_pos) = args.iter().position(|a| a == "--engine") else {
+        return EngineSpec::Sequential;
+    };
+    let Some(value) = args.get(flag_pos + 1) else {
+        eprintln!("--engine requires a value: `sequential`, `threaded` or `threaded:N`");
+        std::process::exit(2);
+    };
+    EngineSpec::parse(value).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
+    })
 }
 
 /// Formats a float with at most one decimal, or `-` for NaN.

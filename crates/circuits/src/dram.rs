@@ -346,7 +346,8 @@ mod tests {
         let mut x_n_strong = x.clone();
         x_n_strong[0] = 1.0; // strongest NMOS latch
         x_n_strong[1] = 0.0; // weakest PMOS latch
-        let skewed = dram.evaluate(&x_n_strong, &PvtCorner::typical(), &nominal(&dram, &x_n_strong));
+        let skewed =
+            dram.evaluate(&x_n_strong, &PvtCorner::typical(), &nominal(&dram, &x_n_strong));
         assert!(skewed[0] > base[0], "stronger N latch should raise dv0");
         assert!(skewed[1] < base[1], "stronger N latch should lower dv1");
     }

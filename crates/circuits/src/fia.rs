@@ -203,15 +203,11 @@ impl Circuit for FloatingInverterAmp {
 
         // Effective capacitances with mismatch.
         let cres_eff = cres * (1.0 + h.cap(0));
-        let cl_eff = cl * (1.0 + 0.5 * (h.cap(1) + h.cap(2)))
-            + n_avg.cdd()
-            + p_avg.cdd()
-            + C_WIRE;
+        let cl_eff = cl * (1.0 + 0.5 * (h.cap(1) + h.cap(2))) + n_avg.cdd() + p_avg.cdd() + C_WIRE;
 
         // Amplification window: reservoir droops by RESERVOIR_DROOP·VDD
         // while supplying both sides (2·i_inv), bounded by the clock phase.
-        let t_amp =
-            (cres_eff * RESERVOIR_DROOP * vdd / (2.0 * i_inv)).clamp(1e-13, T_AMP_MAX);
+        let t_amp = (cres_eff * RESERVOIR_DROOP * vdd / (2.0 * i_inv)).clamp(1e-13, T_AMP_MAX);
         let gain = (gm * t_amp / cl_eff).max(0.1);
 
         // Energy per conversion: reservoir recharge + parasitic swing.
@@ -223,7 +219,8 @@ impl Circuit for FloatingInverterAmp {
         let kt = physics::kt(corner);
         let qn2 = 4.0 * kt * physics::GAMMA_NOISE * gm * t_amp;
         let vn_thermal = qn2.sqrt() / cl_eff.max(1e-18);
-        let v_os = h.vth_pair_diff(na, nb) + (gm_p / gm.max(1e-12)) * h.vth_pair_diff(pa, pb)
+        let v_os = h.vth_pair_diff(na, nb)
+            + (gm_p / gm.max(1e-12)) * h.vth_pair_diff(pa, pb)
             + 0.05 * vdd * (h.cap(1) - h.cap(2));
         // Insufficient preamp gain leaves the latch decision
         // noise-dominated: penalize as equivalent output noise.

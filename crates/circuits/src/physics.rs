@@ -176,14 +176,7 @@ mod tests {
     use glova_variation::corner::{ProcessCorner, PvtCorner};
 
     fn typical_transistor() -> SizedTransistor {
-        SizedTransistor::new(
-            MosModel::nmos_28nm(),
-            &PvtCorner::typical(),
-            2.0,
-            0.03,
-            0.0,
-            0.0,
-        )
+        SizedTransistor::new(MosModel::nmos_28nm(), &PvtCorner::typical(), 2.0, 0.03, 0.0, 0.0)
     }
 
     #[test]
@@ -196,22 +189,10 @@ mod tests {
 
     #[test]
     fn current_increases_with_width() {
-        let narrow = SizedTransistor::new(
-            MosModel::nmos_28nm(),
-            &PvtCorner::typical(),
-            1.0,
-            0.03,
-            0.0,
-            0.0,
-        );
-        let wide = SizedTransistor::new(
-            MosModel::nmos_28nm(),
-            &PvtCorner::typical(),
-            4.0,
-            0.03,
-            0.0,
-            0.0,
-        );
+        let narrow =
+            SizedTransistor::new(MosModel::nmos_28nm(), &PvtCorner::typical(), 1.0, 0.03, 0.0, 0.0);
+        let wide =
+            SizedTransistor::new(MosModel::nmos_28nm(), &PvtCorner::typical(), 4.0, 0.03, 0.0, 0.0);
         assert!(wide.id_sat(0.9) > 3.9 * narrow.id_sat(0.9));
     }
 

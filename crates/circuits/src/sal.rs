@@ -183,8 +183,7 @@ impl Circuit for StrongArmLatch {
     fn mismatch_domain(&self, x_norm: &[f64]) -> MismatchDomain {
         let p = self.unpack(x_norm);
         let mut devices = Vec::with_capacity(N_TRANSISTORS + 4);
-        let pair_roles =
-            [(ROLE_INPUT, "m1"), (ROLE_CROSS_N, "m2"), (ROLE_CROSS_P, "m3")];
+        let pair_roles = [(ROLE_INPUT, "m1"), (ROLE_CROSS_N, "m2"), (ROLE_CROSS_P, "m3")];
         for (role, name) in pair_roles {
             for side in ["a", "b"] {
                 let spec = if role == ROLE_CROSS_P {
@@ -466,8 +465,8 @@ mod tests {
         differential[0] = 0.025; // only M1a — past the metastability onset
         let base = sal.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim))[1];
         let glob = sal.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(global))[1];
-        let diff = sal
-            .evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(differential))[1];
+        let diff =
+            sal.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(differential))[1];
         assert!(glob < 1.5 * base, "global shift must not blow up delay: {glob} vs {base}");
         assert!(diff > glob, "differential offset must hurt more: {diff} vs {glob}");
     }

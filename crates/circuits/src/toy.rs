@@ -102,8 +102,7 @@ impl Circuit for ToyQuadratic {
 
     fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
         assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
-        let dist2: f64 =
-            x_norm.iter().zip(&self.optimum).map(|(x, o)| (x - o) * (x - o)).sum();
+        let dist2: f64 = x_norm.iter().zip(&self.optimum).map(|(x, o)| (x - o) * (x - o)).sum();
         // Corner penalty: worst at SS / low V / cold.
         let corner_penalty = self.corner_sensitivity
             * ((0.9 - corner.vdd) / 0.1 - corner.process.nmos_skew()

@@ -1,0 +1,287 @@
+//! The evaluation engine — deterministic, optionally parallel fan-out of
+//! independent simulations.
+//!
+//! GLOVA's cost model is dominated by Monte-Carlo mismatch simulations
+//! swept across PVT corners (paper §V, Table I): within one corner the
+//! `N'` (optimization) or `N` (verification) mismatch conditions are
+//! evaluated independently, and yield estimation fans out whole
+//! corner × sample grids. An [`EvalEngine`] abstracts *how* such an
+//! index-addressed batch is executed:
+//!
+//! - [`Sequential`] runs jobs in index order on the calling thread;
+//! - [`Threaded`] distributes jobs over a scoped pool of `std` threads.
+//!
+//! # Determinism contract
+//!
+//! Engines only decide *where* a job runs, never *what* it computes or
+//! whether it runs. Callers pre-sample every stochastic input (mismatch
+//! conditions are drawn from the RNG **before** dispatch, in index
+//! order) so each job is a pure function of its index; reductions over
+//! job outputs are performed in index order (or are order-independent,
+//! like [`glova_stats::reduce::nan_min`]). Under this contract every
+//! engine produces bitwise-identical results — `tests/engine_parity.rs`
+//! locks this in across the optimizer, verifier and yield estimator.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Executes index-addressed batches of independent jobs.
+///
+/// `run` must invoke `job(i)` exactly once for every `i in 0..n` and
+/// return only after all jobs completed. Implementations may run jobs in
+/// any order and on any thread.
+pub trait EvalEngine: Send + Sync + fmt::Debug {
+    /// Short engine name for reports and flags (e.g. `"sequential"`).
+    fn name(&self) -> &'static str;
+
+    /// Upper bound on concurrently running jobs (1 for sequential).
+    fn parallelism(&self) -> usize;
+
+    /// Whether a batch of `n` jobs would execute inline on the calling
+    /// thread. Lets callers skip cross-thread result plumbing for
+    /// batches the engine would serialize anyway.
+    fn runs_inline(&self, n: usize) -> bool {
+        self.parallelism() <= 1 || n <= 1
+    }
+
+    /// Runs `job(0..n)` to completion.
+    fn run(&self, n: usize, job: &(dyn Fn(usize) + Sync));
+}
+
+/// Collects `f(0..n)` into a vector, in index order, using `engine` for
+/// the evaluation.
+///
+/// # Panics
+///
+/// Panics if the engine violates its contract and skips an index.
+pub fn map_indexed<T, F>(engine: &dyn EvalEngine, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    // Batches the engine would serialize anyway collect directly — no
+    // slot allocation or locking on the sequential hot path.
+    if engine.runs_inline(n) {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    engine.run(n, &|i| {
+        *slots[i].lock().expect("result slot poisoned") = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("engine skipped an index")
+        })
+        .collect()
+}
+
+/// In-order execution on the calling thread — the reference semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl EvalEngine for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn parallelism(&self) -> usize {
+        1
+    }
+
+    fn run(&self, n: usize, job: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            job(i);
+        }
+    }
+}
+
+/// Work-stealing execution over scoped `std` threads.
+///
+/// Each `run` call spawns up to `workers` scoped threads that pull job
+/// indices from a shared atomic counter. Scoped threads keep the engine
+/// free of `unsafe` and of job-lifetime erasure; for the batch sizes the
+/// pipeline dispatches (corner sweeps, MC blocks, yield grids) the spawn
+/// cost is negligible against simulation cost. Tiny batches are run
+/// inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threaded {
+    workers: usize,
+}
+
+impl Threaded {
+    /// Batches smaller than this run inline: scoped-thread spawn costs
+    /// tens of microseconds per worker, so small batches of cheap
+    /// analytic simulations (e.g. the verifier's first phase-2 blocks)
+    /// are faster on the calling thread. Inlining never changes results,
+    /// only where the jobs run.
+    const INLINE_THRESHOLD: usize = 16;
+
+    /// Creates an engine with a fixed worker count (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// Creates an engine sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+}
+
+impl EvalEngine for Threaded {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers
+    }
+
+    fn runs_inline(&self, n: usize) -> bool {
+        self.workers.min(n) <= 1 || n < Self::INLINE_THRESHOLD
+    }
+
+    fn run(&self, n: usize, job: &(dyn Fn(usize) + Sync)) {
+        if self.runs_inline(n) {
+            Sequential.run(n, job);
+            return;
+        }
+        let workers = self.workers.min(n);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    job(i);
+                });
+            }
+        });
+    }
+}
+
+/// Engine selection carried in configurations and CLI flags.
+///
+/// A plain-data stand-in for `Arc<dyn EvalEngine>` that keeps
+/// [`GlovaConfig`](crate::optimizer::GlovaConfig) `Clone + PartialEq`
+/// and gives bench bins a parseable `--engine` value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// In-order execution ([`Sequential`]).
+    #[default]
+    Sequential,
+    /// Scoped-thread execution with the given worker count; `0` means
+    /// "size to the machine" ([`Threaded::auto`]).
+    Threaded(usize),
+}
+
+impl EngineSpec {
+    /// Instantiates the engine this spec describes.
+    pub fn build(self) -> Arc<dyn EvalEngine> {
+        match self {
+            Self::Sequential => Arc::new(Sequential),
+            Self::Threaded(0) => Arc::new(Threaded::auto()),
+            Self::Threaded(workers) => Arc::new(Threaded::new(workers)),
+        }
+    }
+
+    /// Parses a CLI flag value: `sequential`, `threaded` (auto-sized) or
+    /// `threaded:N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the expected syntax on malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sequential" | "seq" => Ok(Self::Sequential),
+            "threaded" => Ok(Self::Threaded(0)),
+            _ => match s.strip_prefix("threaded:").map(str::parse) {
+                Some(Ok(workers)) => Ok(Self::Threaded(workers)),
+                _ => Err(format!(
+                    "invalid engine `{s}`: expected `sequential`, `threaded` or `threaded:N`"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Sequential => f.write_str("sequential"),
+            Self::Threaded(0) => f.write_str("threaded"),
+            Self::Threaded(n) => write!(f, "threaded:{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_runs_in_index_order() {
+        let log = Mutex::new(Vec::new());
+        Sequential.run(5, &|i| log.lock().unwrap().push(i));
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn threaded_runs_every_index_exactly_once() {
+        for workers in [1, 2, 3, 8] {
+            let engine = Threaded::new(workers);
+            let counts: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            engine.run(97, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_across_engines() {
+        let f = |i: usize| (i as f64).sqrt() * 3.0 - 1.0;
+        let seq = map_indexed(&Sequential, 64, f);
+        for workers in [2, 4, 7] {
+            let thr = map_indexed(&Threaded::new(workers), 64, f);
+            assert_eq!(seq, thr, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_empty_batch() {
+        let out: Vec<u32> = map_indexed(&Threaded::new(4), 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_counts_are_clamped() {
+        assert_eq!(Threaded::new(0).parallelism(), 1);
+        assert!(Threaded::auto().parallelism() >= 1);
+    }
+
+    #[test]
+    fn spec_parses_and_displays() {
+        assert_eq!(EngineSpec::parse("sequential"), Ok(EngineSpec::Sequential));
+        assert_eq!(EngineSpec::parse("seq"), Ok(EngineSpec::Sequential));
+        assert_eq!(EngineSpec::parse("threaded"), Ok(EngineSpec::Threaded(0)));
+        assert_eq!(EngineSpec::parse("threaded:6"), Ok(EngineSpec::Threaded(6)));
+        assert!(EngineSpec::parse("gpu").is_err());
+        assert!(EngineSpec::parse("threaded:x").is_err());
+        assert_eq!(EngineSpec::Threaded(6).to_string(), "threaded:6");
+        assert_eq!(EngineSpec::default().to_string(), "sequential");
+    }
+
+    #[test]
+    fn spec_builds_matching_engines() {
+        assert_eq!(EngineSpec::Sequential.build().name(), "sequential");
+        let engine = EngineSpec::Threaded(3).build();
+        assert_eq!(engine.name(), "threaded");
+        assert_eq!(engine.parallelism(), 3);
+    }
+}

@@ -96,10 +96,7 @@ mod tests {
     use glova_circuits::spec::{DesignSpec, MetricSpec};
 
     fn spec() -> DesignSpec {
-        DesignSpec::new(vec![
-            MetricSpec::below("power", 40.0),
-            MetricSpec::above("margin", 85.0),
-        ])
+        DesignSpec::new(vec![MetricSpec::below("power", 40.0), MetricSpec::above("margin", 85.0)])
     }
 
     fn outcome(power: f64, margin: f64) -> SimOutcome {

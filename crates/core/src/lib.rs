@@ -9,6 +9,10 @@
 //!   [`Circuit`](glova_circuits::Circuit) plus a verification method
 //!   (Table I), with simulation counting and hierarchical mismatch
 //!   sampling (Eq. 3);
+//! - the **evaluation engine** ([`engine`]) — deterministic sequential or
+//!   multi-threaded fan-out of the Monte-Carlo / corner simulation
+//!   batches, selected via [`GlovaConfig::engine`](optimizer::GlovaConfig)
+//!   (results are bitwise-identical across engines);
 //! - the **optimization phase** ([`optimizer`]) — TuRBO initial sampling
 //!   followed by the risk-sensitive RL loop of Algorithm 1 / Fig. 2;
 //! - the **verification phase** ([`verification`]) — Algorithm 2:
@@ -34,6 +38,7 @@
 //! assert!(result.success);
 //! ```
 
+pub mod engine;
 pub mod evaluation;
 pub mod optimizer;
 pub mod problem;
@@ -43,6 +48,7 @@ pub mod sensitivity;
 pub mod verification;
 pub mod yield_est;
 
+pub use engine::{EngineSpec, EvalEngine, Sequential, Threaded};
 pub use evaluation::MuSigmaEvaluation;
 pub use optimizer::{GlovaConfig, GlovaOptimizer};
 pub use problem::SizingProblem;
@@ -53,6 +59,7 @@ pub use yield_est::{estimate_yield, YieldEstimate};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::engine::EngineSpec;
     pub use crate::optimizer::{GlovaConfig, GlovaOptimizer};
     pub use crate::problem::SizingProblem;
     pub use crate::report::RunResult;

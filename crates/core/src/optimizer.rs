@@ -9,12 +9,24 @@
 //!    mismatch conditions; the µ-σ gate decides whether to attempt full
 //!    verification (Algorithm 2); the worst reward is stored and the agent
 //!    trained (Algorithm 1).
+//!
+//! Every simulation batch in the loop — the TuRBO space-filling prefix,
+//! the initial corner × condition grids, the per-iteration `N'`-condition
+//! sweeps and the Algorithm-2 verification — dispatches through the
+//! [`engine`](crate::engine) layer selected by [`GlovaConfig::engine`]:
+//! [`Sequential`](crate::engine::Sequential) reproduces the reference
+//! semantics, [`Threaded`](crate::engine::Threaded) fans the same batches
+//! out over worker threads with bitwise-identical results (mismatch
+//! conditions are pre-sampled in deterministic order, reductions are
+//! order-independent).
 
+use crate::engine::{map_indexed, EngineSpec};
 use crate::problem::SizingProblem;
 use crate::report::{IterationTrace, RunResult};
 use crate::verification::{ReusableSamples, Verifier};
 use glova_circuits::Circuit;
 use glova_rl::{AgentConfig, LastWorstBuffer, RiskSensitiveAgent};
+use glova_stats::reduce::{self, finite_worst};
 use glova_stats::rng::forked;
 use glova_turbo::{Turbo, TurboConfig};
 use glova_variation::config::VerificationMethod;
@@ -64,6 +76,9 @@ pub struct GlovaConfig {
     /// training; the clamp is a trust region on the policy output
     /// (see `DESIGN.md` §5).
     pub proposal_clip: Option<f64>,
+    /// Evaluation engine for simulation batches (sequential by default;
+    /// results are engine-independent).
+    pub engine: EngineSpec,
 }
 
 impl GlovaConfig {
@@ -86,6 +101,7 @@ impl GlovaConfig {
             trace: false,
             anchor_to_best: true,
             proposal_clip: Some(0.2),
+            engine: EngineSpec::Sequential,
         }
     }
 
@@ -123,6 +139,12 @@ impl GlovaConfig {
         self.trace = true;
         self
     }
+
+    /// Selects the evaluation engine (builder style).
+    pub fn with_engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 /// The GLOVA sizing optimizer.
@@ -135,7 +157,8 @@ pub struct GlovaOptimizer {
 impl GlovaOptimizer {
     /// Creates an optimizer for `circuit` under `config`.
     pub fn new(circuit: Arc<dyn Circuit>, config: GlovaConfig) -> Self {
-        Self { problem: SizingProblem::new(circuit, config.method), config }
+        let problem = SizingProblem::with_engine(circuit, config.method, config.engine.build());
+        Self { problem, config }
     }
 
     /// The underlying problem (simulation counters, …).
@@ -160,21 +183,43 @@ impl GlovaOptimizer {
         let mut turbo = Turbo::new(TurboConfig::new(dim), &mut turbo_rng);
         let mut evaluated: Vec<(Vec<f64>, f64)> = Vec::new();
         let mut feasible: Vec<Vec<f64>> = Vec::new();
-        for _ in 0..self.config.turbo_budget {
-            let x = turbo.ask(&mut turbo_rng);
-            let outcome = self.problem.simulate_typical(&x);
-            turbo.tell(x.clone(), outcome.reward);
-            let is_feasible = outcome.reward == spec_reward;
-            evaluated.push((x.clone(), outcome.reward));
-            if is_feasible {
+        // The space-filling prefix consumes no RNG per ask and depends on
+        // no tells, so it fans out through the engine as one batch. Block
+        // boundaries are engine-independent: every engine evaluates the
+        // same prefix, then the same sequential ask/tell suffix.
+        let init_batch: Vec<Vec<f64>> = (0..turbo.init_remaining().min(self.config.turbo_budget))
+            .map(|_| turbo.ask(&mut turbo_rng))
+            .collect();
+        let init_outcomes = map_indexed(self.problem.engine().as_ref(), init_batch.len(), |i| {
+            self.problem.simulate_typical(&init_batch[i])
+        });
+        for (x, outcome) in init_batch.into_iter().zip(init_outcomes) {
+            // Diverged (NaN) typical-condition rewards read as decisively
+            // infeasible: `Turbo::tell` and the sort below require finite.
+            let reward = finite_worst(outcome.reward);
+            turbo.tell(x.clone(), reward);
+            evaluated.push((x.clone(), reward));
+            if reward == spec_reward {
                 feasible.push(x);
-                if feasible.len() >= self.config.n_initial_designs {
-                    break;
-                }
             }
         }
-        // Initial design set: feasible solutions first, then the best of the
-        // rest.
+        // Surrogate-guided suffix: each ask depends on all prior tells, so
+        // this stays sequential by construction.
+        while evaluated.len() < self.config.turbo_budget
+            && feasible.len() < self.config.n_initial_designs
+        {
+            let x = turbo.ask(&mut turbo_rng);
+            let reward = finite_worst(self.problem.simulate_typical(&x).reward);
+            turbo.tell(x.clone(), reward);
+            evaluated.push((x.clone(), reward));
+            if reward == spec_reward {
+                feasible.push(x);
+            }
+        }
+        // Initial design set: feasible solutions first (capped — the
+        // batched prefix can surface more than the sequential early break
+        // ever did), then the best of the rest.
+        feasible.truncate(self.config.n_initial_designs);
         evaluated.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rewards"));
         let mut initial: Vec<Vec<f64>> = feasible;
         for (x, _) in &evaluated {
@@ -205,10 +250,13 @@ impl GlovaOptimizer {
         // The incumbent carries *worst-case* reward semantics only.
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
         for x in &initial {
+            // The whole corner × condition grid fans out through the
+            // engine in one dispatch (conditions pre-sampled corner-major
+            // inside `simulate_corner_grid` — the engine-parity invariant).
+            let per_corner = self.problem.simulate_corner_grid(x, n_prime, &mut sample_rng);
             let mut overall_worst = f64::INFINITY;
-            for (ci, corner) in corners.iter().enumerate() {
-                let conditions = self.problem.sample_conditions(x, n_prime, &mut sample_rng);
-                let (_, worst) = self.problem.simulate_conditions(x, corner, &conditions);
+            for (ci, corner_outcomes) in per_corner.iter().enumerate() {
+                let worst = finite_worst(reduce::worst(corner_outcomes.iter().map(|o| o.reward)));
                 last_worst.record(ci, worst);
                 overall_worst = overall_worst.min(worst);
             }
@@ -247,8 +295,9 @@ impl GlovaOptimizer {
             let conditions = self.problem.sample_conditions(&x_new, n_prime, &mut sample_rng);
 
             // Step 3: simulate.
-            let (outcomes, mut worst_reward) =
+            let (outcomes, sampled_worst) =
                 self.problem.simulate_conditions(&x_new, &corner, &conditions);
+            let mut worst_reward = finite_worst(sampled_worst);
             last_worst.record(worst_ci, worst_reward);
 
             if self.config.trace {
@@ -276,7 +325,7 @@ impl GlovaOptimizer {
                     self.config.beta2,
                 );
                 let bound_reward = self.problem.circuit().spec().reward(&eval.bounds);
-                worst_reward = worst_reward.min(bound_reward);
+                worst_reward = worst_reward.min(finite_worst(bound_reward));
                 eval.passed
             } else {
                 outcomes.iter().all(|o| o.reward == spec_reward)
@@ -300,6 +349,7 @@ impl GlovaOptimizer {
                 let hint = last_worst.corners_worst_first();
                 let outcome = verifier.verify(&x_new, &hint, Some(&reuse), &mut sample_rng);
                 for &(ci, worst) in &outcome.per_corner_worst {
+                    let worst = finite_worst(worst);
                     last_worst.record(ci, worst);
                     if ci == worst_ci {
                         worst_reward = worst_reward.min(worst);
@@ -318,11 +368,8 @@ impl GlovaOptimizer {
                 }
                 // Verification failed: fold the newly discovered worst
                 // reward into this iteration's stored observation.
-                let verified_worst = outcome
-                    .per_corner_worst
-                    .iter()
-                    .map(|&(_, w)| w)
-                    .fold(f64::INFINITY, f64::min);
+                let verified_worst =
+                    finite_worst(reduce::worst(outcome.per_corner_worst.iter().map(|&(_, w)| w)));
                 worst_reward = worst_reward.min(verified_worst);
             }
 

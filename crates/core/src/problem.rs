@@ -1,12 +1,14 @@
 //! The sizing problem: circuit × verification method, with simulation
-//! accounting.
+//! accounting and engine-driven batch evaluation.
 
+use crate::engine::{map_indexed, EvalEngine, Sequential};
 use glova_circuits::Circuit;
+use glova_stats::reduce;
 use glova_stats::rng::Rng64;
 use glova_variation::config::{OperatingConfig, VerificationMethod};
 use glova_variation::corner::PvtCorner;
 use glova_variation::sampler::{MismatchSampler, MismatchVector};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One simulation outcome.
@@ -21,12 +23,28 @@ pub struct SimOutcome {
 /// A sizing problem: the circuit under a chosen verification method.
 ///
 /// Every call to [`SizingProblem::simulate`] increments the simulation
-/// counter — the `# Simulation` column of the paper's Table II.
-#[derive(Clone)]
+/// counter — the `# Simulation` column of the paper's Table II. The
+/// counter is atomic, and [`Circuit`] implementations are `Send + Sync`
+/// by trait bound, so a problem can be shared across the worker threads
+/// of a [`Threaded`](crate::engine::Threaded) engine; batch entry points
+/// ([`simulate_conditions`](Self::simulate_conditions)) fan out through
+/// the problem's [`EvalEngine`].
 pub struct SizingProblem {
     circuit: Arc<dyn Circuit>,
     config: OperatingConfig,
-    simulations: Cell<u64>,
+    engine: Arc<dyn EvalEngine>,
+    simulations: AtomicU64,
+}
+
+impl Clone for SizingProblem {
+    fn clone(&self) -> Self {
+        Self {
+            circuit: self.circuit.clone(),
+            config: self.config.clone(),
+            engine: self.engine.clone(),
+            simulations: AtomicU64::new(self.simulations()),
+        }
+    }
 }
 
 impl std::fmt::Debug for SizingProblem {
@@ -34,15 +52,26 @@ impl std::fmt::Debug for SizingProblem {
         f.debug_struct("SizingProblem")
             .field("circuit", &self.circuit.name())
             .field("method", &self.config.method)
-            .field("simulations", &self.simulations.get())
+            .field("engine", &self.engine.name())
+            .field("simulations", &self.simulations())
             .finish()
     }
 }
 
 impl SizingProblem {
-    /// Creates a problem for `circuit` under `method`.
+    /// Creates a problem for `circuit` under `method`, evaluating batches
+    /// sequentially.
     pub fn new(circuit: Arc<dyn Circuit>, method: VerificationMethod) -> Self {
-        Self { circuit, config: method.operating_config(), simulations: Cell::new(0) }
+        Self::with_engine(circuit, method, Arc::new(Sequential))
+    }
+
+    /// Creates a problem whose batch evaluations run on `engine`.
+    pub fn with_engine(
+        circuit: Arc<dyn Circuit>,
+        method: VerificationMethod,
+        engine: Arc<dyn EvalEngine>,
+    ) -> Self {
+        Self { circuit, config: method.operating_config(), engine, simulations: AtomicU64::new(0) }
     }
 
     /// The circuit.
@@ -55,6 +84,11 @@ impl SizingProblem {
         &self.config
     }
 
+    /// The evaluation engine batch entry points dispatch through.
+    pub fn engine(&self) -> &Arc<dyn EvalEngine> {
+        &self.engine
+    }
+
     /// Design-space dimension.
     pub fn dim(&self) -> usize {
         self.circuit.dim()
@@ -62,17 +96,17 @@ impl SizingProblem {
 
     /// Total simulations run so far.
     pub fn simulations(&self) -> u64 {
-        self.simulations.get()
+        self.simulations.load(Ordering::Relaxed)
     }
 
     /// Resets the simulation counter (between experiment arms).
     pub fn reset_simulations(&self) {
-        self.simulations.set(0);
+        self.simulations.store(0, Ordering::Relaxed);
     }
 
     /// Runs one simulation: metrics + consolidated reward.
     pub fn simulate(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> SimOutcome {
-        self.simulations.set(self.simulations.get() + 1);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
         let metrics = self.circuit.evaluate(x, corner, h);
         let reward = self.circuit.spec().reward(&metrics);
         SimOutcome { metrics, reward }
@@ -107,25 +141,83 @@ impl SizingProblem {
         sampler.sample_independent(rng, n)
     }
 
-    /// Simulates `x` under one corner across a set of mismatch conditions;
-    /// returns the per-condition outcomes and the worst reward.
+    /// Simulates `x` under one corner across a set of pre-sampled mismatch
+    /// conditions; returns the per-condition outcomes (in condition order)
+    /// and the worst reward.
+    ///
+    /// The batch is dispatched through the problem's [`EvalEngine`]: each
+    /// condition is an independent job, results are collected in index
+    /// order, and the worst-reward fold is NaN-propagating and
+    /// order-independent ([`glova_stats::reduce::worst`]) — so every
+    /// engine produces identical outcomes.
     pub fn simulate_conditions(
         &self,
         x: &[f64],
         corner: &PvtCorner,
         conditions: &[MismatchVector],
     ) -> (Vec<SimOutcome>, f64) {
-        let outcomes: Vec<SimOutcome> =
-            conditions.iter().map(|h| self.simulate(x, corner, h)).collect();
-        let worst =
-            outcomes.iter().map(|o| o.reward).fold(f64::INFINITY, f64::min);
+        let outcomes = map_indexed(self.engine.as_ref(), conditions.len(), |i| {
+            self.simulate(x, corner, &conditions[i])
+        });
+        let worst = reduce::worst(outcomes.iter().map(|o| o.reward));
         (outcomes, worst)
+    }
+
+    /// Samples `n` shared-die conditions per corner (Eq. 3) and
+    /// simulates the full corner × condition grid through the engine.
+    /// Returns the outcomes grouped per corner, in corner order.
+    ///
+    /// Used by the full-grid sweeps (initial dataset) where no early
+    /// abort applies and the whole grid can fan out at once. The RNG is
+    /// consumed corner-major *before* dispatch — the determinism-critical
+    /// invariant behind engine parity lives here, in one place.
+    pub fn simulate_corner_grid(
+        &self,
+        x: &[f64],
+        n: usize,
+        rng: &mut Rng64,
+    ) -> Vec<Vec<SimOutcome>> {
+        self.grid_over_corners(x, n, rng, Self::sample_conditions)
+    }
+
+    /// [`simulate_corner_grid`](Self::simulate_corner_grid) with a fresh
+    /// global draw per sample (independent dies — yield estimation).
+    pub fn simulate_corner_grid_independent(
+        &self,
+        x: &[f64],
+        n: usize,
+        rng: &mut Rng64,
+    ) -> Vec<Vec<SimOutcome>> {
+        self.grid_over_corners(x, n, rng, Self::sample_conditions_independent)
+    }
+
+    fn grid_over_corners(
+        &self,
+        x: &[f64],
+        n: usize,
+        rng: &mut Rng64,
+        sample: fn(&Self, &[f64], usize, &mut Rng64) -> Vec<MismatchVector>,
+    ) -> Vec<Vec<SimOutcome>> {
+        let corners = &self.config.corners;
+        let conditions: Vec<Vec<MismatchVector>> =
+            corners.iter().map(|_| sample(self, x, n, rng)).collect();
+        let pairs: Vec<(&PvtCorner, &MismatchVector)> = corners
+            .iter()
+            .zip(&conditions)
+            .flat_map(|(corner, hs)| hs.iter().map(move |h| (corner, h)))
+            .collect();
+        let outcomes = map_indexed(self.engine.as_ref(), pairs.len(), |i| {
+            let (corner, h) = pairs[i];
+            self.simulate(x, corner, h)
+        });
+        outcomes.chunks(n.max(1)).map(<[SimOutcome]>::to_vec).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Threaded;
     use glova_circuits::ToyQuadratic;
     use glova_stats::rng::seeded;
 
@@ -150,7 +242,7 @@ mod tests {
     fn corner_method_samples_nominal_conditions() {
         let p = problem(VerificationMethod::Corner);
         let mut rng = seeded(1);
-        let conditions = p.sample_conditions(&vec![0.5; 4], 3, &mut rng);
+        let conditions = p.sample_conditions(&[0.5; 4], 3, &mut rng);
         assert_eq!(conditions.len(), 3);
         assert!(conditions.iter().all(MismatchVector::is_nominal));
     }
@@ -159,7 +251,7 @@ mod tests {
     fn mc_methods_sample_nonzero_conditions() {
         let p = problem(VerificationMethod::CornerLocalMc);
         let mut rng = seeded(2);
-        let conditions = p.sample_conditions(&vec![0.5; 4], 3, &mut rng);
+        let conditions = p.sample_conditions(&[0.5; 4], 3, &mut rng);
         assert!(conditions.iter().all(|c| !c.is_nominal()));
     }
 
@@ -182,5 +274,41 @@ mod tests {
         let p = SizingProblem::new(Arc::new(toy), VerificationMethod::Corner);
         let outcome = p.simulate_typical(&optimum);
         assert_eq!(outcome.reward, glova_circuits::spec::SATISFIED_REWARD);
+    }
+
+    #[test]
+    fn threaded_conditions_match_sequential() {
+        let toy = Arc::new(ToyQuadratic::standard());
+        let seq = SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc);
+        let thr = SizingProblem::with_engine(
+            toy,
+            VerificationMethod::CornerLocalMc,
+            Arc::new(Threaded::new(4)),
+        );
+        let x = vec![0.4; 4];
+        let mut rng = seeded(9);
+        let conditions = seq.sample_conditions(&x, 24, &mut rng);
+        let corner = PvtCorner::typical();
+        let (outcomes_s, worst_s) = seq.simulate_conditions(&x, &corner, &conditions);
+        let (outcomes_t, worst_t) = thr.simulate_conditions(&x, &corner, &conditions);
+        assert_eq!(outcomes_s, outcomes_t);
+        assert_eq!(worst_s.to_bits(), worst_t.to_bits());
+        assert_eq!(seq.simulations(), 24);
+        assert_eq!(thr.simulations(), 24);
+    }
+
+    #[test]
+    fn counter_is_accurate_under_concurrency() {
+        let p = Arc::new(SizingProblem::with_engine(
+            Arc::new(ToyQuadratic::standard()),
+            VerificationMethod::CornerLocalMc,
+            Arc::new(Threaded::new(8)),
+        ));
+        let x = vec![0.5; 4];
+        let mut rng = seeded(10);
+        let conditions = p.sample_conditions(&x, 250, &mut rng);
+        let (outcomes, _) = p.simulate_conditions(&x, &PvtCorner::typical(), &conditions);
+        assert_eq!(outcomes.len(), 250);
+        assert_eq!(p.simulations(), 250, "atomic counter must not drop increments");
     }
 }

@@ -22,10 +22,7 @@ use glova_variation::sampler::MismatchVector;
 pub fn order_corners_by_t_score(t_scores: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..t_scores.len()).collect();
     order.sort_by(|&a, &b| {
-        t_scores[b]
-            .partial_cmp(&t_scores[a])
-            .expect("t-scores are finite")
-            .then(a.cmp(&b))
+        t_scores[b].partial_cmp(&t_scores[a]).expect("t-scores are finite").then(a.cmp(&b))
     });
     order
 }
@@ -95,12 +92,10 @@ mod tests {
     #[test]
     fn correlation_identifies_harmful_component() {
         // Component 0 drives degradation; component 1 is irrelevant.
-        let conditions: Vec<MismatchVector> = (0..10)
-            .map(|i| MismatchVector::from_values(vec![i as f64 * 0.01, 0.5]))
-            .collect();
-        let outcomes: Vec<SimOutcome> = (0..10)
-            .map(|i| SimOutcome { metrics: vec![5.0 + i as f64], reward: 0.0 })
-            .collect();
+        let conditions: Vec<MismatchVector> =
+            (0..10).map(|i| MismatchVector::from_values(vec![i as f64 * 0.01, 0.5])).collect();
+        let outcomes: Vec<SimOutcome> =
+            (0..10).map(|i| SimOutcome { metrics: vec![5.0 + i as f64], reward: 0.0 }).collect();
         let rho = correlation_vector(&spec(), &conditions, &outcomes);
         assert!(rho[0] > 0.99);
         assert_eq!(rho[1], 0.0);
@@ -123,10 +118,8 @@ mod tests {
         // If a component protects (negative ρ), large positive values of it
         // rank last.
         let rho = vec![-1.0];
-        let conditions = vec![
-            MismatchVector::from_values(vec![0.5]),
-            MismatchVector::from_values(vec![-0.5]),
-        ];
+        let conditions =
+            vec![MismatchVector::from_values(vec![0.5]), MismatchVector::from_values(vec![-0.5])];
         let order = order_conditions_by_h_score(&conditions, &rho);
         assert_eq!(order, vec![1, 0]);
     }

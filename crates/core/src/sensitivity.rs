@@ -35,10 +35,7 @@ impl SensitivityReport {
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                a.1[metric]
-                    .abs()
-                    .partial_cmp(&b.1[metric].abs())
-                    .expect("finite gradients")
+                a.1[metric].abs().partial_cmp(&b.1[metric].abs()).expect("finite gradients")
             })
             .map(|(i, _)| i)
             .expect("at least one parameter")
@@ -100,9 +97,8 @@ pub fn sensitivity_sweep(problem: &SizingProblem, x: &[f64], step: f64) -> Sensi
         let span = x_hi[p] - x_lo[p];
         let m_hi = worst_corner_margins(problem, &x_hi);
         let m_lo = worst_corner_margins(problem, &x_lo);
-        gradients.push(
-            m_hi.iter().zip(&m_lo).map(|(hi, lo)| (hi - lo) / span.max(1e-12)).collect(),
-        );
+        gradients
+            .push(m_hi.iter().zip(&m_lo).map(|(hi, lo)| (hi - lo) / span.max(1e-12)).collect());
     }
     SensitivityReport {
         gradients,
@@ -115,7 +111,7 @@ pub fn sensitivity_sweep(problem: &SizingProblem, x: &[f64], step: f64) -> Sensi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glova_circuits::{Circuit, ToyQuadratic};
+    use glova_circuits::ToyQuadratic;
     use glova_variation::config::VerificationMethod;
     use std::sync::Arc;
 

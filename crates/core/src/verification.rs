@@ -13,13 +13,37 @@
 //!    (Eq. 8); each corner's remaining `N − N'` conditions are simulated
 //!    in descending h-SCORE order (Eq. 9–10); the first constraint
 //!    violation aborts.
+//!
+//! # Engines and deterministic early abort
+//!
+//! All batch simulation dispatches through the problem's
+//! [`EvalEngine`](crate::engine::EvalEngine). The phase-2 abort is
+//! *block-synchronous*: conditions are evaluated in deterministic blocks
+//! (geometrically growing from [`MC_BLOCK_MIN`] to [`MC_BLOCK_MAX`]),
+//! the violation check and the NaN-propagating worst-reward reduction
+//! run over each completed block in a fixed order, and verification
+//! aborts at block granularity. Block boundaries depend only on the
+//! condition count — never on the engine — so sequential and threaded
+//! engines simulate the same set of conditions, spend the same
+//! simulation budget, and populate [`VerificationOutcome`] identically.
 
+use crate::engine::map_indexed;
 use crate::evaluation::MuSigmaEvaluation;
 use crate::problem::{SimOutcome, SizingProblem};
 use crate::reorder;
 use glova_circuits::spec::SATISFIED_REWARD;
+use glova_stats::reduce;
 use glova_stats::rng::Rng64;
 use glova_variation::sampler::MismatchVector;
+
+/// First phase-2 block size: blocks grow geometrically from here, so a
+/// failure that h-SCORE reordering front-loads aborts after a single
+/// simulation — preserving the Eq. 9–10 early-abort economics.
+pub const MC_BLOCK_MIN: usize = 1;
+
+/// Phase-2 block-size cap: bounds both the abort latency on designs that
+/// fail deep into a corner and the batch the engine fans out at once.
+pub const MC_BLOCK_MAX: usize = 64;
 
 /// Pre-simulated conditions for one corner, reusable from the
 /// optimization phase.
@@ -97,16 +121,15 @@ impl<'a> Verifier<'a> {
         let sims_before = self.problem.simulations();
 
         let mut per_corner_worst: Vec<(usize, f64)> = Vec::new();
-        let mut fail = |failed_corner: usize,
-                        per_corner_worst: Vec<(usize, f64)>|
-         -> VerificationOutcome {
-            VerificationOutcome {
-                passed: false,
-                failed_corner: Some(failed_corner),
-                simulations_used: self.problem.simulations() - sims_before,
-                per_corner_worst,
-            }
-        };
+        let fail =
+            |failed_corner: usize, per_corner_worst: Vec<(usize, f64)>| -> VerificationOutcome {
+                VerificationOutcome {
+                    passed: false,
+                    failed_corner: Some(failed_corner),
+                    simulations_used: self.problem.simulations() - sims_before,
+                    per_corner_worst,
+                }
+            };
 
         // ---- Phase 1: µ-σ over N' pre-samples per corner -----------------
         let phase1_order: Vec<usize> = if self.use_reordering {
@@ -131,8 +154,7 @@ impl<'a> Verifier<'a> {
                 Some(r) if r.corner_index == ci => (r.conditions.clone(), r.outcomes.clone()),
                 _ => {
                     let conditions = self.problem.sample_conditions(x, n_prime, rng);
-                    let (outcomes, _) =
-                        self.problem.simulate_conditions(x, &corner, &conditions);
+                    let (outcomes, _) = self.problem.simulate_conditions(x, &corner, &conditions);
                     (conditions, outcomes)
                 }
             };
@@ -142,8 +164,8 @@ impl<'a> Verifier<'a> {
             // Pooled within-corner σ per metric from all corners processed
             // so far (χ²-robust once ≥ 10 degrees of freedom accumulate).
             for (mi, ssd) in pooled_ssd.iter_mut().enumerate() {
-                let mean = outcomes.iter().map(|o| o.metrics[mi]).sum::<f64>()
-                    / outcomes.len() as f64;
+                let mean =
+                    outcomes.iter().map(|o| o.metrics[mi]).sum::<f64>() / outcomes.len() as f64;
                 *ssd += outcomes.iter().map(|o| (o.metrics[mi] - mean).powi(2)).sum::<f64>();
             }
             pooled_dof += outcomes.len().saturating_sub(1);
@@ -152,7 +174,7 @@ impl<'a> Verifier<'a> {
             } else {
                 None
             };
-            let sample_worst = outcomes.iter().map(|o| o.reward).fold(f64::INFINITY, f64::min);
+            let sample_worst = reduce::worst(outcomes.iter().map(|o| o.reward));
             let eval = MuSigmaEvaluation::evaluate_with_pool(
                 spec,
                 &outcomes,
@@ -163,7 +185,7 @@ impl<'a> Verifier<'a> {
             // a corner whose samples pass but whose bound fails must read
             // as "not robust" to the last-worst buffer and the agent.
             let worst = if self.use_mu_sigma {
-                sample_worst.min(spec.reward(&eval.bounds))
+                reduce::nan_min(sample_worst, spec.reward(&eval.bounds))
             } else {
                 sample_worst
             };
@@ -203,14 +225,27 @@ impl<'a> Verifier<'a> {
                 } else {
                     (0..conditions.len()).collect()
                 };
+                // Block-synchronous sweep: each block fans out through the
+                // engine, then the violation check and worst-reward
+                // reduction run deterministically over the completed block.
                 let mut corner_worst = f64::INFINITY;
-                for &hi in &order {
-                    let outcome = self.problem.simulate(x, &corner, &conditions[hi]);
-                    corner_worst = corner_worst.min(outcome.reward);
-                    if outcome.reward != SATISFIED_REWARD {
+                let mut start = 0usize;
+                let mut block = MC_BLOCK_MIN;
+                while start < order.len() {
+                    let chunk = &order[start..(start + block).min(order.len())];
+                    let outcomes = map_indexed(self.problem.engine().as_ref(), chunk.len(), |j| {
+                        self.problem.simulate(x, &corner, &conditions[chunk[j]])
+                    });
+                    corner_worst = reduce::nan_min(
+                        corner_worst,
+                        reduce::worst(outcomes.iter().map(|o| o.reward)),
+                    );
+                    if outcomes.iter().any(|o| o.reward != SATISFIED_REWARD) {
                         per_corner_worst.push((ci, corner_worst));
                         return fail(ci, per_corner_worst);
                     }
+                    start += chunk.len();
+                    block = (block * 2).min(MC_BLOCK_MAX);
                 }
                 per_corner_worst.push((ci, corner_worst));
             }

@@ -48,6 +48,12 @@ impl std::fmt::Display for YieldEstimate {
 /// Estimates the yield of design `x` with `samples_per_corner` fresh-die
 /// MC samples on every corner of the problem's configuration.
 ///
+/// The full `corner × sample` grid is pre-sampled in deterministic order
+/// and fanned out through the problem's
+/// [`EvalEngine`](crate::engine::EvalEngine) in one batch — the sweep has
+/// no early abort, so it parallelizes across the entire campaign and the
+/// estimate is engine-independent.
+///
 /// # Panics
 ///
 /// Panics if `samples_per_corner == 0` or `confidence` is outside `(0,1)`.
@@ -60,22 +66,16 @@ pub fn estimate_yield(
 ) -> YieldEstimate {
     assert!(samples_per_corner > 0, "need at least one sample per corner");
     assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
-    let corners = problem.config().corners.clone();
+    let per_corner = problem.simulate_corner_grid_independent(x, samples_per_corner, rng);
+
     let mut passes = 0u64;
     let mut total = 0u64;
     let mut worst_corner = 0usize;
     let mut worst_rate = f64::INFINITY;
-    for (ci, corner) in corners.iter().enumerate() {
-        let conditions = problem.sample_conditions_independent(x, samples_per_corner, rng);
-        let mut corner_passes = 0u64;
-        for h in &conditions {
-            let outcome = problem.simulate(x, corner, h);
-            total += 1;
-            if outcome.reward == SATISFIED_REWARD {
-                passes += 1;
-                corner_passes += 1;
-            }
-        }
+    for (ci, outcomes) in per_corner.iter().enumerate() {
+        let corner_passes = outcomes.iter().filter(|o| o.reward == SATISFIED_REWARD).count() as u64;
+        total += outcomes.len() as u64;
+        passes += corner_passes;
         let rate = corner_passes as f64 / samples_per_corner as f64;
         if rate < worst_rate {
             worst_rate = rate;
@@ -97,7 +97,7 @@ pub fn estimate_yield(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use glova_circuits::{Circuit, ToyQuadratic};
+    use glova_circuits::ToyQuadratic;
     use glova_stats::rng::seeded;
     use glova_variation::config::VerificationMethod;
     use std::sync::Arc;

@@ -26,7 +26,9 @@ impl Cholesky {
     /// - [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0`.
     pub fn factor(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
         if a.rows() != a.cols() {
-            return Err(LinalgError::DimensionMismatch { context: "cholesky of non-square matrix" });
+            return Err(LinalgError::DimensionMismatch {
+                context: "cholesky of non-square matrix",
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -187,10 +189,7 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(
-            Cholesky::factor(&a, 0.0),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(Cholesky::factor(&a, 0.0), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -40,9 +40,8 @@ impl Lu {
 
         // Scale factors for scaled partial pivoting: more robust for the
         // badly scaled MNA matrices (conductances span ~1e-12..1e3).
-        let scale: Vec<f64> = (0..n)
-            .map(|i| lu.row(i).iter().fold(0.0f64, |m, v| m.max(v.abs())))
-            .collect();
+        let scale: Vec<f64> =
+            (0..n).map(|i| lu.row(i).iter().fold(0.0f64, |m, v| m.max(v.abs()))).collect();
 
         for k in 0..n {
             // Find pivot row.

@@ -165,11 +165,8 @@ impl Mlp {
             .iter()
             .enumerate()
             .map(|(i, &(fan_in, fan_out))| {
-                let act = if i == last {
-                    config.output_activation
-                } else {
-                    config.hidden_activation
-                };
+                let act =
+                    if i == last { config.output_activation } else { config.hidden_activation };
                 Linear::new(fan_in, fan_out, act, rng)
             })
             .collect();

@@ -253,12 +253,7 @@ mod tests {
     /// known optimum; outside the ball, negative distance margin.
     fn toy_reward(x: &[f64]) -> f64 {
         let optimum = [0.65, 0.35, 0.55];
-        let dist: f64 = x
-            .iter()
-            .zip(&optimum)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let dist: f64 = x.iter().zip(&optimum).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         if dist < 0.25 {
             SATISFIED_REWARD
         } else {
@@ -267,11 +262,7 @@ mod tests {
     }
 
     fn config() -> AgentConfig {
-        AgentConfig {
-            hidden: vec![32, 32],
-            updates_per_step: 4,
-            ..AgentConfig::new(3)
-        }
+        AgentConfig { hidden: vec![32, 32], updates_per_step: 4, ..AgentConfig::new(3) }
     }
 
     #[test]
@@ -294,10 +285,7 @@ mod tests {
                 break;
             }
         }
-        assert!(
-            best > initial_reward + 0.2,
-            "agent failed to improve: {initial_reward} -> {best}"
-        );
+        assert!(best > initial_reward + 0.2, "agent failed to improve: {initial_reward} -> {best}");
     }
 
     #[test]

@@ -170,9 +170,7 @@ mod tests {
         let mut rng = seeded(3);
         let mut critic = small_critic(4, 5, -3.0);
         // Target: r(x) = x0 - x1.
-        let xs: Vec<Vec<f64>> = (0..50)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..50).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let spread_before: f64 = xs.iter().map(|x| critic.predict_detail(x).1).sum::<f64>();
         for _ in 0..300 {
             let batches: Vec<Vec<(&[f64], f64)>> = (0..5)

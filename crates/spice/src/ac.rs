@@ -49,9 +49,7 @@ impl AcResult {
 
     /// Magnitude response of `node` in dB across the sweep.
     pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
-        (0..self.len())
-            .map(|i| 20.0 * self.voltage(node, i).abs().max(1e-30).log10())
-            .collect()
+        (0..self.len()).map(|i| 20.0 * self.voltage(node, i).abs().max(1e-30).log10()).collect()
     }
 
     /// −3 dB bandwidth of `node` relative to its first-point gain, Hz
@@ -220,10 +218,7 @@ mod tests {
         let freqs = log_sweep(1e3, 1e8, 20);
         let ac = ac_sweep(&nl, "VIN", &freqs).unwrap();
         let bw = ac.bandwidth_3db(out).expect("pole inside sweep");
-        assert!(
-            (bw / 1e6 - 1.0).abs() < 0.15,
-            "RC pole at {bw:.3e} Hz, expected ~1 MHz"
-        );
+        assert!((bw / 1e6 - 1.0).abs() < 0.15, "RC pole at {bw:.3e} Hz, expected ~1 MHz");
         // DC gain ≈ 0 dB.
         assert!(ac.magnitude_db(out)[0].abs() < 0.1);
         // Phase approaches −90° well past the pole.
@@ -276,10 +271,7 @@ mod tests {
         let a = nl.node("a");
         nl.vsource("V1", a, GROUND, 1.0);
         nl.resistor("R", a, GROUND, 1e3);
-        assert!(matches!(
-            ac_sweep(&nl, "NOPE", &[1e3]),
-            Err(SpiceError::InvalidNetlist { .. })
-        ));
+        assert!(matches!(ac_sweep(&nl, "NOPE", &[1e3]), Err(SpiceError::InvalidNetlist { .. })));
     }
 
     #[test]

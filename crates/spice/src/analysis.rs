@@ -74,12 +74,8 @@ pub fn source_energy(times: &[f64], branch_current: &[f64], voltage: &[f64]) -> 
 /// Panics if `times.len() != values.len()`.
 pub fn settled_value(times: &[f64], values: &[f64], t_from: f64) -> Option<f64> {
     assert_eq!(times.len(), values.len(), "waveform length mismatch");
-    let tail: Vec<f64> = times
-        .iter()
-        .zip(values)
-        .filter(|(t, _)| **t >= t_from)
-        .map(|(_, v)| *v)
-        .collect();
+    let tail: Vec<f64> =
+        times.iter().zip(values).filter(|(t, _)| **t >= t_from).map(|(_, v)| *v).collect();
     if tail.is_empty() {
         None
     } else {

@@ -167,7 +167,13 @@ impl Netlist {
     ) -> &mut Self {
         let branch = self.vsource_count;
         self.vsource_count += 1;
-        self.devices.push(Device::Vsource { name: name.to_string(), plus, minus, waveform, branch });
+        self.devices.push(Device::Vsource {
+            name: name.to_string(),
+            plus,
+            minus,
+            waveform,
+            branch,
+        });
         self
     }
 

@@ -98,11 +98,8 @@ impl TransientResult {
 /// Propagates DC-initialization and per-step Newton failures.
 pub fn transient(netlist: &Netlist, spec: &TransientSpec) -> Result<TransientResult, SpiceError> {
     let n = netlist.unknown_count();
-    let initial: Vec<f64> = if spec.start_from_dc {
-        operating_point(netlist)?.raw().to_vec()
-    } else {
-        vec![0.0; n]
-    };
+    let initial: Vec<f64> =
+        if spec.start_from_dc { operating_point(netlist)?.raw().to_vec() } else { vec![0.0; n] };
     transient_from(netlist, spec, initial)
 }
 
@@ -176,10 +173,7 @@ mod tests {
             }
             let expect = 1.0 - (-t / tau).exp();
             let got = result.voltage_at(out, i);
-            assert!(
-                (got - expect).abs() < 0.01,
-                "t={t:.2e}: got {got:.4}, expected {expect:.4}"
-            );
+            assert!((got - expect).abs() < 0.01, "t={t:.2e}: got {got:.4}, expected {expect:.4}");
         }
         // Fully settled at 5 τ.
         let last = result.voltage_at(out, result.len() - 1);

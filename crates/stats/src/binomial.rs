@@ -71,14 +71,14 @@ fn ln_beta(a: f64, b: f64) -> f64 {
 /// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9), |err| < 1e-10.
 pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -114,11 +114,7 @@ pub fn clopper_pearson(k: u64, n: u64, alpha: f64) -> (f64, f64) {
         // Inverse of I_p(k, n-k+1) = 1 - alpha/2, found by bisection.
         invert_beta_cdf(kf, nf - kf + 1.0, alpha / 2.0)
     };
-    let upper = if k == n {
-        1.0
-    } else {
-        invert_beta_cdf(kf + 1.0, nf - kf, 1.0 - alpha / 2.0)
-    };
+    let upper = if k == n { 1.0 } else { invert_beta_cdf(kf + 1.0, nf - kf, 1.0 - alpha / 2.0) };
     (lower, upper)
 }
 

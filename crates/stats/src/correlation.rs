@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn column_pearson_identifies_driving_column() {
         // Column 0 drives y; column 1 is constant noise-free irrelevance.
-        let rows: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, 1.0, -(i as f64)]).collect();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 1.0, -(i as f64)]).collect();
         let ys: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
         let rho = column_pearson(&rows, &ys);
         assert!((rho[0] - 1.0).abs() < 1e-12);

@@ -15,6 +15,8 @@
 //! - [`correlation`] — Pearson correlation and covariance, used by the
 //!   MC-reordering h-SCORE (paper Eq. 9–10).
 //! - [`histogram`] — fixed-bin histograms for the figure harnesses.
+//! - [`reduce`] — order-independent, NaN-propagating reductions (the
+//!   worst-reward fold shared by the evaluation pipeline).
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub mod correlation;
 pub mod descriptive;
 pub mod histogram;
 pub mod normal;
+pub mod reduce;
 pub mod rng;
 
 pub use binomial::clopper_pearson;
@@ -45,4 +48,5 @@ pub use correlation::{covariance, pearson};
 pub use descriptive::{mean, quantile, std_dev, variance, RunningStats, Summary};
 pub use histogram::Histogram;
 pub use normal::StandardNormal;
+pub use reduce::{finite_worst, nan_min, worst, DIVERGED_REWARD};
 pub use rng::{fork, seeded, Rng64};

@@ -1,0 +1,123 @@
+//! Order-independent reductions shared by the evaluation pipeline.
+//!
+//! The worst-case reward of a simulation batch is its minimum — but the
+//! batches are evaluated by pluggable engines that complete jobs in any
+//! order, and a simulation that produces a `NaN` metric must *poison* the
+//! reduction rather than be silently dropped (IEEE `min`/`max` discard
+//! `NaN` operands, and `fold(INFINITY, f64::min)` inherits that). These
+//! helpers give the pipeline a single reduction with two properties:
+//!
+//! 1. **NaN propagation** — any `NaN` input makes the result `NaN`;
+//! 2. **Order independence** — every permutation of the inputs produces
+//!    the same result, so sequential and threaded engines agree bitwise.
+
+/// NaN-propagating minimum of two values.
+///
+/// Returns `NaN` if either operand is `NaN`, otherwise the smaller value.
+/// Commutative and associative (up to `NaN` payload), unlike [`f64::min`].
+#[must_use]
+pub fn nan_min(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else {
+        a.min(b)
+    }
+}
+
+/// NaN-propagating minimum of an iterator; the identity (empty-input
+/// result) is `+∞`.
+///
+/// This is the pipeline's *worst reward* reduction: the worst outcome of
+/// zero simulations is "no evidence of failure", and any `NaN` reward
+/// (a simulation that diverged) poisons the whole batch.
+#[must_use]
+pub fn worst(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().fold(f64::INFINITY, nan_min)
+}
+
+/// Finite stand-in reward for a diverged (NaN) simulation batch.
+///
+/// Decisively below every real reward (rewards are bounded well above
+/// this by the spec's normalized-degradation form) yet finite, so replay
+/// buffers, incumbent comparisons and k-means features stay well-defined.
+pub const DIVERGED_REWARD: f64 = -1e3;
+
+/// Maps a NaN worst reward to [`DIVERGED_REWARD`]; finite values pass
+/// through unchanged.
+///
+/// [`worst`] deliberately propagates NaN so a diverged simulation is
+/// never silently dropped *inside* a reduction; at a storage boundary
+/// (replay buffer, per-corner signature, incumbent) the poison must
+/// become a decisively-infeasible finite value — stored NaN would wedge
+/// every later comparison.
+#[must_use]
+pub fn finite_worst(worst: f64) -> f64 {
+    if worst.is_nan() {
+        DIVERGED_REWARD
+    } else {
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_minimum() {
+        assert_eq!(nan_min(1.0, 2.0), 1.0);
+        assert_eq!(nan_min(-3.0, 2.0), -3.0);
+        assert_eq!(worst([3.0, 1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn nan_poisons_both_positions() {
+        assert!(nan_min(f64::NAN, 1.0).is_nan());
+        assert!(nan_min(1.0, f64::NAN).is_nan());
+        assert!(worst([1.0, f64::NAN, 0.0]).is_nan());
+        assert!(worst([f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn std_min_would_drop_nan() {
+        // Documents the defect this module exists to fix.
+        assert_eq!([1.0, f64::NAN].iter().copied().fold(f64::INFINITY, f64::min), 1.0);
+        assert!(worst([1.0, f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn empty_identity_is_infinity() {
+        assert_eq!(worst([]), f64::INFINITY);
+    }
+
+    #[test]
+    fn order_independent() {
+        let perms: [[f64; 4]; 4] = [
+            [4.0, -1.0, 3.0, 0.5],
+            [0.5, 3.0, -1.0, 4.0],
+            [-1.0, 4.0, 0.5, 3.0],
+            [3.0, 0.5, 4.0, -1.0],
+        ];
+        for p in perms {
+            assert_eq!(worst(p), -1.0);
+        }
+        let with_nan = [[4.0, f64::NAN, 3.0], [3.0, 4.0, f64::NAN], [f64::NAN, 3.0, 4.0]];
+        for p in with_nan {
+            assert!(worst(p).is_nan());
+        }
+    }
+
+    #[test]
+    fn infinities_behave() {
+        assert_eq!(worst([f64::INFINITY, 1.0]), 1.0);
+        assert_eq!(worst([f64::NEG_INFINITY, 1.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn finite_worst_sanitizes_only_nan() {
+        assert_eq!(finite_worst(f64::NAN), DIVERGED_REWARD);
+        assert_eq!(finite_worst(0.2), 0.2);
+        assert_eq!(finite_worst(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(finite_worst(worst([1.0, f64::NAN])), DIVERGED_REWARD);
+    }
+}

@@ -31,9 +31,7 @@ pub fn latin_hypercube<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Ve
             let j = rng.gen_range(0..=i);
             strata.swap(i, j);
         }
-        columns.push(
-            strata.iter().map(|&s| (s as f64 + rng.gen::<f64>()) / n as f64).collect(),
-        );
+        columns.push(strata.iter().map(|&s| (s as f64 + rng.gen::<f64>()) / n as f64).collect());
     }
     (0..n).map(|i| (0..dim).map(|d| columns[d][i]).collect()).collect()
 }

@@ -201,9 +201,7 @@ mod tests {
             (0..200).map(|_| gp.thompson_sample(&[5.0], &normal, &mut rng)).collect();
         let near: Vec<f64> =
             (0..200).map(|_| gp.thompson_sample(&[0.5], &normal, &mut rng)).collect();
-        assert!(
-            glova_stats::descriptive::std_dev(&far) > glova_stats::descriptive::std_dev(&near)
-        );
+        assert!(glova_stats::descriptive::std_dev(&far) > glova_stats::descriptive::std_dev(&near));
     }
 
     #[test]

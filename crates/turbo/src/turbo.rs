@@ -56,6 +56,7 @@ pub struct Turbo {
     init_queue: Vec<Vec<f64>>,
     xs: Vec<Vec<f64>>,
     ys: Vec<f64>,
+    told: usize,
     best_idx: Option<usize>,
     normal: StandardNormal,
 }
@@ -71,10 +72,21 @@ impl Turbo {
             init_queue,
             xs: Vec::new(),
             ys: Vec::new(),
+            told: 0,
             best_idx: None,
             normal: StandardNormal::new(),
             config,
         }
+    }
+
+    /// Number of queued initial (space-filling) design points not yet
+    /// returned by [`Turbo::ask`].
+    ///
+    /// Queued asks consume no randomness and depend on no observations,
+    /// so callers may drain them up front and evaluate the whole batch in
+    /// parallel before telling the results back.
+    pub fn init_remaining(&self) -> usize {
+        self.init_queue.len()
     }
 
     /// Number of observations told so far.
@@ -158,11 +170,15 @@ impl Turbo {
         let improved = self.best().is_none_or(|(_, best_y)| y > best_y + 1e-12);
         self.xs.push(x);
         self.ys.push(y);
+        self.told += 1;
         if improved {
             self.best_idx = Some(self.xs.len() - 1);
         }
-        // Only count trust-region outcomes once the initial design is done.
-        if self.init_queue.is_empty() {
+        // Only count trust-region outcomes once the initial design is
+        // done. Counting *told observations* (not queue emptiness) keeps
+        // the semantics identical when a caller drains the init queue as
+        // one batch before telling any results.
+        if self.told >= self.config.n_init {
             let restarted = self.trust_region.update(improved);
             if restarted {
                 // Keep the incumbent but forget the local history bias by
@@ -211,12 +227,7 @@ mod tests {
 
     #[test]
     fn optimizes_sphere() {
-        let best = run_on(
-            |x| -x.iter().map(|v| (v - 0.6) * (v - 0.6)).sum::<f64>(),
-            4,
-            80,
-            1,
-        );
+        let best = run_on(|x| -x.iter().map(|v| (v - 0.6) * (v - 0.6)).sum::<f64>(), 4, 80, 1);
         assert!(best > -0.02, "sphere best {best}");
     }
 
@@ -254,10 +265,7 @@ mod tests {
             let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
             rand_best = rand_best.max(f(&x));
         }
-        assert!(
-            turbo_best > rand_best,
-            "turbo {turbo_best} should beat random {rand_best}"
-        );
+        assert!(turbo_best > rand_best, "turbo {turbo_best} should beat random {rand_best}");
     }
 
     #[test]

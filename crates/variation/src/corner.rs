@@ -24,8 +24,13 @@ pub enum ProcessCorner {
 
 impl ProcessCorner {
     /// All five corners in the paper's order.
-    pub const ALL: [ProcessCorner; 5] =
-        [ProcessCorner::Tt, ProcessCorner::Ss, ProcessCorner::Ff, ProcessCorner::Sf, ProcessCorner::Fs];
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::Tt,
+        ProcessCorner::Ss,
+        ProcessCorner::Ff,
+        ProcessCorner::Sf,
+        ProcessCorner::Fs,
+    ];
 
     /// NMOS speed skew in `{-1, 0, +1}` (+1 = fast ⇒ lower V_th).
     pub fn nmos_skew(self) -> f64 {

@@ -60,7 +60,13 @@ impl DeviceSpec {
 
     /// Describes a capacitor.
     pub fn capacitor(name: impl Into<String>, cap_f: f64) -> Self {
-        Self { name: name.into(), kind: DeviceKind::Capacitor, width_um: 0.0, length_um: 0.0, cap_f }
+        Self {
+            name: name.into(),
+            kind: DeviceKind::Capacitor,
+            width_um: 0.0,
+            length_um: 0.0,
+            cap_f,
+        }
     }
 
     /// Gate area in µm² (transistors) or plate area for capacitors assuming

@@ -36,11 +36,9 @@ fn main() {
             println!(
                 "\nconflicting-metric check at typical (dv0 vs dv1 trade through the latch trip point):"
             );
-            let h = glova_variation::sampler::MismatchVector::nominal(
-                circuit.mismatch_domain(x).dim(),
-            );
-            let metrics =
-                circuit.evaluate(x, &glova_variation::corner::PvtCorner::typical(), &h);
+            let h =
+                glova_variation::sampler::MismatchVector::nominal(circuit.mismatch_domain(x).dim());
+            let metrics = circuit.evaluate(x, &glova_variation::corner::PvtCorner::typical(), &h);
             for (m, v) in circuit.spec().metrics().iter().zip(&metrics) {
                 println!("  {:<10} = {v:.2}", m.name);
             }

@@ -17,7 +17,12 @@ fn main() {
     println!("=== GLOVA quickstart: {} ({} parameters) ===", circuit.name(), circuit.dim());
     println!("targets:");
     for m in spec.metrics() {
-        println!("  {:<14} {} {}", m.name, if m.goal == glova_circuits::Goal::Below { "<=" } else { ">=" }, m.limit);
+        println!(
+            "  {:<14} {} {}",
+            m.name,
+            if m.goal == glova_circuits::Goal::Below { "<=" } else { ">=" },
+            m.limit
+        );
     }
 
     let config = GlovaConfig::paper(VerificationMethod::Corner);
@@ -31,9 +36,7 @@ fn main() {
         for (name, value) in parameter_names.iter().zip(&phys) {
             println!("  {name:<10} = {value:.4e}");
         }
-        let h = glova_variation::sampler::MismatchVector::nominal(
-            circuit.mismatch_domain(x).dim(),
-        );
+        let h = glova_variation::sampler::MismatchVector::nominal(circuit.mismatch_domain(x).dim());
         let metrics = circuit.evaluate(x, &glova_variation::corner::PvtCorner::typical(), &h);
         println!("\ntypical-condition metrics:");
         for (m, v) in spec.metrics().iter().zip(&metrics) {

@@ -17,10 +17,8 @@ use glova_variation::sampler::{MismatchSampler, VarianceLayers};
 
 fn main() {
     // One representative NMOS device type, replicated across each die.
-    let domain = MismatchDomain::new(
-        vec![DeviceSpec::nmos("m", 1.0, 0.05)],
-        PelgromModel::cmos28(),
-    );
+    let domain =
+        MismatchDomain::new(vec![DeviceSpec::nmos("m", 1.0, 0.05)], PelgromModel::cmos28());
     let local_sigma = domain.local_sigmas()[0];
     let global_sigma = domain.model().global_vth_sigma;
 
@@ -32,7 +30,11 @@ fn main() {
     let wafer = sampler.sample_wafer(&mut rng, DIES, DEVICES_PER_DIE);
 
     println!("=== wafer variation structure (Fig. 1): ΔV_th of a 1.0×0.05 µm NMOS ===\n");
-    println!("model: σ_Global = {:.1} mV, σ_Local = {:.1} mV\n", global_sigma * 1e3, local_sigma * 1e3);
+    println!(
+        "model: σ_Global = {:.1} mV, σ_Local = {:.1} mV\n",
+        global_sigma * 1e3,
+        local_sigma * 1e3
+    );
     println!("{:>4} {:>12} {:>12}", "die", "median (mV)", "spread (mV)");
 
     let mut die_medians = Vec::with_capacity(DIES);
@@ -51,14 +53,18 @@ fn main() {
     let within: Vec<f64> = wafer
         .iter()
         .zip(&die_medians)
-        .flat_map(|(die, &median)| {
-            die.iter().map(move |h| h.values()[0] * 1e3 - median)
-        })
+        .flat_map(|(die, &median)| die.iter().map(move |h| h.values()[0] * 1e3 - median))
         .collect();
     let measured_local = std_dev(&within);
 
-    println!("die-to-die σ of medians : {measured_global:.2} mV (model σ_Global = {:.2} mV)", global_sigma * 1e3);
-    println!("within-die σ            : {measured_local:.2} mV (model σ_Local  = {:.2} mV)", local_sigma * 1e3);
+    println!(
+        "die-to-die σ of medians : {measured_global:.2} mV (model σ_Global = {:.2} mV)",
+        global_sigma * 1e3
+    );
+    println!(
+        "within-die σ            : {measured_local:.2} mV (model σ_Local  = {:.2} mV)",
+        local_sigma * 1e3
+    );
     println!("grand mean              : {:.3} mV (expected ≈ 0)", mean(&die_medians));
 
     // ASCII wafer picture: each die's median as a deviation bar.
@@ -66,7 +72,7 @@ fn main() {
     for (d, &median) in die_medians.iter().enumerate() {
         let offset = (median / (2.0 * global_sigma * 1e3) * 20.0).round() as i64;
         let pos = (20 + offset).clamp(0, 40) as usize;
-        let mut row = vec![' '; 41];
+        let mut row = [' '; 41];
         row[20] = '|';
         row[pos] = '#';
         println!("  die {d:>2} {}", row.iter().collect::<String>());

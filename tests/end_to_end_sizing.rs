@@ -60,10 +60,8 @@ fn sal_local_mc_campaign_survives_fresh_monte_carlo() {
     // The verified design must hold up under a *fresh* local MC with a
     // different seed than anything the optimizer saw.
     let circuit: Arc<dyn Circuit> = Arc::new(glova_circuits::StrongArmLatch::new());
-    let mut opt = GlovaOptimizer::new(
-        circuit.clone(),
-        GlovaConfig::paper(VerificationMethod::CornerLocalMc),
-    );
+    let mut opt =
+        GlovaOptimizer::new(circuit.clone(), GlovaConfig::paper(VerificationMethod::CornerLocalMc));
     let result = opt.run(42);
     assert!(result.success, "SAL C-MCL campaign failed: {result}");
     let x = result.final_design.unwrap();
@@ -106,8 +104,5 @@ fn iteration_counts_grow_with_verification_strictness() {
     let c = mean_iters(VerificationMethod::Corner);
     let mcl = mean_iters(VerificationMethod::CornerLocalMc);
     assert!(c > 0.0 && mcl > 0.0, "campaigns must succeed");
-    assert!(
-        mcl >= c,
-        "local MC should not need fewer iterations than corner-only: {mcl} vs {c}"
-    );
+    assert!(mcl >= c, "local MC should not need fewer iterations than corner-only: {mcl} vs {c}");
 }

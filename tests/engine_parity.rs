@@ -1,0 +1,152 @@
+//! Engine parity: the threaded evaluation engine must be a pure
+//! performance knob — every observable result (designs, rewards,
+//! simulation counts, verification outcomes, yield estimates) must be
+//! bitwise-identical to the sequential reference for the same seed.
+
+use glova::engine::{map_indexed, EngineSpec, EvalEngine, Threaded};
+use glova::prelude::*;
+use glova::problem::SizingProblem;
+use glova::yield_est::estimate_yield;
+use glova_stats::rng::seeded;
+use glova_variation::corner::PvtCorner;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn toy() -> Arc<dyn Circuit> {
+    Arc::new(glova_circuits::ToyQuadratic::standard().with_mismatch_sensitivity(0.05))
+}
+
+/// SPICE-backed testcase: the StrongARM latch sits on the 28 nm device
+/// cards of `glova-spice`.
+fn sal() -> Arc<dyn Circuit> {
+    Arc::new(glova_circuits::StrongArmLatch::new())
+}
+
+fn assert_runs_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.success, b.success);
+    assert_eq!(a.rl_iterations, b.rl_iterations);
+    assert_eq!(a.simulations, b.simulations);
+    assert_eq!(a.verification_attempts, b.verification_attempts);
+    assert_eq!(a.final_design, b.final_design);
+    // Bitwise, not just `==`: rule out sign/NaN drift in the designs.
+    if let (Some(xa), Some(xb)) = (&a.final_design, &b.final_design) {
+        for (va, vb) in xa.iter().zip(xb) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+}
+
+fn run_with(
+    circuit: Arc<dyn Circuit>,
+    method: VerificationMethod,
+    engine: EngineSpec,
+) -> RunResult {
+    let config = GlovaConfig::quick(method).with_engine(engine);
+    GlovaOptimizer::new(circuit, config).run(7)
+}
+
+#[test]
+fn toy_campaign_identical_across_engines() {
+    for method in [VerificationMethod::Corner, VerificationMethod::CornerLocalMc] {
+        let seq = run_with(toy(), method, EngineSpec::Sequential);
+        for workers in [2, 5] {
+            let thr = run_with(toy(), method, EngineSpec::Threaded(workers));
+            assert_runs_identical(&seq, &thr);
+        }
+    }
+}
+
+#[test]
+fn spice_backed_campaign_identical_across_engines() {
+    // Short campaign on the SPICE-card-backed StrongARM latch: budget is
+    // capped so the test stays fast whether or not the run succeeds —
+    // parity must hold either way.
+    let mut config = GlovaConfig::quick(VerificationMethod::Corner);
+    config.max_iterations = 25;
+    config.turbo_budget = 40;
+    let seq = GlovaOptimizer::new(sal(), config.clone()).run(13);
+    let thr_config = config.with_engine(EngineSpec::Threaded(4));
+    let thr = GlovaOptimizer::new(sal(), thr_config).run(13);
+    assert_runs_identical(&seq, &thr);
+}
+
+#[test]
+fn verifier_outcomes_identical_across_engines() {
+    // A marginal design exercises the phase-2 early-abort path, where
+    // block boundaries and reduction order could diverge between engines.
+    let toy_circuit = glova_circuits::ToyQuadratic::standard().with_mismatch_sensitivity(3.0);
+    let mut x = toy_circuit.optimum().to_vec();
+    x[0] += 0.13;
+    let circuit: Arc<dyn Circuit> = Arc::new(toy_circuit);
+    for seed in 0..6 {
+        let run = |engine: EngineSpec| {
+            let problem = SizingProblem::with_engine(
+                circuit.clone(),
+                VerificationMethod::CornerLocalMc,
+                engine.build(),
+            );
+            let hint: Vec<usize> = (0..problem.config().corners.len()).collect();
+            let mut rng = seeded(300 + seed);
+            let outcome =
+                glova::verification::Verifier::new(&problem, 4.0).verify(&x, &hint, None, &mut rng);
+            (outcome, problem.simulations())
+        };
+        let (seq_outcome, seq_sims) = run(EngineSpec::Sequential);
+        let (thr_outcome, thr_sims) = run(EngineSpec::Threaded(4));
+        assert_eq!(seq_outcome, thr_outcome, "seed {seed}");
+        assert_eq!(seq_sims, thr_sims, "seed {seed}");
+    }
+}
+
+#[test]
+fn yield_estimates_identical_across_engines() {
+    let circuit = sal();
+    let x = vec![0.5; circuit.dim()];
+    let estimate = |engine: EngineSpec| {
+        let problem = SizingProblem::with_engine(
+            circuit.clone(),
+            VerificationMethod::CornerLocalMc,
+            engine.build(),
+        );
+        let mut rng = seeded(77);
+        estimate_yield(&problem, &x, 40, 0.95, &mut rng)
+    };
+    let seq = estimate(EngineSpec::Sequential);
+    let thr = estimate(EngineSpec::Threaded(6));
+    assert_eq!(seq, thr);
+    assert_eq!(seq.yield_point.to_bits(), thr.yield_point.to_bits());
+}
+
+#[test]
+fn simulation_counter_is_exact_under_concurrency() {
+    // Hammer the AtomicU64 counter from many worker threads: every
+    // simulate() call must be counted exactly once.
+    let circuit = toy();
+    let problem = Arc::new(SizingProblem::with_engine(
+        circuit.clone(),
+        VerificationMethod::CornerLocalMc,
+        Arc::new(Threaded::new(8)),
+    ));
+    let x = vec![0.5; circuit.dim()];
+    let mut rng = seeded(5);
+    let n = 1000;
+    let conditions = problem.sample_conditions_independent(&x, n, &mut rng);
+    let (outcomes, _) = problem.simulate_conditions(&x, &PvtCorner::typical(), &conditions);
+    assert_eq!(outcomes.len(), n);
+    assert_eq!(problem.simulations(), n as u64);
+
+    // And the raw engine primitive: concurrent increments never lost.
+    let engine = Threaded::new(8);
+    let counter = AtomicU64::new(0);
+    engine.run(10_000, &|_| {
+        counter.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn map_indexed_preserves_index_order() {
+    let engine = Threaded::new(4);
+    let out = map_indexed(&engine, 256, |i| i * i);
+    assert_eq!(out, (0..256).map(|i| i * i).collect::<Vec<_>>());
+}

@@ -87,10 +87,7 @@ fn spice_dc_solves_across_all_30_corners() {
         let op = glova_spice::dc::operating_point(&nl)
             .unwrap_or_else(|e| panic!("DC failed at {corner}: {e}"));
         let v = op.voltage(out);
-        assert!(
-            (0.0..=corner.vdd + 1e-9).contains(&v),
-            "out of rails at {corner}: {v}"
-        );
+        assert!((0.0..=corner.vdd + 1e-9).contains(&v), "out of rails at {corner}: {v}");
     }
 }
 

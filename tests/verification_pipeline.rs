@@ -3,16 +3,13 @@
 
 use glova::verification::{ReusableSamples, Verifier};
 use glova::SizingProblem;
-use glova_circuits::{Circuit, ToyQuadratic};
+use glova_circuits::ToyQuadratic;
 use glova_stats::rng::seeded;
 use glova_variation::config::VerificationMethod;
 use std::sync::Arc;
 
 fn toy_problem(method: VerificationMethod) -> SizingProblem {
-    SizingProblem::new(
-        Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05)),
-        method,
-    )
+    SizingProblem::new(Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05)), method)
 }
 
 fn natural(p: &SizingProblem) -> Vec<usize> {
@@ -32,10 +29,7 @@ fn full_verification_budgets_match_table_one() {
         let mut rng = seeded(1);
         let outcome = Verifier::new(&p, 4.0).verify(&optimum, &natural(&p), None, &mut rng);
         assert!(outcome.passed, "{method}: optimum should verify");
-        assert_eq!(
-            outcome.simulations_used, expected,
-            "{method}: wrong full-verification budget"
-        );
+        assert_eq!(outcome.simulations_used, expected, "{method}: wrong full-verification budget");
     }
 }
 
@@ -66,8 +60,7 @@ fn reuse_reduces_simulation_count_exactly() {
     let reuse = ReusableSamples { corner_index: 4, conditions, outcomes };
 
     let sims_before = p.simulations();
-    let outcome =
-        Verifier::new(&p, 4.0).verify(&optimum, &natural(&p), Some(&reuse), &mut rng);
+    let outcome = Verifier::new(&p, 4.0).verify(&optimum, &natural(&p), Some(&reuse), &mut rng);
     assert!(outcome.passed);
     assert_eq!(p.simulations() - sims_before, 3000 - n_prime);
 }

@@ -1,0 +1,199 @@
+//! Offline stand-in for the subset of the `criterion` crate used by the
+//! GLOVA bench harnesses.
+//!
+//! The real `criterion` is unavailable in the offline build environment.
+//! This shim keeps the `benches/` targets compiling and useful: each
+//! benchmark routine is timed over a configurable number of samples and a
+//! `name: median / mean / min` line is printed. Statistical analysis,
+//! HTML reports and regression detection are out of scope.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), benchmark
+//! registration runs but the routines are skipped, keeping the test suite
+//! fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How setup values are batched in [`Bencher::iter_batched`]. The shim
+/// always materializes one input per iteration, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: batch many per allocation.
+    SmallInput,
+    /// Large input: few per allocation.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self { samples, times: Vec::with_capacity(samples) }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over per-sample inputs built by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.times.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.times.sort();
+        let median = self.times[self.times.len() / 2];
+        let mean = self.times.iter().sum::<Duration>() / self.times.len() as u32;
+        let min = self.times[0];
+        println!(
+            "{name:<40} median {median:>12.3?}   mean {mean:>12.3?}   min {min:>12.3?}   ({n} samples)",
+            n = self.times.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or, under `--test`, skips) one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.test_mode {
+            println!("{name:<40} skipped (test mode)");
+            return self;
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("── group: {name} ──");
+        BenchmarkGroup { criterion: self, prefix: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(b.times.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(4);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| v * 2,
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, 4);
+    }
+}

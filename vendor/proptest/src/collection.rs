@@ -1,0 +1,48 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A vector length specification: either an exact `usize` or a
+/// `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy producing vectors of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Builds a strategy for vectors of `element` values with the given length
+/// specification (exact or a range).
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for the subset of the `proptest` crate used by the
+//! GLOVA workspace.
+//!
+//! The real `proptest` is unavailable in the offline build environment.
+//! This shim keeps the property tests compiling and *meaningful*: each
+//! `proptest!` test body is executed for [`CASES`] random inputs drawn
+//! from the declared strategies with a per-test deterministic seed.
+//! Shrinking is not implemented — on failure the offending input is
+//! reported verbatim instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+pub mod collection;
+
+/// Number of random cases executed per property.
+pub const CASES: usize = 64;
+
+/// Error raised by `prop_assert!`-style macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test RNG: the seed is an FNV-1a hash of the test
+/// name, so adding or reordering tests never perturbs other tests' cases.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that runs its
+/// body for [`CASES`] inputs drawn from the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut proptest_rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for proptest_case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)+
+                    let debug_inputs = || {
+                        let mut s = String::new();
+                        $(s.push_str(&format!("{} = {:?}; ", stringify!($arg), $arg));)+
+                        s
+                    };
+                    let inputs = debug_inputs();
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}: {}\ninputs: {}",
+                            stringify!($name), proptest_case, e, inputs
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Property-scoped assertion: fails the current case without aborting the
+/// process, reporting the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..3.0, n in 1usize..9) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(xs in crate::collection::vec(0.0f64..1.0, 4)) {
+            prop_assert_eq!(xs.len(), 4);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn vec_range_sizes(xs in crate::collection::vec(0.0f64..1.0, 2..10)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 10);
+        }
+
+        #[test]
+        fn tuple_strategies(pair in crate::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 0..5)) {
+            prop_assert!(pair.len() < 5);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_per_name() {
+        use rand::Rng;
+        let a = crate::test_rng("a").gen::<u64>();
+        let b = crate::test_rng("b").gen::<u64>();
+        assert_ne!(a, b);
+        assert_eq!(a, crate::test_rng("a").gen::<u64>());
+    }
+}

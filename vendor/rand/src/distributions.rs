@@ -1,0 +1,134 @@
+//! Distributions and uniform-range sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over the natural domain of the type
+/// (`[0, 1)` for floats, the full range for integers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled uniformly (the receiver of
+/// [`Rng::gen_range`](crate::Rng::gen_range)).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer draw from `[0, bound)` via Lemire's multiply-shift
+/// method with rejection.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample an empty range");
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let r = rng.next_u64();
+        let m = (r as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64_below(rng, span) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + rng.next_u64() as $ty;
+                }
+                start + uniform_u64_below(rng, span + 1) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u64, u32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = Standard.sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let u: f64 = Standard.sample(rng);
+        start + (end - start) * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn lemire_covers_small_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[uniform_u64_below(&mut rng, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = (5..5usize).sample_single(&mut rng);
+    }
+}
