@@ -1,4 +1,4 @@
-//! PVTSizing baseline (the paper's ref [9]).
+//! PVTSizing baseline (the paper's ref \[9\]).
 //!
 //! Shares TuRBO initial sampling with GLOVA but differs in exactly the
 //! ways Table II measures:

@@ -1,4 +1,4 @@
-//! RobustAnalog baseline (the paper's ref [8]).
+//! RobustAnalog baseline (the paper's ref \[8\]).
 //!
 //! Multi-task RL over PVT corners with three defining differences from
 //! GLOVA (and one from PVTSizing):

@@ -5,21 +5,22 @@
 //!
 //! ```sh
 //! cargo run --release -p glova-bench --bin engine
-//! cargo run --release -p glova-bench --bin engine -- --workers 8 --samples 400
-//! cargo run --release -p glova-bench --bin engine -- --circuit OCSA+SH
+//! cargo run --release -p glova-bench --bin engine -- --engine threaded:8 --samples 400
+//! cargo run --release -p glova-bench --bin engine -- --circuit OCSA+SH --report
 //! ```
 //!
 //! Expected shape: identical yield estimates from every engine, and on a
 //! machine with ≥ 4 cores a ≥ 2× speedup for `threaded` over
-//! `sequential`.
+//! `sequential`. `--report` writes `BENCH_engine.json` at the repo root.
 
 use glova::engine::EngineSpec;
 use glova::problem::SizingProblem;
 use glova::yield_est::{estimate_yield, YieldEstimate};
+use glova_bench::report::{BenchRecord, BenchReport};
+use glova_bench::{report_requested, write_report};
 use glova_circuits::Circuit;
 use glova_stats::rng::seeded;
 use glova_variation::config::VerificationMethod;
-use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,7 +32,7 @@ fn campaign(
     circuit: &Arc<dyn Circuit>,
     spec: EngineSpec,
     samples_per_corner: usize,
-) -> (YieldEstimate, Duration) {
+) -> (YieldEstimate, u64, Duration) {
     let problem = SizingProblem::with_engine(
         circuit.clone(),
         VerificationMethod::CornerLocalMc,
@@ -41,15 +42,57 @@ fn campaign(
     let mut rng = seeded(2025);
     let start = Instant::now();
     let estimate = estimate_yield(&problem, &x, samples_per_corner, 0.95, &mut rng);
-    (estimate, start.elapsed())
+    (estimate, problem.simulations(), start.elapsed())
+}
+
+/// Resolves the threaded engine under comparison: `--engine` wins, the
+/// legacy `--workers N` flag still works, default is auto-sized.
+///
+/// `threaded:0` is valid ("size to the machine") but surprising enough
+/// on a speedup harness that it is called out rather than silently
+/// resolved; `sequential` makes the comparison meaningless and is
+/// rejected.
+fn threaded_spec(args: &[String]) -> EngineSpec {
+    if let Some(value) = flag(args, "--engine") {
+        let spec = EngineSpec::parse(&value).unwrap_or_else(|err| {
+            eprintln!("{err}");
+            std::process::exit(2);
+        });
+        match spec {
+            EngineSpec::Sequential => {
+                eprintln!(
+                    "--engine sequential compares the reference engine against itself; \
+                     pass `threaded` or `threaded:N`"
+                );
+                std::process::exit(2);
+            }
+            EngineSpec::Threaded(0) => {
+                eprintln!(
+                    "note: `threaded:0` means auto-sized — resolving to {} workers",
+                    spec.resolved_workers()
+                );
+                spec
+            }
+            spec => spec,
+        }
+    } else if let Some(value) = flag(args, "--workers") {
+        match value.parse::<usize>() {
+            Ok(workers) => EngineSpec::Threaded(workers),
+            Err(_) => {
+                eprintln!("--workers expects a number, got `{value}`");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        EngineSpec::Threaded(0)
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let samples: usize = flag(&args, "--samples").and_then(|s| s.parse().ok()).unwrap_or(200);
-    let workers: usize = flag(&args, "--workers")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get));
+    let spec = threaded_spec(&args);
+    let workers = spec.resolved_workers();
     let circuit_name = flag(&args, "--circuit").unwrap_or_else(|| "SAL".to_string());
     let circuit: Arc<dyn Circuit> = match circuit_name.as_str() {
         "FIA" => Arc::new(glova_circuits::FloatingInverterAmp::new()),
@@ -59,15 +102,39 @@ fn main() {
 
     let corners = VerificationMethod::CornerLocalMc.operating_config().corners.len();
     println!("=== engine speedup: C-MC_L yield campaign on {circuit_name} ===");
-    println!("({corners} corners x {samples} samples, {workers} workers)\n");
+    println!("({corners} corners x {samples} samples, engine {spec} -> {workers} worker(s))\n");
 
-    let (seq_est, seq_time) = campaign(&circuit, EngineSpec::Sequential, samples);
+    let (seq_est, seq_sims, seq_time) = campaign(&circuit, EngineSpec::Sequential, samples);
     println!("{:<14} {:>10.1?}   {}", "sequential", seq_time, seq_est);
-    let (thr_est, thr_time) = campaign(&circuit, EngineSpec::Threaded(workers), samples);
+    let (thr_est, thr_sims, thr_time) = campaign(&circuit, spec, samples);
     println!("{:<14} {:>10.1?}   {}", format!("threaded:{workers}"), thr_time, thr_est);
 
     assert_eq!(seq_est, thr_est, "engines must produce identical estimates");
     println!("\nresults identical across engines ✓");
     let speedup = seq_time.as_secs_f64() / thr_time.as_secs_f64().max(1e-9);
     println!("speedup: {speedup:.2}x");
+
+    if report_requested(&args) {
+        let mut report = BenchReport::new("engine");
+        report.push(BenchRecord::new(
+            "yield_campaign",
+            &circuit_name,
+            "sequential",
+            samples,
+            seq_sims,
+            seq_time,
+        ));
+        report.push(
+            BenchRecord::new(
+                "yield_campaign",
+                &circuit_name,
+                spec.to_string(),
+                samples,
+                thr_sims,
+                thr_time,
+            )
+            .with_speedup(speedup),
+        );
+        write_report(&report);
+    }
 }

@@ -3,18 +3,24 @@
 //!
 //! ```sh
 //! cargo run --release -p glova-bench --bin fig1
+//! cargo run --release -p glova-bench --bin fig1 -- --report
 //! ```
 //!
 //! The hierarchical Eq.-3 sampler must show: die medians scattering with
 //! σ_Global, devices scattering around their die median with σ_Local, and
 //! the compound per-device σ equal to `√(σ_G² + σ_L²)`.
+//! `--report` writes sampler throughput to `BENCH_fig1.json`.
 
+use glova_bench::report::{BenchRecord, BenchReport};
+use glova_bench::{report_requested, write_report};
 use glova_stats::descriptive::{quantile, std_dev};
 use glova_stats::Histogram;
 use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::{MismatchSampler, VarianceLayers};
+use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let domain =
         MismatchDomain::new(vec![DeviceSpec::nmos("m", 1.0, 0.05)], PelgromModel::cmos28());
     let sigma_local = domain.local_sigmas()[0];
@@ -24,7 +30,9 @@ fn main() {
 
     const DIES: usize = 64;
     const DEVICES: usize = 500;
+    let sample_start = Instant::now();
     let wafer = sampler.sample_wafer(&mut rng, DIES, DEVICES);
+    let sample_wall = sample_start.elapsed();
 
     let mut die_medians = Vec::with_capacity(DIES);
     let mut within: Vec<f64> = Vec::new();
@@ -59,4 +67,17 @@ fn main() {
     let mut hist_local = Histogram::new(-lim, lim, 21);
     hist_local.extend_from_slice(&within[..4000.min(within.len())]);
     println!("within-die deviation distribution (σ_Local structure):\n{}", hist_local.render(40));
+
+    if report_requested(&args) {
+        let mut report = BenchReport::new("fig1");
+        report.push(BenchRecord::new(
+            "wafer_sample",
+            "pelgrom_nmos",
+            "sequential",
+            DEVICES,
+            (DIES * DEVICES) as u64,
+            sample_wall,
+        ));
+        write_report(&report);
+    }
 }

@@ -4,8 +4,11 @@
 //! ```sh
 //! cargo run --release -p glova-bench --bin fig3
 //! cargo run --release -p glova-bench --bin fig3 -- --circuit FIA
-//! cargo run --release -p glova-bench --bin fig3 -- --engine threaded:8
+//! cargo run --release -p glova-bench --bin fig3 -- --engine threaded:8 --report
 //! ```
+//!
+//! `--report` writes the run's simulation throughput to
+//! `BENCH_fig3.json`.
 //!
 //! Expected shape (paper's Fig. 3): the bound starts far below the
 //! ensemble mean (large epistemic uncertainty), converges toward it as
@@ -14,7 +17,8 @@
 
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
 use glova::prelude::*;
-use glova_bench::engine_from_args;
+use glova_bench::report::{BenchRecord, BenchReport};
+use glova_bench::{engine_from_args, report_requested, write_report};
 use std::sync::Arc;
 
 fn main() {
@@ -31,12 +35,25 @@ fn main() {
         _ => Arc::new(glova_circuits::StrongArmLatch::new()),
     };
 
-    let mut config = GlovaConfig::paper(VerificationMethod::CornerLocalMc)
-        .with_trace()
-        .with_engine(engine_from_args(&args));
+    let engine = engine_from_args(&args);
+    let mut config =
+        GlovaConfig::paper(VerificationMethod::CornerLocalMc).with_trace().with_engine(engine);
     config.max_iterations = 400;
     let mut optimizer = GlovaOptimizer::new(circuit, config);
     let result = optimizer.run(2025);
+
+    if report_requested(&args) {
+        let mut report = BenchReport::new("fig3");
+        report.push(BenchRecord::new(
+            "glova_run",
+            &circuit_name,
+            engine.to_string(),
+            1,
+            result.simulations,
+            result.wall_time,
+        ));
+        write_report(&report);
+    }
 
     println!("=== Fig. 3: reliability-bound estimation on {circuit_name} (C-MC_L) ===\n");
     println!("run outcome: {result}\n");

@@ -1,0 +1,276 @@
+//! The perf aggregator: runs a fixed matrix of (circuit × engine ×
+//! batch-size) scenarios plus the cache and SPICE hot-path scenarios,
+//! prints a throughput table, and optionally writes
+//! `BENCH_perfsuite.json` / gates on regressions.
+//!
+//! ```sh
+//! cargo run --release -p glova-bench --bin perfsuite
+//! cargo run --release -p glova-bench --bin perfsuite -- --report
+//! cargo run --release -p glova-bench --bin perfsuite -- --report --gate \
+//!     --min-speedup 1.0 --max-wall-seconds 120
+//! cargo run --release -p glova-bench --bin perfsuite -- --quick
+//! ```
+//!
+//! Scenarios:
+//!
+//! - `yield_grid` — the fresh-die Monte-Carlo yield campaign (the
+//!   pipeline's dominant workload) per circuit, batch size and engine;
+//!   threaded records carry their speedup over the matching sequential
+//!   run.
+//! - `verify_resweep` — two identically seeded Algorithm-2 verifications
+//!   of a passing design (the re-verification pattern of ablation and
+//!   parity arms): with the [`EvalCache`](glova::cache::EvalCache)
+//!   attached, the second sweep's phase-2 points are answered from
+//!   memory, so the scenario measures a real hit rate and the wall-time
+//!   ratio vs the cache-off reference.
+//! - `spice_op` — repeated DC operating-point solves of CMOS inverter
+//!   chains (4 and 24 stages), chord-Newton (the default) vs full
+//!   Newton; the LU reuse wins grow with the MNA dimension.
+//!
+//! The `--gate` mode enforces: per-scenario wall ceiling, best threaded
+//! speedup across the yield-grid matrix ≥ `--min-speedup` (skipped on
+//! single-core machines, where a threaded engine cannot win), and a
+//! nonzero cache hit rate on the re-sweep scenario. Timings gate on the
+//! best of two runs per measurement — single samples of
+//! millisecond-scale batches are CI-noise, not signal.
+
+use glova::cache::EvalCacheConfig;
+use glova::engine::EngineSpec;
+use glova::problem::SizingProblem;
+use glova::verification::Verifier;
+use glova::yield_est::estimate_yield;
+use glova_bench::report::{BenchRecord, BenchReport};
+use glova_bench::{report_requested, write_report};
+use glova_circuits::{Circuit, ToyQuadratic};
+use glova_spice::dc::operating_point_with_options;
+use glova_spice::mna::NewtonOptions;
+use glova_spice::model::MosModel;
+use glova_spice::netlist::{Netlist, GROUND};
+use glova_stats::rng::seeded;
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn print_record(r: &BenchRecord) {
+    let speedup =
+        r.speedup_vs_sequential.map_or_else(|| "     -".to_string(), |s| format!("{s:5.2}x"));
+    let cache = r.cache.map_or_else(String::new, |c| {
+        format!("  cache {}/{} ({:.0}% hits)", c.hits, c.lookups(), c.hit_rate() * 100.0)
+    });
+    println!(
+        "{:<28} {:<14} {:<12} {:>7} sims {:>9.1} sims/s {:>7} {}",
+        r.scenario, r.circuit, r.engine, r.sims, r.sims_per_sec, speedup, cache
+    );
+}
+
+/// One yield-grid campaign, best wall time of two runs — single-run
+/// timings of millisecond-scale batches are too noisy to gate on
+/// (shared CI runners jitter far more than the scheduler overhead under
+/// measurement).
+fn yield_grid(circuit: &Arc<dyn Circuit>, engine: EngineSpec, batch: usize) -> (u64, Duration) {
+    let problem = SizingProblem::with_engine(
+        circuit.clone(),
+        VerificationMethod::CornerLocalMc,
+        engine.build(),
+    );
+    let x = vec![0.5; circuit.dim()];
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        problem.reset_simulations();
+        let mut rng = seeded(2025);
+        let start = Instant::now();
+        let _ = estimate_yield(&problem, &x, batch, 0.95, &mut rng);
+        best = best.min(start.elapsed());
+    }
+    (problem.simulations(), best)
+}
+
+/// Two identically seeded verifications of a passing design; returns
+/// (sims, wall, problem) so the caller can read cache stats.
+fn verify_twice(problem: &SizingProblem, x: &[f64]) -> (u64, Duration) {
+    let corner_order: Vec<usize> = (0..problem.config().corners.len()).collect();
+    let verifier = Verifier::new(problem, 4.0);
+    let start = Instant::now();
+    for _ in 0..2 {
+        let mut rng = seeded(7);
+        let outcome = verifier.verify(x, &corner_order, None, &mut rng);
+        assert!(outcome.passed, "perfsuite re-sweep design must pass verification");
+    }
+    (problem.simulations(), start.elapsed())
+}
+
+/// Repeated DC operating-point solves; returns wall time.
+fn solve_op(netlist: &Netlist, options: &NewtonOptions, solves: usize) -> Duration {
+    let start = Instant::now();
+    for _ in 0..solves {
+        operating_point_with_options(netlist, &vec![0.0; netlist.unknown_count()], options)
+            .expect("operating point converges");
+    }
+    start.elapsed()
+}
+
+/// A CMOS inverter chain biased at mid-rail: `stages` nonlinear stages,
+/// `2 + stages` MNA unknowns. The chord-Newton LU reuse pays off once
+/// the O(n³) factorization outgrows the per-iteration restamp — chains
+/// are the knob that sweeps `n`.
+fn inverter_chain(stages: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vin = nl.node("vin");
+    nl.vsource("VDD", vdd, GROUND, 0.9);
+    nl.vsource("VIN", vin, GROUND, 0.42);
+    let mut prev = vin;
+    for s in 0..stages {
+        let out = nl.node(&format!("n{s}"));
+        nl.mosfet(&format!("MP{s}"), out, prev, vdd, MosModel::pmos_28nm(), 2.0, 0.05);
+        nl.mosfet(&format!("MN{s}"), out, prev, GROUND, MosModel::nmos_28nm(), 1.0, 0.05);
+        prev = out;
+    }
+    nl
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let min_speedup: f64 = flag(&args, "--min-speedup").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let max_wall: f64 =
+        flag(&args, "--max-wall-seconds").and_then(|s| s.parse().ok()).unwrap_or(120.0);
+
+    let batches: &[usize] = if quick { &[16, 64] } else { &[64, 256] };
+    let circuits: Vec<(&str, Arc<dyn Circuit>)> = vec![
+        ("SAL", Arc::new(glova_circuits::StrongArmLatch::new()) as Arc<dyn Circuit>),
+        ("FIA", Arc::new(glova_circuits::FloatingInverterAmp::new())),
+    ];
+    let threaded = EngineSpec::Threaded(0);
+    let cores = threaded.resolved_workers();
+
+    println!("=== perfsuite: fixed scenario matrix ===");
+    println!(
+        "(batches {batches:?}, threaded engine resolves to {cores} worker(s){})\n",
+        if quick { ", quick" } else { "" }
+    );
+
+    let mut report = BenchReport::new("perfsuite");
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- yield_grid: circuit × batch × engine --------------------------
+    // The gate checks the *best* threaded speedup across the matrix, not
+    // every scenario: small batches are dominated by scheduler overhead
+    // and runner noise, and a per-scenario >= 1.0x requirement would turn
+    // one jittery 2 ms sample into a red build. A real threading
+    // regression drags down every scenario, including the largest batch.
+    let mut best_threaded_speedup = f64::NEG_INFINITY;
+    for (name, circuit) in &circuits {
+        for &batch in batches {
+            let (seq_sims, seq_wall) = yield_grid(circuit, EngineSpec::Sequential, batch);
+            let seq =
+                BenchRecord::new("yield_grid", *name, "sequential", batch, seq_sims, seq_wall);
+            print_record(&seq);
+            report.push(seq);
+
+            let (thr_sims, thr_wall) = yield_grid(circuit, threaded, batch);
+            let speedup = seq_wall.as_secs_f64() / thr_wall.as_secs_f64().max(1e-12);
+            best_threaded_speedup = best_threaded_speedup.max(speedup);
+            let thr = BenchRecord::new(
+                "yield_grid",
+                *name,
+                format!("threaded:{cores}"),
+                batch,
+                thr_sims,
+                thr_wall,
+            )
+            .with_speedup(speedup);
+            print_record(&thr);
+            report.push(thr);
+        }
+    }
+    if gate {
+        if cores <= 1 {
+            eprintln!("gate: skipping threaded-speedup check (single core)");
+        } else if best_threaded_speedup < min_speedup {
+            failures.push(format!(
+                "yield_grid: best threaded speedup {best_threaded_speedup:.2}x \
+                 across the matrix is below {min_speedup:.2}x"
+            ));
+        }
+    }
+
+    // ---- verify_resweep: cache off vs on -------------------------------
+    // A mismatch-tolerant toy at its optimum: verification passes, so
+    // both runs execute the full phase-2 sweep; the second, identically
+    // seeded run re-visits every point.
+    let toy: Arc<dyn Circuit> = Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05));
+    let x_opt = ToyQuadratic::standard().optimum().to_vec();
+    let off_problem = SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc);
+    let (off_sims, off_wall) = verify_twice(&off_problem, &x_opt);
+    let off =
+        BenchRecord::new("verify_resweep", "ToyQuadratic", "sequential", 2, off_sims, off_wall);
+    print_record(&off);
+    report.push(off);
+
+    let on_problem = SizingProblem::new(toy, VerificationMethod::CornerLocalMc)
+        .with_cache(EvalCacheConfig::default());
+    let (on_sims, on_wall) = verify_twice(&on_problem, &x_opt);
+    let stats = on_problem.cache_stats().expect("cache attached");
+    let cache_speedup = off_wall.as_secs_f64() / on_wall.as_secs_f64().max(1e-12);
+    let on =
+        BenchRecord::new("verify_resweep", "ToyQuadratic", "sequential+cache", 2, on_sims, on_wall)
+            .with_speedup(cache_speedup)
+            .with_cache(stats);
+    print_record(&on);
+    report.push(on);
+    if gate && stats.hit_rate() <= 0.0 {
+        failures.push("verify_resweep: cache hit rate is zero".to_string());
+    }
+
+    // ---- spice_op: chord vs full Newton --------------------------------
+    let solves = if quick { 200 } else { 1000 };
+    for (name, netlist) in [("inv_chain4", inverter_chain(4)), ("inv_chain24", inverter_chain(24))]
+    {
+        let full_wall = solve_op(&netlist, &NewtonOptions::full_newton(), solves);
+        let full =
+            BenchRecord::new("spice_op", name, "full-newton", solves, solves as u64, full_wall);
+        print_record(&full);
+        report.push(full);
+
+        let chord_wall = solve_op(&netlist, &NewtonOptions::default(), solves);
+        let chord_speedup = full_wall.as_secs_f64() / chord_wall.as_secs_f64().max(1e-12);
+        let chord =
+            BenchRecord::new("spice_op", name, "chord-newton", solves, solves as u64, chord_wall)
+                .with_speedup(chord_speedup);
+        print_record(&chord);
+        report.push(chord);
+    }
+
+    // ---- gate: wall ceiling over every record --------------------------
+    if gate {
+        for r in &report.records {
+            if r.wall_seconds > max_wall {
+                failures.push(format!(
+                    "{} {} {}: wall {:.1}s exceeds ceiling {max_wall:.1}s",
+                    r.scenario, r.circuit, r.engine, r.wall_seconds
+                ));
+            }
+        }
+    }
+
+    if report_requested(&args) {
+        write_report(&report);
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nperf gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    if gate {
+        println!("\nperf gate passed ✓");
+    }
+}

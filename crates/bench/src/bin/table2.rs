@@ -6,18 +6,24 @@
 //! cargo run --release -p glova-bench --bin table2            # full (default 3 seeds)
 //! cargo run --release -p glova-bench --bin table2 -- --quick # reduced budgets, 2 seeds
 //! cargo run --release -p glova-bench --bin table2 -- --seeds 5
-//! cargo run --release -p glova-bench --bin table2 -- --engine threaded:8
+//! cargo run --release -p glova-bench --bin table2 -- --engine threaded:8 --report
 //! ```
+//!
+//! `--report` writes per-cell simulation throughput to
+//! `BENCH_table2.json`.
 //!
 //! Expected *shape* (absolute numbers depend on the analytic substrate,
 //! see `EXPERIMENTS.md`): GLOVA needs the fewest iterations and
 //! simulations in every cell, PVTSizing sits in between, RobustAnalog is
 //! the most expensive and drops success rate on the hard DRAM cells.
 
+use glova_bench::report::{BenchRecord, BenchReport};
 use glova_bench::{
-    engine_from_args, fmt_mean, fmt_ratio, run_cell, table2_circuits, Budget, CellResult, Framework,
+    engine_from_args, fmt_mean, fmt_ratio, report_requested, run_cell, table2_circuits,
+    write_report, Budget, CellResult, Framework,
 };
 use glova_variation::config::VerificationMethod;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -108,4 +114,27 @@ fn main() {
     }
 
     println!("\n(cells with '-' had no successful run within the iteration budget)");
+
+    if report_requested(&args) {
+        let mut report = BenchReport::new("table2");
+        for ((name, _), per_method) in circuits.iter().zip(&results) {
+            for (method, per_framework) in methods.iter().zip(per_method) {
+                for (framework, cell) in Framework::ALL.iter().zip(per_framework) {
+                    // Totals over every run (failed runs also burn wall
+                    // clock and simulations — throughput counts them).
+                    let sims: u64 = cell.runs.iter().map(|r| r.simulations).sum();
+                    let wall: Duration = cell.runs.iter().map(|r| r.wall_time).sum();
+                    report.push(BenchRecord::new(
+                        format!("{method}/{}", framework.name()),
+                        *name,
+                        engine.to_string(),
+                        seeds as usize,
+                        sims,
+                        wall,
+                    ));
+                }
+            }
+        }
+        write_report(&report);
+    }
 }

@@ -6,18 +6,25 @@
 //! cargo run --release -p glova-bench --bin table3
 //! cargo run --release -p glova-bench --bin table3 -- --quick
 //! cargo run --release -p glova-bench --bin table3 -- --circuit SAL  # faster variant
-//! cargo run --release -p glova-bench --bin table3 -- --engine threaded:8
+//! cargo run --release -p glova-bench --bin table3 -- --engine threaded:8 --report
 //! ```
+//!
+//! `--report` writes per-ablation simulation throughput to
+//! `BENCH_table3.json`.
 //!
 //! Expected shape: every ablation costs iterations and/or simulations;
 //! "w/o SR" inflates the *simulation* count most, "w/o EC" the iteration
 //! count, matching the paper's Table III.
 
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
-use glova_bench::{engine_from_args, fmt_mean, fmt_ratio, CellResult};
+use glova_bench::report::{BenchRecord, BenchReport};
+use glova_bench::{
+    engine_from_args, fmt_mean, fmt_ratio, report_requested, write_report, CellResult,
+};
 use glova_circuits::Circuit;
 use glova_variation::config::VerificationMethod;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Clone, Copy)]
 enum Ablation {
@@ -145,5 +152,24 @@ fn main() {
             print!("{:^12}", format!("{:.0}%", cell.success_rate * 100.0));
         }
         println!();
+    }
+
+    if report_requested(&args) {
+        let mut report = BenchReport::new("table3");
+        for (ai, ablation) in Ablation::ALL.iter().enumerate() {
+            for (method, cell) in methods.iter().zip(&results[ai]) {
+                let sims: u64 = cell.runs.iter().map(|r| r.simulations).sum();
+                let wall: Duration = cell.runs.iter().map(|r| r.wall_time).sum();
+                report.push(BenchRecord::new(
+                    format!("{}/{}", method.short_name(), ablation.name()),
+                    &circuit_name,
+                    engine.to_string(),
+                    seeds as usize,
+                    sims,
+                    wall,
+                ));
+            }
+        }
+        write_report(&report);
     }
 }

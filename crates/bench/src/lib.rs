@@ -5,6 +5,8 @@
 //! runtime and success rate — averaged over repeated seeded runs, counting
 //! only successful runs for the means (the paper's `*` footnote).
 
+pub mod report;
+
 use glova::engine::EngineSpec;
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
 use glova::report::RunResult;
@@ -20,9 +22,9 @@ use std::time::Duration;
 pub enum Framework {
     /// The proposed framework.
     Glova,
-    /// PVTSizing (ref [9]).
+    /// PVTSizing (paper reference \[9\]).
     PvtSizing,
-    /// RobustAnalog (ref [8]).
+    /// RobustAnalog (paper reference \[8\]).
     RobustAnalog,
 }
 
@@ -171,6 +173,21 @@ pub fn engine_from_args(args: &[String]) -> EngineSpec {
         eprintln!("{err}");
         std::process::exit(2);
     })
+}
+
+/// Whether the shared `--report` flag is present: bins then serialize
+/// what they measured to `BENCH_<name>.json` via [`report::BenchReport`].
+pub fn report_requested(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--report")
+}
+
+/// Writes a report to the repo root, logging the outcome to stderr (bins
+/// should not fail their primary job over an artifact write).
+pub fn write_report(report: &report::BenchReport) {
+    match report.write_to_repo_root() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", report.file_name()),
+    }
 }
 
 /// Formats a float with at most one decimal, or `-` for NaN.

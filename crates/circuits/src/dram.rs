@@ -1,6 +1,6 @@
 //! Offset-cancellation sense amplifier (OCSA) + subhole (SH) in a DRAM
 //! core — paper §VI.A, sensing scheme after Kim et al., TVLSI 2019
-//! (ref [27]), 6F² open-bitline architecture with 2K wordlines.
+//! (ref \[27\]), 6F² open-bitline architecture with 2K wordlines.
 //!
 //! 12 design parameters: six widths, six lengths. The first three
 //! transistors belong to the OCSA (widths limited to `[0.28, 1.028] µm` by

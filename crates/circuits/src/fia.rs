@@ -1,9 +1,9 @@
 //! Floating inverter amplifier (FIA) testcase — paper §VI.A, topology from
 //! Tang et al., "An Energy-Efficient Comparator with Dynamic Floating
-//! Inverter Amplifier" (ref [25]).
+//! Inverter Amplifier" (ref \[25\]).
 //!
 //! 6 design parameters: NMOS/PMOS widths, NMOS/PMOS lengths, reservoir and
-//! load capacitances. Metrics and targets (technology-scaled per [9]):
+//! load capacitances. Metrics and targets (technology-scaled per \[9\]):
 //!
 //! | metric                | target    |
 //! |-----------------------|-----------|

@@ -1,8 +1,8 @@
 //! StrongARM latch (SAL) testcase — paper §VI.A, topology from Razavi's
-//! "The StrongARM Latch" (refs [24]).
+//! "The StrongARM Latch" (refs \[24\]).
 //!
 //! 14 design parameters: six transistor widths, six lengths, two
-//! capacitances. Metrics and targets (same as PVTSizing [9]):
+//! capacitances. Metrics and targets (same as PVTSizing \[9\]):
 //!
 //! | metric       | target    |
 //! |--------------|-----------|

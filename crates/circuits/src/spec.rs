@@ -13,7 +13,7 @@
 //! `≥` target the normalized metric is `(F_i − c_i)/(F_i + c_i)`. Both
 //! orientations give `f_i > 0 ⇔ satisfied` and keep `f_i` scale-free, which
 //! is what the reward and the µ-σ machinery rely on. This matches the
-//! formulation GLOVA inherits from RobustAnalog/PVTSizing (refs [8], [9]).
+//! formulation GLOVA inherits from RobustAnalog/PVTSizing (refs \[8\], \[9\]).
 
 /// Constraint orientation for one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

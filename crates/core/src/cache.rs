@@ -1,0 +1,371 @@
+//! Memoization of simulation outcomes — the evaluation cache.
+//!
+//! GLOVA's pipeline re-simulates identical `(design, corner, mismatch)`
+//! points more often than it first appears: the verifier's phase-2
+//! re-sweeps after a failed attempt replay the same seeded condition
+//! stream, engine-parity and ablation arms re-run identical campaigns,
+//! and yield grids revisit points already visited during verification.
+//! [`EvalCache`] memoizes those points with an LRU bound.
+//!
+//! # Correctness contract
+//!
+//! A hit returns a **bitwise-identical** clone of the outcome the circuit
+//! produced on the original miss. Keys are a word-FNV digest of the
+//! exact bit patterns of the design vector, corner and mismatch
+//! condition, and every entry additionally stores those input bits — a
+//! lookup only hits when they match exactly, so a digest collision is a
+//! miss, never an aliased answer. (Keying on a *quantized* design vector
+//! was considered and rejected: with exact-bit validation required
+//! anyway, coarser keys cannot produce extra hits — they can only make
+//! distinct near-identical points fight over one map slot.) The cache
+//! can change wall time, never results. `tests/eval_cache.rs` locks
+//! this in.
+//!
+//! The [simulation counter](crate::problem::SizingProblem::simulations)
+//! counts *requests* and is unaffected by caching — accounting stays
+//! identical across engines and cache configurations, while
+//! [`CacheStats::misses`] counts the circuit evaluations actually paid
+//! for.
+
+use crate::problem::SimOutcome;
+use glova_stats::hash::Fnv1a;
+use glova_variation::corner::{ProcessCorner, PvtCorner};
+use glova_variation::sampler::MismatchVector;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Pass-through hasher: cache keys are already 64-bit FNV digests, so
+/// running them through SipHash again would only burn lookup-path cycles.
+#[derive(Debug, Default, Clone, Copy)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("cache keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type KeyMap = HashMap<u64, Entry, BuildHasherDefault<IdentityHasher>>;
+
+/// Evaluation-cache tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCacheConfig {
+    /// Maximum resident entries before LRU eviction.
+    pub capacity: usize,
+}
+
+impl EvalCacheConfig {
+    /// Default bound: generous for verification sweeps (a full 30-corner
+    /// × 100-sample campaign is 3 000 points) without unbounded growth.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+}
+
+impl Default for EvalCacheConfig {
+    fn default() -> Self {
+        Self { capacity: Self::DEFAULT_CAPACITY }
+    }
+}
+
+/// Hit/miss/eviction counters (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a circuit evaluation.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// Resident entry: the exact inputs it was computed from, the outcome,
+/// and its last-use tick. The map key is the 64-bit word-FNV of
+/// (design bits, corner bits, mismatch bits); a digest collision between
+/// distinct points is caught by the exact-bits validation below and
+/// treated as a miss (the newer point overwrites on insert).
+#[derive(Debug, Clone)]
+struct Entry {
+    x_bits: Box<[u64]>,
+    h_bits: Box<[u64]>,
+    process: ProcessCorner,
+    vdd_bits: u64,
+    temp_bits: u64,
+    outcome: SimOutcome,
+    tick: u64,
+}
+
+impl Entry {
+    fn matches(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> bool {
+        self.process == corner.process
+            && self.vdd_bits == corner.vdd.to_bits()
+            && self.temp_bits == corner.temp_c.to_bits()
+            && self.x_bits.iter().copied().eq(x.iter().map(|v| v.to_bits()))
+            && self.h_bits.iter().copied().eq(h.values().iter().map(|v| v.to_bits()))
+    }
+}
+
+/// A bounded, thread-safe memo table over simulation points.
+///
+/// Shared by every worker of a [`Threaded`](crate::engine::Threaded)
+/// engine; lookups and inserts take a single mutex, while circuit
+/// evaluations (the expensive part) happen outside it — two threads
+/// racing on the same point at worst both evaluate and insert the same
+/// deterministic value.
+#[derive(Debug)]
+pub struct EvalCache {
+    map: Mutex<KeyMap>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache (capacity clamped to ≥ 1).
+    pub fn new(config: EvalCacheConfig) -> Self {
+        Self {
+            map: Mutex::new(KeyMap::default()),
+            capacity: config.capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured LRU bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One allocation-free word-FNV pass over the exact bit patterns of
+    /// (design, corner, mismatch).
+    fn key(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> u64 {
+        let mut hasher = Fnv1a::new();
+        for &v in x {
+            hasher.write_word(v.to_bits());
+        }
+        hasher.write_word(corner.process as u64);
+        hasher.write_word(corner.vdd.to_bits());
+        hasher.write_word(corner.temp_c.to_bits());
+        for &v in h.values() {
+            hasher.write_word(v.to_bits());
+        }
+        hasher.finish()
+    }
+
+    /// Looks up a point, counting the hit or miss.
+    pub fn lookup(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> Option<SimOutcome> {
+        self.lookup_keyed(self.key(x, corner, h), x, corner, h)
+    }
+
+    fn lookup_keyed(
+        &self,
+        key: u64,
+        x: &[f64],
+        corner: &PvtCorner,
+        h: &MismatchVector,
+    ) -> Option<SimOutcome> {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if let Some(entry) = map.get_mut(&key) {
+            // Exact-bits validation: a digest collision is a miss, never
+            // an aliased answer.
+            if entry.matches(x, corner, h) {
+                entry.tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.outcome.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or replaces) a point, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector, outcome: SimOutcome) {
+        self.insert_keyed(self.key(x, corner, h), x, corner, h, outcome);
+    }
+
+    fn insert_keyed(
+        &self,
+        key: u64,
+        x: &[f64],
+        corner: &PvtCorner,
+        h: &MismatchVector,
+        outcome: SimOutcome,
+    ) {
+        let entry = Entry {
+            x_bits: x.iter().map(|v| v.to_bits()).collect(),
+            h_bits: h.values().iter().map(|v| v.to_bits()).collect(),
+            process: corner.process,
+            vdd_bits: corner.vdd.to_bits(),
+            temp_bits: corner.temp_c.to_bits(),
+            outcome,
+            tick: self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+        };
+        let mut map = self.map.lock().expect("cache poisoned");
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // O(n) LRU scan: eviction is rare relative to the simulation
+            // cost a resident entry amortizes, so a linked-list LRU isn't
+            // worth the per-hit bookkeeping.
+            if let Some(&oldest) = map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, entry);
+    }
+
+    /// The memoizing entry point: one key computation, `compute` only on
+    /// a miss (and outside the lock, so concurrent workers never block on
+    /// a simulation).
+    pub fn get_or_compute(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        h: &MismatchVector,
+        compute: impl FnOnce() -> SimOutcome,
+    ) -> SimOutcome {
+        let key = self.key(x, corner, h);
+        if let Some(outcome) = self.lookup_keyed(key, x, corner, h) {
+            return outcome;
+        }
+        let outcome = compute();
+        self.insert_keyed(key, x, corner, h, outcome.clone());
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(v: f64) -> SimOutcome {
+        SimOutcome { metrics: vec![v, v + 1.0], reward: -v }
+    }
+
+    fn corner() -> PvtCorner {
+        PvtCorner::typical()
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrips_exact_outcome() {
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        let x = [0.25, 0.75];
+        let h = MismatchVector::from_values(vec![1e-3, -2e-3]);
+        assert!(cache.lookup(&x, &corner(), &h).is_none());
+        cache.insert(&x, &corner(), &h, outcome(3.5));
+        assert_eq!(cache.lookup(&x, &corner(), &h), Some(outcome(3.5)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn near_identical_designs_are_distinct_points() {
+        // Designs differing in a single bit are distinct cache points:
+        // the second must miss, and must not displace the first.
+        let cache = EvalCache::new(EvalCacheConfig { capacity: 16 });
+        let h = MismatchVector::nominal(2);
+        let x_a = [0.5, 0.5];
+        let x_b = [0.5 + 1e-16, 0.5];
+        cache.insert(&x_a, &corner(), &h, outcome(1.0));
+        assert!(cache.lookup(&x_b, &corner(), &h).is_none());
+        cache.insert(&x_b, &corner(), &h, outcome(2.0));
+        assert_eq!(cache.lookup(&x_a, &corner(), &h), Some(outcome(1.0)));
+        assert_eq!(cache.lookup(&x_b, &corner(), &h), Some(outcome(2.0)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_corners_and_mismatch_are_distinct_points() {
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        let x = [0.4];
+        let h0 = MismatchVector::nominal(1);
+        let h1 = MismatchVector::from_values(vec![1e-3]);
+        cache.insert(&x, &corner(), &h0, outcome(1.0));
+        let other = PvtCorner { vdd: 0.8, ..corner() };
+        assert!(cache.lookup(&x, &other, &h0).is_none());
+        assert!(cache.lookup(&x, &corner(), &h1).is_none());
+        assert_eq!(cache.lookup(&x, &corner(), &h0), Some(outcome(1.0)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = EvalCache::new(EvalCacheConfig { capacity: 2 });
+        let h = MismatchVector::nominal(1);
+        cache.insert(&[0.1], &corner(), &h, outcome(1.0));
+        cache.insert(&[0.2], &corner(), &h, outcome(2.0));
+        // Touch 0.1 so 0.2 becomes the LRU entry.
+        assert!(cache.lookup(&[0.1], &corner(), &h).is_some());
+        cache.insert(&[0.3], &corner(), &h, outcome(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup(&[0.2], &corner(), &h).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&[0.1], &corner(), &h).is_some());
+        assert!(cache.lookup(&[0.3], &corner(), &h).is_some());
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let cache = EvalCache::new(EvalCacheConfig { capacity: 0 });
+        assert_eq!(cache.capacity(), 1);
+        let h = MismatchVector::nominal(1);
+        cache.insert(&[0.1], &corner(), &h, outcome(1.0));
+        cache.insert(&[0.2], &corner(), &h, outcome(2.0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+}

@@ -21,6 +21,20 @@
 //! like [`glova_stats::reduce::nan_min`]). Under this contract every
 //! engine produces bitwise-identical results — `tests/engine_parity.rs`
 //! locks this in across the optimizer, verifier and yield estimator.
+//!
+//! # Related speed knobs
+//!
+//! Engines decide *where* jobs run; two orthogonal knobs shrink the work
+//! itself, both result-preserving:
+//!
+//! - the [`EvalCache`](crate::cache::EvalCache)
+//!   ([`GlovaConfig::cache`](crate::optimizer::GlovaConfig)) memoizes
+//!   repeated `(design, corner, mismatch)` points with exact-bit
+//!   validation (`tests/eval_cache.rs` proves bitwise identity on/off);
+//! - the SPICE layer's chord-Newton iteration
+//!   (`glova_spice::mna::JacobianStrategy`, the default) reuses the LU
+//!   factorization across Newton iterations, re-factoring only on slow
+//!   convergence.
 
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -186,6 +200,20 @@ impl EngineSpec {
             Self::Sequential => Arc::new(Sequential),
             Self::Threaded(0) => Arc::new(Threaded::auto()),
             Self::Threaded(workers) => Arc::new(Threaded::new(workers)),
+        }
+    }
+
+    /// The concrete worker count this spec resolves to: 1 for
+    /// [`Sequential`], [`Threaded::auto`]'s sizing for `Threaded(0)`,
+    /// `N` otherwise. Bench bins print this so an auto-sized
+    /// `--engine threaded` (or an explicit `threaded:0`) shows the
+    /// thread count it actually runs with; delegating to the engine
+    /// constructors keeps this the same number [`build`](Self::build)
+    /// produces.
+    pub fn resolved_workers(self) -> usize {
+        match self {
+            Self::Sequential => 1,
+            spec => spec.build().parallelism(),
         }
     }
 

@@ -5,7 +5,7 @@
 //! arXiv:2505.11208). This crate is the framework layer tying together the
 //! substrates in the workspace:
 //!
-//! - [`SizingProblem`](problem::SizingProblem) — a
+//! - [`SizingProblem`] — a
 //!   [`Circuit`](glova_circuits::Circuit) plus a verification method
 //!   (Table I), with simulation counting and hierarchical mismatch
 //!   sampling (Eq. 3);
@@ -13,6 +13,10 @@
 //!   multi-threaded fan-out of the Monte-Carlo / corner simulation
 //!   batches, selected via [`GlovaConfig::engine`](optimizer::GlovaConfig)
 //!   (results are bitwise-identical across engines);
+//! - the **evaluation cache** ([`cache`]) — LRU memoization of repeated
+//!   `(design, corner, mismatch)` points with exact-bit validation, so
+//!   verifier re-sweeps and yield grids stop re-simulating identical
+//!   points (results stay bitwise-identical with the cache on or off);
 //! - the **optimization phase** ([`optimizer`]) — TuRBO initial sampling
 //!   followed by the risk-sensitive RL loop of Algorithm 1 / Fig. 2;
 //! - the **verification phase** ([`verification`]) — Algorithm 2:
@@ -38,6 +42,7 @@
 //! assert!(result.success);
 //! ```
 
+pub mod cache;
 pub mod engine;
 pub mod evaluation;
 pub mod optimizer;
@@ -48,6 +53,7 @@ pub mod sensitivity;
 pub mod verification;
 pub mod yield_est;
 
+pub use cache::{CacheStats, EvalCache, EvalCacheConfig};
 pub use engine::{EngineSpec, EvalEngine, Sequential, Threaded};
 pub use evaluation::MuSigmaEvaluation;
 pub use optimizer::{GlovaConfig, GlovaOptimizer};
@@ -59,6 +65,7 @@ pub use yield_est::{estimate_yield, YieldEstimate};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::cache::EvalCacheConfig;
     pub use crate::engine::EngineSpec;
     pub use crate::optimizer::{GlovaConfig, GlovaOptimizer};
     pub use crate::problem::SizingProblem;

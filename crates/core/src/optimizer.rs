@@ -20,6 +20,7 @@
 //! conditions are pre-sampled in deterministic order, reductions are
 //! order-independent).
 
+use crate::cache::EvalCacheConfig;
 use crate::engine::{map_indexed, EngineSpec};
 use crate::problem::SizingProblem;
 use crate::report::{IterationTrace, RunResult};
@@ -79,6 +80,9 @@ pub struct GlovaConfig {
     /// Evaluation engine for simulation batches (sequential by default;
     /// results are engine-independent).
     pub engine: EngineSpec,
+    /// Evaluation-cache configuration (`None` disables memoization;
+    /// results are cache-independent, only wall time changes).
+    pub cache: Option<EvalCacheConfig>,
 }
 
 impl GlovaConfig {
@@ -102,6 +106,7 @@ impl GlovaConfig {
             anchor_to_best: true,
             proposal_clip: Some(0.2),
             engine: EngineSpec::Sequential,
+            cache: None,
         }
     }
 
@@ -145,6 +150,12 @@ impl GlovaConfig {
         self.engine = engine;
         self
     }
+
+    /// Attaches an evaluation cache (builder style).
+    pub fn with_cache(mut self, cache: EvalCacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
 }
 
 /// The GLOVA sizing optimizer.
@@ -157,7 +168,10 @@ pub struct GlovaOptimizer {
 impl GlovaOptimizer {
     /// Creates an optimizer for `circuit` under `config`.
     pub fn new(circuit: Arc<dyn Circuit>, config: GlovaConfig) -> Self {
-        let problem = SizingProblem::with_engine(circuit, config.method, config.engine.build());
+        let mut problem = SizingProblem::with_engine(circuit, config.method, config.engine.build());
+        if let Some(cache) = config.cache {
+            problem = problem.with_cache(cache);
+        }
         Self { problem, config }
     }
 

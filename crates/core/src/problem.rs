@@ -1,6 +1,7 @@
 //! The sizing problem: circuit × verification method, with simulation
 //! accounting and engine-driven batch evaluation.
 
+use crate::cache::{CacheStats, EvalCache, EvalCacheConfig};
 use crate::engine::{map_indexed, EvalEngine, Sequential};
 use glova_circuits::Circuit;
 use glova_stats::reduce;
@@ -33,6 +34,7 @@ pub struct SizingProblem {
     circuit: Arc<dyn Circuit>,
     config: OperatingConfig,
     engine: Arc<dyn EvalEngine>,
+    cache: Option<Arc<EvalCache>>,
     simulations: AtomicU64,
 }
 
@@ -42,6 +44,7 @@ impl Clone for SizingProblem {
             circuit: self.circuit.clone(),
             config: self.config.clone(),
             engine: self.engine.clone(),
+            cache: self.cache.clone(),
             simulations: AtomicU64::new(self.simulations()),
         }
     }
@@ -53,6 +56,7 @@ impl std::fmt::Debug for SizingProblem {
             .field("circuit", &self.circuit.name())
             .field("method", &self.config.method)
             .field("engine", &self.engine.name())
+            .field("cache", &self.cache.as_ref().map(|c| c.stats()))
             .field("simulations", &self.simulations())
             .finish()
     }
@@ -71,7 +75,33 @@ impl SizingProblem {
         method: VerificationMethod,
         engine: Arc<dyn EvalEngine>,
     ) -> Self {
-        Self { circuit, config: method.operating_config(), engine, simulations: AtomicU64::new(0) }
+        Self {
+            circuit,
+            config: method.operating_config(),
+            engine,
+            cache: None,
+            simulations: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches an [`EvalCache`] (builder style): repeated
+    /// `(design, corner, mismatch)` points are answered from memory with
+    /// bitwise-identical outcomes. The simulation counter keeps counting
+    /// *requests*, so accounting is unchanged; [`Self::cache_stats`]
+    /// reports the evaluations actually saved.
+    pub fn with_cache(mut self, config: EvalCacheConfig) -> Self {
+        self.cache = Some(Arc::new(EvalCache::new(config)));
+        self
+    }
+
+    /// The evaluation cache, if one is attached.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Cache counters (`None` when no cache is attached).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// The circuit.
@@ -105,8 +135,19 @@ impl SizingProblem {
     }
 
     /// Runs one simulation: metrics + consolidated reward.
+    ///
+    /// With an attached [`EvalCache`], a previously evaluated point is
+    /// answered from memory (bitwise-identical outcome, the counter still
+    /// increments); the circuit is only consulted on misses.
     pub fn simulate(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> SimOutcome {
         self.simulations.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            return cache.get_or_compute(x, corner, h, || self.evaluate_uncached(x, corner, h));
+        }
+        self.evaluate_uncached(x, corner, h)
+    }
+
+    fn evaluate_uncached(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> SimOutcome {
         let metrics = self.circuit.evaluate(x, corner, h);
         let reward = self.circuit.spec().reward(&metrics);
         SimOutcome { metrics, reward }

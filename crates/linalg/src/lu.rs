@@ -34,9 +34,41 @@ impl Lu {
             return Err(LinalgError::DimensionMismatch { context: "lu of non-square matrix" });
         }
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        let mut this = Self { lu: a.clone(), perm: (0..n).collect(), sign: 1.0 };
+        this.eliminate()?;
+        Ok(this)
+    }
+
+    /// Re-factors an equally sized matrix **in place**, reusing this
+    /// factorization's storage — no allocation on the Newton hot path,
+    /// where the MNA Jacobian is re-factored whenever chord iteration
+    /// stalls.
+    ///
+    /// On error the factorization is left in an unspecified state and
+    /// must not be used for solves.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `a`'s shape differs from
+    ///   the factored matrix.
+    /// - [`LinalgError::Singular`] as in [`Lu::factor`].
+    pub fn refactor(&mut self, a: &Matrix) -> Result<(), LinalgError> {
+        if a.rows() != self.lu.rows() || a.cols() != self.lu.cols() {
+            return Err(LinalgError::DimensionMismatch { context: "lu refactor shape mismatch" });
+        }
+        self.lu.copy_from(a);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.sign = 1.0;
+        self.eliminate()
+    }
+
+    /// Scaled-partial-pivoting elimination over `self.lu` (which holds the
+    /// original matrix on entry and the packed `L`/`U` factors on success).
+    fn eliminate(&mut self) -> Result<(), LinalgError> {
+        let n = self.lu.rows();
+        let lu = &mut self.lu;
 
         // Scale factors for scaled partial pivoting: more robust for the
         // badly scaled MNA matrices (conductances span ~1e-12..1e3).
@@ -48,7 +80,7 @@ impl Lu {
             let mut pivot_row = k;
             let mut best = 0.0;
             for i in k..n {
-                let s = if scale[perm[i]] > 0.0 { scale[perm[i]] } else { 1.0 };
+                let s = if scale[self.perm[i]] > 0.0 { scale[self.perm[i]] } else { 1.0 };
                 let mag = lu[(i, k)].abs() / s;
                 if mag > best {
                     best = mag;
@@ -64,8 +96,8 @@ impl Lu {
                     lu[(k, j)] = lu[(pivot_row, j)];
                     lu[(pivot_row, j)] = tmp;
                 }
-                perm.swap(k, pivot_row);
-                sign = -sign;
+                self.perm.swap(k, pivot_row);
+                self.sign = -self.sign;
             }
             let pivot = lu[(k, k)];
             for i in k + 1..n {
@@ -76,7 +108,7 @@ impl Lu {
                 }
             }
         }
-        Ok(Self { lu, perm, sign })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -90,10 +122,23 @@ impl Lu {
     ///
     /// Panics if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer, reusing its
+    /// allocation — the per-iteration solve of the Newton loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
         let n = self.dim();
         assert_eq!(b.len(), n, "rhs length mismatch");
         // Apply permutation, then forward/backward substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         for i in 1..n {
             let mut sum = x[i];
             for k in 0..i {
@@ -108,7 +153,6 @@ impl Lu {
             }
             x[i] = sum / self.lu[(i, i)];
         }
-        x
     }
 
     /// Determinant of the original matrix.
@@ -159,6 +203,44 @@ mod tests {
         assert!((a.lu().unwrap().determinant() + 2.0).abs() < 1e-12);
         let eye = Matrix::identity(4);
         assert!((eye.lu().unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 4.0], &[-1.0, 2.0]]);
+        let mut lu = a.lu().unwrap();
+        lu.refactor(&b).unwrap();
+        let fresh = b.lu().unwrap();
+        assert_eq!(lu, fresh);
+        let x = lu.solve(&[8.0, 1.0]);
+        let back = b.mat_vec(&x);
+        assert!((back[0] - 8.0).abs() < 1e-12 && (back[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_rejects_shape_mismatch_and_singularity() {
+        let mut lu = Matrix::identity(2).lu().unwrap();
+        assert!(matches!(
+            lu.refactor(&Matrix::identity(3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(lu.refactor(&singular), Err(LinalgError::Singular { .. })));
+        // Recoverable: a subsequent good refactor restores a usable state.
+        lu.refactor(&Matrix::identity(2)).unwrap();
+        assert_eq!(lu.solve(&[5.0, 7.0]), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        let mut buf = vec![99.0; 7];
+        lu.solve_into(&[3.0, 5.0], &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert!((buf[0] - 0.8).abs() < 1e-12);
+        assert!((buf[1] - 1.4).abs() < 1e-12);
     }
 
     #[test]

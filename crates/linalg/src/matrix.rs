@@ -93,6 +93,17 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Copies every entry from an equally sized matrix without
+    /// reallocating — the restamp primitive of the MNA assembly cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Matrix–vector product `A x`.
     ///
     /// # Panics
@@ -101,6 +112,20 @@ impl Matrix {
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
         (0..self.rows).map(|i| crate::vector::dot(self.row(i), x)).collect()
+    }
+
+    /// Matrix–vector product `A x` into a caller-provided buffer —
+    /// allocation-free variant for iteration hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn mat_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "mat_vec output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = crate::vector::dot(self.row(i), x);
+        }
     }
 
     /// Matrix–matrix product `A B`.

@@ -1,6 +1,6 @@
 //! DC operating-point analysis with `gmin` stepping.
 
-use crate::mna::{newton_solve, NewtonOptions, StampContext};
+use crate::mna::{newton_solve_with_template, AssemblyTemplate, NewtonOptions, StampContext};
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
 
@@ -65,14 +65,33 @@ pub fn operating_point_from(
     netlist: &Netlist,
     initial: &[f64],
 ) -> Result<OperatingPoint, SpiceError> {
-    let options = NewtonOptions::default();
+    operating_point_with_options(netlist, initial, &NewtonOptions::default())
+}
+
+/// Like [`operating_point_from`] with explicit Newton controls — e.g.
+/// [`NewtonOptions::full_newton`] to disable the chord-iteration LU reuse
+/// when parity-checking the two Jacobian strategies.
+///
+/// # Errors
+///
+/// See [`operating_point`].
+pub fn operating_point_with_options(
+    netlist: &Netlist,
+    initial: &[f64],
+    options: &NewtonOptions,
+) -> Result<OperatingPoint, SpiceError> {
     let mut x = initial.to_vec();
     let mut last_err = None;
     let mut converged_any = false;
 
+    // One assembly template serves every rung: the ladder varies only
+    // gmin, which the template applies per solve — the netlist is walked
+    // once for the whole continuation, not once per rung.
+    let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
+    let template = AssemblyTemplate::new(netlist, &ctx);
+
     for &gmin in &GMIN_LADDER {
-        let ctx = StampContext { time: 0.0, step: None, gmin };
-        match newton_solve(netlist, &x, &ctx, &options) {
+        match newton_solve_with_template(&template, &x, gmin, options) {
             Ok(sol) => {
                 x = sol;
                 converged_any = true;
@@ -83,8 +102,7 @@ pub fn operating_point_from(
     }
 
     // The final rung must have converged for the result to be meaningful.
-    let final_ctx = StampContext { time: 0.0, step: None, gmin: *GMIN_LADDER.last().unwrap() };
-    match newton_solve(netlist, &x, &final_ctx, &options) {
+    match newton_solve_with_template(&template, &x, *GMIN_LADDER.last().unwrap(), options) {
         Ok(sol) => Ok(OperatingPoint::new(sol, netlist.node_count() - 1)),
         Err(e) => {
             if converged_any {

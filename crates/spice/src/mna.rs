@@ -7,9 +7,10 @@
 //! in DC.
 
 use crate::device::Device;
+use crate::model::MosModel;
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
-use glova_linalg::Matrix;
+use glova_linalg::{Lu, Matrix};
 
 /// Assembly context: DC or one implicit transient step.
 #[derive(Debug, Clone, Copy)]
@@ -46,104 +47,222 @@ fn stamp_rhs(rhs: &mut [f64], a: Option<usize>, value: f64) {
     }
 }
 
+/// One MOSFET's pre-resolved nonlinear stamp: node indices, polarity and
+/// geometry ratio extracted once per Newton solve so the per-iteration
+/// restamp touches no netlist structure.
+#[derive(Debug, Clone, Copy)]
+struct MosStamp {
+    drain: Option<usize>,
+    gate: Option<usize>,
+    source: Option<usize>,
+    model: MosModel,
+    ratio: f64,
+    /// Polarity factor: +1 NMOS, −1 PMOS (carrier-space transform).
+    p: f64,
+}
+
+/// Cached MNA assembly for one `(netlist, context)` pair.
+///
+/// Everything except the MOSFETs is affine in the unknowns and constant
+/// across Newton iterations — resistor/capacitor-companion conductances,
+/// voltage-source incidence rows, source currents and the `gmin`
+/// diagonal. The template stamps that constant part **once**; each
+/// iteration then copies it ([`Matrix::copy_from`], a `memcpy`) and
+/// restamps only the nonlinear devices, instead of re-walking the whole
+/// netlist and re-zeroing the system.
+#[derive(Debug, Clone)]
+pub struct AssemblyTemplate {
+    base: Matrix,
+    base_rhs: Vec<f64>,
+    mosfets: Vec<MosStamp>,
+    n_nodes: usize,
+}
+
+impl AssemblyTemplate {
+    /// Builds the template: stamps every constant device, extracts the
+    /// nonlinear ones. The template bakes in `ctx.time` and `ctx.step`
+    /// (source values, capacitor companions) but **not** `ctx.gmin` —
+    /// the gmin diagonal is applied per [`assemble_into`](Self::assemble_into)
+    /// call, so one template serves an entire gmin continuation ladder.
+    pub fn new(netlist: &Netlist, ctx: &StampContext<'_>) -> Self {
+        let n_nodes = netlist.node_count() - 1;
+        let n = netlist.unknown_count();
+        let mut a = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut mosfets = Vec::new();
+
+        for device in netlist.devices() {
+            match device {
+                Device::Resistor { a: na, b: nb, ohms, .. } => {
+                    let g = 1.0 / ohms;
+                    let (ia, ib) = (node_index(*na), node_index(*nb));
+                    stamp(&mut a, ia, ia, g);
+                    stamp(&mut a, ib, ib, g);
+                    stamp(&mut a, ia, ib, -g);
+                    stamp(&mut a, ib, ia, -g);
+                }
+                Device::Capacitor { a: na, b: nb, farads, .. } => {
+                    if let Some((dt, prev)) = ctx.step {
+                        // Backward-Euler companion: geq ∥ ieq. `prev` is the
+                        // previous *time step*, fixed across the iteration.
+                        let geq = farads / dt;
+                        let (ia, ib) = (node_index(*na), node_index(*nb));
+                        let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
+                        let ieq = geq * (v_prev(ia) - v_prev(ib));
+                        stamp(&mut a, ia, ia, geq);
+                        stamp(&mut a, ib, ib, geq);
+                        stamp(&mut a, ia, ib, -geq);
+                        stamp(&mut a, ib, ia, -geq);
+                        stamp_rhs(&mut rhs, ia, ieq);
+                        stamp_rhs(&mut rhs, ib, -ieq);
+                    }
+                    // DC: capacitor is open — no stamp.
+                }
+                Device::Vsource { plus, minus, waveform, branch, .. } => {
+                    let k = n_nodes + branch;
+                    let (ip, im) = (node_index(*plus), node_index(*minus));
+                    // Branch current enters the plus node.
+                    stamp(&mut a, ip, Some(k), 1.0);
+                    stamp(&mut a, im, Some(k), -1.0);
+                    stamp(&mut a, Some(k), ip, 1.0);
+                    stamp(&mut a, Some(k), im, -1.0);
+                    rhs[k] = waveform.value_at(ctx.time);
+                }
+                Device::Isource { from, to, amps, .. } => {
+                    stamp_rhs(&mut rhs, node_index(*to), *amps);
+                    stamp_rhs(&mut rhs, node_index(*from), -*amps);
+                }
+                Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
+                    let p = match model.polarity {
+                        crate::model::MosPolarity::Nmos => 1.0,
+                        crate::model::MosPolarity::Pmos => -1.0,
+                    };
+                    mosfets.push(MosStamp {
+                        drain: node_index(*drain),
+                        gate: node_index(*gate),
+                        source: node_index(*source),
+                        model: *model,
+                        ratio: w_um / l_um,
+                        p,
+                    });
+                }
+            }
+        }
+        Self { base: a, base_rhs: rhs, mosfets, n_nodes }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Number of nonlinear devices restamped per iteration.
+    pub fn nonlinear_count(&self) -> usize {
+        self.mosfets.len()
+    }
+
+    /// Assembles the linearized system around estimate `x` into
+    /// caller-provided storage: constant part copied, the gmin diagonal
+    /// applied, MOSFETs restamped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`, `rhs` or `x` have the wrong dimensions.
+    pub fn assemble_into(&self, a: &mut Matrix, rhs: &mut [f64], x: &[f64], gmin: f64) {
+        a.copy_from(&self.base);
+        rhs.copy_from_slice(&self.base_rhs);
+        assert_eq!(x.len(), self.dim(), "solution estimate dimension mismatch");
+
+        // Floating-node / convergence gmin.
+        for i in 0..self.n_nodes {
+            a[(i, i)] += gmin;
+        }
+
+        // Node voltage from the current estimate (ground = 0).
+        let volt = |idx: Option<usize>| -> f64 { idx.map_or(0.0, |i| x[i]) };
+
+        for mos in &self.mosfets {
+            // Polarity factor: work in "carrier space" w = p·v so PMOS
+            // reuses the NMOS equations; p² = 1 keeps the conductance
+            // stamps sign-free while the equivalent current gets p.
+            let p = mos.p;
+            let wd = p * volt(mos.drain);
+            let wg = p * volt(mos.gate);
+            let ws = p * volt(mos.source);
+            // The device is symmetric: the higher carrier-space terminal
+            // acts as drain.
+            let (idx_d, idx_s, wdd, wss) = if wd >= ws {
+                (mos.drain, mos.source, wd, ws)
+            } else {
+                (mos.source, mos.drain, ws, wd)
+            };
+            let vgs_c = wg - wss;
+            let vds_c = wdd - wss;
+            let (id0, gm0, gds0) = mos.model.ids(vgs_c, vds_c);
+            let (id, gm, gds) = (id0 * mos.ratio, gm0 * mos.ratio, gds0 * mos.ratio);
+            let ieq = id - gm * vgs_c - gds * vds_c;
+
+            let idx_g = mos.gate;
+            stamp(a, idx_d, idx_g, gm);
+            stamp(a, idx_d, idx_d, gds);
+            stamp(a, idx_d, idx_s, -(gm + gds));
+            stamp(a, idx_s, idx_g, -gm);
+            stamp(a, idx_s, idx_d, -gds);
+            stamp(a, idx_s, idx_s, gm + gds);
+            stamp_rhs(rhs, idx_d, -p * ieq);
+            stamp_rhs(rhs, idx_s, p * ieq);
+        }
+    }
+}
+
 /// Assembles the linearized MNA system around solution estimate `x`.
 ///
 /// Returns `(matrix, rhs)` such that solving gives the *next* Newton
-/// estimate directly (not a delta).
+/// estimate directly (not a delta). One-shot convenience over
+/// [`AssemblyTemplate`]; iteration loops should build the template once
+/// and call [`AssemblyTemplate::assemble_into`].
 pub fn assemble(netlist: &Netlist, x: &[f64], ctx: &StampContext<'_>) -> (Matrix, Vec<f64>) {
-    let n_nodes = netlist.node_count() - 1;
-    let n = netlist.unknown_count();
+    let template = AssemblyTemplate::new(netlist, ctx);
+    let n = template.dim();
     let mut a = Matrix::zeros(n, n);
     let mut rhs = vec![0.0; n];
-
-    // Node voltage from the current estimate (ground = 0).
-    let volt = |node: NodeId| -> f64 {
-        match node_index(node) {
-            None => 0.0,
-            Some(i) => x[i],
-        }
-    };
-
-    // Floating-node / convergence gmin.
-    for i in 0..n_nodes {
-        a[(i, i)] += ctx.gmin;
-    }
-
-    for device in netlist.devices() {
-        match device {
-            Device::Resistor { a: na, b: nb, ohms, .. } => {
-                let g = 1.0 / ohms;
-                let (ia, ib) = (node_index(*na), node_index(*nb));
-                stamp(&mut a, ia, ia, g);
-                stamp(&mut a, ib, ib, g);
-                stamp(&mut a, ia, ib, -g);
-                stamp(&mut a, ib, ia, -g);
-            }
-            Device::Capacitor { a: na, b: nb, farads, .. } => {
-                if let Some((dt, prev)) = ctx.step {
-                    // Backward-Euler companion: geq ∥ ieq.
-                    let geq = farads / dt;
-                    let (ia, ib) = (node_index(*na), node_index(*nb));
-                    let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
-                    let ieq = geq * (v_prev(ia) - v_prev(ib));
-                    stamp(&mut a, ia, ia, geq);
-                    stamp(&mut a, ib, ib, geq);
-                    stamp(&mut a, ia, ib, -geq);
-                    stamp(&mut a, ib, ia, -geq);
-                    stamp_rhs(&mut rhs, ia, ieq);
-                    stamp_rhs(&mut rhs, ib, -ieq);
-                }
-                // DC: capacitor is open — no stamp.
-            }
-            Device::Vsource { plus, minus, waveform, branch, .. } => {
-                let k = n_nodes + branch;
-                let (ip, im) = (node_index(*plus), node_index(*minus));
-                // Branch current enters the plus node.
-                stamp(&mut a, ip, Some(k), 1.0);
-                stamp(&mut a, im, Some(k), -1.0);
-                stamp(&mut a, Some(k), ip, 1.0);
-                stamp(&mut a, Some(k), im, -1.0);
-                rhs[k] = waveform.value_at(ctx.time);
-            }
-            Device::Isource { from, to, amps, .. } => {
-                stamp_rhs(&mut rhs, node_index(*to), *amps);
-                stamp_rhs(&mut rhs, node_index(*from), -*amps);
-            }
-            Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
-                // Polarity factor: work in "carrier space" w = p·v so PMOS
-                // reuses the NMOS equations; p² = 1 keeps the conductance
-                // stamps sign-free while the equivalent current gets p.
-                let p = match model.polarity {
-                    crate::model::MosPolarity::Nmos => 1.0,
-                    crate::model::MosPolarity::Pmos => -1.0,
-                };
-                let wd = p * volt(*drain);
-                let wg = p * volt(*gate);
-                let ws = p * volt(*source);
-                // The device is symmetric: the higher carrier-space terminal
-                // acts as drain.
-                let (nd, ns, wdd, wss) =
-                    if wd >= ws { (*drain, *source, wd, ws) } else { (*source, *drain, ws, wd) };
-                let vgs_c = wg - wss;
-                let vds_c = wdd - wss;
-                let ratio = w_um / l_um;
-                let (id0, gm0, gds0) = model.ids(vgs_c, vds_c);
-                let (id, gm, gds) = (id0 * ratio, gm0 * ratio, gds0 * ratio);
-                let ieq = id - gm * vgs_c - gds * vds_c;
-
-                let (idx_d, idx_s, idx_g) = (node_index(nd), node_index(ns), node_index(*gate));
-                stamp(&mut a, idx_d, idx_g, gm);
-                stamp(&mut a, idx_d, idx_d, gds);
-                stamp(&mut a, idx_d, idx_s, -(gm + gds));
-                stamp(&mut a, idx_s, idx_g, -gm);
-                stamp(&mut a, idx_s, idx_d, -gds);
-                stamp(&mut a, idx_s, idx_s, gm + gds);
-                stamp_rhs(&mut rhs, idx_d, -p * ieq);
-                stamp_rhs(&mut rhs, idx_s, p * ieq);
-            }
-        }
-    }
+    template.assemble_into(&mut a, &mut rhs, x, ctx.gmin);
     (a, rhs)
+}
+
+/// When the Newton loop re-factors the Jacobian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JacobianStrategy {
+    /// Textbook Newton: factor a fresh Jacobian every iteration.
+    Full,
+    /// Chord (frozen-Jacobian) iteration: reuse the last LU factorization
+    /// while the update norm keeps contracting, re-factoring only on slow
+    /// convergence. The residual is always evaluated against the *fresh*
+    /// linearization, so the converged solution is the same fixed point
+    /// as full Newton — only the path (and the per-iteration O(n³)
+    /// factorization cost) changes.
+    Chord {
+        /// Max-delta (volts) above which the Jacobian is always refreshed
+        /// — far from the solution the linearization changes too fast for
+        /// a stale factorization to help.
+        refactor_threshold: f64,
+        /// Required shrink ratio of the update norm for a stale
+        /// factorization to be kept another iteration; a chord step whose
+        /// `max_delta > contraction × previous` triggers a refresh.
+        contraction: f64,
+    },
+}
+
+impl JacobianStrategy {
+    /// The default chord parameters: reuse the factorization inside the
+    /// 50 mV convergence basin, demand 2× contraction per step.
+    pub const CHORD_DEFAULT: Self = Self::Chord { refactor_threshold: 0.05, contraction: 0.5 };
+}
+
+impl Default for JacobianStrategy {
+    fn default() -> Self {
+        Self::CHORD_DEFAULT
+    }
 }
 
 /// Newton-iteration controls.
@@ -155,11 +274,26 @@ pub struct NewtonOptions {
     pub tolerance: f64,
     /// Per-iteration clamp on any voltage update, volts (damping).
     pub max_step: f64,
+    /// Jacobian refresh policy (chord reuse by default).
+    pub strategy: JacobianStrategy,
+}
+
+impl NewtonOptions {
+    /// Options forcing a fresh factorization every iteration — the
+    /// reference semantics the chord path is parity-tested against.
+    pub fn full_newton() -> Self {
+        Self { strategy: JacobianStrategy::Full, ..Self::default() }
+    }
 }
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        Self { max_iterations: 200, tolerance: 1e-9, max_step: 0.5 }
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-9,
+            max_step: 0.5,
+            strategy: JacobianStrategy::default(),
+        }
     }
 }
 
@@ -175,20 +309,72 @@ pub fn newton_solve(
     ctx: &StampContext<'_>,
     options: &NewtonOptions,
 ) -> Result<Vec<f64>, SpiceError> {
-    let n = netlist.unknown_count();
+    // The constant stamps are assembled once; per-iteration work is a
+    // memcpy of the base system plus the nonlinear restamp.
+    let template = AssemblyTemplate::new(netlist, ctx);
+    newton_solve_with_template(&template, initial, ctx.gmin, options)
+}
+
+/// [`newton_solve`] over a prebuilt [`AssemblyTemplate`] — callers that
+/// solve the same `(netlist, time, step)` system repeatedly (the DC
+/// gmin continuation ladder) build the template once and sweep `gmin`
+/// here instead of re-walking the netlist per rung.
+///
+/// # Errors
+///
+/// See [`newton_solve`].
+///
+/// # Panics
+///
+/// Panics if `initial.len()` differs from the template dimension.
+pub fn newton_solve_with_template(
+    template: &AssemblyTemplate,
+    initial: &[f64],
+    gmin: f64,
+    options: &NewtonOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = template.dim();
     assert_eq!(initial.len(), n, "initial guess dimension mismatch");
-    let n_nodes = netlist.node_count() - 1;
+    let n_nodes = template.n_nodes;
     let mut x = initial.to_vec();
 
+    let mut a = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut residual = vec![0.0; n];
+    let mut dx = Vec::with_capacity(n);
+    let mut lu: Option<Lu> = None;
+    // Whether `lu` was factored from an *earlier* iterate (chord state).
+    let mut lu_is_stale = false;
+    let mut refresh_next = false;
+    let mut last_max_delta = f64::INFINITY;
+
     for _ in 0..options.max_iterations {
-        let (a, rhs) = assemble(netlist, &x, ctx);
-        let lu = a.lu().map_err(SpiceError::from)?;
-        let x_new = lu.solve(&rhs);
+        template.assemble_into(&mut a, &mut rhs, &x, gmin);
+        // residual = rhs − A·x; the Newton/chord step solves J·dx = residual.
+        a.mat_vec_into(&x, &mut residual);
+        for (r, b) in residual.iter_mut().zip(&rhs) {
+            *r = b - *r;
+        }
+
+        let refresh = match options.strategy {
+            JacobianStrategy::Full => true,
+            JacobianStrategy::Chord { refactor_threshold, .. } => {
+                lu.is_none() || refresh_next || last_max_delta > refactor_threshold
+            }
+        };
+        if refresh {
+            match &mut lu {
+                Some(factor) => factor.refactor(&a).map_err(SpiceError::from)?,
+                None => lu = Some(a.lu().map_err(SpiceError::from)?),
+            }
+            lu_is_stale = false;
+        }
+        lu.as_ref().expect("factorization present after refresh").solve_into(&residual, &mut dx);
 
         // Damped update with per-component clamp on node voltages.
         let mut max_delta = 0.0f64;
         for i in 0..n {
-            let mut delta = x_new[i] - x[i];
+            let mut delta = dx[i];
             if i < n_nodes {
                 delta = delta.clamp(-options.max_step, options.max_step);
             }
@@ -200,13 +386,20 @@ pub fn newton_solve(
         if max_delta < options.tolerance {
             return Ok(x);
         }
+        // A stale-Jacobian step that failed to contract enough means the
+        // chord iteration is stalling: refresh on the next pass.
+        refresh_next = matches!(
+            options.strategy,
+            JacobianStrategy::Chord { contraction, .. }
+                if lu_is_stale && max_delta > contraction * last_max_delta
+        );
+        lu_is_stale = true;
+        last_max_delta = max_delta;
     }
     // Measure the final update magnitude as the reported residual.
-    let (a, rhs) = assemble(netlist, &x, ctx);
-    let residual = {
-        let ax = a.mat_vec(&x);
-        ax.iter().zip(&rhs).map(|(l, r)| (l - r).abs()).fold(0.0f64, f64::max)
-    };
+    template.assemble_into(&mut a, &mut rhs, &x, gmin);
+    a.mat_vec_into(&x, &mut residual);
+    let residual = residual.iter().zip(&rhs).map(|(l, r)| (l - r).abs()).fold(0.0f64, f64::max);
     Err(SpiceError::NonConvergent { residual })
 }
 
@@ -254,6 +447,54 @@ mod tests {
         let n_nodes = nl.node_count() - 1;
         let branch = n_nodes + nl.vsource_branch("V1").unwrap();
         assert!((x[branch] + 1e-3).abs() < 1e-9, "branch current {}", x[branch]);
+    }
+
+    #[test]
+    fn template_matches_direct_assembly() {
+        // Mixed linear + nonlinear netlist: template restamp must agree
+        // with a from-scratch assembly at several estimates.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, 0.9);
+        nl.vsource("VIN", vin, GROUND, 0.45);
+        nl.resistor("RL", vdd, out, 10e3);
+        nl.mosfet("M1", out, vin, GROUND, crate::model::MosModel::nmos_28nm(), 2.0, 0.1);
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-9 };
+        let template = AssemblyTemplate::new(&nl, &ctx);
+        assert_eq!(template.nonlinear_count(), 1);
+        let n = nl.unknown_count();
+        for estimate in [vec![0.0; n], vec![0.3; n], vec![0.9; n]] {
+            let (a_direct, rhs_direct) = assemble(&nl, &estimate, &ctx);
+            let mut a = glova_linalg::Matrix::zeros(n, n);
+            let mut rhs = vec![0.0; n];
+            template.assemble_into(&mut a, &mut rhs, &estimate, ctx.gmin);
+            assert_eq!(a, a_direct);
+            assert_eq!(rhs, rhs_direct);
+        }
+    }
+
+    #[test]
+    fn chord_and_full_newton_agree() {
+        // Strongly nonlinear CMOS inverter at mid-rail input: the chord
+        // iteration must land on the same operating point as full Newton
+        // to well within the Newton tolerance.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, 0.9);
+        nl.vsource("VIN", vin, GROUND, 0.42);
+        nl.mosfet("MP", out, vin, vdd, crate::model::MosModel::pmos_28nm(), 2.0, 0.05);
+        nl.mosfet("MN", out, vin, GROUND, crate::model::MosModel::nmos_28nm(), 1.0, 0.05);
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-9 };
+        let x0 = vec![0.0; nl.unknown_count()];
+        let full = newton_solve(&nl, &x0, &ctx, &NewtonOptions::full_newton()).unwrap();
+        let chord = newton_solve(&nl, &x0, &ctx, &NewtonOptions::default()).unwrap();
+        for (c, f) in chord.iter().zip(&full) {
+            assert!((c - f).abs() < 1e-9, "chord {c} vs full {f}");
+        }
     }
 
     #[test]

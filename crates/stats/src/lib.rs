@@ -17,6 +17,8 @@
 //! - [`histogram`] — fixed-bin histograms for the figure harnesses.
 //! - [`reduce`] — order-independent, NaN-propagating reductions (the
 //!   worst-reward fold shared by the evaluation pipeline).
+//! - [`hash`] — deterministic FNV-1a hashing of float bit patterns (the
+//!   evaluation-cache keys).
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 pub mod binomial;
 pub mod correlation;
 pub mod descriptive;
+pub mod hash;
 pub mod histogram;
 pub mod normal;
 pub mod reduce;
@@ -46,6 +49,7 @@ pub mod rng;
 pub use binomial::clopper_pearson;
 pub use correlation::{covariance, pearson};
 pub use descriptive::{mean, quantile, std_dev, variance, RunningStats, Summary};
+pub use hash::{hash_f64_slice, Fnv1a};
 pub use histogram::Histogram;
 pub use normal::StandardNormal;
 pub use reduce::{finite_worst, nan_min, worst, DIVERGED_REWARD};

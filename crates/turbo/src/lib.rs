@@ -1,7 +1,7 @@
 //! TuRBO — trust-region Bayesian optimization (Eriksson et al., NeurIPS
-//! 2019, the paper's ref [13]).
+//! 2019, the paper's ref \[13\]).
 //!
-//! GLOVA (following PVTSizing [9]) uses TuRBO for **initial sampling**:
+//! GLOVA (following PVTSizing \[9\]) uses TuRBO for **initial sampling**:
 //! before the RL agent starts, TuRBO searches the normalized design space
 //! for solutions that satisfy the constraints under the *typical*
 //! condition. This replaces the random initial sampling of RobustAnalog and
