@@ -24,17 +24,25 @@
 //!   memory, so the scenario measures a real hit rate and the wall-time
 //!   ratio vs the cache-off reference.
 //! - `spice_op` — repeated DC operating-point solves of CMOS inverter
-//!   chains (4 and 24 stages), chord-Newton (the default) vs full
-//!   Newton; the LU reuse wins grow with the MNA dimension.
+//!   chains (4 and 24 stages) on the dense reference backend,
+//!   chord-Newton (the default) vs full Newton; the LU reuse wins grow
+//!   with the MNA dimension.
+//! - `spice_sparse` — the same operating-point workload per chain size,
+//!   dense vs sparse backend (both on the default chord strategy,
+//!   through a persistent [`OpSolver`] as a
+//!   sweep would use): the dense-vs-sparse scaling curve, gated so the
+//!   sparse backend never regresses below its measured advantage.
 //!
 //! The `--gate` mode enforces: per-scenario wall ceiling, best threaded
 //! speedup across the yield-grid matrix ≥ `--min-speedup` (skipped on
-//! single-core machines, where a threaded engine cannot win), and a
-//! nonzero cache hit rate on the re-sweep scenario. Timings gate on the
-//! best of two runs per measurement — single samples of
-//! millisecond-scale batches are CI-noise, not signal.
+//! single-core machines, where a threaded engine cannot win), a nonzero
+//! cache hit rate on the re-sweep scenario with the cache pinned on, the
+//! auto-policy cache never below 0.95× the cache-off wall, and the
+//! sparse-backend floors (≥ 1.5× dense at 24 stages, ≥ 4× at 64).
+//! Timings gate on the best of two runs per measurement — single
+//! samples of millisecond-scale batches are CI-noise, not signal.
 
-use glova::cache::EvalCacheConfig;
+use glova::cache::{CachePolicy, EvalCacheConfig};
 use glova::engine::EngineSpec;
 use glova::problem::SizingProblem;
 use glova::verification::Verifier;
@@ -42,10 +50,9 @@ use glova::yield_est::estimate_yield;
 use glova_bench::report::{BenchRecord, BenchReport};
 use glova_bench::{report_requested, write_report};
 use glova_circuits::{Circuit, ToyQuadratic};
-use glova_spice::dc::operating_point_with_options;
-use glova_spice::mna::NewtonOptions;
-use glova_spice::model::MosModel;
-use glova_spice::netlist::{Netlist, GROUND};
+use glova_spice::dc::OpSolver;
+use glova_spice::mna::{NewtonOptions, SolverBackend};
+use glova_spice::netlist::{inverter_chain, Netlist};
 use glova_stats::rng::seeded;
 use glova_variation::config::VerificationMethod;
 use std::sync::Arc;
@@ -90,7 +97,7 @@ fn yield_grid(circuit: &Arc<dyn Circuit>, engine: EngineSpec, batch: usize) -> (
 }
 
 /// Two identically seeded verifications of a passing design; returns
-/// (sims, wall, problem) so the caller can read cache stats.
+/// (sims, wall) — the caller reads cache stats off the problem.
 fn verify_twice(problem: &SizingProblem, x: &[f64]) -> (u64, Duration) {
     let corner_order: Vec<usize> = (0..problem.config().corners.len()).collect();
     let verifier = Verifier::new(problem, 4.0);
@@ -103,34 +110,40 @@ fn verify_twice(problem: &SizingProblem, x: &[f64]) -> (u64, Duration) {
     (problem.simulations(), start.elapsed())
 }
 
-/// Repeated DC operating-point solves; returns wall time.
-fn solve_op(netlist: &Netlist, options: &NewtonOptions, solves: usize) -> Duration {
-    let start = Instant::now();
-    for _ in 0..solves {
-        operating_point_with_options(netlist, &vec![0.0; netlist.unknown_count()], options)
-            .expect("operating point converges");
-    }
-    start.elapsed()
+/// Best-of-two [`verify_twice`] over **fresh problems** (cache state
+/// must not leak between timing repeats); sims and cache stats come
+/// from the first repeat — identical across repeats by construction —
+/// while the gated wall time takes the minimum, the same
+/// noise-hardening the yield-grid scenario uses.
+fn verify_twice_best(
+    make_problem: impl Fn() -> SizingProblem,
+    x: &[f64],
+) -> (u64, Duration, Option<glova::cache::CacheStats>) {
+    let first = make_problem();
+    let (sims, mut best) = verify_twice(&first, x);
+    let stats = first.cache_stats();
+    let repeat = make_problem();
+    let (_, wall) = verify_twice(&repeat, x);
+    best = best.min(wall);
+    (sims, best, stats)
 }
 
-/// A CMOS inverter chain biased at mid-rail: `stages` nonlinear stages,
-/// `2 + stages` MNA unknowns. The chord-Newton LU reuse pays off once
-/// the O(n³) factorization outgrows the per-iteration restamp — chains
-/// are the knob that sweeps `n`.
-fn inverter_chain(stages: usize) -> Netlist {
-    let mut nl = Netlist::new();
-    let vdd = nl.node("vdd");
-    let vin = nl.node("vin");
-    nl.vsource("VDD", vdd, GROUND, 0.9);
-    nl.vsource("VIN", vin, GROUND, 0.42);
-    let mut prev = vin;
-    for s in 0..stages {
-        let out = nl.node(&format!("n{s}"));
-        nl.mosfet(&format!("MP{s}"), out, prev, vdd, MosModel::pmos_28nm(), 2.0, 0.05);
-        nl.mosfet(&format!("MN{s}"), out, prev, GROUND, MosModel::nmos_28nm(), 1.0, 0.05);
-        prev = out;
+/// Repeated DC operating-point solves through a persistent
+/// [`OpSolver`] (template and, on the sparse backend, the symbolic
+/// factorization built once — the corner-sweep usage pattern); returns
+/// the best-of-two wall time (both timing loops run warm solver state,
+/// so the repeats are symmetric across backends).
+fn solve_op(netlist: &Netlist, options: &NewtonOptions, solves: usize) -> Duration {
+    let mut solver = OpSolver::new(netlist, *options);
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for _ in 0..solves {
+            solver.solve().expect("operating point converges");
+        }
+        best = best.min(start.elapsed());
     }
-    nl
+    best
 }
 
 fn main() {
@@ -200,23 +213,33 @@ fn main() {
         }
     }
 
-    // ---- verify_resweep: cache off vs on -------------------------------
+    // ---- verify_resweep: cache off vs pinned-on vs auto ----------------
     // A mismatch-tolerant toy at its optimum: verification passes, so
     // both runs execute the full phase-2 sweep; the second, identically
-    // seeded run re-visits every point.
+    // seeded run re-visits every point. The pinned-on record measures
+    // the hit machinery (and must see hits); the auto record measures
+    // the *default* policy, whose cost probe turns memoization off for
+    // a ~1 µs analytic evaluate — so cache-on may never land visibly
+    // below cache-off.
     let toy: Arc<dyn Circuit> = Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05));
     let x_opt = ToyQuadratic::standard().optimum().to_vec();
-    let off_problem = SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc);
-    let (off_sims, off_wall) = verify_twice(&off_problem, &x_opt);
+    let (off_sims, off_wall, _) = verify_twice_best(
+        || SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc),
+        &x_opt,
+    );
     let off =
         BenchRecord::new("verify_resweep", "ToyQuadratic", "sequential", 2, off_sims, off_wall);
     print_record(&off);
     report.push(off);
 
-    let on_problem = SizingProblem::new(toy, VerificationMethod::CornerLocalMc)
-        .with_cache(EvalCacheConfig::default());
-    let (on_sims, on_wall) = verify_twice(&on_problem, &x_opt);
-    let stats = on_problem.cache_stats().expect("cache attached");
+    let (on_sims, on_wall, on_stats) = verify_twice_best(
+        || {
+            SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc)
+                .with_cache(EvalCacheConfig::with_policy(CachePolicy::On))
+        },
+        &x_opt,
+    );
+    let stats = on_stats.expect("cache attached");
     let cache_speedup = off_wall.as_secs_f64() / on_wall.as_secs_f64().max(1e-12);
     let on =
         BenchRecord::new("verify_resweep", "ToyQuadratic", "sequential+cache", 2, on_sims, on_wall)
@@ -228,23 +251,112 @@ fn main() {
         failures.push("verify_resweep: cache hit rate is zero".to_string());
     }
 
-    // ---- spice_op: chord vs full Newton --------------------------------
+    let (auto_sims, auto_wall, auto_stats) = verify_twice_best(
+        || {
+            SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc)
+                .with_cache(EvalCacheConfig::default())
+        },
+        &x_opt,
+    );
+    let auto_stats = auto_stats.expect("cache attached");
+    let auto_speedup = off_wall.as_secs_f64() / auto_wall.as_secs_f64().max(1e-12);
+    let auto = BenchRecord::new(
+        "verify_resweep",
+        "ToyQuadratic",
+        "sequential+cache-auto",
+        2,
+        auto_sims,
+        auto_wall,
+    )
+    .with_speedup(auto_speedup)
+    .with_cache(auto_stats);
+    print_record(&auto);
+    report.push(auto);
+    // The cache-regression bound: with the Auto policy the cache must
+    // never cost more than a few percent of the cache-off wall, however
+    // cheap the circuit (0.84× before the cost probe existed).
+    if gate && auto_speedup < 0.95 {
+        failures.push(format!(
+            "verify_resweep: auto-policy cache is {auto_speedup:.2}x of cache-off \
+             wall (bound 0.95x)"
+        ));
+    }
+
+    // ---- spice_op: chord vs full Newton (dense reference) --------------
     let solves = if quick { 200 } else { 1000 };
+    let dense = |options: NewtonOptions| options.with_backend(SolverBackend::Dense);
     for (name, netlist) in [("inv_chain4", inverter_chain(4)), ("inv_chain24", inverter_chain(24))]
     {
-        let full_wall = solve_op(&netlist, &NewtonOptions::full_newton(), solves);
+        let full_wall = solve_op(&netlist, &dense(NewtonOptions::full_newton()), solves);
         let full =
             BenchRecord::new("spice_op", name, "full-newton", solves, solves as u64, full_wall);
         print_record(&full);
         report.push(full);
 
-        let chord_wall = solve_op(&netlist, &NewtonOptions::default(), solves);
+        let chord_wall = solve_op(&netlist, &dense(NewtonOptions::default()), solves);
         let chord_speedup = full_wall.as_secs_f64() / chord_wall.as_secs_f64().max(1e-12);
         let chord =
             BenchRecord::new("spice_op", name, "chord-newton", solves, solves as u64, chord_wall)
                 .with_speedup(chord_speedup);
         print_record(&chord);
         report.push(chord);
+    }
+
+    // ---- spice_sparse: dense vs sparse backend per chain size ----------
+    // Both backends run the default chord strategy through a persistent
+    // OpSolver; the sparse records carry their speedup over the matching
+    // dense run (best-of-two walls on both sides). Gated floors sit
+    // under the locally measured ratios (~2.9x at 24 stages, ~8.9x at
+    // 64) to absorb shared-runner noise while still catching a real
+    // scaling regression.
+    let sparse_sizes: &[(usize, Option<f64>)] = if quick {
+        &[(4, None), (24, Some(1.5))]
+    } else {
+        &[(4, None), (24, Some(1.5)), (64, Some(4.0))]
+    };
+    for &(stages, floor) in sparse_sizes {
+        let name = format!("inv_chain{stages}");
+        let netlist = inverter_chain(stages);
+        let dense_wall = solve_op(&netlist, &dense(NewtonOptions::default()), solves.min(500));
+        let dense_rec = BenchRecord::new(
+            "spice_sparse",
+            name.clone(),
+            "dense",
+            netlist.unknown_count(),
+            solves.min(500) as u64,
+            dense_wall,
+        );
+        print_record(&dense_rec);
+        report.push(dense_rec);
+
+        let sparse_wall = solve_op(
+            &netlist,
+            &NewtonOptions::default().with_backend(SolverBackend::Sparse),
+            solves.min(500),
+        );
+        let sparse_speedup = dense_wall.as_secs_f64() / sparse_wall.as_secs_f64().max(1e-12);
+        let sparse_rec = BenchRecord::new(
+            "spice_sparse",
+            name.clone(),
+            "sparse",
+            netlist.unknown_count(),
+            solves.min(500) as u64,
+            sparse_wall,
+        )
+        .with_speedup(sparse_speedup);
+        print_record(&sparse_rec);
+        report.push(sparse_rec);
+
+        if gate {
+            if let Some(floor) = floor {
+                if sparse_speedup < floor {
+                    failures.push(format!(
+                        "spice_sparse: {name} sparse backend is {sparse_speedup:.2}x \
+                         dense (floor {floor:.1}x)"
+                    ));
+                }
+            }
+        }
     }
 
     // ---- gate: wall ceiling over every record --------------------------

@@ -1,0 +1,125 @@
+//! SPICE operating-point microbenchmark: DC solves across circuit sizes,
+//! solver backends and Jacobian strategies.
+//!
+//! ```sh
+//! cargo run --release -p glova-bench --bin spice_op
+//! cargo run --release -p glova-bench --bin spice_op -- --backend sparse
+//! cargo run --release -p glova-bench --bin spice_op -- \
+//!     --sizes 4,24,64,128 --solves 500 --report
+//! ```
+//!
+//! Without `--backend`, every size runs **both** dense and sparse (plus
+//! the auto selection as a sanity row), which is the dense-vs-sparse
+//! scaling curve the perf trajectory tracks; `--backend dense|sparse|auto`
+//! restricts the matrix to one backend — the CLI override for the
+//! size-based auto-selection. Timings are best-of-two; `--report` writes
+//! `BENCH_spice_op.json`.
+
+use glova_bench::report::{BenchRecord, BenchReport};
+use glova_bench::{report_requested, write_report};
+use glova_spice::dc::OpSolver;
+use glova_spice::mna::{NewtonOptions, SolverBackend};
+use glova_spice::netlist::{inverter_chain, rc_ladder, Netlist};
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Best-of-two wall time for `solves` repeated operating-point solves
+/// through a persistent [`OpSolver`] — the sweep pattern (template and,
+/// on the sparse backend, the symbolic factorization built once).
+/// `None` when the backend cannot solve the circuit.
+fn solve_op(netlist: &Netlist, options: &NewtonOptions, solves: usize) -> Option<Duration> {
+    let mut solver = OpSolver::new(netlist, *options);
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for _ in 0..solves {
+            if solver.solve().is_err() {
+                return None;
+            }
+        }
+        best = best.min(start.elapsed());
+    }
+    Some(best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let solves: usize = flag(&args, "--solves").and_then(|s| s.parse().ok()).unwrap_or(200);
+    let sizes: Vec<usize> = flag(&args, "--sizes")
+        .map(|s| {
+            s.split(',')
+                .map(|v| {
+                    v.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("--sizes expects a comma-separated list of stage counts");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![4, 24, 64, 128]);
+    let only: Option<SolverBackend> = flag(&args, "--backend").map(|s| {
+        SolverBackend::parse(&s).unwrap_or_else(|err| {
+            eprintln!("{err}");
+            std::process::exit(2);
+        })
+    });
+    let backends: Vec<SolverBackend> = match only {
+        Some(b) => vec![b],
+        None => vec![SolverBackend::Dense, SolverBackend::Sparse, SolverBackend::Auto],
+    };
+
+    println!("=== spice_op: DC operating-point solves ({solves} solves, best of 2) ===\n");
+    let mut report = BenchReport::new("spice_op");
+
+    let mut circuits: Vec<(String, Netlist)> =
+        sizes.iter().map(|&s| (format!("inv_chain{s}"), inverter_chain(s))).collect();
+    circuits.push(("rc_ladder64".to_string(), rc_ladder(64, 1e3, 1e-12)));
+
+    for (name, netlist) in &circuits {
+        let mut dense_wall: Option<Duration> = None;
+        for &backend in &backends {
+            let options = NewtonOptions::default().with_backend(backend);
+            let Some(wall) = solve_op(netlist, &options, solves) else {
+                // The dense reference runs out of numerical headroom on
+                // the largest chains (border-block cancellation) — report
+                // the gap instead of crashing the whole matrix.
+                println!(
+                    "{:<14} {:>4} unknowns  {:<7} does not converge",
+                    name,
+                    netlist.unknown_count(),
+                    format!("{backend}"),
+                );
+                continue;
+            };
+            let mut record = BenchRecord::new(
+                "spice_op",
+                name.clone(),
+                format!("{backend}"),
+                netlist.unknown_count(),
+                solves as u64,
+                wall,
+            );
+            if backend == SolverBackend::Dense {
+                dense_wall = Some(wall);
+            } else if let Some(reference) = dense_wall {
+                record =
+                    record.with_speedup(reference.as_secs_f64() / wall.as_secs_f64().max(1e-12));
+            }
+            let speedup = record
+                .speedup_vs_sequential
+                .map_or_else(|| "      -".to_string(), |s| format!("{s:6.2}x"));
+            println!(
+                "{:<14} {:>4} unknowns  {:<7} {:>9.1} ops/s  vs dense {}",
+                record.circuit, record.batch, record.engine, record.sims_per_sec, speedup
+            );
+            report.push(record);
+        }
+    }
+
+    if report_requested(&args) {
+        write_report(&report);
+    }
+}

@@ -33,7 +33,7 @@ use glova_variation::corner::{ProcessCorner, PvtCorner};
 use glova_variation::sampler::MismatchVector;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 /// Pass-through hasher: cache keys are already 64-bit FNV digests, so
@@ -57,22 +57,53 @@ impl Hasher for IdentityHasher {
 
 type KeyMap = HashMap<u64, Entry, BuildHasherDefault<IdentityHasher>>;
 
+/// When the cache actually memoizes.
+///
+/// Memoization is only a win when one circuit evaluation costs more than
+/// the digest + locked-map traffic of a lookup/insert round trip. The
+/// analytic testcase models evaluate in ~1 µs — hashing them costs more
+/// than recomputing (measured 0.84× on `verify_resweep` with the cache
+/// unconditionally on), while SPICE-backed evaluations cost hundreds of
+/// µs and cache handsomely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Measure the first few evaluations, then keep memoizing only when
+    /// the mean evaluation cost clears
+    /// [`EvalCache::AUTO_MIN_COMPUTE_NANOS`]; cheap problems degrade to
+    /// pass-through (no digest, no lock).
+    #[default]
+    Auto,
+    /// Always memoize (the pre-policy behavior; what the hit-rate
+    /// scenarios measure).
+    On,
+    /// Never memoize: [`EvalCache::get_or_compute`] evaluates directly.
+    Off,
+}
+
 /// Evaluation-cache tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalCacheConfig {
     /// Maximum resident entries before LRU eviction.
     pub capacity: usize,
+    /// Memoization policy (cost-probing [`CachePolicy::Auto`] by
+    /// default).
+    pub policy: CachePolicy,
 }
 
 impl EvalCacheConfig {
     /// Default bound: generous for verification sweeps (a full 30-corner
     /// × 100-sample campaign is 3 000 points) without unbounded growth.
     pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Default config with an explicit policy.
+    pub fn with_policy(policy: CachePolicy) -> Self {
+        Self { policy, ..Self::default() }
+    }
 }
 
 impl Default for EvalCacheConfig {
     fn default() -> Self {
-        Self { capacity: Self::DEFAULT_CAPACITY }
+        Self { capacity: Self::DEFAULT_CAPACITY, policy: CachePolicy::default() }
     }
 }
 
@@ -129,6 +160,13 @@ impl Entry {
     }
 }
 
+/// Resolved memoization modes for the `EvalCache::mode` atomic:
+/// probing ([`CachePolicy::Auto`] before its decision), memoize, or
+/// pass-through.
+const MODE_PROBING: u8 = 0;
+const MODE_ON: u8 = 1;
+const MODE_OFF: u8 = 2;
+
 /// A bounded, thread-safe memo table over simulation points.
 ///
 /// Shared by every worker of a [`Threaded`](crate::engine::Threaded)
@@ -144,11 +182,33 @@ pub struct EvalCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Resolved memoization mode (`MODE_*`); starts at `MODE_PROBING`
+    /// only under [`CachePolicy::Auto`].
+    mode: AtomicU8,
+    /// Auto-probe accounting: evaluations timed so far and their summed
+    /// cost.
+    probe_count: AtomicU64,
+    probe_nanos: AtomicU64,
 }
 
 impl EvalCache {
+    /// Memoization pays when one evaluation costs at least this much —
+    /// below it, the FNV digest plus the locked map round trip rivals
+    /// the evaluation itself (analytic circuits evaluate in ~1 µs).
+    pub const AUTO_MIN_COMPUTE_NANOS: u64 = 2_000;
+
+    /// Evaluations the [`CachePolicy::Auto`] probe times before
+    /// deciding. During the probe the cache memoizes normally, so the
+    /// decision costs nothing beyond a few clock reads.
+    pub const AUTO_PROBE_EVALS: u64 = 32;
+
     /// Creates an empty cache (capacity clamped to ≥ 1).
     pub fn new(config: EvalCacheConfig) -> Self {
+        let mode = match config.policy {
+            CachePolicy::Auto => MODE_PROBING,
+            CachePolicy::On => MODE_ON,
+            CachePolicy::Off => MODE_OFF,
+        };
         Self {
             map: Mutex::new(KeyMap::default()),
             capacity: config.capacity.max(1),
@@ -156,12 +216,22 @@ impl EvalCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            mode: AtomicU8::new(mode),
+            probe_count: AtomicU64::new(0),
+            probe_nanos: AtomicU64::new(0),
         }
     }
 
     /// The configured LRU bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Whether [`Self::get_or_compute`] currently memoizes (`false` once
+    /// an [`CachePolicy::Auto`] probe has measured evaluations too cheap
+    /// to be worth hashing).
+    pub fn memoizing(&self) -> bool {
+        self.mode.load(Ordering::Relaxed) != MODE_OFF
     }
 
     /// Resident entries.
@@ -264,6 +334,17 @@ impl EvalCache {
     /// The memoizing entry point: one key computation, `compute` only on
     /// a miss (and outside the lock, so concurrent workers never block on
     /// a simulation).
+    ///
+    /// Under [`CachePolicy::Auto`] the first
+    /// [`AUTO_PROBE_EVALS`](Self::AUTO_PROBE_EVALS) evaluations are
+    /// timed (while memoizing normally); once the probe shows the mean
+    /// evaluation under
+    /// [`AUTO_MIN_COMPUTE_NANOS`](Self::AUTO_MIN_COMPUTE_NANOS) the
+    /// cache degrades to pass-through — no digest, no lock, the
+    /// evaluation still counted as a miss so
+    /// [`CacheStats::misses`] keeps meaning "circuit evaluations
+    /// actually executed". Outcomes are identical under every mode; only
+    /// wall time changes.
     pub fn get_or_compute(
         &self,
         x: &[f64],
@@ -271,13 +352,47 @@ impl EvalCache {
         h: &MismatchVector,
         compute: impl FnOnce() -> SimOutcome,
     ) -> SimOutcome {
-        let key = self.key(x, corner, h);
-        if let Some(outcome) = self.lookup_keyed(key, x, corner, h) {
-            return outcome;
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_OFF => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                compute()
+            }
+            MODE_PROBING => {
+                let key = self.key(x, corner, h);
+                if let Some(outcome) = self.lookup_keyed(key, x, corner, h) {
+                    return outcome;
+                }
+                let start = std::time::Instant::now();
+                let outcome = compute();
+                let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                self.probe_nanos.fetch_add(nanos, Ordering::Relaxed);
+                let timed = self.probe_count.fetch_add(1, Ordering::Relaxed) + 1;
+                if timed >= Self::AUTO_PROBE_EVALS {
+                    let mean = self.probe_nanos.load(Ordering::Relaxed) / timed;
+                    let decided =
+                        if mean < Self::AUTO_MIN_COMPUTE_NANOS { MODE_OFF } else { MODE_ON };
+                    // Racing probers agree on direction within noise; a
+                    // compare_exchange keeps the first decision.
+                    let _ = self.mode.compare_exchange(
+                        MODE_PROBING,
+                        decided,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                }
+                self.insert_keyed(key, x, corner, h, outcome.clone());
+                outcome
+            }
+            _ => {
+                let key = self.key(x, corner, h);
+                if let Some(outcome) = self.lookup_keyed(key, x, corner, h) {
+                    return outcome;
+                }
+                let outcome = compute();
+                self.insert_keyed(key, x, corner, h, outcome.clone());
+                outcome
+            }
         }
-        let outcome = compute();
-        self.insert_keyed(key, x, corner, h, outcome.clone());
-        outcome
     }
 }
 
@@ -310,7 +425,7 @@ mod tests {
     fn near_identical_designs_are_distinct_points() {
         // Designs differing in a single bit are distinct cache points:
         // the second must miss, and must not displace the first.
-        let cache = EvalCache::new(EvalCacheConfig { capacity: 16 });
+        let cache = EvalCache::new(EvalCacheConfig { capacity: 16, ..Default::default() });
         let h = MismatchVector::nominal(2);
         let x_a = [0.5, 0.5];
         let x_b = [0.5 + 1e-16, 0.5];
@@ -337,7 +452,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = EvalCache::new(EvalCacheConfig { capacity: 2 });
+        let cache = EvalCache::new(EvalCacheConfig { capacity: 2, ..Default::default() });
         let h = MismatchVector::nominal(1);
         cache.insert(&[0.1], &corner(), &h, outcome(1.0));
         cache.insert(&[0.2], &corner(), &h, outcome(2.0));
@@ -353,7 +468,7 @@ mod tests {
 
     #[test]
     fn capacity_clamped_to_one() {
-        let cache = EvalCache::new(EvalCacheConfig { capacity: 0 });
+        let cache = EvalCache::new(EvalCacheConfig { capacity: 0, ..Default::default() });
         assert_eq!(cache.capacity(), 1);
         let h = MismatchVector::nominal(1);
         cache.insert(&[0.1], &corner(), &h, outcome(1.0));
@@ -367,5 +482,84 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hit_rate(), 0.0);
         assert_eq!(cache.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn policy_off_bypasses_but_counts_evaluations() {
+        let cache = EvalCache::new(EvalCacheConfig::with_policy(CachePolicy::Off));
+        assert!(!cache.memoizing());
+        let h = MismatchVector::nominal(1);
+        let mut evals = 0;
+        for _ in 0..3 {
+            let got = cache.get_or_compute(&[0.5], &corner(), &h, || {
+                evals += 1;
+                outcome(1.0)
+            });
+            assert_eq!(got, outcome(1.0));
+        }
+        assert_eq!(evals, 3, "pass-through recomputes every time");
+        assert!(cache.is_empty(), "nothing is memoized");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3, "misses still count executed evaluations");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn policy_on_always_memoizes() {
+        let cache = EvalCache::new(EvalCacheConfig::with_policy(CachePolicy::On));
+        assert!(cache.memoizing());
+        let h = MismatchVector::nominal(1);
+        let mut evals = 0;
+        for _ in 0..3 {
+            cache.get_or_compute(&[0.5], &corner(), &h, || {
+                evals += 1;
+                outcome(1.0)
+            });
+        }
+        assert_eq!(evals, 1, "one miss, then hits");
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn auto_probe_turns_off_for_cheap_evaluations() {
+        // Instant-returning closures are far below the nanos floor, so
+        // once the probe window closes the cache must degrade to
+        // pass-through.
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        let h = MismatchVector::nominal(1);
+        for i in 0..EvalCache::AUTO_PROBE_EVALS {
+            let x = [i as f64];
+            cache.get_or_compute(&x, &corner(), &h, || outcome(i as f64));
+        }
+        assert!(!cache.memoizing(), "cheap problem must stop memoizing after the probe");
+        // Previously cached points are no longer consulted; the closure
+        // runs again.
+        let mut reran = false;
+        cache.get_or_compute(&[0.0], &corner(), &h, || {
+            reran = true;
+            outcome(0.0)
+        });
+        assert!(reran);
+    }
+
+    #[test]
+    fn auto_probe_keeps_memoizing_expensive_evaluations() {
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        let h = MismatchVector::nominal(1);
+        let cost = std::time::Duration::from_nanos(4 * EvalCache::AUTO_MIN_COMPUTE_NANOS);
+        for i in 0..EvalCache::AUTO_PROBE_EVALS {
+            let x = [i as f64];
+            cache.get_or_compute(&x, &corner(), &h, || {
+                std::thread::sleep(cost);
+                outcome(i as f64)
+            });
+        }
+        assert!(cache.memoizing(), "expensive problem keeps the cache on");
+        let mut reran = false;
+        cache.get_or_compute(&[0.0], &corner(), &h, || {
+            reran = true;
+            outcome(0.0)
+        });
+        assert!(!reran, "memoized point must hit");
     }
 }

@@ -53,7 +53,7 @@ pub mod sensitivity;
 pub mod verification;
 pub mod yield_est;
 
-pub use cache::{CacheStats, EvalCache, EvalCacheConfig};
+pub use cache::{CachePolicy, CacheStats, EvalCache, EvalCacheConfig};
 pub use engine::{EngineSpec, EvalEngine, Sequential, Threaded};
 pub use evaluation::MuSigmaEvaluation;
 pub use optimizer::{GlovaConfig, GlovaOptimizer};
@@ -65,7 +65,7 @@ pub use yield_est::{estimate_yield, YieldEstimate};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::cache::EvalCacheConfig;
+    pub use crate::cache::{CachePolicy, EvalCacheConfig};
     pub use crate::engine::EngineSpec;
     pub use crate::optimizer::{GlovaConfig, GlovaOptimizer};
     pub use crate::problem::SizingProblem;

@@ -8,10 +8,14 @@
 //!   system matrices solved by LU with partial pivoting at every Newton
 //!   iteration / time step).
 //!
-//! The matrices involved are small (tens to a few hundreds of rows), so a
-//! straightforward dense row-major implementation is both simpler and — at
-//! these sizes — faster than bringing in a full BLAS stack, none of which is
-//! available offline anyway.
+//! The GP matrices are small and dense, so a straightforward row-major
+//! implementation beats bringing in a BLAS stack (none of which is
+//! available offline anyway). MNA matrices, however, are `O(n)`-sparse,
+//! and from a few dozen unknowns the dense `O(n³)` factorization dominates
+//! every solve — the [`sparse`] module provides CSR storage and a
+//! Markowitz-ordered sparse LU with symbolic-factorization reuse for that
+//! path, with the dense [`Lu`] retained as the small-system fast path and
+//! bitwise parity oracle.
 //!
 //! # Example
 //!
@@ -29,11 +33,13 @@
 pub mod cholesky;
 pub mod lu;
 pub mod matrix;
+pub mod sparse;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use sparse::{CsrMatrix, Scalar, SparseLu, Triplets};
 pub use vector::{add, axpy, dot, norm2, scale, sub};
 
 /// Errors produced by factorizations in this crate.

@@ -1,0 +1,862 @@
+//! Sparse linear algebra: CSR storage and a sparse LU with
+//! symbolic-factorization reuse.
+//!
+//! MNA circuit matrices are extremely sparse — a device touches at most a
+//! handful of nodes, so an `n`-unknown system carries `O(n)` nonzeros while
+//! the dense LU pays `O(n³)` per factorization. This module provides the
+//! sparse analogue of the dense [`Lu`](crate::Lu) workflow used on the
+//! SPICE hot path:
+//!
+//! - [`Triplets`]: an order-insensitive coordinate builder (duplicates
+//!   sum, explicit zeros are kept so a stamp *pattern* can be reserved
+//!   before values exist),
+//! - [`CsrMatrix`]: compressed-sparse-row storage with in-place value
+//!   rewrites ([`CsrMatrix::values_mut`], [`CsrMatrix::value_index`]) so
+//!   an assembly template can memcpy constant stamps and restamp
+//!   nonlinear devices without touching the pattern,
+//! - [`SparseLu`]: LU factorization with Markowitz pivot ordering
+//!   (fill-minimizing, threshold-pivoted for stability) whose **symbolic
+//!   step runs once per topology** — [`SparseLu::factor`] chooses the
+//!   pivot order and fill pattern, then [`SparseLu::refactor`] re-runs
+//!   only the numeric elimination over the frozen pattern, and
+//!   [`SparseLu::solve_into`] reuses its workspace allocation. This is
+//!   the classic SPICE arrangement: the Newton loop, the `gmin` ladder
+//!   and corner/mismatch sweeps all solve the *same topology* with
+//!   different values, so pivot search and fill analysis are paid once.
+//!
+//! Everything is generic over [`Scalar`] so the AC engine's complex MNA
+//! systems factor through the same machinery (and the same reuse) as the
+//! real DC/transient systems.
+//!
+//! # Example
+//!
+//! ```
+//! use glova_linalg::sparse::{SparseLu, Triplets};
+//!
+//! // A tridiagonal conductance ladder.
+//! let mut t = Triplets::new(3, 3);
+//! for i in 0..3 {
+//!     t.push(i, i, 2.0);
+//! }
+//! for i in 0..2 {
+//!     t.push(i, i + 1, -1.0);
+//!     t.push(i + 1, i, -1.0);
+//! }
+//! let a = t.to_csr();
+//! let mut lu = SparseLu::factor(&a).expect("nonsingular");
+//! let mut x = Vec::new();
+//! lu.solve_into(&[1.0, 0.0, 1.0], &mut x);
+//! let mut back = vec![0.0; 3];
+//! a.mat_vec_into(&x, &mut back);
+//! assert!((back[0] - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::LinalgError;
+use std::collections::BTreeMap;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Field-like scalar the sparse kernels are generic over.
+///
+/// Implemented for `f64` here and for the SPICE engine's complex type in
+/// `glova-spice`, so real (DC/transient) and complex (AC) MNA systems
+/// share one sparse LU. `modulus` drives pivot-magnitude comparisons.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + std::fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot comparisons (`|x|`).
+    fn modulus(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// Coordinate-format builder for a [`CsrMatrix`].
+///
+/// Entries may be pushed in any order; duplicates at the same `(row, col)`
+/// **sum** (the natural semantics for MNA stamps) and explicit zeros are
+/// preserved, which is how an assembly template reserves pattern slots for
+/// values that only exist at restamp time (nonlinear-device stamps, the
+/// `gmin` diagonal).
+#[derive(Debug, Clone)]
+pub struct Triplets<T = f64> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Triplets<T> {
+    /// An empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Adds `value` at `(row, col)` (summing with any earlier entry there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "triplet ({row}, {col}) out of bounds");
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The raw entries in push order — lets a caller that re-stamps the
+    /// same pattern repeatedly precompute a push-order → value-index map
+    /// against [`CsrMatrix::value_index`] instead of rebuilding and
+    /// re-sorting a builder per assembly.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses to CSR: sorts by `(row, col)`, sums duplicates, keeps
+    /// explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut sorted: Vec<(usize, usize, T)> = self.entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut rows_of = Vec::with_capacity(sorted.len());
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<T> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match values.last_mut() {
+                Some(last) if rows_of.last() == Some(&r) && col_idx.last() == Some(&c) => {
+                    *last = *last + v;
+                }
+                _ => {
+                    rows_of.push(r);
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &r in &rows_of {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed-sparse-row matrix.
+///
+/// The pattern (`row_ptr`, `col_idx`) is immutable after construction;
+/// values are rewritable in place, which is what lets an MNA assembly
+/// template treat the value array exactly like the dense template treats
+/// its base matrix: one `memcpy` of the constant stamps, then per-index
+/// nonlinear restamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T = f64> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (explicit zeros included).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Stored column indices of `row` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_cols(&self, row: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]]
+    }
+
+    /// Stored values of `row` (parallel to [`Self::row_cols`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_values(&self, row: usize) -> &[T] {
+        &self.values[self.row_ptr[row]..self.row_ptr[row + 1]]
+    }
+
+    /// The flat value array, in `(row, col)`-sorted order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the flat value array (the pattern is fixed).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Index into [`Self::values`] of the entry at `(row, col)`, if the
+    /// pattern stores one — the primitive behind precomputed
+    /// stamp-to-nonzero maps.
+    pub fn value_index(&self, row: usize, col: usize) -> Option<usize> {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi].binary_search(&col).ok().map(|p| lo + p)
+    }
+
+    /// Value at `(row, col)` (zero for positions outside the pattern).
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.value_index(row, col).map_or_else(T::zero, |i| self.values[i])
+    }
+
+    /// `out = A x`, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have the wrong length.
+    pub fn mat_vec_into(&self, x: &[T], out: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "mat_vec output length mismatch");
+        for i in 0..self.rows {
+            let mut acc = T::zero();
+            for (idx, &j) in (self.row_ptr[i]..self.row_ptr[i + 1]).zip(self.row_cols(i).iter()) {
+                acc = acc + self.values[idx] * x[j];
+            }
+            out[i] = acc;
+        }
+    }
+}
+
+impl CsrMatrix<f64> {
+    /// Densifies into a [`Matrix`](crate::Matrix) — parity-test helper,
+    /// not a hot-path operation.
+    pub fn to_dense(&self) -> crate::Matrix {
+        let mut m = crate::Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (&j, &v) in self.row_cols(i).iter().zip(self.row_values(i)) {
+                m[(i, j)] += v;
+            }
+        }
+        m
+    }
+}
+
+/// Sparse LU factorization `P A Q = L U` with Markowitz pivot ordering
+/// and a frozen fill pattern.
+///
+/// [`SparseLu::factor`] runs the **symbolic + numeric** first
+/// factorization: threshold-pivoted Markowitz ordering (minimum
+/// fill-cost pivot whose magnitude is at least [`Self::PIVOT_THRESHOLD`]
+/// of its column's largest active entry), recording row/column
+/// permutations, the filled `L`/`U` pattern, and a map from the input
+/// matrix's nonzeros into that pattern. [`SparseLu::refactor`] then
+/// re-runs the numeric elimination only — no pivot search, no pattern
+/// growth, no allocation — which is the per-refresh cost the Newton
+/// chord loop, the `gmin` ladder and AC frequency sweeps actually pay.
+#[derive(Debug, Clone)]
+pub struct SparseLu<T = f64> {
+    n: usize,
+    a_nnz: usize,
+    /// `perm_r[p]` = original row eliminated at step `p`.
+    perm_r: Vec<usize>,
+    /// `perm_c[p]` = original column chosen as pivot at step `p`.
+    perm_c: Vec<usize>,
+    /// Packed `L` (cols `< p`, unit diagonal implicit) and `U`
+    /// (cols `>= p`) rows in pivot order, columns in permuted space.
+    lu_ptr: Vec<usize>,
+    lu_cols: Vec<usize>,
+    lu_vals: Vec<T>,
+    /// Position of the diagonal within each packed row.
+    diag_idx: Vec<usize>,
+    /// Input nonzero `k` (CSR order) lands at `lu_vals[a_to_lu[k]]`.
+    a_to_lu: Vec<usize>,
+    /// Dense scatter workspace for elimination and solves.
+    work: Vec<T>,
+}
+
+impl<T: Scalar> SparseLu<T> {
+    /// Pivot magnitude below which a step is declared singular (matches
+    /// the dense [`Lu`](crate::Lu) threshold).
+    const SINGULARITY_EPS: f64 = 1e-13;
+
+    /// Markowitz threshold-pivoting tolerance: a candidate pivot must
+    /// reach this fraction of its column's largest active magnitude.
+    /// 0.1 trades a little extra fill for pivots that stay numerically
+    /// acceptable across refactors with drifting values (Newton
+    /// iterations, `gmin` rungs).
+    pub const PIVOT_THRESHOLD: f64 = 0.1;
+
+    /// Factors a square CSR matrix: Markowitz symbolic analysis plus the
+    /// first numeric elimination.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// - [`LinalgError::Singular`] if some elimination step finds no
+    ///   pivot above the numeric floor.
+    pub fn factor(a: &CsrMatrix<T>) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "sparse lu of non-square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut this = Self::symbolic(a)?;
+        this.refactor(a)?;
+        debug_assert_eq!(this.n, n);
+        Ok(this)
+    }
+
+    /// Markowitz ordering + fill pattern from the values of `a`.
+    fn symbolic(a: &CsrMatrix<T>) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        // Working form: rows as ordered (col -> value) maps plus a
+        // column -> active-row index. First factorization only — the hot
+        // path never touches these structures again.
+        let mut rows: Vec<BTreeMap<usize, T>> = (0..n)
+            .map(|i| a.row_cols(i).iter().copied().zip(a.row_values(i).iter().copied()).collect())
+            .collect();
+        // Per-column: candidate rows (lazily pruned) and an exact active
+        // count, maintained incrementally — the Markowitz cost lookup
+        // must be O(1), not a column-list scan.
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut col_count = vec![0usize; n];
+        for (i, row) in rows.iter().enumerate() {
+            for &j in row.keys() {
+                col_rows[j].push(i);
+                col_count[j] += 1;
+            }
+        }
+        let mut row_active = vec![true; n];
+        let mut col_active = vec![true; n];
+        let mut perm_r = Vec::with_capacity(n);
+        let mut perm_c = Vec::with_capacity(n);
+        // U rows in original column space, L entries per original row as
+        // (step, fill) column lists; values are discarded — `refactor`
+        // recomputes them over the final pattern.
+        let mut u_cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut l_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        for step in 0..n {
+            // Column maxima over the active submatrix (threshold pivoting).
+            let mut col_max = vec![0.0f64; n];
+            for i in (0..n).filter(|&i| row_active[i]) {
+                for (&j, &v) in &rows[i] {
+                    if col_active[j] {
+                        col_max[j] = col_max[j].max(v.modulus());
+                    }
+                }
+            }
+            // Markowitz search: minimize (r_nnz-1)·(c_nnz-1) over
+            // numerically acceptable candidates; tie-break on magnitude.
+            let mut best: Option<(usize, usize, usize, f64)> = None;
+            for i in (0..n).filter(|&i| row_active[i]) {
+                let r_nnz = rows[i].len();
+                for (&j, &v) in &rows[i] {
+                    if !col_active[j] {
+                        continue;
+                    }
+                    let mag = v.modulus();
+                    if mag < Self::SINGULARITY_EPS || mag < Self::PIVOT_THRESHOLD * col_max[j] {
+                        continue;
+                    }
+                    let cost = (r_nnz - 1) * (col_count[j] - 1);
+                    let better = match best {
+                        None => true,
+                        Some((_, _, c, m)) => cost < c || (cost == c && mag > m),
+                    };
+                    if better {
+                        best = Some((i, j, cost, mag));
+                    }
+                }
+            }
+            let Some((pr, pc, _, _)) = best else {
+                return Err(LinalgError::Singular { index: step });
+            };
+            perm_r.push(pr);
+            perm_c.push(pc);
+            row_active[pr] = false;
+            col_active[pc] = false;
+            let pivot_row: Vec<(usize, T)> = rows[pr].iter().map(|(&j, &v)| (j, v)).collect();
+            let pivot_val = rows[pr][&pc];
+            u_cols.push(pivot_row.iter().map(|&(j, _)| j).collect());
+            // The pivot row leaves the active submatrix.
+            for &(j, _) in &pivot_row {
+                col_count[j] -= 1;
+            }
+
+            // Eliminate the pivot column from every remaining active row,
+            // inserting fill (kept even when numerically zero — the
+            // pattern must be closed under elimination for refactor).
+            // `col_rows` lists are pruned lazily: skip rows that went
+            // inactive or whose entry was already eliminated.
+            let below: Vec<usize> = std::mem::take(&mut col_rows[pc])
+                .into_iter()
+                .filter(|&r| row_active[r] && rows[r].contains_key(&pc))
+                .collect();
+            for &i in &below {
+                let f = rows[i][&pc] / pivot_val;
+                rows[i].remove(&pc);
+                l_cols[i].push(step);
+                for &(j, v) in &pivot_row {
+                    if j == pc {
+                        continue;
+                    }
+                    let entry = rows[i].entry(j).or_insert_with(|| {
+                        col_rows[j].push(i);
+                        col_count[j] += 1;
+                        T::zero()
+                    });
+                    *entry = *entry - f * v;
+                }
+            }
+        }
+
+        // Pack the frozen pattern: per pivot step, L columns (< step,
+        // already step indices) then U columns mapped through the column
+        // permutation, everything sorted ascending.
+        let mut col_perm_inv = vec![0usize; n];
+        for (p, &c) in perm_c.iter().enumerate() {
+            col_perm_inv[c] = p;
+        }
+        let mut lu_ptr = Vec::with_capacity(n + 1);
+        let mut lu_cols = Vec::new();
+        let mut diag_idx = Vec::with_capacity(n);
+        lu_ptr.push(0);
+        for p in 0..n {
+            let mut cols: Vec<usize> = l_cols[perm_r[p]].clone();
+            cols.extend(u_cols[p].iter().map(|&j| col_perm_inv[j]));
+            cols.sort_unstable();
+            debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "duplicate pattern column");
+            let d = cols.binary_search(&p).expect("diagonal in pattern");
+            diag_idx.push(lu_ptr[p] + d);
+            lu_cols.extend_from_slice(&cols);
+            lu_ptr.push(lu_cols.len());
+        }
+
+        // Input-nonzero → packed-pattern map (the refactor scatter).
+        let mut row_perm_inv = vec![0usize; n];
+        for (p, &r) in perm_r.iter().enumerate() {
+            row_perm_inv[r] = p;
+        }
+        let mut a_to_lu = Vec::with_capacity(a.nnz());
+        for i in 0..n {
+            let p = row_perm_inv[i];
+            let lo = lu_ptr[p];
+            let hi = lu_ptr[p + 1];
+            for &j in a.row_cols(i) {
+                let pc = col_perm_inv[j];
+                let pos = lu_cols[lo..hi]
+                    .binary_search(&pc)
+                    .expect("input nonzero inside the filled pattern");
+                a_to_lu.push(lo + pos);
+            }
+        }
+
+        let nnz = lu_cols.len();
+        Ok(Self {
+            n,
+            a_nnz: a.nnz(),
+            perm_r,
+            perm_c,
+            lu_ptr,
+            lu_cols,
+            lu_vals: vec![T::zero(); nnz],
+            diag_idx,
+            a_to_lu,
+            work: vec![T::zero(); n],
+        })
+    }
+
+    /// Numeric-only refactorization over the frozen pattern and pivot
+    /// order — the hot-path refresh. `a` must have the **same pattern**
+    /// as the matrix this factorization was built from (same topology;
+    /// only values may differ).
+    ///
+    /// On error the factor values are unspecified and must not be used
+    /// for solves until a successful `refactor` (or a fresh
+    /// [`SparseLu::factor`]).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `a`'s shape or nonzero
+    ///   count differs from the factored matrix.
+    /// - [`LinalgError::Singular`] if a frozen-order pivot has drifted
+    ///   below the numeric floor.
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), LinalgError> {
+        if a.rows() != self.n || a.cols() != self.n || a.nnz() != self.a_nnz {
+            return Err(LinalgError::DimensionMismatch {
+                context: "sparse refactor pattern mismatch",
+            });
+        }
+        // Scatter the input through the precomputed map (pattern slots
+        // that are pure fill stay zero).
+        for v in &mut self.lu_vals {
+            *v = T::zero();
+        }
+        for (k, &dst) in self.a_to_lu.iter().enumerate() {
+            self.lu_vals[dst] = a.values()[k];
+        }
+        // Up-looking row elimination over the frozen pattern: every
+        // update lands inside the pattern by construction, so the inner
+        // loops are pure arithmetic.
+        for p in 0..self.n {
+            let (lo, hi) = (self.lu_ptr[p], self.lu_ptr[p + 1]);
+            for idx in lo..hi {
+                self.work[self.lu_cols[idx]] = self.lu_vals[idx];
+            }
+            for idx in lo..self.diag_idx[p] {
+                let k = self.lu_cols[idx];
+                let f = self.work[k] / self.lu_vals[self.diag_idx[k]];
+                self.work[k] = f;
+                for jdx in self.diag_idx[k] + 1..self.lu_ptr[k + 1] {
+                    let j = self.lu_cols[jdx];
+                    self.work[j] = self.work[j] - f * self.lu_vals[jdx];
+                }
+            }
+            for idx in lo..hi {
+                let j = self.lu_cols[idx];
+                self.lu_vals[idx] = self.work[j];
+                self.work[j] = T::zero();
+            }
+            if self.lu_vals[self.diag_idx[p]].modulus() < Self::SINGULARITY_EPS {
+                return Err(LinalgError::Singular { index: p });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries in the `L + U` pattern (fill included).
+    pub fn factor_nnz(&self) -> usize {
+        self.lu_cols.len()
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer, reusing both the
+    /// buffer and the internal permutation workspace (hence `&mut self`;
+    /// the factor values are not modified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_into(&mut self, b: &[T], x: &mut Vec<T>) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // y = P b, then unit-lower forward then upper backward
+        // substitution, then x = Q y.
+        for p in 0..n {
+            self.work[p] = b[self.perm_r[p]];
+        }
+        for p in 0..n {
+            let mut acc = self.work[p];
+            for idx in self.lu_ptr[p]..self.diag_idx[p] {
+                acc = acc - self.lu_vals[idx] * self.work[self.lu_cols[idx]];
+            }
+            self.work[p] = acc;
+        }
+        for p in (0..n).rev() {
+            let mut acc = self.work[p];
+            for idx in self.diag_idx[p] + 1..self.lu_ptr[p + 1] {
+                acc = acc - self.lu_vals[idx] * self.work[self.lu_cols[idx]];
+            }
+            self.work[p] = acc / self.lu_vals[self.diag_idx[p]];
+        }
+        x.clear();
+        x.resize(n, T::zero());
+        for p in 0..n {
+            x[self.perm_c[p]] = self.work[p];
+            self.work[p] = T::zero();
+        }
+    }
+
+    /// Solves `A x = b`, allocating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&mut self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use proptest::prelude::*;
+
+    fn csr_from_dense(m: &Matrix) -> CsrMatrix<f64> {
+        let mut t = Triplets::new(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                if m[(i, j)] != 0.0 {
+                    t.push(i, j, m[(i, j)]);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn triplets_merge_duplicates_and_keep_zeros() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 1, 2.0);
+        t.push(0, 1, 3.0);
+        t.push(1, 2, 0.0);
+        t.push(1, 0, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), 5.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(1, 2), 0.0, "explicit zero stays in the pattern");
+        assert_eq!(a.value_index(1, 2), Some(2));
+        assert_eq!(a.value_index(0, 0), None);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_and_indexable() {
+        let mut t = Triplets::new(3, 3);
+        t.push(1, 2, 3.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 2.0);
+        let a = t.to_csr();
+        assert_eq!(a.row_cols(1), &[0, 1, 2]);
+        assert_eq!(a.row_values(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row_cols(0), &[] as &[usize]);
+        let mut out = vec![0.0; 3];
+        a.mat_vec_into(&[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn solve_matches_dense_on_small_system() {
+        let dense = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let a = csr_from_dense(&dense);
+        let mut lu = SparseLu::factor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = lu.solve(&b);
+        let x_dense = dense.lu().unwrap().solve(&b);
+        for (s, d) in x.iter().zip(&x_dense) {
+            assert!((s - d).abs() < 1e-12, "sparse {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_needs_pivoting() {
+        // MNA-style voltage-source block: zero diagonal in the branch row.
+        let dense = Matrix::from_rows(&[&[1e-3, 0.0, 1.0], &[0.0, 2e-3, -1.0], &[1.0, -1.0, 0.0]]);
+        let a = csr_from_dense(&dense);
+        let mut lu = SparseLu::factor(&a).unwrap();
+        let x_true = [1.5, -0.25, 3e-3];
+        let mut b = vec![0.0; 3];
+        a.mat_vec_into(&x_true, &mut b);
+        let x = lu.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        assert!(matches!(SparseLu::factor(&t.to_csr()), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let t = Triplets::<f64>::new(2, 3);
+        assert!(matches!(
+            SparseLu::factor(&t.to_csr()),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_for_new_values() {
+        // Same tridiagonal topology, two value sets: refactor must match
+        // a fresh dense solve on the second.
+        let n = 8;
+        let build = |shift: f64| {
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 4.0 + shift + i as f64 * 0.1);
+            }
+            for i in 0..n - 1 {
+                t.push(i, i + 1, -1.0 - shift * 0.5);
+                t.push(i + 1, i, -1.0 + shift * 0.25);
+            }
+            t.to_csr()
+        };
+        let a0 = build(0.0);
+        let a1 = build(1.5);
+        let mut lu = SparseLu::factor(&a0).unwrap();
+        lu.refactor(&a1).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let x = lu.solve(&b);
+        let x_dense = a1.to_dense().lu().unwrap().solve(&b);
+        for (s, d) in x.iter().zip(&x_dense) {
+            assert!((s - d).abs() < 1e-10, "sparse {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_shape_or_pattern_mismatch() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let mut lu = SparseLu::factor(&t.to_csr()).unwrap();
+        // Extra nonzero = different pattern.
+        t.push(0, 1, 0.5);
+        assert!(matches!(lu.refactor(&t.to_csr()), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn refactor_detects_pivot_collapse_and_recovers() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let good = t.to_csr();
+        let mut lu = SparseLu::factor(&good).unwrap();
+        let mut bad = good.clone();
+        bad.values_mut()[1] = 0.0;
+        assert!(matches!(lu.refactor(&bad), Err(LinalgError::Singular { .. })));
+        // A subsequent good refactor restores a usable factorization.
+        lu.refactor(&good).unwrap();
+        assert_eq!(lu.solve(&[3.0, 4.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn fill_stays_sparse_on_a_ladder() {
+        // A 64-section RC-ladder-shaped tridiagonal system: the Markowitz
+        // order must keep the factor O(n), not densify it.
+        let n = 64;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0);
+        }
+        for i in 0..n - 1 {
+            t.push(i, i + 1, -1.0);
+            t.push(i + 1, i, -1.0);
+        }
+        let a = t.to_csr();
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(
+            lu.factor_nnz() <= 4 * n,
+            "tridiagonal factor should stay O(n): {} nonzeros for n = {n}",
+            lu.factor_nnz()
+        );
+    }
+
+    /// Random MNA-shaped system: a conductance grid (diagonally loaded,
+    /// symmetric pattern) bordered by voltage-source incidence rows with
+    /// zero diagonal — the structure every SPICE solve presents.
+    fn mna_shaped(n_nodes: usize, entries: &[f64], gmin: f64) -> Matrix {
+        let n = n_nodes + 1;
+        let mut m = Matrix::zeros(n, n);
+        let mut e = entries.iter().copied().cycle();
+        for i in 0..n_nodes {
+            m[(i, i)] += gmin + 1e-3;
+            if i + 1 < n_nodes {
+                let g = 1e-3 * (1.0 + e.next().unwrap_or(0.0).abs());
+                m[(i, i)] += g;
+                m[(i + 1, i + 1)] += g;
+                m[(i, i + 1)] -= g;
+                m[(i + 1, i)] -= g;
+            }
+        }
+        // One voltage source on node 0.
+        m[(0, n - 1)] = 1.0;
+        m[(n - 1, 0)] = 1.0;
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparse_matches_dense_on_spd_ish(
+            entries in proptest::collection::vec(-2.0f64..2.0, 25),
+            rhs in proptest::collection::vec(-1.0f64..1.0, 5),
+        ) {
+            // Diagonally dominant 5×5 with a random sparsity mask.
+            let mut dense = Matrix::zeros(5, 5);
+            for i in 0..5 {
+                for j in 0..5 {
+                    let v = entries[i * 5 + j];
+                    if i == j || v.abs() > 1.0 {
+                        dense[(i, j)] = v;
+                    }
+                }
+                dense[(i, i)] += 10.0;
+            }
+            let a = csr_from_dense(&dense);
+            let mut lu = SparseLu::factor(&a).unwrap();
+            let x = lu.solve(&rhs);
+            let x_dense = dense.lu().unwrap().solve(&rhs);
+            for (s, d) in x.iter().zip(&x_dense) {
+                prop_assert!((s - d).abs() < 1e-9, "sparse {} vs dense {}", s, d);
+            }
+        }
+
+        #[test]
+        fn prop_sparse_matches_dense_on_mna_shaped(
+            entries in proptest::collection::vec(-1.0f64..1.0, 12),
+            gmin_exp in 3.0f64..12.0,
+        ) {
+            let dense = mna_shaped(8, &entries, 10f64.powf(-gmin_exp));
+            let a = csr_from_dense(&dense);
+            let mut lu = SparseLu::factor(&a).unwrap();
+            let rhs: Vec<f64> = (0..dense.rows()).map(|i| (i as f64).sin()).collect();
+            let x = lu.solve(&rhs);
+            let x_dense = dense.lu().unwrap().solve(&rhs);
+            for (s, d) in x.iter().zip(&x_dense) {
+                prop_assert!((s - d).abs() < 1e-9, "sparse {} vs dense {}", s, d);
+            }
+        }
+    }
+}

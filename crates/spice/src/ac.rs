@@ -9,9 +9,11 @@
 use crate::complex::{Complex, ComplexMatrix};
 use crate::dc::{operating_point, OperatingPoint};
 use crate::device::Device;
+use crate::mna::SolverBackend;
 use crate::model::MosPolarity;
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
+use glova_linalg::sparse::{CsrMatrix, SparseLu, Triplets};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +98,26 @@ pub fn ac_sweep(
     ac_source_name: &str,
     frequencies: &[f64],
 ) -> Result<AcResult, SpiceError> {
+    ac_sweep_with_backend(netlist, ac_source_name, frequencies, SolverBackend::Auto)
+}
+
+/// [`ac_sweep`] with an explicit [`SolverBackend`].
+///
+/// The small-signal pattern is frequency-independent (only the `jωC`
+/// values change), so on the sparse backend the Markowitz pivot order and
+/// fill pattern are computed at the first frequency point and every
+/// further point pays a numeric-only complex refactorization — the same
+/// symbolic reuse the DC path gets across Newton iterations.
+///
+/// # Errors
+///
+/// See [`ac_sweep`].
+pub fn ac_sweep_with_backend(
+    netlist: &Netlist,
+    ac_source_name: &str,
+    frequencies: &[f64],
+    backend: SolverBackend,
+) -> Result<AcResult, SpiceError> {
     let ac_branch = netlist.vsource_branch(ac_source_name).ok_or_else(|| {
         SpiceError::InvalidNetlist { reason: format!("no voltage source named {ac_source_name}") }
     })?;
@@ -104,21 +126,89 @@ pub fn ac_sweep(
     let n = netlist.unknown_count();
 
     let mut solutions = Vec::with_capacity(frequencies.len());
-    for &freq in frequencies {
-        let omega = 2.0 * std::f64::consts::PI * freq;
-        let mut a = ComplexMatrix::zeros(n);
+    if backend.resolves_to_sparse(n) {
         let mut b = vec![Complex::ZERO; n];
-        stamp_ac(netlist, &op, omega, &mut a);
         // Unit AC excitation on the chosen source's branch equation.
         b[n_nodes + ac_branch] = Complex::ONE;
-        let x = a.solve(&b).map_err(|_| SpiceError::SingularMatrix)?;
-        solutions.push(x[..n_nodes].to_vec());
+        let mut lu: Option<SparseLu<Complex>> = None;
+        let mut x: Vec<Complex> = Vec::new();
+        // The stamp pattern is frequency-invariant (only the jωC values
+        // change) and the device walk is deterministic, so the CSR is
+        // built once at the first point; every later point rewrites the
+        // value array in place through a precomputed push-order →
+        // value-index map — no per-frequency builder, sort or
+        // allocation.
+        let mut system: Option<CsrMatrix<Complex>> = None;
+        let mut slot_of: Vec<usize> = Vec::new();
+        for &freq in frequencies {
+            let omega = 2.0 * std::f64::consts::PI * freq;
+            match &mut system {
+                Some(csr) => {
+                    let values = csr.values_mut();
+                    for v in values.iter_mut() {
+                        *v = Complex::ZERO;
+                    }
+                    let mut push = 0usize;
+                    stamp_ac(netlist, &op, omega, &mut |_, _, v| {
+                        values[slot_of[push]] += v;
+                        push += 1;
+                    });
+                    debug_assert_eq!(push, slot_of.len(), "stamp walk changed shape");
+                }
+                None => {
+                    let mut t = Triplets::new(n, n);
+                    stamp_ac(netlist, &op, omega, &mut |i, j, v| t.push(i, j, v));
+                    let csr = t.to_csr();
+                    slot_of = t
+                        .entries()
+                        .iter()
+                        .map(|&(i, j, _)| {
+                            csr.value_index(i, j).expect("pushed entry is in the pattern")
+                        })
+                        .collect();
+                    system = Some(csr);
+                }
+            }
+            let a = system.as_ref().expect("system assembled");
+            match &mut lu {
+                // Same topology ⇒ same pattern: numeric-only refresh. A
+                // frozen pivot that went bad at this frequency falls back
+                // to a fresh Markowitz factorization.
+                Some(f) => {
+                    if f.refactor(a).is_err() {
+                        *f = SparseLu::factor(a).map_err(|_| SpiceError::SingularMatrix)?;
+                    }
+                }
+                None => {
+                    lu = Some(SparseLu::factor(a).map_err(|_| SpiceError::SingularMatrix)?);
+                }
+            }
+            lu.as_mut().expect("factorization present").solve_into(&b, &mut x);
+            solutions.push(x[..n_nodes].to_vec());
+        }
+    } else {
+        for &freq in frequencies {
+            let omega = 2.0 * std::f64::consts::PI * freq;
+            let mut a = ComplexMatrix::zeros(n);
+            let mut b = vec![Complex::ZERO; n];
+            stamp_ac(netlist, &op, omega, &mut |i, j, v| a.add_at(i, j, v));
+            b[n_nodes + ac_branch] = Complex::ONE;
+            let x = a.solve(&b).map_err(|_| SpiceError::SingularMatrix)?;
+            solutions.push(x[..n_nodes].to_vec());
+        }
     }
     Ok(AcResult { frequencies: frequencies.to_vec(), solutions, n_nodes })
 }
 
-/// Stamps the linearized (small-signal) system at angular frequency ω.
-fn stamp_ac(netlist: &Netlist, op: &OperatingPoint, omega: f64, a: &mut ComplexMatrix) {
+/// Stamps the linearized (small-signal) system at angular frequency ω
+/// into an `(i, j, value)` sink — shared by the dense and sparse
+/// assembly paths, so both backends stamp identical systems.
+fn stamp_ac(
+    netlist: &Netlist,
+    op: &OperatingPoint,
+    omega: f64,
+    add: &mut impl FnMut(usize, usize, Complex),
+) {
     let n_nodes = netlist.node_count() - 1;
     let idx = |node: NodeId| -> Option<usize> {
         if node.is_ground() {
@@ -129,12 +219,12 @@ fn stamp_ac(netlist: &Netlist, op: &OperatingPoint, omega: f64, a: &mut ComplexM
     };
     // Small gmin keeps floating nodes solvable.
     for i in 0..n_nodes {
-        a.add_at(i, i, Complex::real(1e-12));
+        add(i, i, Complex::real(1e-12));
     }
 
     let mut stamp = |i: Option<usize>, j: Option<usize>, v: Complex| {
         if let (Some(i), Some(j)) = (i, j) {
-            a.add_at(i, j, v);
+            add(i, j, v);
         }
     };
 
@@ -263,6 +353,36 @@ mod tests {
         // Inverting stage: output phase ≈ 180° at low frequency.
         let phase0 = ac.voltage(out, 0).arg().to_degrees().abs();
         assert!((phase0 - 180.0).abs() < 15.0, "phase {phase0}");
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_across_sweep() {
+        // Common-source stage: MOSFET small-signal stamps, gate caps and
+        // load caps all present; sparse (with its pattern reused across
+        // the sweep) must track dense to solver precision everywhere.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, 0.9);
+        nl.vsource("VIN", vin, GROUND, 0.5);
+        nl.resistor("RL", vdd, out, 20e3);
+        nl.mosfet("M1", out, vin, GROUND, MosModel::nmos_28nm(), 2.0, 0.2);
+        nl.capacitor("CL", out, GROUND, 1e-12);
+        let freqs = log_sweep(1e3, 1e9, 5);
+        let dense =
+            ac_sweep_with_backend(&nl, "VIN", &freqs, crate::mna::SolverBackend::Dense).unwrap();
+        let sparse =
+            ac_sweep_with_backend(&nl, "VIN", &freqs, crate::mna::SolverBackend::Sparse).unwrap();
+        for i in 0..freqs.len() {
+            let d = dense.voltage(out, i);
+            let s = sparse.voltage(out, i);
+            assert!(
+                (d - s).abs() < 1e-9 * (1.0 + d.abs()),
+                "f = {:.3e}: dense {d:?} vs sparse {s:?}",
+                freqs[i]
+            );
+        }
     }
 
     #[test]

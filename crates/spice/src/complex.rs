@@ -103,6 +103,23 @@ impl std::ops::Neg for Complex {
     }
 }
 
+/// Lets the complex AC systems run through the sparse LU in
+/// `glova_linalg::sparse` — same Markowitz ordering, same
+/// symbolic-pattern reuse across an entire frequency sweep.
+impl glova_linalg::sparse::Scalar for Complex {
+    fn zero() -> Self {
+        Self::ZERO
+    }
+
+    fn one() -> Self {
+        Self::ONE
+    }
+
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
 /// Dense complex matrix (row-major) with LU-with-partial-pivoting solve —
 /// just enough for MNA AC systems.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,6 @@
 //! DC operating-point analysis with `gmin` stepping.
 
-use crate::mna::{newton_solve_with_template, AssemblyTemplate, NewtonOptions, StampContext};
+use crate::mna::{newton_solve_with_state, MnaState, MnaTemplate, NewtonOptions, StampContext};
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
 
@@ -41,6 +41,68 @@ impl OperatingPoint {
 /// final operating point.
 const GMIN_LADDER: [f64; 5] = [1e-3, 1e-5, 1e-7, 1e-9, 1e-12];
 
+/// A reusable operating-point solver for one netlist topology.
+///
+/// [`operating_point`] rebuilds the assembly template and solver state on
+/// every call; sweep-style callers — corner/mismatch campaigns, parameter
+/// sweeps, benchmark loops — solve the *same topology* thousands of
+/// times, so this wrapper builds both once and keeps them across
+/// [`solve`](Self::solve) calls. On the sparse backend that means the
+/// Markowitz pivot order and fill pattern are computed exactly once for
+/// the whole sweep; every subsequent factorization anywhere in the
+/// ladder is numeric-only.
+///
+/// The solver is stateful only for performance: each `solve` runs the
+/// full `gmin` ladder from the caller's initial guess, so results are
+/// identical to [`operating_point_with_options`] on the same inputs.
+#[derive(Debug)]
+pub struct OpSolver {
+    state: MnaState,
+    options: NewtonOptions,
+    n_nodes: usize,
+    unknowns: usize,
+    sparse: bool,
+}
+
+impl OpSolver {
+    /// Builds the template (and resolves the backend) once for `netlist`.
+    pub fn new(netlist: &Netlist, options: NewtonOptions) -> Self {
+        let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
+        let template = MnaTemplate::new(netlist, &ctx, options.backend);
+        let sparse = template.is_sparse();
+        Self {
+            state: template.into_state(),
+            options,
+            n_nodes: netlist.node_count() - 1,
+            unknowns: netlist.unknown_count(),
+            sparse,
+        }
+    }
+
+    /// Whether the sparse backend was selected.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse
+    }
+
+    /// Computes the operating point from an all-zeros initial guess.
+    ///
+    /// # Errors
+    ///
+    /// See [`operating_point`].
+    pub fn solve(&mut self) -> Result<OperatingPoint, SpiceError> {
+        self.solve_from(&vec![0.0; self.unknowns])
+    }
+
+    /// Computes the operating point from a caller-provided guess.
+    ///
+    /// # Errors
+    ///
+    /// See [`operating_point`].
+    pub fn solve_from(&mut self, initial: &[f64]) -> Result<OperatingPoint, SpiceError> {
+        ladder_solve(&mut self.state, initial, &self.options, self.n_nodes)
+    }
+}
+
 /// Computes the DC operating point (capacitors open, sources at `t = 0`).
 ///
 /// Uses `gmin` stepping: each rung of the ladder reuses the previous rung's
@@ -80,30 +142,51 @@ pub fn operating_point_with_options(
     initial: &[f64],
     options: &NewtonOptions,
 ) -> Result<OperatingPoint, SpiceError> {
+    // One assembly template serves every rung: the ladder varies only
+    // gmin, which the template applies per solve — the netlist is walked
+    // once for the whole continuation, not once per rung. The shared
+    // solver state likewise persists across rungs, so on the sparse
+    // backend the Markowitz pivot order and fill pattern are computed
+    // once per topology and every later rung pays numeric-only
+    // refactorizations.
+    let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
+    let mut state = MnaTemplate::new(netlist, &ctx, options.backend).into_state();
+    ladder_solve(&mut state, initial, options, netlist.node_count() - 1)
+}
+
+/// The `gmin` continuation over prebuilt solver state.
+fn ladder_solve(
+    state: &mut MnaState,
+    initial: &[f64],
+    options: &NewtonOptions,
+    n_nodes: usize,
+) -> Result<OperatingPoint, SpiceError> {
     let mut x = initial.to_vec();
     let mut last_err = None;
     let mut converged_any = false;
 
-    // One assembly template serves every rung: the ladder varies only
-    // gmin, which the template applies per solve — the netlist is walked
-    // once for the whole continuation, not once per rung.
-    let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
-    let template = AssemblyTemplate::new(netlist, &ctx);
-
-    for &gmin in &GMIN_LADDER {
-        match newton_solve_with_template(&template, &x, gmin, options) {
+    for (rung, &gmin) in GMIN_LADDER.iter().enumerate() {
+        match newton_solve_with_state(state, &x, gmin, options) {
             Ok(sol) => {
                 x = sol;
                 converged_any = true;
             }
-            Err(e @ SpiceError::SingularMatrix) => return Err(e),
+            // A singular matrix on the *most-regularized* rung (with its
+            // large gmin on every node diagonal) is structural — a
+            // floating node or V-source loop that every later rung would
+            // hit identically, so abort. On later rungs a singular pivot
+            // is a numerical event at some wild Newton iterate (e.g. an
+            // all-devices-off excursion on a long inverter chain);
+            // treat it like non-convergence and let the continuation
+            // recover from the best solution so far.
+            Err(e @ SpiceError::SingularMatrix) if rung == 0 && !converged_any => return Err(e),
             Err(e) => last_err = Some(e),
         }
     }
 
     // The final rung must have converged for the result to be meaningful.
-    match newton_solve_with_template(&template, &x, *GMIN_LADDER.last().unwrap(), options) {
-        Ok(sol) => Ok(OperatingPoint::new(sol, netlist.node_count() - 1)),
+    match newton_solve_with_state(state, &x, *GMIN_LADDER.last().unwrap(), options) {
+        Ok(sol) => Ok(OperatingPoint::new(sol, n_nodes)),
         Err(e) => {
             if converged_any {
                 Err(e)

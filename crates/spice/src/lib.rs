@@ -44,11 +44,12 @@ pub mod model;
 pub mod netlist;
 pub mod transient;
 
-pub use ac::{ac_sweep, log_sweep, AcResult};
+pub use ac::{ac_sweep, ac_sweep_with_backend, log_sweep, AcResult};
 pub use complex::Complex;
-pub use dc::{operating_point, OperatingPoint};
+pub use dc::{operating_point, OpSolver, OperatingPoint};
+pub use mna::SolverBackend;
 pub use model::{MosModel, MosPolarity};
-pub use netlist::{Netlist, NodeId, GROUND};
+pub use netlist::{inverter_chain, rc_ladder, Netlist, NodeId, GROUND};
 pub use transient::{TransientResult, TransientSpec};
 
 /// Gate capacitance of a `w × l` µm device, farads (30 fF/µm² at 28 nm) —

@@ -10,7 +10,8 @@ use crate::device::Device;
 use crate::model::MosModel;
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
-use glova_linalg::{Lu, Matrix};
+use glova_linalg::sparse::{CsrMatrix, SparseLu, Triplets};
+use glova_linalg::{LinalgError, Lu, Matrix};
 
 /// Assembly context: DC or one implicit transient step.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +23,70 @@ pub struct StampContext<'a> {
     /// Conductance from every node to ground (convergence aid + floating
     /// node protection).
     pub gmin: f64,
+}
+
+/// Which linear-algebra backend the Newton iterations factor and solve
+/// on.
+///
+/// Both backends produce node voltages that agree to well within the
+/// Newton tolerance (locked in by `tests/solver_backend_parity.rs`); the
+/// dense path is the long-standing reference/oracle, the sparse path is
+/// the scaling one — MNA matrices carry `O(n)` nonzeros, so from a few
+/// dozen unknowns the dense `O(n³)` factorization dominates every solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Pick by system size: dense below
+    /// [`AUTO_SPARSE_THRESHOLD`](Self::AUTO_SPARSE_THRESHOLD) unknowns,
+    /// sparse at or above it.
+    #[default]
+    Auto,
+    /// Always the dense LU (`glova_linalg::Lu`).
+    Dense,
+    /// Always the sparse LU (`glova_linalg::sparse::SparseLu`).
+    Sparse,
+}
+
+impl SolverBackend {
+    /// Unknown count at which [`SolverBackend::Auto`] switches to the
+    /// sparse backend. Below this the dense factorization's tiny constant
+    /// factors win; at and above it the sparse solver's `O(nnz)`
+    /// elimination pulls ahead (measured crossover on inverter chains is
+    /// between the 4-stage and 24-stage sizes).
+    pub const AUTO_SPARSE_THRESHOLD: usize = 20;
+
+    /// Whether this backend resolves to sparse for a system of
+    /// `unknowns` unknowns.
+    pub fn resolves_to_sparse(self, unknowns: usize) -> bool {
+        match self {
+            SolverBackend::Auto => unknowns >= Self::AUTO_SPARSE_THRESHOLD,
+            SolverBackend::Dense => false,
+            SolverBackend::Sparse => true,
+        }
+    }
+
+    /// Parses `auto` / `dense` / `sparse` (the CLI override format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(SolverBackend::Auto),
+            "dense" => Ok(SolverBackend::Dense),
+            "sparse" => Ok(SolverBackend::Sparse),
+            other => Err(format!("unknown solver backend `{other}` (use auto|dense|sparse)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolverBackend::Auto => "auto",
+            SolverBackend::Dense => "dense",
+            SolverBackend::Sparse => "sparse",
+        })
+    }
 }
 
 /// Maps a node to its row/column in the MNA system (`None` for ground).
@@ -59,6 +124,41 @@ struct MosStamp {
     ratio: f64,
     /// Polarity factor: +1 NMOS, −1 PMOS (carrier-space transform).
     p: f64,
+}
+
+/// One MOSFET linearization around a solution estimate — the numbers
+/// both backends stamp, computed identically so dense and sparse
+/// assemblies agree bit for bit.
+#[derive(Debug, Clone, Copy)]
+struct MosLin {
+    /// Whether the physical source acts as the drain at this estimate
+    /// (the device is symmetric; the higher carrier-space terminal wins).
+    swapped: bool,
+    gm: f64,
+    gds: f64,
+    /// Polarity-signed equivalent current `p · ieq`.
+    ieq_signed: f64,
+}
+
+impl MosStamp {
+    /// Linearizes around estimate `x` (ground = 0 V).
+    fn linearize(&self, x: &[f64]) -> MosLin {
+        // Polarity factor: work in "carrier space" w = p·v so PMOS
+        // reuses the NMOS equations; p² = 1 keeps the conductance
+        // stamps sign-free while the equivalent current gets p.
+        let volt = |idx: Option<usize>| -> f64 { idx.map_or(0.0, |i| x[i]) };
+        let p = self.p;
+        let wd = p * volt(self.drain);
+        let wg = p * volt(self.gate);
+        let ws = p * volt(self.source);
+        let swapped = wd < ws;
+        let (wdd, wss) = if swapped { (ws, wd) } else { (wd, ws) };
+        let vgs_c = wg - wss;
+        let vds_c = wdd - wss;
+        let (id0, gm0, gds0) = self.model.ids(vgs_c, vds_c);
+        let (id, gm, gds) = (id0 * self.ratio, gm0 * self.ratio, gds0 * self.ratio);
+        MosLin { swapped, gm, gds, ieq_signed: p * (id - gm * vgs_c - gds * vds_c) }
+    }
 }
 
 /// Cached MNA assembly for one `(netlist, context)` pair.
@@ -178,39 +278,19 @@ impl AssemblyTemplate {
             a[(i, i)] += gmin;
         }
 
-        // Node voltage from the current estimate (ground = 0).
-        let volt = |idx: Option<usize>| -> f64 { idx.map_or(0.0, |i| x[i]) };
-
         for mos in &self.mosfets {
-            // Polarity factor: work in "carrier space" w = p·v so PMOS
-            // reuses the NMOS equations; p² = 1 keeps the conductance
-            // stamps sign-free while the equivalent current gets p.
-            let p = mos.p;
-            let wd = p * volt(mos.drain);
-            let wg = p * volt(mos.gate);
-            let ws = p * volt(mos.source);
-            // The device is symmetric: the higher carrier-space terminal
-            // acts as drain.
-            let (idx_d, idx_s, wdd, wss) = if wd >= ws {
-                (mos.drain, mos.source, wd, ws)
-            } else {
-                (mos.source, mos.drain, ws, wd)
-            };
-            let vgs_c = wg - wss;
-            let vds_c = wdd - wss;
-            let (id0, gm0, gds0) = mos.model.ids(vgs_c, vds_c);
-            let (id, gm, gds) = (id0 * mos.ratio, gm0 * mos.ratio, gds0 * mos.ratio);
-            let ieq = id - gm * vgs_c - gds * vds_c;
-
+            let lin = mos.linearize(x);
+            let (idx_d, idx_s) =
+                if lin.swapped { (mos.source, mos.drain) } else { (mos.drain, mos.source) };
             let idx_g = mos.gate;
-            stamp(a, idx_d, idx_g, gm);
-            stamp(a, idx_d, idx_d, gds);
-            stamp(a, idx_d, idx_s, -(gm + gds));
-            stamp(a, idx_s, idx_g, -gm);
-            stamp(a, idx_s, idx_d, -gds);
-            stamp(a, idx_s, idx_s, gm + gds);
-            stamp_rhs(rhs, idx_d, -p * ieq);
-            stamp_rhs(rhs, idx_s, p * ieq);
+            stamp(a, idx_d, idx_g, lin.gm);
+            stamp(a, idx_d, idx_d, lin.gds);
+            stamp(a, idx_d, idx_s, -(lin.gm + lin.gds));
+            stamp(a, idx_s, idx_g, -lin.gm);
+            stamp(a, idx_s, idx_d, -lin.gds);
+            stamp(a, idx_s, idx_s, lin.gm + lin.gds);
+            stamp_rhs(rhs, idx_d, -lin.ieq_signed);
+            stamp_rhs(rhs, idx_s, lin.ieq_signed);
         }
     }
 }
@@ -228,6 +308,431 @@ pub fn assemble(netlist: &Netlist, x: &[f64], ctx: &StampContext<'_>) -> (Matrix
     let mut rhs = vec![0.0; n];
     template.assemble_into(&mut a, &mut rhs, x, ctx.gmin);
     (a, rhs)
+}
+
+/// One MOSFET's pre-resolved stamp for the sparse assembly: the node/
+/// model data plus the **CSR value indices** of its six conductance
+/// positions, so the per-iteration restamp is direct array writes — no
+/// pattern search, mirroring the dense template's indexed stores.
+#[derive(Debug, Clone, Copy)]
+struct SparseMosStamp {
+    stamp: MosStamp,
+    /// Value indices of ((d,g), (d,d), (d,s), (s,g), (s,d), (s,s)) in the
+    /// *physical* drain/source naming; `None` where a terminal is ground.
+    pdg: Option<usize>,
+    pdd: Option<usize>,
+    pds: Option<usize>,
+    psg: Option<usize>,
+    psd: Option<usize>,
+    pss: Option<usize>,
+}
+
+/// Cached **CSR** MNA assembly for one `(netlist, context)` pair — the
+/// sparse analogue of [`AssemblyTemplate`].
+///
+/// The CSR pattern is built once from the netlist with slots reserved for
+/// everything that varies per iteration (MOSFET conductances, the `gmin`
+/// diagonal); constant stamps live in the base value array. Each
+/// [`assemble_into`](Self::assemble_into) is then a value-array `memcpy`
+/// plus indexed restamps through a precomputed stamp→nonzero map — the
+/// pattern never changes, which is also what lets [`SparseLu`] freeze its
+/// symbolic factorization across the whole Newton/`gmin`-ladder/sweep
+/// lifetime of the template.
+#[derive(Debug, Clone)]
+pub struct SparseAssemblyTemplate {
+    base: CsrMatrix<f64>,
+    base_rhs: Vec<f64>,
+    mosfets: Vec<SparseMosStamp>,
+    /// Value index of each node's diagonal (the `gmin` slots).
+    gmin_idx: Vec<usize>,
+    n_nodes: usize,
+}
+
+impl SparseAssemblyTemplate {
+    /// Builds the template: reserves the full pattern, stamps every
+    /// constant device, resolves the nonzero indices of the per-iteration
+    /// stamps. Like the dense template it bakes in `ctx.time` / `ctx.step`
+    /// but not `ctx.gmin`.
+    pub fn new(netlist: &Netlist, ctx: &StampContext<'_>) -> Self {
+        let n_nodes = netlist.node_count() - 1;
+        let n = netlist.unknown_count();
+        let mut t = Triplets::new(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut mos_stamps: Vec<MosStamp> = Vec::new();
+
+        {
+            let mut tstamp = |a: Option<usize>, b: Option<usize>, v: f64| {
+                if let (Some(i), Some(j)) = (a, b) {
+                    t.push(i, j, v);
+                }
+            };
+            for device in netlist.devices() {
+                match device {
+                    Device::Resistor { a: na, b: nb, ohms, .. } => {
+                        let g = 1.0 / ohms;
+                        let (ia, ib) = (node_index(*na), node_index(*nb));
+                        tstamp(ia, ia, g);
+                        tstamp(ib, ib, g);
+                        tstamp(ia, ib, -g);
+                        tstamp(ib, ia, -g);
+                    }
+                    Device::Capacitor { a: na, b: nb, farads, .. } => {
+                        if let Some((dt, prev)) = ctx.step {
+                            let geq = farads / dt;
+                            let (ia, ib) = (node_index(*na), node_index(*nb));
+                            let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
+                            let ieq = geq * (v_prev(ia) - v_prev(ib));
+                            tstamp(ia, ia, geq);
+                            tstamp(ib, ib, geq);
+                            tstamp(ia, ib, -geq);
+                            tstamp(ib, ia, -geq);
+                            stamp_rhs(&mut rhs, ia, ieq);
+                            stamp_rhs(&mut rhs, ib, -ieq);
+                        }
+                    }
+                    Device::Vsource { plus, minus, waveform, branch, .. } => {
+                        let k = n_nodes + branch;
+                        let (ip, im) = (node_index(*plus), node_index(*minus));
+                        tstamp(ip, Some(k), 1.0);
+                        tstamp(im, Some(k), -1.0);
+                        tstamp(Some(k), ip, 1.0);
+                        tstamp(Some(k), im, -1.0);
+                        rhs[k] = waveform.value_at(ctx.time);
+                    }
+                    Device::Isource { from, to, amps, .. } => {
+                        stamp_rhs(&mut rhs, node_index(*to), *amps);
+                        stamp_rhs(&mut rhs, node_index(*from), -*amps);
+                    }
+                    Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
+                        let p = match model.polarity {
+                            crate::model::MosPolarity::Nmos => 1.0,
+                            crate::model::MosPolarity::Pmos => -1.0,
+                        };
+                        let (d, g, s) =
+                            (node_index(*drain), node_index(*gate), node_index(*source));
+                        // Reserve the six conductance slots (explicit
+                        // zeros) — restamped every iteration.
+                        tstamp(d, g, 0.0);
+                        tstamp(d, d, 0.0);
+                        tstamp(d, s, 0.0);
+                        tstamp(s, g, 0.0);
+                        tstamp(s, d, 0.0);
+                        tstamp(s, s, 0.0);
+                        mos_stamps.push(MosStamp {
+                            drain: d,
+                            gate: g,
+                            source: s,
+                            model: *model,
+                            ratio: w_um / l_um,
+                            p,
+                        });
+                    }
+                }
+            }
+            // The gmin diagonal slots for every node.
+            for i in 0..n_nodes {
+                tstamp(Some(i), Some(i), 0.0);
+            }
+        }
+
+        let base = t.to_csr();
+        let pos = |a: Option<usize>, b: Option<usize>| -> Option<usize> {
+            match (a, b) {
+                (Some(i), Some(j)) => {
+                    Some(base.value_index(i, j).expect("reserved stamp slot in pattern"))
+                }
+                _ => None,
+            }
+        };
+        let mosfets = mos_stamps
+            .into_iter()
+            .map(|stamp| SparseMosStamp {
+                stamp,
+                pdg: pos(stamp.drain, stamp.gate),
+                pdd: pos(stamp.drain, stamp.drain),
+                pds: pos(stamp.drain, stamp.source),
+                psg: pos(stamp.source, stamp.gate),
+                psd: pos(stamp.source, stamp.drain),
+                pss: pos(stamp.source, stamp.source),
+            })
+            .collect();
+        let gmin_idx = (0..n_nodes)
+            .map(|i| base.value_index(i, i).expect("node diagonal in pattern"))
+            .collect();
+        Self { base, base_rhs: rhs, mosfets, gmin_idx, n_nodes }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Number of nonlinear devices restamped per iteration.
+    pub fn nonlinear_count(&self) -> usize {
+        self.mosfets.len()
+    }
+
+    /// Stored pattern entries.
+    pub fn nnz(&self) -> usize {
+        self.base.nnz()
+    }
+
+    /// A working system with this template's pattern (assembled values
+    /// are overwritten by [`assemble_into`](Self::assemble_into)).
+    pub fn new_system(&self) -> CsrMatrix<f64> {
+        self.base.clone()
+    }
+
+    /// Assembles the linearized system around estimate `x` into `a` /
+    /// `rhs`: base values memcpy'd, `gmin` diagonal applied, MOSFETs
+    /// restamped through the precomputed index map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` does not share this template's pattern size, or
+    /// `rhs` / `x` have the wrong dimensions.
+    pub fn assemble_into(&self, a: &mut CsrMatrix<f64>, rhs: &mut [f64], x: &[f64], gmin: f64) {
+        assert_eq!(a.nnz(), self.base.nnz(), "working system pattern mismatch");
+        assert_eq!(x.len(), self.dim(), "solution estimate dimension mismatch");
+        a.values_mut().copy_from_slice(self.base.values());
+        rhs.copy_from_slice(&self.base_rhs);
+        let vals = a.values_mut();
+        for &i in &self.gmin_idx {
+            vals[i] += gmin;
+        }
+        for mos in &self.mosfets {
+            let lin = mos.stamp.linearize(x);
+            // Select the six positions under the current drain/source
+            // role assignment (the reserved set is closed under the
+            // swap).
+            let (pdg, pdd, pds, psg, psd, pss) = if lin.swapped {
+                (mos.psg, mos.pss, mos.psd, mos.pdg, mos.pds, mos.pdd)
+            } else {
+                (mos.pdg, mos.pdd, mos.pds, mos.psg, mos.psd, mos.pss)
+            };
+            let mut add = |idx: Option<usize>, v: f64| {
+                if let Some(i) = idx {
+                    vals[i] += v;
+                }
+            };
+            add(pdg, lin.gm);
+            add(pdd, lin.gds);
+            add(pds, -(lin.gm + lin.gds));
+            add(psg, -lin.gm);
+            add(psd, -lin.gds);
+            add(pss, lin.gm + lin.gds);
+            let (idx_d, idx_s) = if lin.swapped {
+                (mos.stamp.source, mos.stamp.drain)
+            } else {
+                (mos.stamp.drain, mos.stamp.source)
+            };
+            stamp_rhs(rhs, idx_d, -lin.ieq_signed);
+            stamp_rhs(rhs, idx_s, lin.ieq_signed);
+        }
+    }
+}
+
+/// A backend-resolved MNA assembly template: the netlist walked once,
+/// the constant stamps cached in the representation the chosen
+/// [`SolverBackend`] factors.
+#[derive(Debug, Clone)]
+pub enum MnaTemplate {
+    /// Dense base matrix + dense LU.
+    Dense(AssemblyTemplate),
+    /// CSR base + sparse LU with symbolic reuse.
+    Sparse(SparseAssemblyTemplate),
+}
+
+impl MnaTemplate {
+    /// Builds the template for `netlist`, resolving `backend` by the
+    /// system's unknown count.
+    pub fn new(netlist: &Netlist, ctx: &StampContext<'_>, backend: SolverBackend) -> Self {
+        if backend.resolves_to_sparse(netlist.unknown_count()) {
+            MnaTemplate::Sparse(SparseAssemblyTemplate::new(netlist, ctx))
+        } else {
+            MnaTemplate::Dense(AssemblyTemplate::new(netlist, ctx))
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            MnaTemplate::Dense(t) => t.dim(),
+            MnaTemplate::Sparse(t) => t.dim(),
+        }
+    }
+
+    /// Non-ground node count (the `gmin` / damping prefix of the
+    /// unknowns).
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            MnaTemplate::Dense(t) => t.n_nodes,
+            MnaTemplate::Sparse(t) => t.n_nodes,
+        }
+    }
+
+    /// Whether the sparse backend was selected.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, MnaTemplate::Sparse(_))
+    }
+
+    /// Consumes the template into working state (system storage +
+    /// factorization slot) for Newton solves. Keep one state across
+    /// repeated solves — `gmin`-ladder rungs, corner/mismatch re-solves,
+    /// benchmark sweeps — and the factorization storage (for sparse: the
+    /// symbolic pattern and pivot order) is reused instead of recomputed.
+    pub fn into_state(self) -> MnaState {
+        let n = self.dim();
+        MnaState {
+            inner: match self {
+                MnaTemplate::Dense(t) => StateInner::Dense {
+                    a: Matrix::zeros(n, n),
+                    rhs: vec![0.0; n],
+                    lu: None,
+                    template: t,
+                },
+                MnaTemplate::Sparse(t) => StateInner::Sparse {
+                    a: t.new_system(),
+                    rhs: vec![0.0; n],
+                    lu: None,
+                    template: t,
+                },
+            },
+        }
+    }
+
+    /// [`into_state`](Self::into_state) without consuming the template
+    /// (clones the cached base system).
+    pub fn state(&self) -> MnaState {
+        self.clone().into_state()
+    }
+}
+
+/// Working storage for Newton solves over one [`MnaTemplate`]: the
+/// template, the assembled system and the (re)usable factorization.
+#[derive(Debug)]
+pub struct MnaState {
+    inner: StateInner,
+}
+
+// One `MnaState` exists per solver (never collections of them), so the
+// dense/sparse variant size imbalance costs nothing — boxing would only
+// add an indirection to the hot assemble/solve path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum StateInner {
+    Dense {
+        template: AssemblyTemplate,
+        a: Matrix,
+        rhs: Vec<f64>,
+        lu: Option<Lu>,
+    },
+    Sparse {
+        template: SparseAssemblyTemplate,
+        a: CsrMatrix<f64>,
+        rhs: Vec<f64>,
+        lu: Option<SparseLu<f64>>,
+    },
+}
+
+impl MnaState {
+    fn dim(&self) -> usize {
+        match &self.inner {
+            StateInner::Dense { template, .. } => template.dim(),
+            StateInner::Sparse { template, .. } => template.dim(),
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        match &self.inner {
+            StateInner::Dense { template, .. } => template.n_nodes,
+            StateInner::Sparse { template, .. } => template.n_nodes,
+        }
+    }
+
+    /// Whether a factorization from an earlier refresh is available.
+    fn has_factor(&self) -> bool {
+        match &self.inner {
+            StateInner::Dense { lu, .. } => lu.is_some(),
+            StateInner::Sparse { lu, .. } => lu.is_some(),
+        }
+    }
+
+    /// Assembles the linearized system around `x`.
+    fn assemble(&mut self, x: &[f64], gmin: f64) {
+        match &mut self.inner {
+            StateInner::Dense { template, a, rhs, .. } => {
+                template.assemble_into(a, rhs, x, gmin);
+            }
+            StateInner::Sparse { template, a, rhs, .. } => {
+                template.assemble_into(a, rhs, x, gmin);
+            }
+        }
+    }
+
+    /// `out = rhs − A·x` over the currently assembled system.
+    fn residual_into(&self, x: &[f64], out: &mut [f64]) {
+        match &self.inner {
+            StateInner::Dense { a, rhs, .. } => {
+                a.mat_vec_into(x, out);
+                for (r, b) in out.iter_mut().zip(rhs) {
+                    *r = b - *r;
+                }
+            }
+            StateInner::Sparse { a, rhs, .. } => {
+                a.mat_vec_into(x, out);
+                for (r, b) in out.iter_mut().zip(rhs) {
+                    *r = b - *r;
+                }
+            }
+        }
+    }
+
+    /// Factors (first use) or numerically re-factors the assembled
+    /// system. The sparse path reuses the frozen pivot order/pattern; if
+    /// drifting values break a frozen pivot it transparently re-pivots
+    /// (fresh Markowitz analysis) before giving up.
+    fn refresh_factor(&mut self) -> Result<(), SpiceError> {
+        match &mut self.inner {
+            StateInner::Dense { a, lu, .. } => match lu {
+                Some(f) => f.refactor(a).map_err(SpiceError::from),
+                None => {
+                    *lu = Some(a.lu().map_err(SpiceError::from)?);
+                    Ok(())
+                }
+            },
+            StateInner::Sparse { a, lu, .. } => match lu {
+                Some(f) => match f.refactor(a) {
+                    Ok(()) => Ok(()),
+                    Err(LinalgError::Singular { .. }) => {
+                        *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
+                        Ok(())
+                    }
+                    Err(e) => Err(SpiceError::from(e)),
+                },
+                None => {
+                    *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Solves the factored system for `b` into `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorization is present.
+    fn solve_into(&mut self, b: &[f64], dx: &mut Vec<f64>) {
+        match &mut self.inner {
+            StateInner::Dense { lu, .. } => {
+                lu.as_ref().expect("factorization present after refresh").solve_into(b, dx);
+            }
+            StateInner::Sparse { lu, .. } => {
+                lu.as_mut().expect("factorization present after refresh").solve_into(b, dx);
+            }
+        }
+    }
 }
 
 /// When the Newton loop re-factors the Jacobian.
@@ -276,6 +781,8 @@ pub struct NewtonOptions {
     pub max_step: f64,
     /// Jacobian refresh policy (chord reuse by default).
     pub strategy: JacobianStrategy,
+    /// Linear-solver backend (size-based auto-selection by default).
+    pub backend: SolverBackend,
 }
 
 impl NewtonOptions {
@@ -283,6 +790,12 @@ impl NewtonOptions {
     /// reference semantics the chord path is parity-tested against.
     pub fn full_newton() -> Self {
         Self { strategy: JacobianStrategy::Full, ..Self::default() }
+    }
+
+    /// Overrides the solver backend (builder style).
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -293,6 +806,7 @@ impl Default for NewtonOptions {
             tolerance: 1e-9,
             max_step: 0.5,
             strategy: JacobianStrategy::default(),
+            backend: SolverBackend::default(),
         }
     }
 }
@@ -311,14 +825,16 @@ pub fn newton_solve(
 ) -> Result<Vec<f64>, SpiceError> {
     // The constant stamps are assembled once; per-iteration work is a
     // memcpy of the base system plus the nonlinear restamp.
-    let template = AssemblyTemplate::new(netlist, ctx);
-    newton_solve_with_template(&template, initial, ctx.gmin, options)
+    let mut state = MnaTemplate::new(netlist, ctx, options.backend).into_state();
+    newton_solve_with_state(&mut state, initial, ctx.gmin, options)
 }
 
-/// [`newton_solve`] over a prebuilt [`AssemblyTemplate`] — callers that
-/// solve the same `(netlist, time, step)` system repeatedly (the DC
-/// gmin continuation ladder) build the template once and sweep `gmin`
-/// here instead of re-walking the netlist per rung.
+/// [`newton_solve`] over a prebuilt [`MnaTemplate`] — callers that solve
+/// the same `(netlist, time, step)` system repeatedly build the template
+/// once instead of re-walking the netlist per solve. Allocates a fresh
+/// [`MnaState`]; callers that additionally want factorization reuse
+/// *across* solves (the DC `gmin` ladder) should hold a state and use
+/// [`newton_solve_with_state`].
 ///
 /// # Errors
 ///
@@ -328,48 +844,67 @@ pub fn newton_solve(
 ///
 /// Panics if `initial.len()` differs from the template dimension.
 pub fn newton_solve_with_template(
-    template: &AssemblyTemplate,
+    template: &MnaTemplate,
     initial: &[f64],
     gmin: f64,
     options: &NewtonOptions,
 ) -> Result<Vec<f64>, SpiceError> {
-    let n = template.dim();
+    let mut state = template.state();
+    newton_solve_with_state(&mut state, initial, gmin, options)
+}
+
+/// The Newton/chord iteration over persistent working state.
+///
+/// The state owns the assembled system and the factorization. On the
+/// dense backend the factorization slot avoids per-refresh allocation;
+/// on the sparse backend it additionally carries the **symbolic
+/// factorization** (pivot order + fill pattern), so every refresh after
+/// the first — across iterations, `gmin` rungs and repeated solves of a
+/// perturbed system — is a numeric-only re-elimination.
+///
+/// # Errors
+///
+/// [`SpiceError::NonConvergent`] if the iteration stalls,
+/// [`SpiceError::SingularMatrix`] if a linear solve fails.
+///
+/// # Panics
+///
+/// Panics if `initial.len()` differs from the state dimension.
+pub fn newton_solve_with_state(
+    state: &mut MnaState,
+    initial: &[f64],
+    gmin: f64,
+    options: &NewtonOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = state.dim();
     assert_eq!(initial.len(), n, "initial guess dimension mismatch");
-    let n_nodes = template.n_nodes;
+    let n_nodes = state.n_nodes();
     let mut x = initial.to_vec();
 
-    let mut a = Matrix::zeros(n, n);
-    let mut rhs = vec![0.0; n];
     let mut residual = vec![0.0; n];
     let mut dx = Vec::with_capacity(n);
-    let mut lu: Option<Lu> = None;
-    // Whether `lu` was factored from an *earlier* iterate (chord state).
-    let mut lu_is_stale = false;
+    // Whether the factorization is from an *earlier* iterate (chord
+    // state). A factor inherited from a previous solve is always stale.
+    let mut lu_is_stale = state.has_factor();
     let mut refresh_next = false;
     let mut last_max_delta = f64::INFINITY;
 
     for _ in 0..options.max_iterations {
-        template.assemble_into(&mut a, &mut rhs, &x, gmin);
+        state.assemble(&x, gmin);
         // residual = rhs − A·x; the Newton/chord step solves J·dx = residual.
-        a.mat_vec_into(&x, &mut residual);
-        for (r, b) in residual.iter_mut().zip(&rhs) {
-            *r = b - *r;
-        }
+        state.residual_into(&x, &mut residual);
 
         let refresh = match options.strategy {
             JacobianStrategy::Full => true,
             JacobianStrategy::Chord { refactor_threshold, .. } => {
-                lu.is_none() || refresh_next || last_max_delta > refactor_threshold
+                !state.has_factor() || refresh_next || last_max_delta > refactor_threshold
             }
         };
         if refresh {
-            match &mut lu {
-                Some(factor) => factor.refactor(&a).map_err(SpiceError::from)?,
-                None => lu = Some(a.lu().map_err(SpiceError::from)?),
-            }
+            state.refresh_factor()?;
             lu_is_stale = false;
         }
-        lu.as_ref().expect("factorization present after refresh").solve_into(&residual, &mut dx);
+        state.solve_into(&residual, &mut dx);
 
         // Damped update with per-component clamp on node voltages.
         let mut max_delta = 0.0f64;
@@ -397,9 +932,9 @@ pub fn newton_solve_with_template(
         last_max_delta = max_delta;
     }
     // Measure the final update magnitude as the reported residual.
-    template.assemble_into(&mut a, &mut rhs, &x, gmin);
-    a.mat_vec_into(&x, &mut residual);
-    let residual = residual.iter().zip(&rhs).map(|(l, r)| (l - r).abs()).fold(0.0f64, f64::max);
+    state.assemble(&x, gmin);
+    state.residual_into(&x, &mut residual);
+    let residual = residual.iter().fold(0.0f64, |m, r| m.max(r.abs()));
     Err(SpiceError::NonConvergent { residual })
 }
 
@@ -494,6 +1029,111 @@ mod tests {
         let chord = newton_solve(&nl, &x0, &ctx, &NewtonOptions::default()).unwrap();
         for (c, f) in chord.iter().zip(&full) {
             assert!((c - f).abs() < 1e-9, "chord {c} vs full {f}");
+        }
+    }
+
+    #[test]
+    fn backend_parse_and_auto_resolution() {
+        assert_eq!(SolverBackend::parse("dense"), Ok(SolverBackend::Dense));
+        assert_eq!(SolverBackend::parse("sparse"), Ok(SolverBackend::Sparse));
+        assert_eq!(SolverBackend::parse("auto"), Ok(SolverBackend::Auto));
+        assert!(SolverBackend::parse("lapack").is_err());
+        let t = SolverBackend::AUTO_SPARSE_THRESHOLD;
+        assert!(!SolverBackend::Auto.resolves_to_sparse(t - 1));
+        assert!(SolverBackend::Auto.resolves_to_sparse(t));
+        assert!(SolverBackend::Sparse.resolves_to_sparse(1));
+        assert!(!SolverBackend::Dense.resolves_to_sparse(10_000));
+        assert_eq!(SolverBackend::Sparse.to_string(), "sparse");
+    }
+
+    /// A small mixed netlist exercising every stamp kind in DC.
+    fn mixed_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        let tail = nl.node("tail");
+        nl.vsource("VDD", vdd, GROUND, 0.9);
+        nl.vsource("VIN", vin, GROUND, 0.42);
+        nl.resistor("RL", vdd, out, 10e3);
+        nl.isource("IB", GROUND, tail, 50e-6);
+        nl.resistor("RT", tail, GROUND, 40e3);
+        nl.mosfet("MP", out, vin, vdd, crate::model::MosModel::pmos_28nm(), 2.0, 0.05);
+        nl.mosfet("MN", out, vin, tail, crate::model::MosModel::nmos_28nm(), 1.0, 0.05);
+        nl
+    }
+
+    #[test]
+    fn sparse_template_assembles_identically_to_dense() {
+        // The CSR assembly, densified, must agree entry-for-entry with
+        // the dense template at several estimates and gmin values —
+        // both run the same linearization, so equality is exact.
+        let nl = mixed_netlist();
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-9 };
+        let dense = AssemblyTemplate::new(&nl, &ctx);
+        let sparse = SparseAssemblyTemplate::new(&nl, &ctx);
+        assert_eq!(sparse.dim(), dense.dim());
+        assert_eq!(sparse.nonlinear_count(), dense.nonlinear_count());
+        let n = nl.unknown_count();
+        let mut a_sparse = sparse.new_system();
+        let mut rhs_sparse = vec![0.0; n];
+        let mut a_dense = Matrix::zeros(n, n);
+        let mut rhs_dense = vec![0.0; n];
+        for (estimate, gmin) in [(vec![0.0; n], 1e-3), (vec![0.3; n], 1e-9), (vec![0.9; n], 1e-12)]
+        {
+            dense.assemble_into(&mut a_dense, &mut rhs_dense, &estimate, gmin);
+            sparse.assemble_into(&mut a_sparse, &mut rhs_sparse, &estimate, gmin);
+            assert_eq!(a_sparse.to_dense(), a_dense);
+            assert_eq!(rhs_sparse, rhs_dense);
+        }
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_operating_point() {
+        let nl = mixed_netlist();
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-9 };
+        let x0 = vec![0.0; nl.unknown_count()];
+        for strategy in [JacobianStrategy::Full, JacobianStrategy::CHORD_DEFAULT] {
+            let opts = |backend| NewtonOptions { strategy, backend, ..NewtonOptions::default() };
+            let dense = newton_solve(&nl, &x0, &ctx, &opts(SolverBackend::Dense)).unwrap();
+            let sparse = newton_solve(&nl, &x0, &ctx, &opts(SolverBackend::Sparse)).unwrap();
+            for (d, s) in dense.iter().zip(&sparse) {
+                assert!((d - s).abs() < 1e-9, "dense {d} vs sparse {s} ({strategy:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_step_sparse_matches_dense() {
+        // Capacitor companion stamps flow through the sparse template
+        // during a transient step.
+        let nl = {
+            let mut nl = Netlist::new();
+            let vin = nl.node("in");
+            let out = nl.node("out");
+            nl.vsource("V1", vin, GROUND, 1.0);
+            nl.resistor("R1", vin, out, 1e3);
+            nl.capacitor("C1", out, GROUND, 1e-9);
+            nl
+        };
+        let prev = vec![0.0; nl.unknown_count()];
+        let ctx = StampContext { time: 1e-9, step: Some((1e-9, &prev)), gmin: 1e-12 };
+        let dense = newton_solve(
+            &nl,
+            &prev,
+            &ctx,
+            &NewtonOptions::default().with_backend(SolverBackend::Dense),
+        )
+        .unwrap();
+        let sparse = newton_solve(
+            &nl,
+            &prev,
+            &ctx,
+            &NewtonOptions::default().with_backend(SolverBackend::Sparse),
+        )
+        .unwrap();
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert!((d - s).abs() < 1e-12, "dense {d} vs sparse {s}");
         }
     }
 

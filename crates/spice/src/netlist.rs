@@ -226,6 +226,63 @@ impl Netlist {
     }
 }
 
+/// A CMOS inverter chain biased at mid-rail: `stages` nonlinear stages,
+/// `2 + stages` non-ground nodes, `4 + stages` MNA unknowns.
+///
+/// The canonical solver-scaling workload: every stage adds one node,
+/// two MOSFETs and a 10 kΩ output load, so sweeping `stages` sweeps the
+/// MNA dimension while the per-node connectivity (and hence the sparse
+/// nonzero count per row) stays constant. The load resistor keeps every
+/// output conductively tied at all Newton iterates — a long *unloaded*
+/// mid-rail chain drives the dense factorization into catastrophic
+/// cancellation in the V-source border block during wild early iterates
+/// (numerically singular from ~60 stages), which would leave the dense
+/// reference unable to solve exactly the sizes the dense-vs-sparse
+/// comparison needs. Stage `s` output is node `n{s}`.
+pub fn inverter_chain(stages: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vin = nl.node("vin");
+    nl.vsource("VDD", vdd, GROUND, 0.9);
+    nl.vsource("VIN", vin, GROUND, 0.42);
+    let mut prev = vin;
+    for s in 0..stages {
+        let out = nl.node(&format!("n{s}"));
+        nl.mosfet(&format!("MP{s}"), out, prev, vdd, MosModel::pmos_28nm(), 2.0, 0.05);
+        nl.mosfet(&format!("MN{s}"), out, prev, GROUND, MosModel::nmos_28nm(), 1.0, 0.05);
+        nl.resistor(&format!("RL{s}"), out, GROUND, 10e3);
+        prev = out;
+    }
+    nl
+}
+
+/// An RC ladder driven by a 1 V source: `sections` series resistors of
+/// `r_ohms` with `c_farads` to ground at every intermediate node.
+///
+/// The MNA matrix is tridiagonal-plus-border — the best case for a
+/// fill-minimizing sparse ordering (the factor stays `O(n)`) and the
+/// worst case for dense `O(n³)` factorization. Section `s` node is
+/// `l{s}`; the final node is also reachable as `out`.
+///
+/// # Panics
+///
+/// Panics if `sections == 0` or a component value is non-positive.
+pub fn rc_ladder(sections: usize, r_ohms: f64, c_farads: f64) -> Netlist {
+    assert!(sections > 0, "an RC ladder needs at least one section");
+    let mut nl = Netlist::new();
+    let vin = nl.node("vin");
+    nl.vsource("VIN", vin, GROUND, 1.0);
+    let mut prev = vin;
+    for s in 0..sections {
+        let name = if s + 1 == sections { "out".to_string() } else { format!("l{s}") };
+        let node = nl.node(&name);
+        nl.resistor(&format!("R{s}"), prev, node, r_ohms);
+        nl.capacitor(&format!("C{s}"), node, GROUND, c_farads);
+        prev = node;
+    }
+    nl
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +335,40 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         nl.resistor("R", a, GROUND, -5.0);
+    }
+
+    #[test]
+    fn inverter_chain_scales_linearly() {
+        for stages in [1, 4, 64] {
+            let nl = inverter_chain(stages);
+            assert_eq!(nl.node_count(), 3 + stages, "{stages} stages");
+            assert_eq!(nl.unknown_count(), 4 + stages);
+            assert_eq!(
+                nl.devices().len(),
+                2 + 3 * stages,
+                "two sources plus a P/N pair and a load per stage"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_ladder_shape() {
+        let nl = rc_ladder(8, 1e3, 1e-12);
+        assert_eq!(nl.node_count(), 10); // ground + vin + 8 ladder nodes
+        assert_eq!(nl.unknown_count(), 10); // 9 nodes + 1 branch
+        assert_eq!(nl.devices().len(), 17); // VIN + 8 R + 8 C
+                                            // Looking up "out" must intern to an *existing* node (the final
+                                            // ladder node), not create a fresh floating one.
+        let mut check = rc_ladder(8, 1e3, 1e-12);
+        let nodes_before = check.node_count();
+        let out = check.node("out");
+        assert_eq!(check.node_count(), nodes_before, "out already existed");
+        assert_eq!(out.index(), nodes_before - 1, "out is the last ladder node");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn empty_rc_ladder_panics() {
+        rc_ladder(0, 1e3, 1e-12);
     }
 }

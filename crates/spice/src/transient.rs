@@ -118,6 +118,26 @@ pub fn transient_from(
     spec: &TransientSpec,
     initial: Vec<f64>,
 ) -> Result<TransientResult, SpiceError> {
+    transient_from_with_options(netlist, spec, initial, &NewtonOptions::default())
+}
+
+/// [`transient_from`] with explicit Newton controls — e.g. to force a
+/// [`SolverBackend`](crate::mna::SolverBackend) instead of the size-based
+/// auto-selection, or to disable the chord LU reuse.
+///
+/// # Errors
+///
+/// Propagates per-step Newton failures.
+///
+/// # Panics
+///
+/// Panics if `initial.len()` differs from the netlist unknown count.
+pub fn transient_from_with_options(
+    netlist: &Netlist,
+    spec: &TransientSpec,
+    initial: Vec<f64>,
+    options: &NewtonOptions,
+) -> Result<TransientResult, SpiceError> {
     assert_eq!(initial.len(), netlist.unknown_count(), "initial state dimension mismatch");
     let steps = spec.steps();
     let mut times = Vec::with_capacity(steps + 1);
@@ -125,12 +145,11 @@ pub fn transient_from(
     times.push(0.0);
     solutions.push(initial);
 
-    let options = NewtonOptions::default();
     for k in 1..=steps {
         let t = k as f64 * spec.dt;
         let prev = solutions.last().expect("at least the initial point").clone();
         let ctx = StampContext { time: t, step: Some((spec.dt, &prev)), gmin: 1e-12 };
-        let sol = newton_solve(netlist, &prev, &ctx, &options)?;
+        let sol = newton_solve(netlist, &prev, &ctx, options)?;
         times.push(t);
         solutions.push(sol);
     }

@@ -3,7 +3,7 @@
 //! time), and the chord-Newton LU reuse must land on the same operating
 //! points as full Newton.
 
-use glova::cache::EvalCacheConfig;
+use glova::cache::{CachePolicy, EvalCacheConfig};
 use glova::engine::EngineSpec;
 use glova::optimizer::{GlovaConfig, GlovaOptimizer};
 use glova::problem::SizingProblem;
@@ -26,8 +26,11 @@ use std::time::Duration;
 #[test]
 fn repeated_sweeps_hit_the_cache_and_counters_stay_request_based() {
     let toy: Arc<dyn Circuit> = Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05));
+    // `CachePolicy::On` pins memoization: the counter assertions below
+    // must not depend on what the Auto cost probe decides for a cheap
+    // analytic circuit.
     let problem = SizingProblem::new(toy, VerificationMethod::CornerLocalMc)
-        .with_cache(EvalCacheConfig::default());
+        .with_cache(EvalCacheConfig::with_policy(CachePolicy::On));
     let x = vec![0.5; 4];
     let corner = problem.config().corners.corner(0);
     let mut rng = seeded(3);
@@ -55,7 +58,7 @@ fn repeated_sweeps_hit_the_cache_and_counters_stay_request_based() {
 fn lru_bound_caps_residency_and_counts_evictions() {
     let toy: Arc<dyn Circuit> = Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05));
     let problem = SizingProblem::new(toy, VerificationMethod::CornerLocalMc)
-        .with_cache(EvalCacheConfig { capacity: 8 });
+        .with_cache(EvalCacheConfig { capacity: 8, policy: CachePolicy::On });
     let x = vec![0.5; 4];
     let corner = problem.config().corners.corner(0);
     let mut rng = seeded(4);
