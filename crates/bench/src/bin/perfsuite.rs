@@ -32,15 +32,23 @@
 //!   through a persistent [`OpSolver`] as a
 //!   sweep would use): the dense-vs-sparse scaling curve, gated so the
 //!   sparse backend never regresses below its measured advantage.
+//! - `spice_threaded` — a SPICE-backed corner × mismatch yield grid
+//!   ([`SpiceInverterChain`](glova_circuits::SpiceInverterChain), 24
+//!   stages) dispatched through the engine layer, sequential vs a
+//!   4-worker threaded engine with per-worker `OpSolver`s cloned from
+//!   one primed prototype — the thread-parallel sweep the engine work
+//!   exists for, gated at ≥ `--min-spice-speedup` (default 1.5×).
 //!
 //! The `--gate` mode enforces: per-scenario wall ceiling, best threaded
 //! speedup across the yield-grid matrix ≥ `--min-speedup` (skipped on
 //! single-core machines, where a threaded engine cannot win), a nonzero
 //! cache hit rate on the re-sweep scenario with the cache pinned on, the
-//! auto-policy cache never below 0.95× the cache-off wall, and the
-//! sparse-backend floors (≥ 1.5× dense at 24 stages, ≥ 4× at 64).
-//! Timings gate on the best of two runs per measurement — single
-//! samples of millisecond-scale batches are CI-noise, not signal.
+//! auto-policy cache never below 0.95× the cache-off wall, the
+//! sparse-backend floors (≥ 1.5× dense at 24 stages, ≥ 4× at 64), and
+//! the threaded SPICE sweep floor (≥ 1.5× sequential on 4 workers,
+//! skipped below 4 cores). Timings gate on the best of two runs per
+//! measurement — single samples of millisecond-scale batches are
+//! CI-noise, not signal.
 
 use glova::cache::{CachePolicy, EvalCacheConfig};
 use glova::engine::EngineSpec;
@@ -356,6 +364,58 @@ fn main() {
                     ));
                 }
             }
+        }
+    }
+
+    // ---- spice_threaded: SPICE-backed sweep through the engine layer ----
+    // The tentpole workload: a corner × mismatch yield grid whose every
+    // point is a DC operating-point solve of inv_chain24 (auto-resolved
+    // sparse), dispatched through the EvalEngine with one per-worker
+    // OpSolver cloned from a shared primed prototype. The threaded record
+    // carries its speedup over the matching sequential sweep; the gate
+    // enforces the 4-worker floor (skipped on machines with fewer than 4
+    // cores, where a 4-worker engine cannot realize its speedup).
+    let spice_workers = 4usize;
+    let spice_floor: f64 =
+        flag(&args, "--min-spice-speedup").and_then(|s| s.parse().ok()).unwrap_or(1.5);
+    let spice_batch = if quick { 8 } else { 16 };
+    let spice_chain: Arc<dyn Circuit> = Arc::new(glova_circuits::SpiceInverterChain::new(24));
+    let (sp_seq_sims, sp_seq_wall) = yield_grid(&spice_chain, EngineSpec::Sequential, spice_batch);
+    let sp_seq = BenchRecord::new(
+        "spice_threaded",
+        "inv_chain24",
+        "sequential",
+        spice_batch,
+        sp_seq_sims,
+        sp_seq_wall,
+    );
+    print_record(&sp_seq);
+    report.push(sp_seq);
+    let (sp_thr_sims, sp_thr_wall) =
+        yield_grid(&spice_chain, EngineSpec::Threaded(spice_workers), spice_batch);
+    let sp_speedup = sp_seq_wall.as_secs_f64() / sp_thr_wall.as_secs_f64().max(1e-12);
+    let sp_thr = BenchRecord::new(
+        "spice_threaded",
+        "inv_chain24",
+        format!("threaded:{spice_workers}"),
+        spice_batch,
+        sp_thr_sims,
+        sp_thr_wall,
+    )
+    .with_speedup(sp_speedup);
+    print_record(&sp_thr);
+    report.push(sp_thr);
+    if gate {
+        if cores < spice_workers {
+            eprintln!(
+                "gate: skipping spice_threaded speedup check \
+                 ({cores} core(s) < {spice_workers} workers)"
+            );
+        } else if sp_speedup < spice_floor {
+            failures.push(format!(
+                "spice_threaded: {spice_workers}-worker SPICE sweep is {sp_speedup:.2}x \
+                 sequential (floor {spice_floor:.1}x)"
+            ));
         }
     }
 

@@ -6,20 +6,27 @@
 //! cargo run --release -p glova-bench --bin spice_op -- --backend sparse
 //! cargo run --release -p glova-bench --bin spice_op -- \
 //!     --sizes 4,24,64,128 --solves 500 --report
+//! cargo run --release -p glova-bench --bin spice_op -- --engine threaded:4
 //! ```
 //!
 //! Without `--backend`, every size runs **both** dense and sparse (plus
 //! the auto selection as a sanity row), which is the dense-vs-sparse
 //! scaling curve the perf trajectory tracks; `--backend dense|sparse|auto`
 //! restricts the matrix to one backend — the CLI override for the
-//! size-based auto-selection. Timings are best-of-two; `--report` writes
+//! size-based auto-selection. `--engine threaded:N` runs the solve sweep
+//! through an [`EvalEngine`](glova::engine::EvalEngine) over an
+//! [`OpSolverPool`] — per-worker solvers cloned from one primed
+//! prototype, the execution model of the pipeline's threaded
+//! corner/mismatch sweeps. Timings are best-of-two; `--report` writes
 //! `BENCH_spice_op.json`.
 
+use glova::engine::EngineSpec;
 use glova_bench::report::{BenchRecord, BenchReport};
 use glova_bench::{report_requested, write_report};
-use glova_spice::dc::OpSolver;
+use glova_spice::dc::{OpSolver, OpSolverPool};
 use glova_spice::mna::{NewtonOptions, SolverBackend};
 use glova_spice::netlist::{inverter_chain, rc_ladder, Netlist};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -39,6 +46,35 @@ fn solve_op(netlist: &Netlist, options: &NewtonOptions, solves: usize) -> Option
             if solver.solve().is_err() {
                 return None;
             }
+        }
+        best = best.min(start.elapsed());
+    }
+    Some(best)
+}
+
+/// [`solve_op`] dispatched through an [`EvalEngine`](glova::engine::EvalEngine): the batch of
+/// repeated solves fans out over the engine's workers, each checking a
+/// per-worker solver out of a shared [`OpSolverPool`] (symbolic analysis
+/// once, numeric refactorizations per worker).
+fn solve_op_engine(
+    netlist: &Netlist,
+    options: &NewtonOptions,
+    solves: usize,
+    engine: EngineSpec,
+) -> Option<Duration> {
+    let pool = OpSolverPool::new(netlist, *options).ok()?;
+    let engine = engine.build();
+    let failed = AtomicBool::new(false);
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        engine.run(solves, &|_| {
+            if pool.with_solver(|solver| solver.solve().is_err()) {
+                failed.store(true, Ordering::Relaxed);
+            }
+        });
+        if failed.load(Ordering::Relaxed) {
+            return None;
         }
         best = best.min(start.elapsed());
     }
@@ -70,6 +106,14 @@ fn main() {
         Some(b) => vec![b],
         None => vec![SolverBackend::Dense, SolverBackend::Sparse, SolverBackend::Auto],
     };
+    let engine: EngineSpec = flag(&args, "--engine")
+        .map(|s| {
+            EngineSpec::parse(&s).unwrap_or_else(|err| {
+                eprintln!("{err}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(EngineSpec::Sequential);
 
     println!("=== spice_op: DC operating-point solves ({solves} solves, best of 2) ===\n");
     let mut report = BenchReport::new("spice_op");
@@ -116,6 +160,45 @@ fn main() {
                 record.circuit, record.batch, record.engine, record.sims_per_sec, speedup
             );
             report.push(record);
+
+            // Engine-dispatched sweep: same workload fanned out over
+            // per-worker pool solvers, speedup vs this backend's
+            // sequential wall.
+            if engine != EngineSpec::Sequential {
+                let workers = engine.resolved_workers();
+                match solve_op_engine(netlist, &options, solves, engine) {
+                    Some(thr_wall) => {
+                        let thr = BenchRecord::new(
+                            "spice_op",
+                            name.clone(),
+                            format!("{backend}+threaded:{workers}"),
+                            netlist.unknown_count(),
+                            solves as u64,
+                            thr_wall,
+                        )
+                        .with_speedup(wall.as_secs_f64() / thr_wall.as_secs_f64().max(1e-12));
+                        println!(
+                            "{:<14} {:>4} unknowns  {:<7} {:>9.1} ops/s  vs seq   {:6.2}x",
+                            thr.circuit,
+                            thr.batch,
+                            thr.engine,
+                            thr.sims_per_sec,
+                            thr.speedup_vs_sequential.unwrap_or(0.0)
+                        );
+                        report.push(thr);
+                    }
+                    // A convergence failure must be as loud as on the
+                    // plain path — a missing row reads as "not
+                    // requested", hiding exactly the regression the
+                    // artifact exists to surface.
+                    None => println!(
+                        "{:<14} {:>4} unknowns  {:<7} does not converge",
+                        name,
+                        netlist.unknown_count(),
+                        format!("{backend}+threaded:{workers}"),
+                    ),
+                }
+            }
         }
     }
 

@@ -42,12 +42,14 @@ pub mod fia;
 pub mod physics;
 pub mod sal;
 pub mod spec;
+pub mod spice_backed;
 pub mod toy;
 
 pub use dram::DramCoreSense;
 pub use fia::FloatingInverterAmp;
 pub use sal::StrongArmLatch;
 pub use spec::{DesignSpec, Goal, MetricSpec};
+pub use spice_backed::SpiceInverterChain;
 pub use toy::ToyQuadratic;
 
 use glova_variation::corner::PvtCorner;

@@ -1,0 +1,315 @@
+//! A genuinely SPICE-backed testcase: every evaluation is a DC
+//! operating-point solve of a real netlist.
+//!
+//! The three paper testcases ([`StrongArmLatch`](crate::StrongArmLatch)
+//! etc.) are physics-based *analytic* models layered over the 28 nm
+//! device cards — fast, but they never exercise the MNA solver stack.
+//! [`SpiceInverterChain`] closes that gap: its `evaluate` builds a
+//! corner- and mismatch-specialized inverter-chain netlist and solves it
+//! through a shared [`OpSolverPool`], so SPICE-backed corner/mismatch
+//! sweeps flow through the same
+//! [`EvalEngine`](../../glova/engine/trait.EvalEngine.html)-dispatched
+//! [`SizingProblem`](../../glova/problem/struct.SizingProblem.html) batch
+//! entry points as every other circuit — with each engine worker
+//! checking out its own per-thread solver (a clone of one primed
+//! prototype, so the symbolic factorization is analyzed once per
+//! topology and every solve anywhere in the sweep pays only numeric
+//! refactorizations).
+//!
+//! # Determinism
+//!
+//! `evaluate` is a pure function of `(x, corner, h)`: the netlist is
+//! rebuilt per point, the solver runs the full `gmin` ladder from zeros,
+//! and the pool keeps every worker's solver on the canonical symbolic
+//! factorization (retiring any solver that re-pivoted). Sequential and
+//! threaded sweeps are therefore bitwise identical —
+//! `tests/spice_engine_parity.rs` is the battery that locks this in.
+
+use crate::spec::{DesignSpec, MetricSpec};
+use crate::Circuit;
+use glova_spice::dc::OpSolverPool;
+use glova_spice::mna::{NewtonOptions, SolverBackend};
+use glova_spice::model::MosModel;
+use glova_spice::netlist::{Netlist, GROUND};
+use glova_variation::corner::PvtCorner;
+use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
+use glova_variation::sampler::MismatchVector;
+
+/// A `stages`-stage CMOS inverter chain sized by 4 parameters and
+/// evaluated by DC operating-point SPICE solves.
+///
+/// Design vector (normalized to `[0,1]`, physical bounds in
+/// [`Circuit::bounds`]): NMOS width, PMOS width, channel length, and the
+/// per-stage output load resistance. Metrics (all from one operating
+/// point):
+///
+/// 1. `supply_current_ua` (≤): total VDD branch current — static power.
+/// 2. `out_high_v` (≥): the higher of the last two stage outputs — the
+///    chain must regenerate a solid logic high.
+/// 3. `out_low_v` (≤): the lower of the last two stage outputs — and a
+///    solid logic low.
+///
+/// A non-convergent operating point (possible at extreme
+/// corner × mismatch combinations) reports NaN metrics, which the reward
+/// machinery treats as a constraint violation — deterministically, so
+/// engine parity is unaffected.
+#[derive(Debug)]
+pub struct SpiceInverterChain {
+    stages: usize,
+    spec: DesignSpec,
+    pool: OpSolverPool,
+}
+
+/// Mismatch components contributed per stage: `ΔV_th`/`Δβ` for the PMOS,
+/// then the same for the NMOS (netlist device order).
+const MISMATCH_PER_STAGE: usize = 4;
+
+impl SpiceInverterChain {
+    /// Builds the chain testcase with size-based backend auto-selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2` (the output metrics read the last two
+    /// stage outputs).
+    pub fn new(stages: usize) -> Self {
+        Self::with_backend(stages, SolverBackend::Auto)
+    }
+
+    /// Builds the chain testcase on an explicit solver backend (the
+    /// parity battery forces each in turn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2`.
+    pub fn with_backend(stages: usize, backend: SolverBackend) -> Self {
+        assert!(stages >= 2, "the chain metrics need at least two stages");
+        // The static current grows ~linearly with the stage count
+        // (~37 µA/stage at nominal sizing, worst-corner ~1.1× that), so
+        // the power budget scales with the chain: mid-range sizings pass
+        // at every corner with ~1.5× headroom while aggressive
+        // wide/short-channel sizings (~2–3× the nominal current) violate
+        // it — a non-trivial feasibility boundary for the optimizer.
+        let spec = DesignSpec::new(vec![
+            MetricSpec::below("supply_current_ua", 60.0 * stages as f64 + 60.0),
+            MetricSpec::above("out_high_v", 0.6),
+            MetricSpec::below("out_low_v", 0.15),
+        ]);
+        // The pool prototype fixes the topology (and on the sparse
+        // backend the symbolic factorization); its device *values* are
+        // irrelevant — every evaluation retargets the solver at its own
+        // netlist. Nominal mid-range sizing keeps the primed system well
+        // conditioned.
+        let pool = OpSolverPool::new(
+            &Self::netlist_for(
+                stages,
+                &Self::static_denormalize(&[0.5; 4]),
+                &PvtCorner::typical(),
+                &MismatchVector::nominal(stages * MISMATCH_PER_STAGE),
+            ),
+            NewtonOptions::default().with_backend(backend),
+        )
+        .expect("inverter chain netlist is structurally sound");
+        Self { stages, spec, pool }
+    }
+
+    /// Number of inverter stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The shared solver pool (counters are useful in tests and benches:
+    /// solvers spawned == peak concurrent workers).
+    pub fn solver_pool(&self) -> &OpSolverPool {
+        &self.pool
+    }
+
+    /// Whether evaluations run the sparse MNA backend.
+    pub fn is_sparse(&self) -> bool {
+        self.pool.is_sparse()
+    }
+
+    fn static_bounds() -> Vec<(f64, f64)> {
+        vec![
+            (0.6, 2.0),   // wn_um
+            (1.2, 4.0),   // wp_um
+            (0.03, 0.08), // l_um
+            (5e3, 20e3),  // rl_ohm
+        ]
+    }
+
+    fn static_denormalize(x_norm: &[f64]) -> Vec<f64> {
+        Self::static_bounds()
+            .iter()
+            .zip(x_norm)
+            .map(|(&(lo, hi), &u)| lo + (hi - lo) * u.clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Builds the netlist for one `(x, corner, h)` point. The topology
+    /// (and therefore the MNA pattern) depends only on `stages`; the
+    /// point enters exclusively through device values, which is what
+    /// lets the solver pool keep one frozen symbolic factorization for
+    /// the whole sweep.
+    fn netlist_for(
+        stages: usize,
+        x_phys: &[f64],
+        corner: &PvtCorner,
+        h: &MismatchVector,
+    ) -> Netlist {
+        let (wn, wp, l, rl) = (x_phys[0], x_phys[1], x_phys[2], x_phys[3]);
+        let hv = h.values();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        nl.vsource("VDD", vdd, GROUND, corner.vdd);
+        // Input biased near the switching threshold, tracking the supply.
+        nl.vsource("VIN", vin, GROUND, corner.vdd * (0.42 / 0.9));
+        let pmos = MosModel::pmos_28nm().at_corner(corner);
+        let nmos = MosModel::nmos_28nm().at_corner(corner);
+        let mut prev = vin;
+        for s in 0..stages {
+            let out = nl.node(&format!("n{s}"));
+            let base = s * MISMATCH_PER_STAGE;
+            nl.mosfet(
+                &format!("MP{s}"),
+                out,
+                prev,
+                vdd,
+                pmos.with_mismatch(hv[base], hv[base + 1]),
+                wp,
+                l,
+            );
+            nl.mosfet(
+                &format!("MN{s}"),
+                out,
+                prev,
+                GROUND,
+                nmos.with_mismatch(hv[base + 2], hv[base + 3]),
+                wn,
+                l,
+            );
+            nl.resistor(&format!("RL{s}"), out, GROUND, rl);
+            prev = out;
+        }
+        nl
+    }
+}
+
+impl Circuit for SpiceInverterChain {
+    fn name(&self) -> &str {
+        "SPICE-INV"
+    }
+
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        Self::static_bounds()
+    }
+
+    fn parameter_names(&self) -> Vec<String> {
+        ["wn_um", "wp_um", "l_um", "rl_ohm"].map(String::from).to_vec()
+    }
+
+    fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn mismatch_domain(&self, x_norm: &[f64]) -> MismatchDomain {
+        let x = Self::static_denormalize(x_norm);
+        let (wn, wp, l) = (x[0], x[1], x[2]);
+        let mut devices = Vec::with_capacity(2 * self.stages);
+        for s in 0..self.stages {
+            devices.push(DeviceSpec::pmos(format!("MP{s}"), wp, l));
+            devices.push(DeviceSpec::nmos(format!("MN{s}"), wn, l));
+        }
+        MismatchDomain::new(devices, PelgromModel::cmos28())
+    }
+
+    fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        assert_eq!(
+            mismatch.dim(),
+            self.stages * MISMATCH_PER_STAGE,
+            "mismatch vector dimension mismatch"
+        );
+        let x = Self::static_denormalize(x_norm);
+        let mut nl = Self::netlist_for(self.stages, &x, corner, mismatch);
+        let solved = self.pool.with_solver(|solver| {
+            solver.retarget(&nl);
+            solver.solve()
+        });
+        match solved {
+            Ok(op) => {
+                let branch = nl.vsource_branch("VDD").expect("VDD source present");
+                let supply_current_ua = op.branch_current(branch).abs() * 1e6;
+                let va = op.voltage(nl.node(&format!("n{}", self.stages - 1)));
+                let vb = op.voltage(nl.node(&format!("n{}", self.stages - 2)));
+                vec![supply_current_ua, va.max(vb), va.min(vb)]
+            }
+            // Non-convergence is a deterministic property of the point;
+            // NaN metrics fail every constraint.
+            Err(_) => vec![f64::NAN; self.spec.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_is_feasible_at_typical() {
+        let chain = SpiceInverterChain::new(8);
+        let x = vec![0.5; chain.dim()];
+        let h = MismatchVector::nominal(chain.mismatch_domain(&x).dim());
+        let m = chain.evaluate(&x, &PvtCorner::typical(), &h);
+        assert_eq!(m.len(), 3);
+        assert!(chain.spec().satisfied(&m), "nominal point must meet spec: {m:?}");
+        assert_eq!(chain.spec().reward(&m), crate::spec::SATISFIED_REWARD);
+    }
+
+    #[test]
+    fn corners_and_mismatch_move_the_metrics() {
+        let chain = SpiceInverterChain::new(8);
+        let x = vec![0.5; chain.dim()];
+        let dim = chain.mismatch_domain(&x).dim();
+        let typical = chain.evaluate(&x, &PvtCorner::typical(), &MismatchVector::nominal(dim));
+        let low_v = PvtCorner { vdd: 0.8, ..PvtCorner::typical() };
+        let at_low = chain.evaluate(&x, &low_v, &MismatchVector::nominal(dim));
+        assert!(at_low[1] < typical[1], "lower supply must lower the high level");
+        let skewed = chain.evaluate(
+            &x,
+            &PvtCorner::typical(),
+            &MismatchVector::from_values(vec![0.02; dim]),
+        );
+        assert_ne!(skewed, typical, "mismatch must perturb the solve");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_reuses_one_solver_sequentially() {
+        let chain = SpiceInverterChain::new(12);
+        let x = vec![0.6, 0.4, 0.5, 0.5];
+        let h = MismatchVector::from_values(vec![1e-3; chain.mismatch_domain(&x).dim()]);
+        let corner = PvtCorner { vdd: 0.8, temp_c: 80.0, ..PvtCorner::typical() };
+        let first = chain.evaluate(&x, &corner, &h);
+        for _ in 0..3 {
+            let again = chain.evaluate(&x, &corner, &h);
+            for (a, b) in first.iter().zip(&again) {
+                assert_eq!(a.to_bits(), b.to_bits(), "repeat evaluation drifted");
+            }
+        }
+        assert_eq!(chain.solver_pool().solvers_spawned(), 1, "sequential use needs one solver");
+    }
+
+    #[test]
+    fn backend_resolution_follows_size() {
+        // 4 + stages unknowns: 8 stages = 12 unknowns (dense under Auto),
+        // 24 stages = 28 unknowns (sparse under Auto).
+        assert!(!SpiceInverterChain::new(8).is_sparse());
+        assert!(SpiceInverterChain::new(24).is_sparse());
+        assert!(SpiceInverterChain::with_backend(8, SolverBackend::Sparse).is_sparse());
+        assert!(!SpiceInverterChain::with_backend(24, SolverBackend::Dense).is_sparse());
+    }
+}

@@ -174,6 +174,21 @@ const MODE_OFF: u8 = 2;
 /// evaluations (the expensive part) happen outside it — two threads
 /// racing on the same point at worst both evaluate and insert the same
 /// deterministic value.
+///
+/// # Per-worker safety under SPICE-backed circuits
+///
+/// With SPICE-backed circuits the closure passed to
+/// [`get_or_compute`](Self::get_or_compute) checks a per-worker solver
+/// out of the circuit's `OpSolverPool`; because the evaluation runs
+/// outside the cache lock, a worker holding a solver never blocks on
+/// another worker's lookup, and the lock-ordering is always
+/// cache-then-pool (never nested the other way), so the two mutexes
+/// cannot deadlock. The [`CachePolicy::Auto`] probe's timing votes are
+/// aggregated atomically across workers; the probe's on/off *decision*
+/// may differ run to run under scheduler noise, but outcomes never do —
+/// a hit returns the bitwise-identical outcome a recompute would
+/// produce, which is what keeps the parity batteries green across every
+/// `CachePolicy` × engine combination.
 #[derive(Debug)]
 pub struct EvalCache {
     map: Mutex<KeyMap>,

@@ -22,6 +22,16 @@
 //! engine produces bitwise-identical results — `tests/engine_parity.rs`
 //! locks this in across the optimizer, verifier and yield estimator.
 //!
+//! Jobs that need expensive per-thread state follow the **worker-pool
+//! pattern** rather than thread-locals (engine workers are anonymous
+//! scoped threads): a shared pool hands each concurrent job a checked-out
+//! instance and takes it back afterwards, so at most `parallelism()`
+//! instances ever materialize. The SPICE stack's
+//! `glova_spice::dc::OpSolverPool` is the canonical example — per-worker
+//! DC solvers cloned from one primed prototype, keeping every worker on
+//! the same symbolic factorization so results stay independent of which
+//! worker ran which job (`tests/spice_engine_parity.rs` is the battery).
+//!
 //! # Related speed knobs
 //!
 //! Engines decide *where* jobs run; two orthogonal knobs shrink the work

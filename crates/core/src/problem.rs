@@ -30,6 +30,14 @@ pub struct SimOutcome {
 /// of a [`Threaded`](crate::engine::Threaded) engine; batch entry points
 /// ([`simulate_conditions`](Self::simulate_conditions)) fan out through
 /// the problem's [`EvalEngine`].
+///
+/// This includes SPICE-backed circuits
+/// (`glova_circuits::SpiceInverterChain`): their `evaluate` checks a
+/// per-worker DC solver out of a shared pool, so corner/mismatch sweeps,
+/// verifier phase-2 re-sweeps and yield grids all thread through the
+/// engine layer end to end instead of looping over netlist solves
+/// inline — with `tests/spice_engine_parity.rs` holding
+/// sequential == threaded bitwise.
 pub struct SizingProblem {
     circuit: Arc<dyn Circuit>,
     config: OperatingConfig,

@@ -19,7 +19,18 @@ pub struct Lu {
 }
 
 impl Lu {
-    /// Pivot threshold below which the matrix is declared singular.
+    /// Pivot threshold below which a step is declared singular. A pivot
+    /// passes if **either** its absolute magnitude or its magnitude
+    /// *relative to its row's largest original entry* reaches this
+    /// floor: an absolute-only threshold misclassifies rows that are
+    /// uniformly tiny but well-conditioned relative to themselves —
+    /// exactly what a long unloaded mid-rail inverter chain produces on
+    /// the final `gmin` rungs, where cutoff-device node rows carry only
+    /// `gmin`-scale conductances and border-block cancellation leaves
+    /// pivots far below any fixed absolute floor while the row itself is
+    /// equally small. Accepting on either criterion makes the check a
+    /// strict relaxation of the historical absolute test, so every
+    /// previously working factorization is bitwise unchanged.
     const SINGULARITY_EPS: f64 = 1e-13;
 
     /// Factors a square matrix.
@@ -87,7 +98,15 @@ impl Lu {
                     pivot_row = i;
                 }
             }
-            if lu[(pivot_row, k)].abs() < Self::SINGULARITY_EPS {
+            // Singular only when the chosen pivot fails BOTH floors: the
+            // historical absolute test (so every previously working
+            // factorization is untouched) and the scaled test (`best` is
+            // already |pivot| / row scale, which rescues uniformly tiny
+            // but self-consistent rows). A pivot failing both is also
+            // guaranteed nonzero-safe to reject before the division
+            // below; an all-zero row (scale substituted by 1.0) fails
+            // both floors.
+            if lu[(pivot_row, k)].abs() < Self::SINGULARITY_EPS && best < Self::SINGULARITY_EPS {
                 return Err(LinalgError::Singular { index: k });
             }
             if pivot_row != k {
@@ -241,6 +260,32 @@ mod tests {
         assert_eq!(buf.len(), 2);
         assert!((buf[0] - 0.8).abs() < 1e-12);
         assert!((buf[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniformly_tiny_rows_are_not_singular() {
+        // A row whose every entry sits at gmin scale (1e-12) has pivots
+        // far below any absolute floor, yet the system is perfectly
+        // conditioned relative to itself — the scaled threshold must
+        // factor it. This is the dense-robustness case of long unloaded
+        // mid-rail inverter chains (cutoff devices leave node rows with
+        // only gmin-scale conductances).
+        let g = 1e-12;
+        let a = Matrix::from_rows(&[&[2.0 * g, -g, 0.0], &[-g, 2.0 * g, -g], &[0.0, -g, 2.0 * g]]);
+        let lu = a.lu().expect("tiny but well-conditioned rows must factor");
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mat_vec(&x_true);
+        let x = lu.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        // A genuinely dependent system is still rejected.
+        let singular = Matrix::from_rows(&[&[g, 2.0 * g], &[2.0 * g, 4.0 * g]]);
+        assert!(matches!(singular.lu(), Err(LinalgError::Singular { .. })));
+        // An all-zero row (scale 0, substituted by 1.0) is singular, not
+        // a division by zero.
+        let zero_row = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(matches!(zero_row.lu(), Err(LinalgError::Singular { .. })));
     }
 
     #[test]

@@ -245,6 +245,18 @@ impl<T: Scalar> CsrMatrix<T> {
         self.value_index(row, col).map_or_else(T::zero, |i| self.values[i])
     }
 
+    /// Whether `other` stores exactly the same sparsity pattern (shape,
+    /// row pointers and column indices) — values are ignored. This is the
+    /// precondition for handing `other` to a [`SparseLu::refactor`] built
+    /// from `self`, and for a retargeted assembly template to keep a
+    /// previously frozen symbolic factorization.
+    pub fn same_pattern(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+
     /// `out = A x`, allocation-free.
     ///
     /// # Panics
@@ -840,6 +852,64 @@ mod tests {
             let x_dense = dense.lu().unwrap().solve(&rhs);
             for (s, d) in x.iter().zip(&x_dense) {
                 prop_assert!((s - d).abs() < 1e-9, "sparse {} vs dense {}", s, d);
+            }
+        }
+
+        #[test]
+        fn prop_cloned_symbolic_refactors_identically_across_threads(
+            entries in proptest::collection::vec(-1.0f64..1.0, 12),
+            shift_a in -0.4f64..0.4,
+            shift_b in -0.4f64..0.4,
+        ) {
+            // The per-worker-solver contract: a symbolic factorization
+            // cloned from one primed prototype, then numerically
+            // refactored with *different* values on concurrent threads,
+            // must produce solutions bitwise identical to the same
+            // clone-and-refactor done single-threaded — the frozen pivot
+            // order and fill pattern are the only symbolic state, and
+            // cloning shares nothing mutable.
+            let base = mna_shaped(8, &entries, 1e-9);
+            let reshape = |shift: f64| {
+                let mut m = base.clone();
+                for i in 0..8 {
+                    m[(i, i)] *= 1.0 + shift;
+                }
+                m
+            };
+            let a0 = csr_from_dense(&base);
+            let prototype = SparseLu::factor(&a0).unwrap();
+            let rhs: Vec<f64> = (0..base.rows()).map(|i| (i as f64 + 0.5).cos()).collect();
+
+            // Sequential reference: one clone per value set.
+            let solve_cloned = |m: &Matrix| -> Vec<f64> {
+                let mut lu = prototype.clone();
+                lu.refactor(&csr_from_dense(m)).unwrap();
+                lu.solve(&rhs)
+            };
+            let (ma, mb) = (reshape(shift_a), reshape(shift_b));
+            let (seq_a, seq_b) = (solve_cloned(&ma), solve_cloned(&mb));
+
+            // Two threads, each with its own clone and its own values.
+            let (thr_a, thr_b) = std::thread::scope(|scope| {
+                let ta = scope.spawn(|| solve_cloned(&ma));
+                let tb = scope.spawn(|| solve_cloned(&mb));
+                (ta.join().unwrap(), tb.join().unwrap())
+            });
+            for (s, t) in seq_a.iter().zip(&thr_a) {
+                prop_assert_eq!(s.to_bits(), t.to_bits(), "thread A diverged: {} vs {}", s, t);
+            }
+            for (s, t) in seq_b.iter().zip(&thr_b) {
+                prop_assert_eq!(s.to_bits(), t.to_bits(), "thread B diverged: {} vs {}", s, t);
+            }
+
+            // And the refactored clones stay consistent with fresh
+            // single-threaded factorizations of the same values (fresh
+            // symbolic analysis may pick different pivots, so this bound
+            // is numerical, not bitwise).
+            let mut fresh = SparseLu::factor(&csr_from_dense(&ma)).unwrap();
+            let x_fresh = fresh.solve(&rhs);
+            for (c, f) in thr_a.iter().zip(&x_fresh) {
+                prop_assert!((c - f).abs() < 1e-9, "clone {} vs fresh {}", c, f);
             }
         }
 

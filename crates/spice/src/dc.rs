@@ -3,6 +3,8 @@
 use crate::mna::{newton_solve_with_state, MnaState, MnaTemplate, NewtonOptions, StampContext};
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A solved DC operating point.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +57,13 @@ const GMIN_LADDER: [f64; 5] = [1e-3, 1e-5, 1e-7, 1e-9, 1e-12];
 /// The solver is stateful only for performance: each `solve` runs the
 /// full `gmin` ladder from the caller's initial guess, so results are
 /// identical to [`operating_point_with_options`] on the same inputs.
-#[derive(Debug)]
+///
+/// For sweeps whose *device values* change per point (corner/mismatch
+/// campaigns), [`retarget`](Self::retarget) swaps in a rebuilt template
+/// of the same topology while keeping the factorization — and
+/// [`OpSolverPool`] extends the pattern across worker threads by cloning
+/// one [`primed`](Self::primed) solver per worker.
+#[derive(Debug, Clone)]
 pub struct OpSolver {
     state: MnaState,
     options: NewtonOptions,
@@ -79,9 +87,61 @@ impl OpSolver {
         }
     }
 
+    /// [`new`](Self::new) plus an eager [`prime`](Self::prime): the
+    /// returned solver already carries a factorization, so its clones
+    /// share one symbolic analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for structurally singular netlists.
+    pub fn primed(netlist: &Netlist, options: NewtonOptions) -> Result<Self, SpiceError> {
+        let mut solver = Self::new(netlist, options);
+        solver.prime()?;
+        Ok(solver)
+    }
+
+    /// Assembles and factors the system at the all-zeros estimate under
+    /// the first `gmin` rung — exactly the system the first iteration of
+    /// [`solve`](Self::solve) factors, so priming never changes results.
+    /// After priming, the solver (and every clone of it) carries the
+    /// symbolic factorization; see [`MnaState::prime`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for structurally singular netlists.
+    pub fn prime(&mut self) -> Result<(), SpiceError> {
+        self.state.prime(GMIN_LADDER[0])
+    }
+
+    /// Re-points the solver at `netlist` — the sweep primitive. For the
+    /// same topology (the overwhelmingly common case: a corner/mismatch
+    /// point is the same circuit graph with different device values) the
+    /// factorization storage survives and the next solve pays only
+    /// numeric refactorizations; a different topology rebuilds the state
+    /// from scratch.
+    pub fn retarget(&mut self, netlist: &Netlist) {
+        let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
+        let template = MnaTemplate::new(netlist, &ctx, self.options.backend);
+        self.sparse = template.is_sparse();
+        self.n_nodes = netlist.node_count() - 1;
+        self.unknowns = netlist.unknown_count();
+        self.state.retarget(template);
+    }
+
     /// Whether the sparse backend was selected.
     pub fn is_sparse(&self) -> bool {
         self.sparse
+    }
+
+    /// The Newton options this solver runs with.
+    pub fn options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    /// Times the sparse backend abandoned its frozen pivot order for a
+    /// fresh analysis (see [`MnaState::repivots`]).
+    pub fn repivots(&self) -> u64 {
+        self.state.repivots()
     }
 
     /// Computes the operating point from an all-zeros initial guess.
@@ -100,6 +160,129 @@ impl OpSolver {
     /// See [`operating_point`].
     pub fn solve_from(&mut self, initial: &[f64]) -> Result<OperatingPoint, SpiceError> {
         ladder_solve(&mut self.state, initial, &self.options, self.n_nodes)
+    }
+}
+
+/// A thread-safe pool of per-worker [`OpSolver`]s sharing one symbolic
+/// analysis — the execution substrate for thread-parallel SPICE
+/// corner/mismatch sweeps.
+///
+/// The pool holds one **primed prototype** (template built, system
+/// factored — on the sparse backend that includes the Markowitz pivot
+/// order and fill pattern, the expensive symbolic step). Each concurrent
+/// [`with_solver`](Self::with_solver) caller checks a solver out of the
+/// free list, or clones the prototype when the list is empty — so a
+/// `Threaded` engine with `N` workers materializes at most `N` solvers,
+/// each a symbolic clone paying only numeric refactorizations, while a
+/// sequential sweep materializes exactly one.
+///
+/// # Determinism
+///
+/// Every pooled solver derives from the same prototype, so all of them
+/// carry the *canonical* symbolic factorization; a solve is a pure
+/// function of the netlist it is retargeted at (the full `gmin` ladder
+/// runs from the caller's guess, and refactoring overwrites all numeric
+/// state). If a solve has to re-pivot (a frozen pivot collapsed on some
+/// extreme point), that solver's pivot order is no longer canonical — the
+/// pool detects this via [`OpSolver::repivots`] and retires the solver,
+/// replacing it with a fresh prototype clone, so results stay bitwise
+/// independent of worker count and of which worker solved which point.
+/// `tests/spice_engine_parity.rs` locks this in end to end.
+#[derive(Debug)]
+pub struct OpSolverPool {
+    prototype: OpSolver,
+    free: Mutex<Vec<OpSolver>>,
+    spawned: AtomicUsize,
+    retired: AtomicUsize,
+}
+
+impl OpSolverPool {
+    /// Builds and primes the prototype solver for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for structurally singular netlists.
+    pub fn new(netlist: &Netlist, options: NewtonOptions) -> Result<Self, SpiceError> {
+        Ok(Self {
+            prototype: OpSolver::primed(netlist, options)?,
+            free: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+            retired: AtomicUsize::new(0),
+        })
+    }
+
+    /// Whether the pooled solvers run the sparse backend.
+    pub fn is_sparse(&self) -> bool {
+        self.prototype.is_sparse()
+    }
+
+    /// The Newton options every pooled solver runs with.
+    pub fn options(&self) -> &NewtonOptions {
+        self.prototype.options()
+    }
+
+    /// Solvers materialized so far (prototype clones). Bounded by the
+    /// peak number of concurrent [`with_solver`](Self::with_solver)
+    /// callers — one per engine worker.
+    pub fn solvers_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Solvers retired after a re-pivot (each replaced by a fresh
+    /// prototype clone on return).
+    pub fn solvers_retired(&self) -> usize {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with a checked-out per-worker solver, returning it to the
+    /// pool afterwards. Never blocks on other workers' solves: the free
+    /// list is only locked for the O(1) pop/push, and an empty list
+    /// clones the prototype instead of waiting.
+    ///
+    /// Panic-safe: if `f` unwinds, the solver is still returned —
+    /// retired to a fresh prototype clone, since a solve abandoned
+    /// mid-flight may carry non-canonical state — so the pool's size
+    /// stays bounded by the peak worker count even under panicking
+    /// callers.
+    pub fn with_solver<R>(&self, f: impl FnOnce(&mut OpSolver) -> R) -> R {
+        /// Returns the checked-out solver on every exit path (normal or
+        /// unwind), applying the canonical-symbolic retirement rule.
+        struct Checkout<'a> {
+            pool: &'a OpSolverPool,
+            solver: Option<OpSolver>,
+            repivots_before: u64,
+        }
+        impl Drop for Checkout<'_> {
+            fn drop(&mut self) {
+                let Some(solver) = self.solver.take() else { return };
+                let canonical =
+                    !std::thread::panicking() && solver.repivots() == self.repivots_before;
+                let returned = if canonical {
+                    solver
+                } else {
+                    // The solver's pivot order diverged from the
+                    // canonical one (or its solve unwound mid-flight) —
+                    // retire it so every future checkout still sees the
+                    // prototype's symbolic factorization.
+                    self.pool.retired.fetch_add(1, Ordering::Relaxed);
+                    self.pool.prototype.clone()
+                };
+                // During an unwind a poisoned lock must not escalate to
+                // a double panic; losing the return there only costs a
+                // future re-clone.
+                if let Ok(mut free) = self.pool.free.lock() {
+                    free.push(returned);
+                }
+            }
+        }
+
+        let solver = self.free.lock().expect("solver pool poisoned").pop().unwrap_or_else(|| {
+            self.spawned.fetch_add(1, Ordering::Relaxed);
+            self.prototype.clone()
+        });
+        let repivots_before = solver.repivots();
+        let mut checkout = Checkout { pool: self, solver: Some(solver), repivots_before };
+        f(checkout.solver.as_mut().expect("solver present until drop"))
     }
 }
 
@@ -300,5 +483,67 @@ mod tests {
         let nl = Netlist::new();
         let op = operating_point(&nl).unwrap();
         assert!(op.raw().is_empty());
+    }
+
+    #[test]
+    fn retarget_same_topology_keeps_canonical_state() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let mut solver =
+            OpSolver::primed(&inverter_chain_with_load(8, Some(10e3)), options).unwrap();
+        // Same topology, different values: no symbolic divergence.
+        solver.retarget(&inverter_chain_with_load(8, Some(12e3)));
+        solver.solve().unwrap();
+        assert_eq!(solver.repivots(), 0, "same-pattern retarget must keep the frozen pivots");
+        // Different topology: the state is rebuilt wholesale, which
+        // abandons the canonical pivot order and must be counted so a
+        // pool retires the solver.
+        solver.retarget(&inverter_chain_with_load(12, Some(10e3)));
+        assert_eq!(solver.repivots(), 1, "topology change must register as a re-pivot");
+    }
+
+    #[test]
+    fn pool_retires_solver_after_topology_retarget() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let pool = OpSolverPool::new(&inverter_chain_with_load(8, Some(10e3)), options).unwrap();
+        pool.with_solver(|solver| {
+            solver.retarget(&inverter_chain_with_load(12, Some(10e3)));
+            solver.solve().unwrap();
+        });
+        assert_eq!(pool.solvers_retired(), 1, "non-canonical solver must be retired");
+        // The replacement checkout carries the canonical primed state.
+        pool.with_solver(|solver| {
+            solver.retarget(&inverter_chain_with_load(8, Some(11e3)));
+            solver.solve().unwrap();
+            assert_eq!(solver.repivots(), 0, "fresh prototype clone is canonical");
+        });
+        assert_eq!(pool.solvers_retired(), 1);
+        assert_eq!(pool.solvers_spawned(), 1, "retirement replaces in place, never re-spawns");
+    }
+
+    #[test]
+    fn pool_survives_panicking_callers() {
+        use crate::mna::NewtonOptions;
+        use crate::netlist::inverter_chain_with_load;
+        let pool =
+            OpSolverPool::new(&inverter_chain_with_load(4, Some(10e3)), NewtonOptions::default())
+                .unwrap();
+        for _ in 0..3 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.with_solver(|_| panic!("caller failure"));
+            }));
+            assert!(caught.is_err());
+        }
+        // Every unwound checkout was retired and replaced — the pool
+        // stays bounded and usable.
+        assert_eq!(pool.solvers_spawned(), 1, "unwinds must not leak checkouts");
+        assert_eq!(pool.solvers_retired(), 3);
+        pool.with_solver(|solver| {
+            assert_eq!(solver.repivots(), 0, "post-panic checkout is a canonical clone");
+            solver.solve().unwrap();
+        });
     }
 }

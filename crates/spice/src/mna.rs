@@ -8,7 +8,7 @@
 
 use crate::device::Device;
 use crate::model::MosModel;
-use crate::netlist::{Netlist, NodeId};
+use crate::netlist::{Netlist, NodeId, SourceWaveform};
 use crate::SpiceError;
 use glova_linalg::sparse::{CsrMatrix, SparseLu, Triplets};
 use glova_linalg::{LinalgError, Lu, Matrix};
@@ -161,6 +161,88 @@ impl MosStamp {
     }
 }
 
+/// One context-dependent RHS stamp: the part of the base RHS that varies
+/// with [`StampContext`] `time` / `step` while the matrix pattern *and*
+/// values stay fixed — voltage-source waveform values and backward-Euler
+/// capacitor companion currents. Recording these lets a template be
+/// re-pointed at a new time step ([`AssemblyTemplate::update_context`])
+/// with a value-only RHS rebuild instead of a full netlist re-walk, so
+/// transient stepping inherits the same symbolic/pattern reuse DC sweeps
+/// have.
+#[derive(Debug, Clone)]
+enum DynamicRhs {
+    /// Backward-Euler companion current `ieq = geq (v_prev(a) − v_prev(b))`
+    /// into rows `ia`/`ib`. `geq = C/dt` is baked into the matrix, so the
+    /// step size must not change across updates.
+    Cap { ia: Option<usize>, ib: Option<usize>, geq: f64 },
+    /// Voltage-source branch row set to the waveform value at the context
+    /// time.
+    Vsrc { row: usize, waveform: SourceWaveform },
+}
+
+/// The context-dependent half of a template's base RHS, shared by the
+/// dense and sparse assembly templates (the split is purely about
+/// *values*, with no backend dependency): the static contributions
+/// (current sources), the [`DynamicRhs`] stamps, and the materialized
+/// base vector the per-iteration assembly copies from.
+#[derive(Debug, Clone)]
+struct RhsTemplate {
+    /// The materialized base RHS for the current context.
+    base: Vec<f64>,
+    /// Context-independent contributions (current sources).
+    stat: Vec<f64>,
+    /// Context-dependent stamps (see [`DynamicRhs`]).
+    dynamic: Vec<DynamicRhs>,
+    /// The time step baked into the owning template's matrix values
+    /// (capacitor companion conductances); `None` for DC.
+    step_dt: Option<f64>,
+}
+
+impl RhsTemplate {
+    /// Materializes the base RHS for `ctx` from the recorded stamps.
+    fn new(stat: Vec<f64>, dynamic: Vec<DynamicRhs>, ctx: &StampContext<'_>) -> Self {
+        let mut this =
+            Self { base: Vec::new(), stat, dynamic, step_dt: ctx.step.map(|(dt, _)| dt) };
+        this.rebuild(ctx);
+        this
+    }
+
+    /// Value-only rebuild for a new context **of the same kind** (same
+    /// analysis, same `dt` — the matrix values bake those in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context changes analysis kind or time step.
+    fn update_context(&mut self, ctx: &StampContext<'_>) {
+        assert_eq!(
+            self.step_dt,
+            ctx.step.map(|(dt, _)| dt),
+            "template context update must keep the analysis kind and time step"
+        );
+        self.rebuild(ctx);
+    }
+
+    fn rebuild(&mut self, ctx: &StampContext<'_>) {
+        self.base.clear();
+        self.base.extend_from_slice(&self.stat);
+        let prev = ctx.step.map(|(_, p)| p);
+        for stamp in &self.dynamic {
+            match stamp {
+                DynamicRhs::Cap { ia, ib, geq } => {
+                    let prev = prev.expect("capacitor companion stamp outside a transient step");
+                    let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
+                    let ieq = geq * (v_prev(*ia) - v_prev(*ib));
+                    stamp_rhs(&mut self.base, *ia, ieq);
+                    stamp_rhs(&mut self.base, *ib, -ieq);
+                }
+                // Branch rows belong exclusively to their voltage
+                // source, so assignment (not accumulation) is exact.
+                DynamicRhs::Vsrc { row, waveform } => self.base[*row] = waveform.value_at(ctx.time),
+            }
+        }
+    }
+}
+
 /// Cached MNA assembly for one `(netlist, context)` pair.
 ///
 /// Everything except the MOSFETs is affine in the unknowns and constant
@@ -173,7 +255,7 @@ impl MosStamp {
 #[derive(Debug, Clone)]
 pub struct AssemblyTemplate {
     base: Matrix,
-    base_rhs: Vec<f64>,
+    rhs: RhsTemplate,
     mosfets: Vec<MosStamp>,
     n_nodes: usize,
 }
@@ -188,7 +270,8 @@ impl AssemblyTemplate {
         let n_nodes = netlist.node_count() - 1;
         let n = netlist.unknown_count();
         let mut a = Matrix::zeros(n, n);
-        let mut rhs = vec![0.0; n];
+        let mut rhs_static = vec![0.0; n];
+        let mut dynamic_rhs = Vec::new();
         let mut mosfets = Vec::new();
 
         for device in netlist.devices() {
@@ -202,19 +285,18 @@ impl AssemblyTemplate {
                     stamp(&mut a, ib, ia, -g);
                 }
                 Device::Capacitor { a: na, b: nb, farads, .. } => {
-                    if let Some((dt, prev)) = ctx.step {
-                        // Backward-Euler companion: geq ∥ ieq. `prev` is the
-                        // previous *time step*, fixed across the iteration.
+                    if let Some((dt, _)) = ctx.step {
+                        // Backward-Euler companion: geq ∥ ieq. The
+                        // conductance goes into the matrix; the companion
+                        // current is context-dependent (previous step) and
+                        // recorded as a dynamic RHS stamp.
                         let geq = farads / dt;
                         let (ia, ib) = (node_index(*na), node_index(*nb));
-                        let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
-                        let ieq = geq * (v_prev(ia) - v_prev(ib));
                         stamp(&mut a, ia, ia, geq);
                         stamp(&mut a, ib, ib, geq);
                         stamp(&mut a, ia, ib, -geq);
                         stamp(&mut a, ib, ia, -geq);
-                        stamp_rhs(&mut rhs, ia, ieq);
-                        stamp_rhs(&mut rhs, ib, -ieq);
+                        dynamic_rhs.push(DynamicRhs::Cap { ia, ib, geq });
                     }
                     // DC: capacitor is open — no stamp.
                 }
@@ -226,11 +308,11 @@ impl AssemblyTemplate {
                     stamp(&mut a, im, Some(k), -1.0);
                     stamp(&mut a, Some(k), ip, 1.0);
                     stamp(&mut a, Some(k), im, -1.0);
-                    rhs[k] = waveform.value_at(ctx.time);
+                    dynamic_rhs.push(DynamicRhs::Vsrc { row: k, waveform: waveform.clone() });
                 }
                 Device::Isource { from, to, amps, .. } => {
-                    stamp_rhs(&mut rhs, node_index(*to), *amps);
-                    stamp_rhs(&mut rhs, node_index(*from), -*amps);
+                    stamp_rhs(&mut rhs_static, node_index(*to), *amps);
+                    stamp_rhs(&mut rhs_static, node_index(*from), -*amps);
                 }
                 Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
                     let p = match model.polarity {
@@ -248,7 +330,22 @@ impl AssemblyTemplate {
                 }
             }
         }
-        Self { base: a, base_rhs: rhs, mosfets, n_nodes }
+        Self { base: a, rhs: RhsTemplate::new(rhs_static, dynamic_rhs, ctx), mosfets, n_nodes }
+    }
+
+    /// Re-points the template at a new context **of the same kind**: same
+    /// analysis (DC stays DC, transient keeps the same `dt`), new source
+    /// time and/or previous-step solution. Only the context-dependent RHS
+    /// values are rebuilt — the matrix base, the stamp maps and (for the
+    /// sparse analogue) the frozen factorization pattern are untouched,
+    /// which is what lets every backward-Euler step after the first skip
+    /// the netlist walk and the symbolic analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context changes analysis kind or time step.
+    pub fn update_context(&mut self, ctx: &StampContext<'_>) {
+        self.rhs.update_context(ctx);
     }
 
     /// System dimension.
@@ -270,7 +367,7 @@ impl AssemblyTemplate {
     /// Panics if `a`, `rhs` or `x` have the wrong dimensions.
     pub fn assemble_into(&self, a: &mut Matrix, rhs: &mut [f64], x: &[f64], gmin: f64) {
         a.copy_from(&self.base);
-        rhs.copy_from_slice(&self.base_rhs);
+        rhs.copy_from_slice(&self.rhs.base);
         assert_eq!(x.len(), self.dim(), "solution estimate dimension mismatch");
 
         // Floating-node / convergence gmin.
@@ -341,7 +438,7 @@ struct SparseMosStamp {
 #[derive(Debug, Clone)]
 pub struct SparseAssemblyTemplate {
     base: CsrMatrix<f64>,
-    base_rhs: Vec<f64>,
+    rhs: RhsTemplate,
     mosfets: Vec<SparseMosStamp>,
     /// Value index of each node's diagonal (the `gmin` slots).
     gmin_idx: Vec<usize>,
@@ -357,7 +454,8 @@ impl SparseAssemblyTemplate {
         let n_nodes = netlist.node_count() - 1;
         let n = netlist.unknown_count();
         let mut t = Triplets::new(n, n);
-        let mut rhs = vec![0.0; n];
+        let mut rhs_static = vec![0.0; n];
+        let mut dynamic_rhs = Vec::new();
         let mut mos_stamps: Vec<MosStamp> = Vec::new();
 
         {
@@ -377,17 +475,14 @@ impl SparseAssemblyTemplate {
                         tstamp(ib, ia, -g);
                     }
                     Device::Capacitor { a: na, b: nb, farads, .. } => {
-                        if let Some((dt, prev)) = ctx.step {
+                        if let Some((dt, _)) = ctx.step {
                             let geq = farads / dt;
                             let (ia, ib) = (node_index(*na), node_index(*nb));
-                            let v_prev = |idx: Option<usize>| idx.map_or(0.0, |i| prev[i]);
-                            let ieq = geq * (v_prev(ia) - v_prev(ib));
                             tstamp(ia, ia, geq);
                             tstamp(ib, ib, geq);
                             tstamp(ia, ib, -geq);
                             tstamp(ib, ia, -geq);
-                            stamp_rhs(&mut rhs, ia, ieq);
-                            stamp_rhs(&mut rhs, ib, -ieq);
+                            dynamic_rhs.push(DynamicRhs::Cap { ia, ib, geq });
                         }
                     }
                     Device::Vsource { plus, minus, waveform, branch, .. } => {
@@ -397,11 +492,11 @@ impl SparseAssemblyTemplate {
                         tstamp(im, Some(k), -1.0);
                         tstamp(Some(k), ip, 1.0);
                         tstamp(Some(k), im, -1.0);
-                        rhs[k] = waveform.value_at(ctx.time);
+                        dynamic_rhs.push(DynamicRhs::Vsrc { row: k, waveform: waveform.clone() });
                     }
                     Device::Isource { from, to, amps, .. } => {
-                        stamp_rhs(&mut rhs, node_index(*to), *amps);
-                        stamp_rhs(&mut rhs, node_index(*from), -*amps);
+                        stamp_rhs(&mut rhs_static, node_index(*to), *amps);
+                        stamp_rhs(&mut rhs_static, node_index(*from), -*amps);
                     }
                     Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
                         let p = match model.polarity {
@@ -459,7 +554,20 @@ impl SparseAssemblyTemplate {
         let gmin_idx = (0..n_nodes)
             .map(|i| base.value_index(i, i).expect("node diagonal in pattern"))
             .collect();
-        Self { base, base_rhs: rhs, mosfets, gmin_idx, n_nodes }
+        let rhs = RhsTemplate::new(rhs_static, dynamic_rhs, ctx);
+        Self { base, rhs, mosfets, gmin_idx, n_nodes }
+    }
+
+    /// Re-points the template at a new context of the same kind — the
+    /// sparse analogue of [`AssemblyTemplate::update_context`]: a
+    /// value-only RHS rebuild, leaving the CSR pattern (and therefore any
+    /// frozen symbolic factorization built on it) untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context changes analysis kind or time step.
+    pub fn update_context(&mut self, ctx: &StampContext<'_>) {
+        self.rhs.update_context(ctx);
     }
 
     /// System dimension.
@@ -495,7 +603,7 @@ impl SparseAssemblyTemplate {
         assert_eq!(a.nnz(), self.base.nnz(), "working system pattern mismatch");
         assert_eq!(x.len(), self.dim(), "solution estimate dimension mismatch");
         a.values_mut().copy_from_slice(self.base.values());
-        rhs.copy_from_slice(&self.base_rhs);
+        rhs.copy_from_slice(&self.rhs.base);
         let vals = a.values_mut();
         for &i in &self.gmin_idx {
             vals[i] += gmin;
@@ -576,6 +684,19 @@ impl MnaTemplate {
         matches!(self, MnaTemplate::Sparse(_))
     }
 
+    /// Re-points the template at a new context of the same kind (see
+    /// [`AssemblyTemplate::update_context`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context changes analysis kind or time step.
+    pub fn update_context(&mut self, ctx: &StampContext<'_>) {
+        match self {
+            MnaTemplate::Dense(t) => t.update_context(ctx),
+            MnaTemplate::Sparse(t) => t.update_context(ctx),
+        }
+    }
+
     /// Consumes the template into working state (system storage +
     /// factorization slot) for Newton solves. Keep one state across
     /// repeated solves — `gmin`-ladder rungs, corner/mismatch re-solves,
@@ -598,6 +719,7 @@ impl MnaTemplate {
                     template: t,
                 },
             },
+            repivots: 0,
         }
     }
 
@@ -610,16 +732,27 @@ impl MnaTemplate {
 
 /// Working storage for Newton solves over one [`MnaTemplate`]: the
 /// template, the assembled system and the (re)usable factorization.
-#[derive(Debug)]
+///
+/// `MnaState` is `Clone` + `Send`, which is what per-worker solver
+/// pooling builds on: clone a **primed** state (one that already carries
+/// a factorization — see [`MnaState::prime`]) once per worker thread and
+/// every clone shares the prototype's symbolic analysis (sparse pivot
+/// order + fill pattern) while owning its own numeric storage. Cloning
+/// shares no mutable state, so concurrently refactoring the clones with
+/// different values is race-free and bitwise-deterministic.
+#[derive(Debug, Clone)]
 pub struct MnaState {
     inner: StateInner,
+    /// Times the sparse path abandoned its frozen pivot order for a
+    /// fresh Markowitz analysis (see [`MnaState::repivots`]).
+    repivots: u64,
 }
 
 // One `MnaState` exists per solver (never collections of them), so the
 // dense/sparse variant size imbalance costs nothing — boxing would only
 // add an indirection to the hot assemble/solve path.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum StateInner {
     Dense {
         template: AssemblyTemplate,
@@ -691,30 +824,124 @@ impl MnaState {
     /// Factors (first use) or numerically re-factors the assembled
     /// system. The sparse path reuses the frozen pivot order/pattern; if
     /// drifting values break a frozen pivot it transparently re-pivots
-    /// (fresh Markowitz analysis) before giving up.
+    /// (fresh Markowitz analysis, counted in [`Self::repivots`]) before
+    /// giving up.
     fn refresh_factor(&mut self) -> Result<(), SpiceError> {
-        match &mut self.inner {
+        let repivoted = match &mut self.inner {
             StateInner::Dense { a, lu, .. } => match lu {
-                Some(f) => f.refactor(a).map_err(SpiceError::from),
+                Some(f) => {
+                    f.refactor(a).map_err(SpiceError::from)?;
+                    false
+                }
                 None => {
                     *lu = Some(a.lu().map_err(SpiceError::from)?);
-                    Ok(())
+                    false
                 }
             },
             StateInner::Sparse { a, lu, .. } => match lu {
                 Some(f) => match f.refactor(a) {
-                    Ok(()) => Ok(()),
+                    Ok(()) => false,
                     Err(LinalgError::Singular { .. }) => {
                         *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
-                        Ok(())
+                        true
                     }
-                    Err(e) => Err(SpiceError::from(e)),
+                    Err(e) => return Err(SpiceError::from(e)),
                 },
                 None => {
                     *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
-                    Ok(())
+                    false
                 }
             },
+        };
+        if repivoted {
+            self.repivots += 1;
+        }
+        Ok(())
+    }
+
+    /// Times this state abandoned its symbolic factorization: a frozen
+    /// sparse pivot collapsed numerically and a fresh Markowitz analysis
+    /// replaced it, or a [`retarget`](Self::retarget) to a different
+    /// topology rebuilt the state wholesale. Solver pools watch this
+    /// counter: a state that re-pivoted no longer carries the
+    /// *canonical* pivot order its siblings share, so the pool retires
+    /// it (replacing it with a fresh prototype clone) to keep results
+    /// independent of which worker solved which point.
+    pub fn repivots(&self) -> u64 {
+        self.repivots
+    }
+
+    /// Whether this state runs the sparse backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.inner, StateInner::Sparse { .. })
+    }
+
+    /// Assembles the system at the all-zeros estimate under `gmin` and
+    /// factors it, so the state carries a factorization before any solve
+    /// — on the sparse backend that is the **symbolic analysis** (pivot
+    /// order + fill pattern). Priming a prototype once and cloning it per
+    /// worker is how a sweep shares one symbolic analysis across threads;
+    /// priming never changes results (the Newton loop always refreshes
+    /// the factor numerically before its first solve).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] if the primed system cannot be
+    /// factored (structurally singular netlist).
+    pub fn prime(&mut self, gmin: f64) -> Result<(), SpiceError> {
+        let x = vec![0.0; self.dim()];
+        self.assemble(&x, gmin);
+        self.refresh_factor()
+    }
+
+    /// Re-points the state at a freshly built template of the **same
+    /// topology** (same backend, dimension and sparsity pattern), keeping
+    /// the factorization storage so the next refresh stays numeric-only —
+    /// the sweep primitive behind corner/mismatch campaigns, where every
+    /// point is the same circuit graph with different device values. A
+    /// template of a different shape or pattern replaces the state
+    /// wholesale (working storage rebuilt, factorization dropped).
+    pub fn retarget(&mut self, template: MnaTemplate) {
+        match (&mut self.inner, template) {
+            (StateInner::Dense { template: slot, a, .. }, MnaTemplate::Dense(t))
+                if t.dim() == a.rows() =>
+            {
+                // The dense refactor overwrites the factor storage in
+                // full, so keeping the stale `lu` slot is purely an
+                // allocation reuse.
+                *slot = t;
+            }
+            (StateInner::Sparse { template: slot, .. }, MnaTemplate::Sparse(t))
+                if t.base.same_pattern(&slot.base) =>
+            {
+                // Identical pattern: the working system and the frozen
+                // symbolic factorization both remain valid; assembly
+                // overwrites every value.
+                *slot = t;
+            }
+            (_, template) => {
+                // Wholesale replacement abandons whatever factorization
+                // (and, on sparse, canonical pivot order) the state
+                // carried — count it like a re-pivot so solver pools
+                // retire this instance instead of returning it to the
+                // free list with non-canonical symbolic state.
+                let repivots = self.repivots + 1;
+                *self = template.into_state();
+                self.repivots = repivots;
+            }
+        }
+    }
+
+    /// Re-points the underlying template at a new context of the same
+    /// kind (see [`AssemblyTemplate::update_context`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context changes analysis kind or time step.
+    pub fn update_context(&mut self, ctx: &StampContext<'_>) {
+        match &mut self.inner {
+            StateInner::Dense { template, .. } => template.update_context(ctx),
+            StateInner::Sparse { template, .. } => template.update_context(ctx),
         }
     }
 
@@ -887,6 +1114,11 @@ pub fn newton_solve_with_state(
     // state). A factor inherited from a previous solve is always stale.
     let mut lu_is_stale = state.has_factor();
     let mut refresh_next = false;
+    // Whether the current factorization carries a singularity-recovery
+    // diagonal boost (see below). A boosted Jacobian shrinks the step —
+    // a small update no longer implies a stationary point — so
+    // convergence is never accepted off a boosted factor.
+    let mut boosted = false;
     let mut last_max_delta = f64::INFINITY;
 
     for _ in 0..options.max_iterations {
@@ -901,7 +1133,33 @@ pub fn newton_solve_with_state(
             }
         };
         if refresh {
-            state.refresh_factor()?;
+            match state.refresh_factor() {
+                Ok(()) => boosted = false,
+                Err(SpiceError::SingularMatrix) => {
+                    // Elimination-level cancellation at a wild iterate
+                    // (classically: the V-source border block of a long
+                    // unloaded mid-rail chain with every device cut off).
+                    // Retry with an escalating diagonal boost: the boosted
+                    // matrix is only the *Jacobian* — the step still
+                    // targets the residual of the true system, so this is
+                    // an inexact-Newton step whose fixed point is
+                    // unchanged, and the path only activates where the
+                    // solve previously aborted outright.
+                    let mut recovered = false;
+                    for boost in [1e3, 1e6, 1e9] {
+                        state.assemble(&x, gmin * boost);
+                        if state.refresh_factor().is_ok() {
+                            recovered = true;
+                            break;
+                        }
+                    }
+                    if !recovered {
+                        return Err(SpiceError::SingularMatrix);
+                    }
+                    boosted = true;
+                }
+                Err(e) => return Err(e),
+            }
             lu_is_stale = false;
         }
         state.solve_into(&residual, &mut dx);
@@ -918,8 +1176,27 @@ pub fn newton_solve_with_state(
                 max_delta = max_delta.max(delta.abs());
             }
         }
-        if max_delta < options.tolerance {
-            return Ok(x);
+        // Convergence requires a small update AND a finite iterate:
+        // `f64::max` silently discards NaN deltas and branch-current
+        // rows (i ≥ n_nodes) are not folded into `max_delta` at all, so
+        // without the finiteness check a NaN/inf excursion could return
+        // as a "converged" operating point instead of erroring out
+        // through the iteration budget.
+        if max_delta < options.tolerance && x.iter().all(|v| v.is_finite()) {
+            if !boosted {
+                return Ok(x);
+            }
+            // A tiny step through a heavily boosted Jacobian is not
+            // evidence of convergence (dx ≈ residual / boost). Force a
+            // nominal-Jacobian refresh and keep iterating; only a small
+            // step under the true Jacobian returns. If the nominal
+            // system stays singular here the recovery re-boosts, and the
+            // iteration budget eventually reports non-convergence loudly
+            // instead of a silently wrong operating point.
+            refresh_next = true;
+            lu_is_stale = true;
+            last_max_delta = f64::INFINITY;
+            continue;
         }
         // A stale-Jacobian step that failed to contract enough means the
         // chord iteration is stalling: refresh on the next pass.

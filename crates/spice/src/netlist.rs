@@ -240,6 +240,21 @@ impl Netlist {
 /// reference unable to solve exactly the sizes the dense-vs-sparse
 /// comparison needs. Stage `s` output is node `n{s}`.
 pub fn inverter_chain(stages: usize) -> Netlist {
+    inverter_chain_with_load(stages, Some(10e3))
+}
+
+/// [`inverter_chain`] with an explicit per-stage output load: `Some(ohms)`
+/// ties every stage output to ground through a resistor, `None` leaves
+/// the outputs **unloaded** — the dense-robustness stress case, where
+/// cutoff devices leave node rows at `gmin` scale and the dense LU's
+/// historical absolute singularity threshold misfired from ~60 stages
+/// (the scaled threshold now covers it; see
+/// `tests/spice_engine_parity.rs`).
+///
+/// # Panics
+///
+/// Panics if `load_ohms` is `Some` and non-positive.
+pub fn inverter_chain_with_load(stages: usize, load_ohms: Option<f64>) -> Netlist {
     let mut nl = Netlist::new();
     let vdd = nl.node("vdd");
     let vin = nl.node("vin");
@@ -250,7 +265,9 @@ pub fn inverter_chain(stages: usize) -> Netlist {
         let out = nl.node(&format!("n{s}"));
         nl.mosfet(&format!("MP{s}"), out, prev, vdd, MosModel::pmos_28nm(), 2.0, 0.05);
         nl.mosfet(&format!("MN{s}"), out, prev, GROUND, MosModel::nmos_28nm(), 1.0, 0.05);
-        nl.resistor(&format!("RL{s}"), out, GROUND, 10e3);
+        if let Some(ohms) = load_ohms {
+            nl.resistor(&format!("RL{s}"), out, GROUND, ohms);
+        }
         prev = out;
     }
     nl

@@ -6,7 +6,7 @@
 //! when counting simulation effort.
 
 use crate::dc::operating_point;
-use crate::mna::{newton_solve, NewtonOptions, StampContext};
+use crate::mna::{newton_solve_with_state, MnaState, MnaTemplate, NewtonOptions, StampContext};
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
 
@@ -125,6 +125,15 @@ pub fn transient_from(
 /// [`SolverBackend`](crate::mna::SolverBackend) instead of the size-based
 /// auto-selection, or to disable the chord LU reuse.
 ///
+/// The assembly template (netlist walk, CSR pattern, stamp maps) is built
+/// once at the first step and re-pointed at each later step with a
+/// value-only RHS update ([`MnaState::update_context`]): the backward-Euler
+/// companion conductances `C/dt` are constant for a fixed step, so only
+/// the companion currents and source waveform values change. On the
+/// sparse backend this means the **symbolic factorization is computed
+/// once for the whole run** and every step pays numeric-only
+/// refactorizations — the same reuse structure DC sweeps have.
+///
 /// # Errors
 ///
 /// Propagates per-step Newton failures.
@@ -145,11 +154,19 @@ pub fn transient_from_with_options(
     times.push(0.0);
     solutions.push(initial);
 
+    let mut state: Option<MnaState> = None;
     for k in 1..=steps {
         let t = k as f64 * spec.dt;
         let prev = solutions.last().expect("at least the initial point").clone();
         let ctx = StampContext { time: t, step: Some((spec.dt, &prev)), gmin: 1e-12 };
-        let sol = newton_solve(netlist, &prev, &ctx, options)?;
+        let state = match state.as_mut() {
+            Some(s) => {
+                s.update_context(&ctx);
+                s
+            }
+            None => state.insert(MnaTemplate::new(netlist, &ctx, options.backend).into_state()),
+        };
+        let sol = newton_solve_with_state(state, &prev, ctx.gmin, options)?;
         times.push(t);
         solutions.push(sol);
     }
@@ -267,6 +284,59 @@ mod tests {
         }
         let expect = 1e-9; // C·V² = 1e-9 · 1
         assert!((energy - expect).abs() < 0.05 * expect, "energy {energy:.3e} vs {expect:.3e}");
+    }
+
+    #[test]
+    fn template_reuse_matches_fresh_assembly_per_step() {
+        // The persistent-state path (template built once, value-only RHS
+        // update per step) must track a reference that rebuilds the
+        // template from the netlist at every step — on both backends, on
+        // a nonlinear circuit where the chord iteration actually carries
+        // factorization state across steps.
+        use crate::mna::{newton_solve, SolverBackend};
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, GROUND, 0.9);
+        nl.vsource_waveform(
+            "VIN",
+            vin,
+            GROUND,
+            SourceWaveform::Pulse {
+                low: 0.0,
+                high: 0.9,
+                delay: 0.2e-9,
+                rise: 100e-12,
+                fall: 100e-12,
+                width: 1e-9,
+            },
+        );
+        nl.mosfet("MP", out, vin, vdd, MosModel::pmos_28nm(), 2.0, 0.05);
+        nl.mosfet("MN", out, vin, GROUND, MosModel::nmos_28nm(), 1.0, 0.05);
+        nl.capacitor("CL", out, GROUND, 20e-15);
+        let spec = TransientSpec { dt: 25e-12, t_stop: 2e-9, start_from_dc: false };
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let options = NewtonOptions::default().with_backend(backend);
+            let reused =
+                transient_from_with_options(&nl, &spec, vec![0.0; nl.unknown_count()], &options)
+                    .unwrap();
+            // Fresh-assembly reference: new template (and, on sparse, a
+            // fresh symbolic analysis) every step.
+            let mut prev = vec![0.0; nl.unknown_count()];
+            for k in 1..=spec.steps() {
+                let t = k as f64 * spec.dt;
+                let ctx = StampContext { time: t, step: Some((spec.dt, &prev)), gmin: 1e-12 };
+                let sol = newton_solve(&nl, &prev, &ctx, &options).unwrap();
+                for (r, f) in reused.solutions[k].iter().zip(&sol) {
+                    assert!(
+                        (r - f).abs() <= 1e-12,
+                        "{backend} step {k}: template-reuse {r} vs fresh {f}"
+                    );
+                }
+                prev = sol;
+            }
+        }
     }
 
     #[test]
