@@ -1,5 +1,6 @@
 //! SPICE operating-point microbenchmark: DC solves across circuit sizes,
-//! solver backends and Jacobian strategies.
+//! solver backends and Jacobian strategies, plus the sweep fast paths
+//! (value-only retargeting, partial refactorization, symbolic cold-start).
 //!
 //! ```sh
 //! cargo run --release -p glova-bench --bin spice_op
@@ -7,6 +8,8 @@
 //! cargo run --release -p glova-bench --bin spice_op -- \
 //!     --sizes 4,24,64,128 --solves 500 --report
 //! cargo run --release -p glova-bench --bin spice_op -- --engine threaded:4
+//! cargo run --release -p glova-bench --bin spice_op -- --circuits inv,rc,ota
+//! cargo run --release -p glova-bench --bin spice_op -- --retarget values
 //! ```
 //!
 //! Without `--backend`, every size runs **both** dense and sparse (plus
@@ -17,15 +20,24 @@
 //! through an [`EvalEngine`](glova::engine::EvalEngine) over an
 //! [`OpSolverPool`] — per-worker solvers cloned from one primed
 //! prototype, the execution model of the pipeline's threaded
-//! corner/mismatch sweeps. Timings are best-of-two; `--report` writes
-//! `BENCH_spice_op.json`.
+//! corner/mismatch sweeps. `--circuits inv,rc,ota` picks the circuit set
+//! (default `inv,rc`; `ota` adds the two-stage Miller OTA). The retarget
+//! section sweeps prebuilt same-topology netlist variants through one
+//! persistent solver and reports the **per-point retarget overhead** for
+//! the value-only fast path vs the template-rebuild path (`--retarget
+//! values|rebuild` restricts the modes); the symbolic section times the
+//! sparse factor / full-refactor / partial-refactor trio per pattern.
+//! Timings are best-of-two; `--report` writes `BENCH_spice_op.json`.
 
 use glova::engine::EngineSpec;
 use glova_bench::report::{BenchRecord, BenchReport};
 use glova_bench::{report_requested, write_report};
+use glova_linalg::sparse::SparseLu;
 use glova_spice::dc::{OpSolver, OpSolverPool};
-use glova_spice::mna::{NewtonOptions, SolverBackend};
-use glova_spice::netlist::{inverter_chain, rc_ladder, Netlist};
+use glova_spice::mna::{NewtonOptions, SolverBackend, SparseAssemblyTemplate, StampContext};
+use glova_spice::netlist::{
+    inverter_chain, inverter_chain_with_load, ota_two_stage, rc_ladder, Netlist, OtaParams,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -81,6 +93,62 @@ fn solve_op_engine(
     Some(best)
 }
 
+/// Measures the per-point retarget overhead over prebuilt same-topology
+/// variants: the solver re-points at each variant in turn **without**
+/// solving, so the number isolates exactly the work the sweep pays on
+/// top of the solve. Returns best-of-two wall for `passes` passes over
+/// the variant list.
+fn retarget_sweep(
+    variants: &[Netlist],
+    options: &NewtonOptions,
+    values_mode: bool,
+    passes: usize,
+) -> Option<Duration> {
+    let mut solver = OpSolver::primed(&variants[0], *options).ok()?;
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for _ in 0..passes {
+            for nl in variants {
+                if values_mode {
+                    solver.retarget(nl);
+                } else {
+                    solver.retarget_rebuild(nl);
+                }
+            }
+        }
+        best = best.min(start.elapsed());
+    }
+    Some(best)
+}
+
+/// Full sweep cost (retarget **plus** solve) per point over the
+/// prebuilt variants — the end-to-end number the retarget overhead is a
+/// slice of.
+fn retarget_solve_sweep(
+    variants: &[Netlist],
+    options: &NewtonOptions,
+    values_mode: bool,
+) -> Option<Duration> {
+    let mut solver = OpSolver::primed(&variants[0], *options).ok()?;
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for nl in variants {
+            if values_mode {
+                solver.retarget(nl);
+            } else {
+                solver.retarget_rebuild(nl);
+            }
+            if solver.solve().is_err() {
+                return None;
+            }
+        }
+        best = best.min(start.elapsed());
+    }
+    Some(best)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let solves: usize = flag(&args, "--solves").and_then(|s| s.parse().ok()).unwrap_or(200);
@@ -115,12 +183,40 @@ fn main() {
         })
         .unwrap_or(EngineSpec::Sequential);
 
+    let circuit_set: Vec<String> = flag(&args, "--circuits")
+        .unwrap_or_else(|| "inv,rc".to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    for kind in &circuit_set {
+        if !matches!(kind.as_str(), "inv" | "rc" | "ota") {
+            eprintln!("--circuits expects a comma-separated subset of inv,rc,ota");
+            std::process::exit(2);
+        }
+    }
+    let retarget_modes: Vec<(&str, bool)> = match flag(&args, "--retarget").as_deref() {
+        None => vec![("rebuild", false), ("values", true)],
+        Some("values") => vec![("values", true)],
+        Some("rebuild") => vec![("rebuild", false)],
+        Some(other) => {
+            eprintln!("unknown retarget mode `{other}` (use values|rebuild)");
+            std::process::exit(2);
+        }
+    };
+
     println!("=== spice_op: DC operating-point solves ({solves} solves, best of 2) ===\n");
     let mut report = BenchReport::new("spice_op");
 
-    let mut circuits: Vec<(String, Netlist)> =
-        sizes.iter().map(|&s| (format!("inv_chain{s}"), inverter_chain(s))).collect();
-    circuits.push(("rc_ladder64".to_string(), rc_ladder(64, 1e3, 1e-12)));
+    let mut circuits: Vec<(String, Netlist)> = Vec::new();
+    if circuit_set.iter().any(|k| k == "inv") {
+        circuits.extend(sizes.iter().map(|&s| (format!("inv_chain{s}"), inverter_chain(s))));
+    }
+    if circuit_set.iter().any(|k| k == "rc") {
+        circuits.push(("rc_ladder64".to_string(), rc_ladder(64, 1e3, 1e-12)));
+    }
+    if circuit_set.iter().any(|k| k == "ota") {
+        circuits.push(("ota_two_stage".to_string(), ota_two_stage(&OtaParams::nominal())));
+    }
 
     for (name, netlist) in &circuits {
         let mut dense_wall: Option<Duration> = None;
@@ -199,6 +295,159 @@ fn main() {
                     ),
                 }
             }
+        }
+    }
+
+    // ---- retarget: per-point sweep overhead, values vs rebuild ---------
+    // Prebuilt same-topology variants (netlist construction itself is
+    // common to both modes and excluded); the overhead column is the
+    // retarget-only cost per point, the ops/s column the full
+    // retarget+solve sweep throughput.
+    let retarget_sizes: Vec<usize> = sizes.iter().copied().filter(|&s| s <= 64).collect::<Vec<_>>();
+    println!("\n--- per-point retarget overhead (prebuilt variants) ---");
+    for &stages in &retarget_sizes {
+        let name = format!("inv_chain{stages}");
+        let variants: Vec<Netlist> = (0..64)
+            .map(|i| inverter_chain_with_load(stages, Some(8e3 + 60.0 * i as f64)))
+            .collect();
+        let passes = 8;
+        for &backend in &backends {
+            let options = NewtonOptions::default().with_backend(backend);
+            let mut rebuild_us: Option<f64> = None;
+            for &(mode, values_mode) in &retarget_modes {
+                let Some(wall) = retarget_sweep(&variants, &options, values_mode, passes) else {
+                    println!("{name:<14} {backend:<7} {mode:<8} failed to prime");
+                    continue;
+                };
+                let points = (variants.len() * passes) as u64;
+                let per_point_us = wall.as_secs_f64() * 1e6 / points as f64;
+                let mut record = BenchRecord::new(
+                    "spice_retarget",
+                    name.clone(),
+                    format!("{backend}+{mode}"),
+                    variants.len(),
+                    points,
+                    wall,
+                );
+                let speedup = match (values_mode, rebuild_us) {
+                    (true, Some(reference)) => {
+                        let s = reference / per_point_us.max(1e-9);
+                        record = record.with_speedup(s);
+                        format!("{s:6.2}x vs rebuild")
+                    }
+                    _ => {
+                        if !values_mode {
+                            rebuild_us = Some(per_point_us);
+                        }
+                        String::new()
+                    }
+                };
+                println!(
+                    "{name:<14} {backend:<7} {mode:<8} {per_point_us:8.2} us/point  {speedup}"
+                );
+                report.push(record);
+
+                // End-to-end sweep throughput (retarget + solve).
+                if let Some(sweep_wall) = retarget_solve_sweep(&variants, &options, values_mode) {
+                    let sweep = BenchRecord::new(
+                        "spice_retarget_solve",
+                        name.clone(),
+                        format!("{backend}+{mode}"),
+                        variants.len(),
+                        variants.len() as u64,
+                        sweep_wall,
+                    );
+                    println!(
+                        "{name:<14} {backend:<7} {mode:<8} {:8.1} ops/s (retarget+solve)",
+                        sweep.sims_per_sec
+                    );
+                    report.push(sweep);
+                }
+            }
+        }
+    }
+
+    // ---- symbolic: sparse cold-start + partial refactorization ---------
+    // factor = symbolic analysis + first numeric elimination; refactor =
+    // numeric-only; refactor-partial = numeric over the dirty reachable
+    // set (MOSFET stamps + gmin diagonal). The batch field of the
+    // partial record carries the re-eliminated row count (vs dim for the
+    // full rows), making the <100% coverage visible in the artifact.
+    println!("\n--- sparse symbolic / partial-refactor costs ---");
+    let mut symbolic_circuits: Vec<(String, Netlist)> = Vec::new();
+    if circuit_set.iter().any(|k| k == "inv") {
+        symbolic_circuits.extend(
+            sizes
+                .iter()
+                .filter(|&&s| s + 4 >= SolverBackend::AUTO_SPARSE_THRESHOLD)
+                .map(|&s| (format!("inv_chain{s}"), inverter_chain(s))),
+        );
+    }
+    if circuit_set.iter().any(|k| k == "rc") {
+        symbolic_circuits.push(("rc_ladder64".to_string(), rc_ladder(64, 1e3, 1e-12)));
+    }
+    for (name, nl) in &symbolic_circuits {
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-3 };
+        let template = SparseAssemblyTemplate::new(nl, &ctx);
+        let n = template.dim();
+        let mut a = template.new_system();
+        let mut rhs = vec![0.0; n];
+        template.assemble_into(&mut a, &mut rhs, &vec![0.0; n], 1e-3);
+        let reps: u64 = 200;
+        let mut best_factor = Duration::MAX;
+        let mut lu = None;
+        for _ in 0..2 {
+            let start = Instant::now();
+            for _ in 0..reps {
+                lu = SparseLu::factor(&a).ok();
+            }
+            best_factor = best_factor.min(start.elapsed());
+        }
+        let Some(mut lu) = lu else {
+            println!("{name:<14} singular at the primed point — skipped");
+            continue;
+        };
+        let time_refresh = |lu: &mut SparseLu<f64>, partial: Option<&_>| -> Duration {
+            let mut best = Duration::MAX;
+            for _ in 0..2 {
+                let start = Instant::now();
+                for _ in 0..reps {
+                    match partial {
+                        Some(plan) => lu.refactor_partial(&a, plan).unwrap(),
+                        None => lu.refactor(&a).unwrap(),
+                    }
+                }
+                best = best.min(start.elapsed());
+            }
+            best
+        };
+        let best_refactor = time_refresh(&mut lu, None);
+        let plan = lu.plan_partial(template.dirty_value_indices());
+        let best_partial = time_refresh(&mut lu, Some(&plan));
+        let us = |d: Duration| d.as_secs_f64() * 1e6 / reps as f64;
+        println!(
+            "{name:<14} {n:>4} unknowns  factor {:8.1} us  refactor {:6.2} us  \
+             partial {:6.2} us ({}/{} rows)  symbolic ~{:.1} us",
+            us(best_factor),
+            us(best_refactor),
+            us(best_partial),
+            plan.rows_eliminated(),
+            plan.dim(),
+            us(best_factor) - us(best_refactor),
+        );
+        for (engine, batch, wall) in [
+            ("factor", n, best_factor),
+            ("refactor", n, best_refactor),
+            ("refactor-partial", plan.rows_eliminated(), best_partial),
+        ] {
+            report.push(BenchRecord::new(
+                "spice_symbolic",
+                name.clone(),
+                engine,
+                batch,
+                reps,
+                wall,
+            ));
         }
     }
 

@@ -27,10 +27,11 @@
 
 use crate::spec::{DesignSpec, MetricSpec};
 use crate::Circuit;
+use glova_spice::ac::{ac_sweep_with_backend_from_op, log_sweep};
 use glova_spice::dc::OpSolverPool;
 use glova_spice::mna::{NewtonOptions, SolverBackend};
 use glova_spice::model::MosModel;
-use glova_spice::netlist::{Netlist, GROUND};
+use glova_spice::netlist::{ota_two_stage_with_cards, Netlist, OtaCards, OtaParams, GROUND};
 use glova_variation::corner::PvtCorner;
 use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::MismatchVector;
@@ -255,6 +256,197 @@ impl Circuit for SpiceInverterChain {
     }
 }
 
+/// A SPICE-backed two-stage Miller OTA: every evaluation is a **DC plus
+/// AC** solve of [`ota_two_stage_with_cards`] — the first testcase whose
+/// metrics exercise the whole solver stack (Newton DC through the pooled
+/// per-worker [`OpSolver`](glova_spice::dc::OpSolver)s with value-only
+/// retargeting, then a complex small-signal sweep linearized around that
+/// same operating point).
+///
+/// Design vector (normalized to `[0,1]`): input-pair width, mirror
+/// width, second-stage width, channel length, tail current and
+/// second-stage load. Metrics:
+///
+/// 1. `dc_gain_db` (≥): low-frequency gain `vinp → out`.
+/// 2. `gbw_mhz` (≥): gain–bandwidth product (single-pole estimate:
+///    −3 dB frequency × linear gain).
+/// 3. `supply_current_ua` (≤): VDD branch current — static power.
+///
+/// # Determinism
+///
+/// `evaluate` is a pure function of `(x, corner, h)`: the DC pool keeps
+/// every worker canonical (same contract as [`SpiceInverterChain`]) and
+/// the AC sweep per evaluation is self-contained. Non-convergence at an
+/// extreme point reports NaN metrics, deterministically.
+#[derive(Debug)]
+pub struct SpiceOta {
+    spec: DesignSpec,
+    pool: OpSolverPool,
+    backend: SolverBackend,
+    freqs: Vec<f64>,
+}
+
+/// Mismatch components: `ΔV_th`/`Δβ` for M1, M2, M3, M4, M6 in order.
+const OTA_MISMATCH_DIM: usize = 10;
+
+impl SpiceOta {
+    /// Builds the OTA testcase with size-based backend auto-selection
+    /// (10 MNA unknowns — dense under `Auto`).
+    pub fn new() -> Self {
+        Self::with_backend(SolverBackend::Auto)
+    }
+
+    /// Builds the OTA testcase on an explicit solver backend.
+    pub fn with_backend(backend: SolverBackend) -> Self {
+        // Thresholds sit under the nominal point (≈63 dB, ≈300 MHz GBW,
+        // ≈73 µA at mid-range sizing, feasible across the industrial
+        // 30-corner set) while e.g. maximal wide/short sizings drop the
+        // gain to ~35 dB — a real feasibility boundary for the
+        // optimizer.
+        let spec = DesignSpec::new(vec![
+            MetricSpec::above("dc_gain_db", 40.0),
+            MetricSpec::above("gbw_mhz", 30.0),
+            MetricSpec::below("supply_current_ua", 150.0),
+        ]);
+        let pool = OpSolverPool::new(
+            &Self::netlist_for(
+                &Self::static_denormalize(&[0.5; 6]),
+                &PvtCorner::typical(),
+                &MismatchVector::nominal(OTA_MISMATCH_DIM),
+            ),
+            NewtonOptions::default().with_backend(backend),
+        )
+        .expect("OTA netlist is structurally sound");
+        Self { spec, pool, backend, freqs: log_sweep(1e3, 1e9, 3) }
+    }
+
+    /// The shared DC solver pool (counters useful in tests/benches).
+    pub fn solver_pool(&self) -> &OpSolverPool {
+        &self.pool
+    }
+
+    fn static_bounds() -> Vec<(f64, f64)> {
+        vec![
+            (1.0, 4.0),   // w_in_um
+            (0.8, 3.0),   // w_mir_um
+            (3.0, 12.0),  // w_out_um
+            (0.06, 0.2),  // l_um
+            (10.0, 40.0), // itail_ua
+            (5.0, 20.0),  // rl_kohm
+        ]
+    }
+
+    fn static_denormalize(x_norm: &[f64]) -> Vec<f64> {
+        Self::static_bounds()
+            .iter()
+            .zip(x_norm)
+            .map(|(&(lo, hi), &u)| lo + (hi - lo) * u.clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Builds the netlist for one `(x, corner, h)` point. Topology (and
+    /// the MNA pattern) is fixed; the point enters purely through values
+    /// — every DC retarget across a sweep takes the value-only path.
+    fn netlist_for(x_phys: &[f64], corner: &PvtCorner, h: &MismatchVector) -> Netlist {
+        let hv = h.values();
+        let params = OtaParams {
+            w_in_um: x_phys[0],
+            w_mir_um: x_phys[1],
+            w_out_um: x_phys[2],
+            l_um: x_phys[3],
+            itail_ua: x_phys[4],
+            rl_kohm: x_phys[5],
+            vdd: corner.vdd,
+            vcm: corner.vdd * (0.55 / 0.9),
+            ..OtaParams::nominal()
+        };
+        let nmos = MosModel::nmos_28nm().at_corner(corner);
+        let pmos = MosModel::pmos_28nm().at_corner(corner);
+        let cards = OtaCards {
+            m1: nmos.with_mismatch(hv[0], hv[1]),
+            m2: nmos.with_mismatch(hv[2], hv[3]),
+            m3: pmos.with_mismatch(hv[4], hv[5]),
+            m4: pmos.with_mismatch(hv[6], hv[7]),
+            m6: pmos.with_mismatch(hv[8], hv[9]),
+        };
+        ota_two_stage_with_cards(&params, &cards)
+    }
+}
+
+impl Default for SpiceOta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit for SpiceOta {
+    fn name(&self) -> &str {
+        "SPICE-OTA"
+    }
+
+    fn dim(&self) -> usize {
+        6
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        Self::static_bounds()
+    }
+
+    fn parameter_names(&self) -> Vec<String> {
+        ["w_in_um", "w_mir_um", "w_out_um", "l_um", "itail_ua", "rl_kohm"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn mismatch_domain(&self, x_norm: &[f64]) -> MismatchDomain {
+        let x = Self::static_denormalize(x_norm);
+        let (w_in, w_mir, w_out, l) = (x[0], x[1], x[2], x[3]);
+        MismatchDomain::new(
+            vec![
+                DeviceSpec::nmos("M1".to_string(), w_in, l),
+                DeviceSpec::nmos("M2".to_string(), w_in, l),
+                DeviceSpec::pmos("M3".to_string(), w_mir, l),
+                DeviceSpec::pmos("M4".to_string(), w_mir, l),
+                DeviceSpec::pmos("M6".to_string(), w_out, l),
+            ],
+            PelgromModel::cmos28(),
+        )
+    }
+
+    fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        assert_eq!(mismatch.dim(), OTA_MISMATCH_DIM, "mismatch vector dimension mismatch");
+        let x = Self::static_denormalize(x_norm);
+        let mut nl = Self::netlist_for(&x, corner, mismatch);
+        let solved = self.pool.with_solver(|solver| {
+            solver.retarget(&nl);
+            solver.solve()
+        });
+        let op = match solved {
+            Ok(op) => op,
+            Err(_) => return vec![f64::NAN; self.spec.len()],
+        };
+        let branch = nl.vsource_branch("VDD").expect("VDD source present");
+        let supply_current_ua = op.branch_current(branch).abs() * 1e6;
+        let out = nl.node("out");
+        match ac_sweep_with_backend_from_op(&nl, op, "VINP", &self.freqs, self.backend) {
+            Ok(ac) => {
+                let gain_db = ac.magnitude_db(out)[0];
+                // Single-pole GBW estimate; a response that never drops
+                // 3 dB inside the sweep is credited with the sweep edge.
+                let f3 = ac.bandwidth_3db(out).unwrap_or_else(|| *self.freqs.last().unwrap());
+                let gbw_mhz = f3 * 10f64.powf(gain_db / 20.0) / 1e6;
+                vec![gain_db, gbw_mhz, supply_current_ua]
+            }
+            Err(_) => vec![f64::NAN; self.spec.len()],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +493,44 @@ mod tests {
             }
         }
         assert_eq!(chain.solver_pool().solvers_spawned(), 1, "sequential use needs one solver");
+    }
+
+    #[test]
+    fn ota_nominal_is_feasible_and_deterministic() {
+        let ota = SpiceOta::new();
+        let x = vec![0.5; ota.dim()];
+        let h = MismatchVector::nominal(ota.mismatch_domain(&x).dim());
+        let m = ota.evaluate(&x, &PvtCorner::typical(), &h);
+        assert_eq!(m.len(), 3);
+        assert!(ota.spec().satisfied(&m), "nominal OTA must meet spec: {m:?}");
+        assert!(m[0] > 55.0 && m[0] < 75.0, "two-stage gain in a plausible band: {} dB", m[0]);
+        // Repeat evaluations through the pooled solver are bitwise
+        // stable, and sequential use materializes exactly one solver.
+        let again = ota.evaluate(&x, &PvtCorner::typical(), &h);
+        for (a, b) in m.iter().zip(&again) {
+            assert_eq!(a.to_bits(), b.to_bits(), "repeat OTA evaluation drifted");
+        }
+        assert_eq!(ota.solver_pool().solvers_spawned(), 1);
+    }
+
+    #[test]
+    fn ota_metrics_respond_to_sizing_corner_and_mismatch() {
+        let ota = SpiceOta::new();
+        let x = vec![0.5; ota.dim()];
+        let h = MismatchVector::nominal(10);
+        let typical = ota.evaluate(&x, &PvtCorner::typical(), &h);
+        // Maximal widths at minimal length collapse the gain below spec.
+        let over = ota.evaluate(&[0.9; 6], &PvtCorner::typical(), &h);
+        assert!(over[0] < typical[0], "oversizing must cost gain");
+        assert!(!ota.spec().satisfied(&over), "oversized point violates the gain floor: {over:?}");
+        // A hot, low-supply corner moves the metrics.
+        let hot = PvtCorner { vdd: 0.8, temp_c: 80.0, ..PvtCorner::typical() };
+        assert_ne!(ota.evaluate(&x, &hot, &h), typical);
+        // Input-pair mismatch perturbs the solve.
+        let mut skew = vec![0.0; 10];
+        skew[0] = 0.02;
+        let skewed = ota.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(skew));
+        assert_ne!(skewed, typical, "mismatch must perturb the OTA metrics");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod problem;
 pub mod reorder;
 pub mod report;
 pub mod sensitivity;
+pub mod sweep;
 pub mod verification;
 pub mod yield_est;
 
@@ -60,6 +61,7 @@ pub use optimizer::{GlovaConfig, GlovaOptimizer};
 pub use problem::SizingProblem;
 pub use report::{IterationTrace, RunResult};
 pub use sensitivity::{sensitivity_sweep, SensitivityReport};
+pub use sweep::ac_sweep_with_engine;
 pub use verification::{VerificationOutcome, Verifier};
 pub use yield_est::{estimate_yield, YieldEstimate};
 

@@ -23,6 +23,18 @@
 //!   the classic SPICE arrangement: the Newton loop, the `gmin` ladder
 //!   and corner/mismatch sweeps all solve the *same topology* with
 //!   different values, so pivot search and fill analysis are paid once.
+//!   The symbolic phase itself runs on sorted-vec working rows with
+//!   bucketed Markowitz candidate lists (no tree maps, no full-matrix
+//!   scan per pivot), keeping the cold-start cost that solver pools
+//!   amortize low even past a hundred unknowns.
+//! - **Partial refactorization** (KLU-style): when only a known subset of
+//!   input values changes between refreshes (in MNA terms: the nonlinear
+//!   device stamps and the `gmin` diagonal), [`SparseLu::plan_partial`]
+//!   computes once, from the frozen elimination structure, which factor
+//!   rows are reachable from those inputs; [`SparseLu::refactor_partial`]
+//!   then re-eliminates only that set, leaving every untouched row's
+//!   `L`/`U` values frozen — bitwise identical to a full
+//!   [`SparseLu::refactor`] of the same matrix.
 //!
 //! Everything is generic over [`Scalar`] so the AC engine's complex MNA
 //! systems factor through the same machinery (and the same reuse) as the
@@ -52,8 +64,14 @@
 //! ```
 
 use crate::LinalgError;
-use std::collections::BTreeMap;
 use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic id source for symbolic analyses: every [`SparseLu::factor`]
+/// stamps the factorization (and all clones of it, which share the
+/// symbolic state) with a fresh id, so a [`PartialPlan`] can be checked
+/// against the exact pivot order it was computed for.
+static SYMBOLIC_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// Field-like scalar the sparse kernels are generic over.
 ///
@@ -320,6 +338,45 @@ pub struct SparseLu<T = f64> {
     a_to_lu: Vec<usize>,
     /// Dense scatter workspace for elimination and solves.
     work: Vec<T>,
+    /// Identity of this symbolic analysis (shared by clones); partial
+    /// plans are only valid against the analysis they were computed for.
+    symbolic_id: u64,
+}
+
+/// A precomputed partial-refactorization schedule: the set of factor rows
+/// (pivot steps) reachable from a fixed set of "dirty" input nonzeros.
+///
+/// Built once per symbolic analysis by [`SparseLu::plan_partial`], then
+/// passed to [`SparseLu::refactor_partial`] on every refresh whose input
+/// differs from the previously factored matrix only at the planned dirty
+/// positions. The plan is tied to the exact pivot order it was computed
+/// for — using it against a re-pivoted factorization is rejected.
+#[derive(Debug, Clone)]
+pub struct PartialPlan {
+    /// Id of the symbolic analysis this plan belongs to.
+    symbolic_id: u64,
+    /// Pivot steps to re-eliminate, ascending.
+    rows: Vec<usize>,
+    /// Pre-resolved `(input value index, packed destination)` pairs for
+    /// every input nonzero landing in a dirty row — the scatter loop
+    /// runs without touching the `a_to_lu` map.
+    scatter: Vec<(usize, usize)>,
+    /// Dimension of the owning factorization.
+    n: usize,
+}
+
+impl PartialPlan {
+    /// Number of factor rows [`SparseLu::refactor_partial`] will
+    /// re-eliminate (the rest keep their frozen values).
+    pub fn rows_eliminated(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Dimension of the factorization the plan was computed for — the
+    /// row count a full [`SparseLu::refactor`] re-eliminates.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
 }
 
 impl<T: Scalar> SparseLu<T> {
@@ -356,12 +413,21 @@ impl<T: Scalar> SparseLu<T> {
     }
 
     /// Markowitz ordering + fill pattern from the values of `a`.
+    ///
+    /// Working rows are **sorted vecs** of `(col, value)` and pivot
+    /// candidates come from **buckets** of rows/columns keyed by their
+    /// current active count, scanned in increasing count order with the
+    /// classic Duff termination bound (once the best cost found is
+    /// `≤ (k−1)²`, no candidate in a row *and* column of count `> k` can
+    /// beat it). This replaces the original tree-map working rows and the
+    /// per-step full-matrix scans — the cold-start cost that solver pools
+    /// amortize — without changing the cost function, the threshold rule
+    /// or the deterministic (input-only-dependent) pivot choice.
     fn symbolic(a: &CsrMatrix<T>) -> Result<Self, LinalgError> {
         let n = a.rows();
-        // Working form: rows as ordered (col -> value) maps plus a
-        // column -> active-row index. First factorization only — the hot
-        // path never touches these structures again.
-        let mut rows: Vec<BTreeMap<usize, T>> = (0..n)
+        // Working rows, sorted by column (CSR rows already are). First
+        // factorization only — the hot path never touches these again.
+        let mut rows: Vec<Vec<(usize, T)>> = (0..n)
             .map(|i| a.row_cols(i).iter().copied().zip(a.row_values(i).iter().copied()).collect())
             .collect();
         // Per-column: candidate rows (lazily pruned) and an exact active
@@ -370,13 +436,34 @@ impl<T: Scalar> SparseLu<T> {
         let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut col_count = vec![0usize; n];
         for (i, row) in rows.iter().enumerate() {
-            for &j in row.keys() {
+            for &(j, _) in row {
                 col_rows[j].push(i);
                 col_count[j] += 1;
             }
         }
         let mut row_active = vec![true; n];
         let mut col_active = vec![true; n];
+        // Candidate buckets by current row nnz / column count. Entries go
+        // stale as counts change (a row/col is re-pushed on every count
+        // change, never removed); scans validate against the live count.
+        let mut row_buckets: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut col_buckets: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for i in 0..n {
+            row_buckets[rows[i].len()].push(i);
+        }
+        for (j, &c) in col_count.iter().enumerate() {
+            col_buckets[c].push(j);
+        }
+        // Per-step scratch: dedup stamps for bucket scans and a memo for
+        // on-demand column maxima (threshold pivoting needs the largest
+        // active magnitude of a candidate's column, but only for columns
+        // the bucket scan actually reaches).
+        let mut seen_row = vec![usize::MAX; n];
+        let mut seen_col = vec![usize::MAX; n];
+        let mut colmax_step = vec![usize::MAX; n];
+        let mut colmax_val = vec![0.0f64; n];
+        let mut merge_scratch: Vec<(usize, T)> = Vec::new();
+
         let mut perm_r = Vec::with_capacity(n);
         let mut perm_c = Vec::with_capacity(n);
         // U rows in original column space, L entries per original row as
@@ -386,35 +473,114 @@ impl<T: Scalar> SparseLu<T> {
         let mut l_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
 
         for step in 0..n {
-            // Column maxima over the active submatrix (threshold pivoting).
-            let mut col_max = vec![0.0f64; n];
-            for i in (0..n).filter(|&i| row_active[i]) {
-                for (&j, &v) in &rows[i] {
-                    if col_active[j] {
-                        col_max[j] = col_max[j].max(v.modulus());
+            // Largest active magnitude in column `j`, pruning the
+            // candidate list as a side effect; memoized per step.
+            let mut col_max =
+                |j: usize, col_rows: &mut Vec<Vec<usize>>, rows: &Vec<Vec<(usize, T)>>| -> f64 {
+                    if colmax_step[j] == step {
+                        return colmax_val[j];
+                    }
+                    let mut mx = 0.0f64;
+                    col_rows[j].retain(|&i| {
+                        if !row_active[i] {
+                            return false;
+                        }
+                        match rows[i].binary_search_by_key(&j, |e| e.0) {
+                            Ok(p) => {
+                                mx = mx.max(rows[i][p].1.modulus());
+                                true
+                            }
+                            // Only the eliminated pivot column ever loses
+                            // entries from an active row, so a miss here is a
+                            // stale candidate from before that row's entry
+                            // was created as fill — prune it.
+                            Err(_) => false,
+                        }
+                    });
+                    colmax_step[j] = step;
+                    colmax_val[j] = mx;
+                    mx
+                };
+
+            // Markowitz search: minimize (r_nnz−1)·(c_count−1) over
+            // numerically acceptable candidates (|v| ≥ EPS and ≥
+            // threshold × column max); tie-break on magnitude. Buckets
+            // are scanned in increasing count; at the top of iteration
+            // `k` every unscanned candidate lives in a row of nnz ≥ k
+            // AND a column of count ≥ k, so its cost is ≥ (k−1)² — the
+            // Duff bound. The break is strict so equal-cost candidates
+            // are still scanned and the magnitude tie-break is honored:
+            // a not-yet-seen candidate of cost exactly (k−1)² must have
+            // row nnz = column count = k, i.e. it sits in this very
+            // iteration's buckets.
+            let mut best: Option<(usize, usize, usize, f64)> = None;
+            for k in 1..=n {
+                if let Some((_, _, c, _)) = best {
+                    if c < (k - 1) * (k - 1) {
+                        break;
                     }
                 }
-            }
-            // Markowitz search: minimize (r_nnz-1)·(c_nnz-1) over
-            // numerically acceptable candidates; tie-break on magnitude.
-            let mut best: Option<(usize, usize, usize, f64)> = None;
-            for i in (0..n).filter(|&i| row_active[i]) {
-                let r_nnz = rows[i].len();
-                for (&j, &v) in &rows[i] {
-                    if !col_active[j] {
+                // Columns of count k: every active entry of the column is
+                // a candidate with cost (r_nnz−1)(k−1).
+                let mut ci = 0;
+                while ci < col_buckets[k].len() {
+                    let j = col_buckets[k][ci];
+                    ci += 1;
+                    if !col_active[j] || col_count[j] != k || seen_col[j] == step {
                         continue;
                     }
-                    let mag = v.modulus();
-                    if mag < Self::SINGULARITY_EPS || mag < Self::PIVOT_THRESHOLD * col_max[j] {
+                    seen_col[j] = step;
+                    let cmax = col_max(j, &mut col_rows, &rows);
+                    for idx in 0..col_rows[j].len() {
+                        let i = col_rows[j][idx];
+                        let p = rows[i]
+                            .binary_search_by_key(&j, |e| e.0)
+                            .expect("column candidate list pruned above");
+                        let mag = rows[i][p].1.modulus();
+                        if mag < Self::SINGULARITY_EPS || mag < Self::PIVOT_THRESHOLD * cmax {
+                            continue;
+                        }
+                        let cost = (rows[i].len() - 1) * (k - 1);
+                        let better = match best {
+                            None => true,
+                            Some((_, _, c, m)) => cost < c || (cost == c && mag > m),
+                        };
+                        if better {
+                            best = Some((i, j, cost, mag));
+                        }
+                    }
+                }
+                // Rows of nnz k: every active-column entry is a candidate
+                // with cost (k−1)(c_count−1).
+                let mut ri = 0;
+                while ri < row_buckets[k].len() {
+                    let i = row_buckets[k][ri];
+                    ri += 1;
+                    if !row_active[i] || rows[i].len() != k || seen_row[i] == step {
                         continue;
                     }
-                    let cost = (r_nnz - 1) * (col_count[j] - 1);
-                    let better = match best {
-                        None => true,
-                        Some((_, _, c, m)) => cost < c || (cost == c && mag > m),
-                    };
-                    if better {
-                        best = Some((i, j, cost, mag));
+                    seen_row[i] = step;
+                    for p in 0..rows[i].len() {
+                        let (j, v) = rows[i][p];
+                        if !col_active[j] {
+                            continue;
+                        }
+                        let mag = v.modulus();
+                        if mag < Self::SINGULARITY_EPS {
+                            continue;
+                        }
+                        let cmax = col_max(j, &mut col_rows, &rows);
+                        if mag < Self::PIVOT_THRESHOLD * cmax {
+                            continue;
+                        }
+                        let cost = (k - 1) * (col_count[j] - 1);
+                        let better = match best {
+                            None => true,
+                            Some((_, _, c, m)) => cost < c || (cost == c && mag > m),
+                        };
+                        if better {
+                            best = Some((i, j, cost, mag));
+                        }
                     }
                 }
             }
@@ -425,12 +591,18 @@ impl<T: Scalar> SparseLu<T> {
             perm_c.push(pc);
             row_active[pr] = false;
             col_active[pc] = false;
-            let pivot_row: Vec<(usize, T)> = rows[pr].iter().map(|(&j, &v)| (j, v)).collect();
-            let pivot_val = rows[pr][&pc];
+            let pivot_row: Vec<(usize, T)> = std::mem::take(&mut rows[pr]);
+            let pivot_val = pivot_row[pivot_row
+                .binary_search_by_key(&pc, |e| e.0)
+                .expect("pivot entry present in pivot row")]
+            .1;
             u_cols.push(pivot_row.iter().map(|&(j, _)| j).collect());
             // The pivot row leaves the active submatrix.
             for &(j, _) in &pivot_row {
                 col_count[j] -= 1;
+                if col_active[j] {
+                    col_buckets[col_count[j]].push(j);
+                }
             }
 
             // Eliminate the pivot column from every remaining active row,
@@ -440,23 +612,61 @@ impl<T: Scalar> SparseLu<T> {
             // inactive or whose entry was already eliminated.
             let below: Vec<usize> = std::mem::take(&mut col_rows[pc])
                 .into_iter()
-                .filter(|&r| row_active[r] && rows[r].contains_key(&pc))
+                .filter(|&r| row_active[r] && rows[r].binary_search_by_key(&pc, |e| e.0).is_ok())
                 .collect();
             for &i in &below {
-                let f = rows[i][&pc] / pivot_val;
-                rows[i].remove(&pc);
+                let old_row = std::mem::take(&mut rows[i]);
+                let pc_pos = old_row
+                    .binary_search_by_key(&pc, |e| e.0)
+                    .expect("below rows contain the pivot column");
+                let f = old_row[pc_pos].1 / pivot_val;
                 l_cols[i].push(step);
-                for &(j, v) in &pivot_row {
-                    if j == pc {
+                // Sorted merge of (old_row − pivot col) with the pivot
+                // row's non-pivot columns: shared columns update in
+                // place, pivot-only columns become fill.
+                merge_scratch.clear();
+                let mut ai = 0;
+                let mut bi = 0;
+                while ai < old_row.len() || bi < pivot_row.len() {
+                    if ai == pc_pos {
+                        ai += 1;
                         continue;
                     }
-                    let entry = rows[i].entry(j).or_insert_with(|| {
-                        col_rows[j].push(i);
-                        col_count[j] += 1;
-                        T::zero()
-                    });
-                    *entry = *entry - f * v;
+                    if bi < pivot_row.len() && pivot_row[bi].0 == pc {
+                        bi += 1;
+                        continue;
+                    }
+                    let a_col = old_row.get(ai).map(|e| e.0);
+                    let b_col = pivot_row.get(bi).map(|e| e.0);
+                    match (a_col, b_col) {
+                        (Some(ac), Some(bc)) if ac == bc => {
+                            merge_scratch.push((ac, old_row[ai].1 - f * pivot_row[bi].1));
+                            ai += 1;
+                            bi += 1;
+                        }
+                        (Some(ac), Some(bc)) if ac < bc => {
+                            merge_scratch.push((ac, old_row[ai].1));
+                            ai += 1;
+                        }
+                        (Some(ac), None) => {
+                            merge_scratch.push((ac, old_row[ai].1));
+                            ai += 1;
+                        }
+                        (_, Some(bc)) => {
+                            // Fill: the column enters this row.
+                            merge_scratch.push((bc, T::zero() - f * pivot_row[bi].1));
+                            col_rows[bc].push(i);
+                            col_count[bc] += 1;
+                            col_buckets[col_count[bc]].push(bc);
+                            bi += 1;
+                        }
+                        (None, None) => unreachable!("loop condition"),
+                    }
                 }
+                // Recycle the old row's allocation as the next scratch.
+                rows[i] = std::mem::replace(&mut merge_scratch, old_row);
+                merge_scratch.clear();
+                row_buckets[rows[i].len()].push(i);
             }
         }
 
@@ -513,7 +723,41 @@ impl<T: Scalar> SparseLu<T> {
             diag_idx,
             a_to_lu,
             work: vec![T::zero(); n],
+            symbolic_id: SYMBOLIC_IDS.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// Up-looking elimination of packed row `p` over the frozen pattern —
+    /// the inner loop shared by [`Self::refactor`] (all rows) and
+    /// [`Self::refactor_partial`] (reachable rows only). Free-standing
+    /// over split borrows so both entry points can drive it.
+    #[inline]
+    fn eliminate_row(
+        lu_ptr: &[usize],
+        lu_cols: &[usize],
+        diag_idx: &[usize],
+        lu_vals: &mut [T],
+        work: &mut [T],
+        p: usize,
+    ) {
+        let (lo, hi) = (lu_ptr[p], lu_ptr[p + 1]);
+        for idx in lo..hi {
+            work[lu_cols[idx]] = lu_vals[idx];
+        }
+        for idx in lo..diag_idx[p] {
+            let k = lu_cols[idx];
+            let f = work[k] / lu_vals[diag_idx[k]];
+            work[k] = f;
+            for jdx in diag_idx[k] + 1..lu_ptr[k + 1] {
+                let j = lu_cols[jdx];
+                work[j] = work[j] - f * lu_vals[jdx];
+            }
+        }
+        for idx in lo..hi {
+            let j = lu_cols[idx];
+            lu_vals[idx] = work[j];
+            work[j] = T::zero();
+        }
     }
 
     /// Numeric-only refactorization over the frozen pattern and pivot
@@ -549,24 +793,137 @@ impl<T: Scalar> SparseLu<T> {
         // update lands inside the pattern by construction, so the inner
         // loops are pure arithmetic.
         for p in 0..self.n {
-            let (lo, hi) = (self.lu_ptr[p], self.lu_ptr[p + 1]);
-            for idx in lo..hi {
-                self.work[self.lu_cols[idx]] = self.lu_vals[idx];
+            Self::eliminate_row(
+                &self.lu_ptr,
+                &self.lu_cols,
+                &self.diag_idx,
+                &mut self.lu_vals,
+                &mut self.work,
+                p,
+            );
+            if self.lu_vals[self.diag_idx[p]].modulus() < Self::SINGULARITY_EPS {
+                return Err(LinalgError::Singular { index: p });
             }
-            for idx in lo..self.diag_idx[p] {
-                let k = self.lu_cols[idx];
-                let f = self.work[k] / self.lu_vals[self.diag_idx[k]];
-                self.work[k] = f;
-                for jdx in self.diag_idx[k] + 1..self.lu_ptr[k + 1] {
-                    let j = self.lu_cols[jdx];
-                    self.work[j] = self.work[j] - f * self.lu_vals[jdx];
+        }
+        Ok(())
+    }
+
+    /// Computes the partial-refactorization schedule for a fixed set of
+    /// "dirty" input nonzeros (`dirty_values` indexes the input CSR's
+    /// value array, i.e. [`CsrMatrix::value_index`] results).
+    ///
+    /// A factor row must be re-eliminated iff a dirty input scatters into
+    /// it or it references (through its `L` columns) a row that must be —
+    /// the reachability closure over the frozen elimination structure,
+    /// computed in one ascending pass. Everything outside that closure is
+    /// provably untouched by [`Self::refactor_partial`], which is what
+    /// makes the partial result bitwise identical to a full refactor.
+    ///
+    /// Out-of-range indices in `dirty_values` are ignored (callers pass
+    /// template-derived index sets; the dimension check happens at
+    /// refactor time). Duplicates are harmless.
+    pub fn plan_partial(&self, dirty_values: &[usize]) -> PartialPlan {
+        let mut dirty = vec![false; self.n];
+        let packed_row_of = |pos: usize| -> usize {
+            // lu_ptr is ascending with lu_ptr[p] <= pos < lu_ptr[p+1].
+            self.lu_ptr.partition_point(|&q| q <= pos) - 1
+        };
+        for &k in dirty_values {
+            if k < self.a_to_lu.len() {
+                dirty[packed_row_of(self.a_to_lu[k])] = true;
+            }
+        }
+        // Closure: row p is dirty if any of its L columns (earlier pivot
+        // rows it references) is dirty. One ascending pass suffices —
+        // L columns are strictly smaller than p.
+        for p in 0..self.n {
+            if dirty[p] {
+                continue;
+            }
+            for idx in self.lu_ptr[p]..self.diag_idx[p] {
+                if dirty[self.lu_cols[idx]] {
+                    dirty[p] = true;
+                    break;
                 }
             }
-            for idx in lo..hi {
-                let j = self.lu_cols[idx];
-                self.lu_vals[idx] = self.work[j];
-                self.work[j] = T::zero();
+        }
+        let rows: Vec<usize> = (0..self.n).filter(|&p| dirty[p]).collect();
+        let scatter: Vec<(usize, usize)> = self
+            .a_to_lu
+            .iter()
+            .enumerate()
+            .filter(|&(_, &dst)| dirty[packed_row_of(dst)])
+            .map(|(k, &dst)| (k, dst))
+            .collect();
+        PartialPlan { symbolic_id: self.symbolic_id, rows, scatter, n: self.n }
+    }
+
+    /// Numeric refactorization restricted to the rows of a
+    /// [`PartialPlan`] — the KLU-style refresh for refreshes where only
+    /// the planned dirty inputs changed since the last successful
+    /// (re)factorization.
+    ///
+    /// **Contract:** `a` must have the same pattern as the factored
+    /// matrix, and must differ from the matrix consumed by the last
+    /// successful [`Self::refactor`] / `refactor_partial` **only at the
+    /// plan's dirty value positions**. Under that contract the result is
+    /// bitwise identical to `refactor(a)`: untouched rows keep values
+    /// that a full pass would have recomputed from bit-identical inputs.
+    ///
+    /// On error the factor values are unspecified (like
+    /// [`Self::refactor`]) and must be rebuilt by a successful full
+    /// refactor or a fresh [`Self::factor`].
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `a`'s shape or nonzero
+    ///   count differs, or the plan was computed for a different symbolic
+    ///   analysis (e.g. the factorization has re-pivoted since).
+    /// - [`LinalgError::Singular`] if a re-eliminated pivot drifted below
+    ///   the numeric floor.
+    pub fn refactor_partial(
+        &mut self,
+        a: &CsrMatrix<T>,
+        plan: &PartialPlan,
+    ) -> Result<(), LinalgError> {
+        if a.rows() != self.n || a.cols() != self.n || a.nnz() != self.a_nnz {
+            return Err(LinalgError::DimensionMismatch {
+                context: "sparse partial refactor pattern mismatch",
+            });
+        }
+        if plan.symbolic_id != self.symbolic_id || plan.n != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "partial plan belongs to a different symbolic analysis",
+            });
+        }
+        // A plan that reaches every row has no rows to skip — the plain
+        // refactor's straight-line scatter is cheaper than the planned
+        // indirection.
+        if plan.rows.len() == self.n {
+            return self.refactor(a);
+        }
+        // Re-scatter only the dirty rows: zero their packed ranges, then
+        // copy in every input nonzero that lands in one.
+        for &p in &plan.rows {
+            for v in &mut self.lu_vals[self.lu_ptr[p]..self.lu_ptr[p + 1]] {
+                *v = T::zero();
             }
+        }
+        for &(k, dst) in &plan.scatter {
+            self.lu_vals[dst] = a.values()[k];
+        }
+        // Re-eliminate the dirty rows in ascending pivot order; clean
+        // rows' values are final from the previous refactor and are read
+        // (never written) by the dirty rows' updates.
+        for &p in &plan.rows {
+            Self::eliminate_row(
+                &self.lu_ptr,
+                &self.lu_cols,
+                &self.diag_idx,
+                &mut self.lu_vals,
+                &mut self.work,
+                p,
+            );
             if self.lu_vals[self.diag_idx[p]].modulus() < Self::SINGULARITY_EPS {
                 return Err(LinalgError::Singular { index: p });
             }
@@ -577,6 +934,15 @@ impl<T: Scalar> SparseLu<T> {
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Identity of this factorization's symbolic analysis. Clones share
+    /// the id (they share the pivot order and fill pattern); a fresh
+    /// [`SparseLu::factor`] — including one replacing a collapsed frozen
+    /// pivot — gets a new one. [`PartialPlan`]s are only accepted by the
+    /// analysis they were computed for.
+    pub fn symbolic_id(&self) -> u64 {
+        self.symbolic_id
     }
 
     /// Stored entries in the `L + U` pattern (fill included).
@@ -782,6 +1148,84 @@ mod tests {
         // A subsequent good refactor restores a usable factorization.
         lu.refactor(&good).unwrap();
         assert_eq!(lu.solve(&[3.0, 4.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn partial_refactor_matches_full_bitwise() {
+        // Tridiagonal ladder; dirty set = two interior diagonal entries.
+        // The partial refresh must agree with a full refactor bit for
+        // bit, and must re-eliminate strictly fewer rows.
+        let n = 16;
+        let build = |d2: f64, d9: f64| {
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                let d = if i == 2 {
+                    d2
+                } else if i == 9 {
+                    d9
+                } else {
+                    4.0 + i as f64 * 0.1
+                };
+                t.push(i, i, d);
+            }
+            for i in 0..n - 1 {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+            t.to_csr()
+        };
+        let a0 = build(4.2, 4.9);
+        let a1 = build(6.5, 3.1);
+        let mut full = SparseLu::factor(&a0).unwrap();
+        let mut partial = full.clone();
+        let dirty = vec![a0.value_index(2, 2).unwrap(), a0.value_index(9, 9).unwrap()];
+        let plan = partial.plan_partial(&dirty);
+        assert!(plan.rows_eliminated() < n, "plan must exclude unreachable rows");
+        assert!(plan.rows_eliminated() >= 2, "dirty rows themselves are in the plan");
+        full.refactor(&a1).unwrap();
+        partial.refactor_partial(&a1, &plan).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let xf = full.solve(&b);
+        let xp = partial.solve(&b);
+        for (f, p) in xf.iter().zip(&xp) {
+            assert_eq!(f.to_bits(), p.to_bits(), "partial {p} vs full {f}");
+        }
+    }
+
+    #[test]
+    fn partial_plan_with_all_inputs_dirty_is_a_full_refactor() {
+        let mut t = Triplets::new(4, 4);
+        for i in 0..4 {
+            t.push(i, i, 3.0 + i as f64);
+        }
+        t.push(0, 3, 1.0);
+        t.push(3, 0, 1.0);
+        let a = t.to_csr();
+        let lu = SparseLu::factor(&a).unwrap();
+        let plan = lu.plan_partial(&(0..a.nnz()).collect::<Vec<_>>());
+        assert_eq!(plan.rows_eliminated(), plan.dim(), "all dirty ⇒ every row re-eliminated");
+    }
+
+    #[test]
+    fn partial_plan_rejected_after_repivot() {
+        let mut t = Triplets::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        let a = t.to_csr();
+        let lu = SparseLu::factor(&a).unwrap();
+        let plan = lu.plan_partial(&[0]);
+        // A fresh factorization is a different symbolic analysis even on
+        // the same matrix — the plan must not be accepted against it.
+        let mut refreshed = SparseLu::factor(&a).unwrap();
+        assert_ne!(lu.symbolic_id(), refreshed.symbolic_id());
+        assert!(matches!(
+            refreshed.refactor_partial(&a, &plan),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // Clones share the analysis and accept it.
+        let mut clone = lu.clone();
+        clone.refactor_partial(&a, &plan).unwrap();
     }
 
     #[test]

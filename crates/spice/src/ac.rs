@@ -14,6 +14,8 @@ use crate::model::MosPolarity;
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
 use glova_linalg::sparse::{CsrMatrix, SparseLu, Triplets};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +68,21 @@ impl AcResult {
         }
         None
     }
+
+    /// Assembles a result from independently solved points — the entry
+    /// point for engine-dispatched sweeps that fan
+    /// [`AcSolverPool::solve_point`] out over worker threads and collect
+    /// in index order. `solutions[i]` must be the node-voltage vector
+    /// (length = non-ground node count) at `frequencies[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn from_parts(frequencies: Vec<f64>, solutions: Vec<Vec<Complex>>, n_nodes: usize) -> Self {
+        assert_eq!(frequencies.len(), solutions.len(), "one solution per frequency");
+        assert!(solutions.iter().all(|s| s.len() == n_nodes), "solution dimension mismatch");
+        Self { frequencies, solutions, n_nodes }
+    }
 }
 
 /// Logarithmic frequency sweep: `points_per_decade` points from `f_start`
@@ -105,9 +122,12 @@ pub fn ac_sweep(
 ///
 /// The small-signal pattern is frequency-independent (only the `jωC`
 /// values change), so on the sparse backend the Markowitz pivot order and
-/// fill pattern are computed at the first frequency point and every
-/// further point pays a numeric-only complex refactorization — the same
-/// symbolic reuse the DC path gets across Newton iterations.
+/// fill pattern are computed once and every point pays a numeric-only
+/// complex refactorization — the same symbolic reuse the DC path gets
+/// across Newton iterations. Implemented as a sequential drive of
+/// [`AcSolverPool`]; engine-dispatched sweeps fan the same pool out over
+/// worker threads (`glova::sweep::ac_sweep_with_engine`) with bitwise
+/// identical results.
 ///
 /// # Errors
 ///
@@ -118,86 +138,256 @@ pub fn ac_sweep_with_backend(
     frequencies: &[f64],
     backend: SolverBackend,
 ) -> Result<AcResult, SpiceError> {
-    let ac_branch = netlist.vsource_branch(ac_source_name).ok_or_else(|| {
-        SpiceError::InvalidNetlist { reason: format!("no voltage source named {ac_source_name}") }
-    })?;
-    let op = operating_point(netlist)?;
-    let n_nodes = netlist.node_count() - 1;
-    let n = netlist.unknown_count();
-
+    let pool = AcSolverPool::new(netlist, ac_source_name, frequencies, backend)?;
     let mut solutions = Vec::with_capacity(frequencies.len());
-    if backend.resolves_to_sparse(n) {
-        let mut b = vec![Complex::ZERO; n];
-        // Unit AC excitation on the chosen source's branch equation.
-        b[n_nodes + ac_branch] = Complex::ONE;
-        let mut lu: Option<SparseLu<Complex>> = None;
-        let mut x: Vec<Complex> = Vec::new();
-        // The stamp pattern is frequency-invariant (only the jωC values
-        // change) and the device walk is deterministic, so the CSR is
-        // built once at the first point; every later point rewrites the
-        // value array in place through a precomputed push-order →
-        // value-index map — no per-frequency builder, sort or
-        // allocation.
-        let mut system: Option<CsrMatrix<Complex>> = None;
-        let mut slot_of: Vec<usize> = Vec::new();
-        for &freq in frequencies {
-            let omega = 2.0 * std::f64::consts::PI * freq;
-            match &mut system {
-                Some(csr) => {
-                    let values = csr.values_mut();
-                    for v in values.iter_mut() {
-                        *v = Complex::ZERO;
-                    }
-                    let mut push = 0usize;
-                    stamp_ac(netlist, &op, omega, &mut |_, _, v| {
-                        values[slot_of[push]] += v;
-                        push += 1;
-                    });
-                    debug_assert_eq!(push, slot_of.len(), "stamp walk changed shape");
-                }
-                None => {
-                    let mut t = Triplets::new(n, n);
-                    stamp_ac(netlist, &op, omega, &mut |i, j, v| t.push(i, j, v));
-                    let csr = t.to_csr();
-                    slot_of = t
-                        .entries()
-                        .iter()
-                        .map(|&(i, j, _)| {
-                            csr.value_index(i, j).expect("pushed entry is in the pattern")
-                        })
-                        .collect();
-                    system = Some(csr);
-                }
-            }
-            let a = system.as_ref().expect("system assembled");
-            match &mut lu {
-                // Same topology ⇒ same pattern: numeric-only refresh. A
-                // frozen pivot that went bad at this frequency falls back
-                // to a fresh Markowitz factorization.
-                Some(f) => {
-                    if f.refactor(a).is_err() {
-                        *f = SparseLu::factor(a).map_err(|_| SpiceError::SingularMatrix)?;
-                    }
-                }
-                None => {
-                    lu = Some(SparseLu::factor(a).map_err(|_| SpiceError::SingularMatrix)?);
-                }
-            }
-            lu.as_mut().expect("factorization present").solve_into(&b, &mut x);
-            solutions.push(x[..n_nodes].to_vec());
-        }
-    } else {
-        for &freq in frequencies {
-            let omega = 2.0 * std::f64::consts::PI * freq;
-            let mut a = ComplexMatrix::zeros(n);
-            let mut b = vec![Complex::ZERO; n];
-            stamp_ac(netlist, &op, omega, &mut |i, j, v| a.add_at(i, j, v));
-            b[n_nodes + ac_branch] = Complex::ONE;
-            let x = a.solve(&b).map_err(|_| SpiceError::SingularMatrix)?;
-            solutions.push(x[..n_nodes].to_vec());
-        }
+    for &freq in frequencies {
+        solutions.push(pool.solve_point(freq)?);
     }
-    Ok(AcResult { frequencies: frequencies.to_vec(), solutions, n_nodes })
+    Ok(AcResult::from_parts(frequencies.to_vec(), solutions, pool.n_nodes()))
+}
+
+/// [`ac_sweep_with_backend`] over a caller-provided DC operating point —
+/// for circuits that already solved DC through a pooled solver (power
+/// metrics) and linearize around that same solution for AC metrics,
+/// skipping the second Newton solve per evaluation.
+///
+/// # Errors
+///
+/// See [`ac_sweep`] (minus the DC-solve failures).
+pub fn ac_sweep_with_backend_from_op(
+    netlist: &Netlist,
+    op: OperatingPoint,
+    ac_source_name: &str,
+    frequencies: &[f64],
+    backend: SolverBackend,
+) -> Result<AcResult, SpiceError> {
+    let pool = AcSolverPool::from_op(netlist, op, ac_source_name, frequencies, backend)?;
+    let mut solutions = Vec::with_capacity(frequencies.len());
+    for &freq in frequencies {
+        solutions.push(pool.solve_point(freq)?);
+    }
+    Ok(AcResult::from_parts(frequencies.to_vec(), solutions, pool.n_nodes()))
+}
+
+/// Per-worker state for one sparse AC point solve: the CSR system (value
+/// array rewritten per point through the shared push-order map) and a
+/// complex [`SparseLu`] cloned from the pool's primed prototype, so
+/// every worker refactors over the same canonical symbolic analysis.
+#[derive(Debug, Clone)]
+struct AcWorker {
+    system: CsrMatrix<Complex>,
+    slot_of: Arc<Vec<usize>>,
+    lu: SparseLu<Complex>,
+    x: Vec<Complex>,
+    /// Whether this worker abandoned the canonical pivot order (fresh
+    /// factorization after a refactor failure) — retired on return.
+    repivoted: bool,
+}
+
+/// A thread-safe pool of per-worker AC point solvers sharing one complex
+/// symbolic analysis — the frequency-sweep analogue of
+/// [`OpSolverPool`](crate::dc::OpSolverPool).
+///
+/// The linearization point (DC operating point) and, on the sparse
+/// backend, the CSR pattern plus the primed [`SparseLu`] prototype are
+/// computed once at construction; each [`solve_point`](Self::solve_point)
+/// then checks a worker out of the free list (cloning the prototype when
+/// empty, so at most one worker per concurrent caller materializes),
+/// rewrites the value array in place and runs a numeric-only complex
+/// refactorization.
+///
+/// # Determinism
+///
+/// A point's solution is a pure function of `(netlist, operating point,
+/// frequency)` plus the canonical symbolic analysis: workers rewrite
+/// every stored value before refactoring, so no per-point state leaks
+/// between points, and a worker whose refactor had to fall back to a
+/// fresh factorization (still a pure function of the point) is retired
+/// rather than returned. Sequential and engine-dispatched sweeps are
+/// therefore bitwise identical — `tests/ac_engine_parity.rs` locks this
+/// in.
+#[derive(Debug)]
+pub struct AcSolverPool<'a> {
+    netlist: &'a Netlist,
+    op: OperatingPoint,
+    ac_branch: usize,
+    n_nodes: usize,
+    n: usize,
+    /// Primed sparse prototype; `None` on the dense backend (dense
+    /// points are independent full solves) or for empty sweeps.
+    proto: Option<AcWorker>,
+    free: Mutex<Vec<AcWorker>>,
+    spawned: AtomicUsize,
+    retired: AtomicUsize,
+}
+
+impl<'a> AcSolverPool<'a> {
+    /// Builds the pool: solves the DC operating point, resolves the AC
+    /// source and (sparse backend, non-empty sweep) primes the prototype
+    /// at the sweep's first frequency.
+    ///
+    /// # Errors
+    ///
+    /// - [`SpiceError::InvalidNetlist`] if the named source is missing.
+    /// - DC-solve failures propagate; a structurally singular
+    ///   small-signal system surfaces as [`SpiceError::SingularMatrix`]
+    ///   at priming time.
+    pub fn new(
+        netlist: &'a Netlist,
+        ac_source_name: &str,
+        frequencies: &[f64],
+        backend: SolverBackend,
+    ) -> Result<Self, SpiceError> {
+        let op = operating_point(netlist)?;
+        Self::from_op(netlist, op, ac_source_name, frequencies, backend)
+    }
+
+    /// [`new`](Self::new) over a caller-provided operating point —
+    /// circuits that already solved DC through a pooled
+    /// [`OpSolver`](crate::dc::OpSolver) (e.g. for power metrics) reuse
+    /// it here instead of paying a second Newton solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`AcSolverPool::new`].
+    pub fn from_op(
+        netlist: &'a Netlist,
+        op: OperatingPoint,
+        ac_source_name: &str,
+        frequencies: &[f64],
+        backend: SolverBackend,
+    ) -> Result<Self, SpiceError> {
+        let ac_branch =
+            netlist.vsource_branch(ac_source_name).ok_or_else(|| SpiceError::InvalidNetlist {
+                reason: format!("no voltage source named {ac_source_name}"),
+            })?;
+        let n_nodes = netlist.node_count() - 1;
+        let n = netlist.unknown_count();
+        let proto = if backend.resolves_to_sparse(n) && !frequencies.is_empty() {
+            // The stamp pattern is frequency-invariant (only the jωC
+            // values change) and the device walk is deterministic, so
+            // the CSR and the push-order → value-index map are built
+            // once; the symbolic analysis is primed at the first sweep
+            // frequency and shared by every worker clone.
+            let omega = 2.0 * std::f64::consts::PI * frequencies[0];
+            let mut t = Triplets::new(n, n);
+            stamp_ac(netlist, &op, omega, &mut |i, j, v| t.push(i, j, v));
+            let system = t.to_csr();
+            let slot_of: Arc<Vec<usize>> = Arc::new(
+                t.entries()
+                    .iter()
+                    .map(|&(i, j, _)| {
+                        system.value_index(i, j).expect("pushed entry is in the pattern")
+                    })
+                    .collect(),
+            );
+            let lu = SparseLu::factor(&system).map_err(|_| SpiceError::SingularMatrix)?;
+            Some(AcWorker { system, slot_of, lu, x: Vec::new(), repivoted: false })
+        } else {
+            None
+        };
+        Ok(Self {
+            netlist,
+            op,
+            ac_branch,
+            n_nodes,
+            n,
+            proto,
+            free: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+            retired: AtomicUsize::new(0),
+        })
+    }
+
+    /// Non-ground node count (the length of each solution vector).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Workers materialized so far — bounded by the peak number of
+    /// concurrent [`solve_point`](Self::solve_point) callers.
+    pub fn workers_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Workers retired after abandoning the canonical pivot order.
+    pub fn workers_retired(&self) -> usize {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Solves the small-signal system at `freq_hz` (unit excitation on
+    /// the AC source), returning the non-ground node voltages.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] if the point's system cannot be
+    /// factored even freshly.
+    pub fn solve_point(&self, freq_hz: f64) -> Result<Vec<Complex>, SpiceError> {
+        let omega = 2.0 * std::f64::consts::PI * freq_hz;
+        let mut b = vec![Complex::ZERO; self.n];
+        b[self.n_nodes + self.ac_branch] = Complex::ONE;
+        let Some(proto) = &self.proto else {
+            // Dense backend: each point is an independent full solve.
+            let mut a = ComplexMatrix::zeros(self.n);
+            stamp_ac(self.netlist, &self.op, omega, &mut |i, j, v| a.add_at(i, j, v));
+            let x = a.solve(&b).map_err(|_| SpiceError::SingularMatrix)?;
+            return Ok(x[..self.n_nodes].to_vec());
+        };
+
+        /// Returns the worker on every exit path, retiring non-canonical
+        /// or unwound checkouts (mirrors `OpSolverPool`).
+        struct Checkout<'p, 'a> {
+            pool: &'p AcSolverPool<'a>,
+            worker: Option<AcWorker>,
+        }
+        impl Drop for Checkout<'_, '_> {
+            fn drop(&mut self) {
+                let Some(worker) = self.worker.take() else { return };
+                let canonical = !std::thread::panicking() && !worker.repivoted;
+                let returned = if canonical {
+                    worker
+                } else {
+                    self.pool.retired.fetch_add(1, Ordering::Relaxed);
+                    self.pool.proto.clone().expect("sparse pool has a prototype")
+                };
+                if let Ok(mut free) = self.pool.free.lock() {
+                    free.push(returned);
+                }
+            }
+        }
+
+        let worker = self.free.lock().expect("ac pool poisoned").pop().unwrap_or_else(|| {
+            self.spawned.fetch_add(1, Ordering::Relaxed);
+            proto.clone()
+        });
+        let mut checkout = Checkout { pool: self, worker: Some(worker) };
+        let w = checkout.worker.as_mut().expect("worker present until drop");
+        // Rewrite every stored value for this point — no state carries
+        // over from whatever point this worker solved last.
+        let values = w.system.values_mut();
+        for v in values.iter_mut() {
+            *v = Complex::ZERO;
+        }
+        let mut push = 0usize;
+        let slot_of = &w.slot_of;
+        stamp_ac(self.netlist, &self.op, omega, &mut |_, _, v| {
+            values[slot_of[push]] += v;
+            push += 1;
+        });
+        debug_assert_eq!(push, slot_of.len(), "stamp walk changed shape");
+        // Numeric-only refresh over the canonical symbolic analysis; a
+        // pivot that collapsed at this frequency falls back to a fresh
+        // factorization (pure per point) and retires the worker.
+        if w.lu.refactor(&w.system).is_err() {
+            w.lu = SparseLu::factor(&w.system).map_err(|_| SpiceError::SingularMatrix)?;
+            w.repivoted = true;
+        }
+        let mut x = std::mem::take(&mut w.x);
+        w.lu.solve_into(&b, &mut x);
+        let solution = x[..self.n_nodes].to_vec();
+        w.x = x;
+        Ok(solution)
+    }
 }
 
 /// Stamps the linearized (small-signal) system at angular frequency ω

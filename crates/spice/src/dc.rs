@@ -1,6 +1,9 @@
 //! DC operating-point analysis with `gmin` stepping.
 
-use crate::mna::{newton_solve_with_state, MnaState, MnaTemplate, NewtonOptions, StampContext};
+use crate::mna::{
+    newton_solve_with_state, MnaState, MnaTemplate, NewtonOptions, RefactorStats, RetargetOutcome,
+    StampContext,
+};
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,6 +73,9 @@ pub struct OpSolver {
     n_nodes: usize,
     unknowns: usize,
     sparse: bool,
+    /// Times a retarget crossed a topology boundary (the state was
+    /// rebuilt wholesale, abandoning the canonical symbolic state).
+    topology_retargets: u64,
 }
 
 impl OpSolver {
@@ -84,6 +90,7 @@ impl OpSolver {
             n_nodes: netlist.node_count() - 1,
             unknowns: netlist.unknown_count(),
             sparse,
+            topology_retargets: 0,
         }
     }
 
@@ -116,16 +123,35 @@ impl OpSolver {
     /// Re-points the solver at `netlist` — the sweep primitive. For the
     /// same topology (the overwhelmingly common case: a corner/mismatch
     /// point is the same circuit graph with different device values) the
-    /// factorization storage survives and the next solve pays only
-    /// numeric refactorizations; a different topology rebuilds the state
-    /// from scratch.
-    pub fn retarget(&mut self, netlist: &Netlist) {
+    /// template's stamp values are rewritten **in place** — no netlist
+    /// re-walk into a fresh template, no allocation, no pattern rebuild
+    /// ([`RetargetOutcome::Values`]; bitwise identical to the rebuild
+    /// path). Only a topology change pays the full rebuild
+    /// ([`RetargetOutcome::Topology`] — reported explicitly so pools
+    /// retire the now-non-canonical solver).
+    pub fn retarget(&mut self, netlist: &Netlist) -> RetargetOutcome {
+        let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
+        if self.state.retarget_values(netlist, &ctx) {
+            return RetargetOutcome::Values;
+        }
+        self.retarget_rebuild(netlist)
+    }
+
+    /// [`retarget`](Self::retarget) without the value-only fast path:
+    /// always rebuilds the assembly template from a netlist walk. The
+    /// reference semantics the fast path is parity-tested against (and
+    /// the `--retarget rebuild` benchmark mode).
+    pub fn retarget_rebuild(&mut self, netlist: &Netlist) -> RetargetOutcome {
         let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
         let template = MnaTemplate::new(netlist, &ctx, self.options.backend);
         self.sparse = template.is_sparse();
         self.n_nodes = netlist.node_count() - 1;
         self.unknowns = netlist.unknown_count();
-        self.state.retarget(template);
+        let outcome = self.state.retarget(template);
+        if outcome == RetargetOutcome::Topology {
+            self.topology_retargets += 1;
+        }
+        outcome
     }
 
     /// Whether the sparse backend was selected.
@@ -139,9 +165,31 @@ impl OpSolver {
     }
 
     /// Times the sparse backend abandoned its frozen pivot order for a
-    /// fresh analysis (see [`MnaState::repivots`]).
+    /// fresh analysis after a numeric pivot collapse (see
+    /// [`MnaState::repivots`]).
     pub fn repivots(&self) -> u64 {
         self.state.repivots()
+    }
+
+    /// Times a retarget crossed a topology boundary (reported as
+    /// [`RetargetOutcome::Topology`] and counted here for pools).
+    pub fn topology_retargets(&self) -> u64 {
+        self.topology_retargets
+    }
+
+    /// Total canonical-state-losing events: numeric re-pivots plus
+    /// wholesale topology retargets. [`OpSolverPool`] retires any solver
+    /// whose count moved during a checkout — the explicit-outcome
+    /// replacement for inferring topology changes from the re-pivot
+    /// counter.
+    pub fn noncanonical_events(&self) -> u64 {
+        self.state.repivots() + self.topology_retargets
+    }
+
+    /// Cumulative numeric-refresh accounting (partial vs full
+    /// refactorizations; see [`RefactorStats`]).
+    pub fn refactor_stats(&self) -> RefactorStats {
+        self.state.refactor_stats()
     }
 
     /// Computes the operating point from an all-zeros initial guess.
@@ -239,6 +287,12 @@ impl OpSolverPool {
     /// list is only locked for the O(1) pop/push, and an empty list
     /// clones the prototype instead of waiting.
     ///
+    /// Retirement is driven by [`OpSolver::noncanonical_events`] — the
+    /// explicit sum of numeric re-pivots and
+    /// [`RetargetOutcome::Topology`] retargets — so a solver that only
+    /// took value-only or same-pattern retargets always returns to the
+    /// free list.
+    ///
     /// Panic-safe: if `f` unwinds, the solver is still returned —
     /// retired to a fresh prototype clone, since a solve abandoned
     /// mid-flight may carry non-canonical state — so the pool's size
@@ -250,13 +304,13 @@ impl OpSolverPool {
         struct Checkout<'a> {
             pool: &'a OpSolverPool,
             solver: Option<OpSolver>,
-            repivots_before: u64,
+            events_before: u64,
         }
         impl Drop for Checkout<'_> {
             fn drop(&mut self) {
                 let Some(solver) = self.solver.take() else { return };
                 let canonical =
-                    !std::thread::panicking() && solver.repivots() == self.repivots_before;
+                    !std::thread::panicking() && solver.noncanonical_events() == self.events_before;
                 let returned = if canonical {
                     solver
                 } else {
@@ -280,8 +334,8 @@ impl OpSolverPool {
             self.spawned.fetch_add(1, Ordering::Relaxed);
             self.prototype.clone()
         });
-        let repivots_before = solver.repivots();
-        let mut checkout = Checkout { pool: self, solver: Some(solver), repivots_before };
+        let events_before = solver.noncanonical_events();
+        let mut checkout = Checkout { pool: self, solver: Some(solver), events_before };
         f(checkout.solver.as_mut().expect("solver present until drop"))
     }
 }
@@ -492,15 +546,64 @@ mod tests {
         let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
         let mut solver =
             OpSolver::primed(&inverter_chain_with_load(8, Some(10e3)), options).unwrap();
-        // Same topology, different values: no symbolic divergence.
-        solver.retarget(&inverter_chain_with_load(8, Some(12e3)));
+        // Same topology, different values: the in-place fast path, no
+        // symbolic divergence.
+        let outcome = solver.retarget(&inverter_chain_with_load(8, Some(12e3)));
+        assert_eq!(outcome, RetargetOutcome::Values, "same topology takes the value-only path");
         solver.solve().unwrap();
-        assert_eq!(solver.repivots(), 0, "same-pattern retarget must keep the frozen pivots");
-        // Different topology: the state is rebuilt wholesale, which
-        // abandons the canonical pivot order and must be counted so a
+        assert_eq!(solver.noncanonical_events(), 0, "value retarget must keep canonical state");
+        // Forcing the rebuild path on the same topology is still only a
+        // pattern swap — the factorization survives.
+        let outcome = solver.retarget_rebuild(&inverter_chain_with_load(8, Some(13e3)));
+        assert_eq!(outcome, RetargetOutcome::Pattern);
+        assert_eq!(solver.noncanonical_events(), 0, "pattern retarget keeps canonical state");
+        // Different topology: the state is rebuilt wholesale, reported
+        // explicitly (not through the numeric re-pivot counter) so a
         // pool retires the solver.
-        solver.retarget(&inverter_chain_with_load(12, Some(10e3)));
-        assert_eq!(solver.repivots(), 1, "topology change must register as a re-pivot");
+        let outcome = solver.retarget(&inverter_chain_with_load(12, Some(10e3)));
+        assert_eq!(outcome, RetargetOutcome::Topology);
+        assert_eq!(solver.repivots(), 0, "topology change is not a numeric re-pivot");
+        assert_eq!(solver.topology_retargets(), 1);
+        assert_eq!(solver.noncanonical_events(), 1, "pools retire on the explicit event count");
+    }
+
+    #[test]
+    fn value_retarget_solution_matches_rebuild_bitwise() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let options = NewtonOptions::default().with_backend(backend);
+            let base = inverter_chain_with_load(8, Some(10e3));
+            let target = inverter_chain_with_load(8, Some(14.5e3));
+            let mut fast = OpSolver::primed(&base, options).unwrap();
+            let mut slow = OpSolver::primed(&base, options).unwrap();
+            assert_eq!(fast.retarget(&target), RetargetOutcome::Values, "{backend}");
+            assert_eq!(slow.retarget_rebuild(&target), RetargetOutcome::Pattern, "{backend}");
+            let x_fast = fast.solve().unwrap();
+            let x_slow = slow.solve().unwrap();
+            for (a, b) in x_fast.raw().iter().zip(x_slow.raw()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{backend}: values {a} vs rebuild {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_solver_engages_partial_refactorization() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let mut solver =
+            OpSolver::primed(&inverter_chain_with_load(12, Some(10e3)), options).unwrap();
+        for i in 0..4 {
+            solver.retarget(&inverter_chain_with_load(12, Some(9e3 + 500.0 * i as f64)));
+            solver.solve().unwrap();
+        }
+        let stats = solver.refactor_stats();
+        assert!(stats.partial > 0, "gmin-ladder refreshes after the first must go partial");
+        assert!(
+            stats.elimination_ratio() < 1.0,
+            "the V-source branch rows sit outside the dirty reachable set: {stats:?}"
+        );
     }
 
     #[test]

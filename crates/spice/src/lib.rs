@@ -44,12 +44,14 @@ pub mod model;
 pub mod netlist;
 pub mod transient;
 
-pub use ac::{ac_sweep, ac_sweep_with_backend, log_sweep, AcResult};
+pub use ac::{ac_sweep, ac_sweep_with_backend, log_sweep, AcResult, AcSolverPool};
 pub use complex::Complex;
-pub use dc::{operating_point, OpSolver, OperatingPoint};
-pub use mna::SolverBackend;
+pub use dc::{operating_point, OpSolver, OpSolverPool, OperatingPoint};
+pub use mna::{RefactorStats, RetargetOutcome, SolverBackend};
 pub use model::{MosModel, MosPolarity};
-pub use netlist::{inverter_chain, rc_ladder, Netlist, NodeId, GROUND};
+pub use netlist::{
+    inverter_chain, ota_two_stage, rc_ladder, Netlist, NodeId, OtaCards, OtaParams, GROUND,
+};
 pub use transient::{TransientResult, TransientSpec};
 
 /// Gate capacitance of a `w × l` µm device, farads (30 fF/µm² at 28 nm) —

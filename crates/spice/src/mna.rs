@@ -89,6 +89,58 @@ impl std::fmt::Display for SolverBackend {
     }
 }
 
+/// How a retarget was applied — and, for solver pools, whether the
+/// retargeted state still carries the canonical symbolic factorization.
+///
+/// Returned by [`MnaState::retarget`] /
+/// [`OpSolver::retarget`](crate::dc::OpSolver::retarget) so callers act
+/// on an explicit classification instead of inferring the topology case
+/// from side-channel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetargetOutcome {
+    /// Value-only fast path: same topology fingerprint, stamp values
+    /// rewritten in place. Template, pattern and any frozen factorization
+    /// all survive.
+    Values,
+    /// Same backend/dimension/pattern, but the template was rebuilt from
+    /// a netlist walk and swapped in. The frozen factorization survives.
+    Pattern,
+    /// Different topology: the state was rebuilt wholesale, abandoning
+    /// the factorization and (on the sparse backend) the canonical pivot
+    /// order — solver pools must retire the instance.
+    Topology,
+}
+
+/// Cumulative numeric-refactorization accounting for one [`MnaState`]
+/// (sparse backend; the dense backend always refreshes in full and
+/// reports zeros). The partial/full split — and especially
+/// `rows_eliminated` vs `rows_total` — is the measured effect of
+/// KLU-style partial refactorization: rows outside the dirty reachable
+/// set keep their frozen `L`/`U` values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefactorStats {
+    /// Full numeric refactorizations (every row re-eliminated).
+    pub full: u64,
+    /// Partial refactorizations (dirty reachable set only).
+    pub partial: u64,
+    /// Factor rows actually re-eliminated, summed over all refreshes.
+    pub rows_eliminated: u64,
+    /// Factor rows a full-only scheme would have re-eliminated.
+    pub rows_total: u64,
+}
+
+impl RefactorStats {
+    /// Fraction of rows re-eliminated vs the full-refactor baseline
+    /// (1.0 when partial refactorization never engaged).
+    pub fn elimination_ratio(&self) -> f64 {
+        if self.rows_total == 0 {
+            1.0
+        } else {
+            self.rows_eliminated as f64 / self.rows_total as f64
+        }
+    }
+}
+
 /// Maps a node to its row/column in the MNA system (`None` for ground).
 fn node_index(node: NodeId) -> Option<usize> {
     if node.is_ground() {
@@ -241,6 +293,122 @@ impl RhsTemplate {
             }
         }
     }
+
+    /// Swaps in re-walked RHS content of the same analysis kind (the
+    /// value-only retarget path) and re-materializes the base vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` changes the analysis kind or time step the
+    /// template's matrix values bake in.
+    fn repoint(&mut self, stat: Vec<f64>, dynamic: Vec<DynamicRhs>, ctx: &StampContext<'_>) {
+        assert_eq!(
+            self.step_dt,
+            ctx.step.map(|(dt, _)| dt),
+            "value-only retarget must keep the analysis kind and time step"
+        );
+        self.stat = stat;
+        self.dynamic = dynamic;
+        self.rebuild(ctx);
+    }
+}
+
+/// One event of the deterministic netlist→stamps walk shared by the
+/// dense and sparse assembly templates — both template construction
+/// (`new`) **and** the value-only retarget path (`retarget_values`)
+/// consume the identical event stream, which is what makes a patched
+/// template bitwise equal to a freshly built one: same stamps, same
+/// order, same summation sequence.
+enum StampEvent {
+    /// Matrix stamp at `(row(a), col(b))` — dropped when either side is
+    /// ground. MOSFETs emit six zero-valued events to reserve their
+    /// restamp slots (a no-op for the dense matrix, pattern slots for
+    /// the CSR builder).
+    Mat { a: Option<usize>, b: Option<usize>, v: f64 },
+    /// Context-independent RHS contribution (current sources).
+    StatRhs { node: Option<usize>, v: f64 },
+    /// Context-dependent RHS stamp (see [`DynamicRhs`]).
+    Dynamic(DynamicRhs),
+    /// One nonlinear device's pre-resolved restamp data.
+    Mos(MosStamp),
+}
+
+/// Walks `netlist` in device order, emitting every constant stamp for
+/// the analysis `ctx` describes. The event sequence is a pure function
+/// of the netlist and the analysis kind (`ctx.step` presence and `dt`);
+/// two netlists with equal [`Netlist::topology_fingerprint`] produce
+/// event streams of identical shape (same variants, same node indices,
+/// same emission order), differing only in values.
+fn walk_stamps(netlist: &Netlist, ctx: &StampContext<'_>, sink: &mut impl FnMut(StampEvent)) {
+    let n_nodes = netlist.node_count() - 1;
+    for device in netlist.devices() {
+        match device {
+            Device::Resistor { a: na, b: nb, ohms, .. } => {
+                let g = 1.0 / ohms;
+                let (ia, ib) = (node_index(*na), node_index(*nb));
+                sink(StampEvent::Mat { a: ia, b: ia, v: g });
+                sink(StampEvent::Mat { a: ib, b: ib, v: g });
+                sink(StampEvent::Mat { a: ia, b: ib, v: -g });
+                sink(StampEvent::Mat { a: ib, b: ia, v: -g });
+            }
+            Device::Capacitor { a: na, b: nb, farads, .. } => {
+                if let Some((dt, _)) = ctx.step {
+                    // Backward-Euler companion: geq ∥ ieq. The
+                    // conductance goes into the matrix; the companion
+                    // current is context-dependent (previous step) and
+                    // recorded as a dynamic RHS stamp.
+                    let geq = farads / dt;
+                    let (ia, ib) = (node_index(*na), node_index(*nb));
+                    sink(StampEvent::Mat { a: ia, b: ia, v: geq });
+                    sink(StampEvent::Mat { a: ib, b: ib, v: geq });
+                    sink(StampEvent::Mat { a: ia, b: ib, v: -geq });
+                    sink(StampEvent::Mat { a: ib, b: ia, v: -geq });
+                    sink(StampEvent::Dynamic(DynamicRhs::Cap { ia, ib, geq }));
+                }
+                // DC: capacitor is open — no stamp.
+            }
+            Device::Vsource { plus, minus, waveform, branch, .. } => {
+                let k = Some(n_nodes + branch);
+                let (ip, im) = (node_index(*plus), node_index(*minus));
+                // Branch current enters the plus node.
+                sink(StampEvent::Mat { a: ip, b: k, v: 1.0 });
+                sink(StampEvent::Mat { a: im, b: k, v: -1.0 });
+                sink(StampEvent::Mat { a: k, b: ip, v: 1.0 });
+                sink(StampEvent::Mat { a: k, b: im, v: -1.0 });
+                sink(StampEvent::Dynamic(DynamicRhs::Vsrc {
+                    row: n_nodes + branch,
+                    waveform: waveform.clone(),
+                }));
+            }
+            Device::Isource { from, to, amps, .. } => {
+                sink(StampEvent::StatRhs { node: node_index(*to), v: *amps });
+                sink(StampEvent::StatRhs { node: node_index(*from), v: -*amps });
+            }
+            Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
+                let p = match model.polarity {
+                    crate::model::MosPolarity::Nmos => 1.0,
+                    crate::model::MosPolarity::Pmos => -1.0,
+                };
+                let (d, g, s) = (node_index(*drain), node_index(*gate), node_index(*source));
+                // Reserve the six conductance slots (explicit zeros) —
+                // restamped every iteration.
+                sink(StampEvent::Mat { a: d, b: g, v: 0.0 });
+                sink(StampEvent::Mat { a: d, b: d, v: 0.0 });
+                sink(StampEvent::Mat { a: d, b: s, v: 0.0 });
+                sink(StampEvent::Mat { a: s, b: g, v: 0.0 });
+                sink(StampEvent::Mat { a: s, b: d, v: 0.0 });
+                sink(StampEvent::Mat { a: s, b: s, v: 0.0 });
+                sink(StampEvent::Mos(MosStamp {
+                    drain: d,
+                    gate: g,
+                    source: s,
+                    model: *model,
+                    ratio: w_um / l_um,
+                    p,
+                }));
+            }
+        }
+    }
 }
 
 /// Cached MNA assembly for one `(netlist, context)` pair.
@@ -258,6 +426,9 @@ pub struct AssemblyTemplate {
     rhs: RhsTemplate,
     mosfets: Vec<MosStamp>,
     n_nodes: usize,
+    /// Topology fingerprint of the netlist this template was walked
+    /// from — the key guarding the value-only retarget fast path.
+    fingerprint: u64,
 }
 
 impl AssemblyTemplate {
@@ -274,63 +445,65 @@ impl AssemblyTemplate {
         let mut dynamic_rhs = Vec::new();
         let mut mosfets = Vec::new();
 
-        for device in netlist.devices() {
-            match device {
-                Device::Resistor { a: na, b: nb, ohms, .. } => {
-                    let g = 1.0 / ohms;
-                    let (ia, ib) = (node_index(*na), node_index(*nb));
-                    stamp(&mut a, ia, ia, g);
-                    stamp(&mut a, ib, ib, g);
-                    stamp(&mut a, ia, ib, -g);
-                    stamp(&mut a, ib, ia, -g);
-                }
-                Device::Capacitor { a: na, b: nb, farads, .. } => {
-                    if let Some((dt, _)) = ctx.step {
-                        // Backward-Euler companion: geq ∥ ieq. The
-                        // conductance goes into the matrix; the companion
-                        // current is context-dependent (previous step) and
-                        // recorded as a dynamic RHS stamp.
-                        let geq = farads / dt;
-                        let (ia, ib) = (node_index(*na), node_index(*nb));
-                        stamp(&mut a, ia, ia, geq);
-                        stamp(&mut a, ib, ib, geq);
-                        stamp(&mut a, ia, ib, -geq);
-                        stamp(&mut a, ib, ia, -geq);
-                        dynamic_rhs.push(DynamicRhs::Cap { ia, ib, geq });
-                    }
-                    // DC: capacitor is open — no stamp.
-                }
-                Device::Vsource { plus, minus, waveform, branch, .. } => {
-                    let k = n_nodes + branch;
-                    let (ip, im) = (node_index(*plus), node_index(*minus));
-                    // Branch current enters the plus node.
-                    stamp(&mut a, ip, Some(k), 1.0);
-                    stamp(&mut a, im, Some(k), -1.0);
-                    stamp(&mut a, Some(k), ip, 1.0);
-                    stamp(&mut a, Some(k), im, -1.0);
-                    dynamic_rhs.push(DynamicRhs::Vsrc { row: k, waveform: waveform.clone() });
-                }
-                Device::Isource { from, to, amps, .. } => {
-                    stamp_rhs(&mut rhs_static, node_index(*to), *amps);
-                    stamp_rhs(&mut rhs_static, node_index(*from), -*amps);
-                }
-                Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
-                    let p = match model.polarity {
-                        crate::model::MosPolarity::Nmos => 1.0,
-                        crate::model::MosPolarity::Pmos => -1.0,
-                    };
-                    mosfets.push(MosStamp {
-                        drain: node_index(*drain),
-                        gate: node_index(*gate),
-                        source: node_index(*source),
-                        model: *model,
-                        ratio: w_um / l_um,
-                        p,
-                    });
-                }
+        walk_stamps(netlist, ctx, &mut |event| match event {
+            StampEvent::Mat { a: ia, b: ib, v } => stamp(&mut a, ia, ib, v),
+            StampEvent::StatRhs { node, v } => stamp_rhs(&mut rhs_static, node, v),
+            StampEvent::Dynamic(d) => dynamic_rhs.push(d),
+            StampEvent::Mos(m) => mosfets.push(m),
+        });
+        Self {
+            base: a,
+            rhs: RhsTemplate::new(rhs_static, dynamic_rhs, ctx),
+            mosfets,
+            n_nodes,
+            fingerprint: netlist.topology_fingerprint(),
+        }
+    }
+
+    /// Value-only retarget: if `netlist` has the same topology as the
+    /// one this template was built from (checked via
+    /// [`Netlist::topology_fingerprint`]), rewrites every
+    /// device-parameter-dependent stamp value in place — no matrix
+    /// allocation, no template rebuild — and returns `true`. The result
+    /// is bitwise identical to a freshly built template: both paths
+    /// consume the same stamp-walk event stream in the same order.
+    /// Returns `false` (template untouched) on a topology mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` changes the analysis kind or time step.
+    pub fn retarget_values(&mut self, netlist: &Netlist, ctx: &StampContext<'_>) -> bool {
+        assert_eq!(
+            self.rhs.step_dt,
+            ctx.step.map(|(dt, _)| dt),
+            "value-only retarget must keep the analysis kind and time step"
+        );
+        if netlist.topology_fingerprint() != self.fingerprint {
+            return false;
+        }
+        let n = self.base.rows();
+        for i in 0..n {
+            for v in self.base.row_mut(i) {
+                *v = 0.0;
             }
         }
-        Self { base: a, rhs: RhsTemplate::new(rhs_static, dynamic_rhs, ctx), mosfets, n_nodes }
+        let mut rhs_static = vec![0.0; n];
+        let mut dynamic_rhs = Vec::with_capacity(self.rhs.dynamic.len());
+        let mut mos_i = 0;
+        let base = &mut self.base;
+        let mosfets = &mut self.mosfets;
+        walk_stamps(netlist, ctx, &mut |event| match event {
+            StampEvent::Mat { a: ia, b: ib, v } => stamp(base, ia, ib, v),
+            StampEvent::StatRhs { node, v } => stamp_rhs(&mut rhs_static, node, v),
+            StampEvent::Dynamic(d) => dynamic_rhs.push(d),
+            StampEvent::Mos(m) => {
+                mosfets[mos_i] = m;
+                mos_i += 1;
+            }
+        });
+        debug_assert_eq!(mos_i, self.mosfets.len(), "fingerprint-equal walk changed shape");
+        self.rhs.repoint(rhs_static, dynamic_rhs, ctx);
+        true
     }
 
     /// Re-points the template at a new context **of the same kind**: same
@@ -442,7 +615,20 @@ pub struct SparseAssemblyTemplate {
     mosfets: Vec<SparseMosStamp>,
     /// Value index of each node's diagonal (the `gmin` slots).
     gmin_idx: Vec<usize>,
+    /// Push-order → value-index map over the stamp walk (gmin slots
+    /// appended last): the `k`-th emitted non-ground matrix stamp lands
+    /// at `base.values()[slot_of[k]]` — the value-only retarget writes
+    /// through this instead of re-sorting a triplet builder.
+    slot_of: Vec<usize>,
+    /// Sorted, deduplicated value indices of everything that varies
+    /// between assemblies of one template: the MOSFET restamp slots and
+    /// the `gmin` diagonal — the dirty-input set for KLU-style partial
+    /// refactorization.
+    dirty_idx: Vec<usize>,
     n_nodes: usize,
+    /// Topology fingerprint of the netlist this template was walked
+    /// from — the key guarding the value-only retarget fast path.
+    fingerprint: u64,
 }
 
 impl SparseAssemblyTemplate {
@@ -458,79 +644,28 @@ impl SparseAssemblyTemplate {
         let mut dynamic_rhs = Vec::new();
         let mut mos_stamps: Vec<MosStamp> = Vec::new();
 
-        {
-            let mut tstamp = |a: Option<usize>, b: Option<usize>, v: f64| {
+        walk_stamps(netlist, ctx, &mut |event| match event {
+            StampEvent::Mat { a, b, v } => {
                 if let (Some(i), Some(j)) = (a, b) {
                     t.push(i, j, v);
                 }
-            };
-            for device in netlist.devices() {
-                match device {
-                    Device::Resistor { a: na, b: nb, ohms, .. } => {
-                        let g = 1.0 / ohms;
-                        let (ia, ib) = (node_index(*na), node_index(*nb));
-                        tstamp(ia, ia, g);
-                        tstamp(ib, ib, g);
-                        tstamp(ia, ib, -g);
-                        tstamp(ib, ia, -g);
-                    }
-                    Device::Capacitor { a: na, b: nb, farads, .. } => {
-                        if let Some((dt, _)) = ctx.step {
-                            let geq = farads / dt;
-                            let (ia, ib) = (node_index(*na), node_index(*nb));
-                            tstamp(ia, ia, geq);
-                            tstamp(ib, ib, geq);
-                            tstamp(ia, ib, -geq);
-                            tstamp(ib, ia, -geq);
-                            dynamic_rhs.push(DynamicRhs::Cap { ia, ib, geq });
-                        }
-                    }
-                    Device::Vsource { plus, minus, waveform, branch, .. } => {
-                        let k = n_nodes + branch;
-                        let (ip, im) = (node_index(*plus), node_index(*minus));
-                        tstamp(ip, Some(k), 1.0);
-                        tstamp(im, Some(k), -1.0);
-                        tstamp(Some(k), ip, 1.0);
-                        tstamp(Some(k), im, -1.0);
-                        dynamic_rhs.push(DynamicRhs::Vsrc { row: k, waveform: waveform.clone() });
-                    }
-                    Device::Isource { from, to, amps, .. } => {
-                        stamp_rhs(&mut rhs_static, node_index(*to), *amps);
-                        stamp_rhs(&mut rhs_static, node_index(*from), -*amps);
-                    }
-                    Device::Mosfet { drain, gate, source, model, w_um, l_um, .. } => {
-                        let p = match model.polarity {
-                            crate::model::MosPolarity::Nmos => 1.0,
-                            crate::model::MosPolarity::Pmos => -1.0,
-                        };
-                        let (d, g, s) =
-                            (node_index(*drain), node_index(*gate), node_index(*source));
-                        // Reserve the six conductance slots (explicit
-                        // zeros) — restamped every iteration.
-                        tstamp(d, g, 0.0);
-                        tstamp(d, d, 0.0);
-                        tstamp(d, s, 0.0);
-                        tstamp(s, g, 0.0);
-                        tstamp(s, d, 0.0);
-                        tstamp(s, s, 0.0);
-                        mos_stamps.push(MosStamp {
-                            drain: d,
-                            gate: g,
-                            source: s,
-                            model: *model,
-                            ratio: w_um / l_um,
-                            p,
-                        });
-                    }
-                }
             }
-            // The gmin diagonal slots for every node.
-            for i in 0..n_nodes {
-                tstamp(Some(i), Some(i), 0.0);
-            }
+            StampEvent::StatRhs { node, v } => stamp_rhs(&mut rhs_static, node, v),
+            StampEvent::Dynamic(d) => dynamic_rhs.push(d),
+            StampEvent::Mos(m) => mos_stamps.push(m),
+        });
+        // The gmin diagonal slots for every node.
+        for i in 0..n_nodes {
+            t.push(i, i, 0.0);
         }
 
         let base = t.to_csr();
+        // Push-order → value-index map (the retarget scatter).
+        let slot_of: Vec<usize> = t
+            .entries()
+            .iter()
+            .map(|&(i, j, _)| base.value_index(i, j).expect("pushed entry is in the pattern"))
+            .collect();
         let pos = |a: Option<usize>, b: Option<usize>| -> Option<usize> {
             match (a, b) {
                 (Some(i), Some(j)) => {
@@ -539,7 +674,7 @@ impl SparseAssemblyTemplate {
                 _ => None,
             }
         };
-        let mosfets = mos_stamps
+        let mosfets: Vec<SparseMosStamp> = mos_stamps
             .into_iter()
             .map(|stamp| SparseMosStamp {
                 stamp,
@@ -551,11 +686,96 @@ impl SparseAssemblyTemplate {
                 pss: pos(stamp.source, stamp.source),
             })
             .collect();
-        let gmin_idx = (0..n_nodes)
+        let gmin_idx: Vec<usize> = (0..n_nodes)
             .map(|i| base.value_index(i, i).expect("node diagonal in pattern"))
             .collect();
+        let mut dirty_idx: Vec<usize> = gmin_idx.clone();
+        for m in &mosfets {
+            dirty_idx.extend([m.pdg, m.pdd, m.pds, m.psg, m.psd, m.pss].into_iter().flatten());
+        }
+        dirty_idx.sort_unstable();
+        dirty_idx.dedup();
         let rhs = RhsTemplate::new(rhs_static, dynamic_rhs, ctx);
-        Self { base, rhs, mosfets, gmin_idx, n_nodes }
+        Self {
+            base,
+            rhs,
+            mosfets,
+            gmin_idx,
+            slot_of,
+            dirty_idx,
+            n_nodes,
+            fingerprint: netlist.topology_fingerprint(),
+        }
+    }
+
+    /// Value-only retarget — the sparse analogue of
+    /// [`AssemblyTemplate::retarget_values`]: on a fingerprint match,
+    /// rewrites the CSR value array through the precomputed push-order →
+    /// nonzero map (no triplet builder, no sort, no `value_index`
+    /// searches) and refreshes the MOSFET restamp parameters, leaving
+    /// the pattern — and therefore any frozen symbolic factorization
+    /// built on it — untouched. Bitwise identical to a fresh
+    /// [`SparseAssemblyTemplate::new`]: both paths accumulate the same
+    /// stamp stream in push order, exactly as [`Triplets::to_csr`]
+    /// merges duplicates. Returns `false` on a topology mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` changes the analysis kind or time step.
+    pub fn retarget_values(&mut self, netlist: &Netlist, ctx: &StampContext<'_>) -> bool {
+        assert_eq!(
+            self.rhs.step_dt,
+            ctx.step.map(|(dt, _)| dt),
+            "value-only retarget must keep the analysis kind and time step"
+        );
+        if netlist.topology_fingerprint() != self.fingerprint {
+            return false;
+        }
+        let n = self.base.rows();
+        for v in self.base.values_mut() {
+            *v = 0.0;
+        }
+        let mut rhs_static = vec![0.0; n];
+        let mut dynamic_rhs = Vec::with_capacity(self.rhs.dynamic.len());
+        let mut slot = 0usize;
+        let mut mos_i = 0usize;
+        let values = self.base.values_mut();
+        // Pre-borrow the pieces the closure needs (splitting the
+        // template's fields keeps the borrows disjoint).
+        let slot_of = &self.slot_of;
+        let mosfets = &mut self.mosfets;
+        walk_stamps(netlist, ctx, &mut |event| match event {
+            StampEvent::Mat { a, b, v } => {
+                if a.is_some() && b.is_some() {
+                    values[slot_of[slot]] += v;
+                    slot += 1;
+                }
+            }
+            StampEvent::StatRhs { node, v } => stamp_rhs(&mut rhs_static, node, v),
+            StampEvent::Dynamic(d) => dynamic_rhs.push(d),
+            StampEvent::Mos(m) => {
+                mosfets[mos_i].stamp = m;
+                mos_i += 1;
+            }
+        });
+        debug_assert_eq!(
+            slot + self.n_nodes,
+            self.slot_of.len(),
+            "fingerprint-equal walk changed shape"
+        );
+        debug_assert_eq!(mos_i, self.mosfets.len(), "fingerprint-equal walk changed shape");
+        self.rhs.repoint(rhs_static, dynamic_rhs, ctx);
+        true
+    }
+
+    /// Value indices of the stamps that vary between assemblies of this
+    /// template (MOSFET restamps and the `gmin` diagonal) — the
+    /// dirty-input set handed to
+    /// [`glova_linalg::sparse::SparseLu::plan_partial`]. Exposed so
+    /// benches and advanced callers can build partial-refactorization
+    /// plans against factorizations of this template's systems.
+    pub fn dirty_value_indices(&self) -> &[usize] {
+        &self.dirty_idx
     }
 
     /// Re-points the template at a new context of the same kind — the
@@ -720,6 +940,10 @@ impl MnaTemplate {
                 },
             },
             repivots: 0,
+            template_epoch: 0,
+            factor_epoch: None,
+            partial_plan: None,
+            refactor_stats: RefactorStats::default(),
         }
     }
 
@@ -746,7 +970,26 @@ pub struct MnaState {
     /// Times the sparse path abandoned its frozen pivot order for a
     /// fresh Markowitz analysis (see [`MnaState::repivots`]).
     repivots: u64,
+    /// Bumped whenever the template's matrix *values* are replaced
+    /// wholesale (retarget / value-only retarget) — constant stamps can
+    /// then no longer be assumed equal to the last factored input.
+    template_epoch: u64,
+    /// Template epoch the current factorization's values were computed
+    /// under (`None` before the first successful refresh, or after a
+    /// failed one). When it matches `template_epoch`, consecutive
+    /// assemblies differ only at the template's dirty value set and the
+    /// refresh can run a partial refactorization.
+    factor_epoch: Option<u64>,
+    /// Cached partial-refactorization schedule for the current sparse
+    /// symbolic analysis; dropped whenever the factorization re-pivots.
+    partial_plan: Option<SparsePartialPlan>,
+    /// Cumulative full/partial refresh accounting.
+    refactor_stats: RefactorStats,
 }
+
+/// Alias kept local so the `glova_linalg` type stays an implementation
+/// detail of the state.
+type SparsePartialPlan = glova_linalg::sparse::PartialPlan;
 
 // One `MnaState` exists per solver (never collections of them), so the
 // dense/sparse variant size imbalance costs nothing — boxing would only
@@ -822,51 +1065,101 @@ impl MnaState {
     }
 
     /// Factors (first use) or numerically re-factors the assembled
-    /// system. The sparse path reuses the frozen pivot order/pattern; if
+    /// system. The sparse path reuses the frozen pivot order/pattern;
+    /// when the template's epoch confirms that only the dirty value set
+    /// (MOSFET restamps + the `gmin` diagonal) changed since the last
+    /// successful refresh, the numeric pass is further restricted to the
+    /// factor rows reachable from those inputs (KLU-style partial
+    /// refactorization — bitwise identical to the full pass). If
     /// drifting values break a frozen pivot it transparently re-pivots
     /// (fresh Markowitz analysis, counted in [`Self::repivots`]) before
     /// giving up.
     fn refresh_factor(&mut self) -> Result<(), SpiceError> {
-        let repivoted = match &mut self.inner {
+        let epoch = self.template_epoch;
+        let partial_ok = self.factor_epoch == Some(epoch);
+        // Invalidate until the refresh succeeds: an error leaves the
+        // factor values unspecified, so the next attempt must run full.
+        self.factor_epoch = None;
+        let mut repivoted = false;
+        match &mut self.inner {
             StateInner::Dense { a, lu, .. } => match lu {
-                Some(f) => {
-                    f.refactor(a).map_err(SpiceError::from)?;
-                    false
-                }
-                None => {
-                    *lu = Some(a.lu().map_err(SpiceError::from)?);
-                    false
-                }
+                Some(f) => f.refactor(a).map_err(SpiceError::from)?,
+                None => *lu = Some(a.lu().map_err(SpiceError::from)?),
             },
-            StateInner::Sparse { a, lu, .. } => match lu {
-                Some(f) => match f.refactor(a) {
-                    Ok(()) => false,
-                    Err(LinalgError::Singular { .. }) => {
-                        *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
-                        true
+            StateInner::Sparse { a, lu, template, .. } => {
+                // Rows the *successful* partial pass re-eliminated;
+                // `None` means full-refactor work produced the factor
+                // (plain refactor, fallback, fresh analysis or first
+                // use). Stats are recorded only after the refresh
+                // succeeds, classified by the path that actually ran.
+                let mut partial_rows: Option<usize> = None;
+                let refreshed = match lu.as_mut() {
+                    Some(f) if partial_ok => {
+                        let plan = self
+                            .partial_plan
+                            .get_or_insert_with(|| f.plan_partial(template.dirty_value_indices()));
+                        match f.refactor_partial(a, plan) {
+                            Ok(()) => {
+                                partial_rows = Some(plan.rows_eliminated());
+                                Ok(())
+                            }
+                            // A plan/symbolic mismatch cannot normally
+                            // happen (the plan is dropped on re-pivot);
+                            // fall back to the full pass defensively
+                            // rather than failing the solve.
+                            Err(LinalgError::DimensionMismatch { .. }) => f.refactor(a),
+                            other => other,
+                        }
                     }
-                    Err(e) => return Err(SpiceError::from(e)),
-                },
-                None => {
-                    *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
-                    false
+                    Some(f) => f.refactor(a),
+                    None => Err(LinalgError::Singular { index: 0 }),
+                };
+                match (refreshed, lu.is_some()) {
+                    (Ok(()), _) => {}
+                    // A collapsed frozen pivot (or a first-use factor):
+                    // fresh Markowitz analysis, schedule invalidated.
+                    (Err(LinalgError::Singular { .. }), had_factor) => {
+                        *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
+                        self.partial_plan = None;
+                        repivoted = had_factor;
+                    }
+                    (Err(e), _) => return Err(SpiceError::from(e)),
                 }
-            },
-        };
+                let n = template.dim() as u64;
+                match partial_rows {
+                    Some(rows) => {
+                        self.refactor_stats.partial += 1;
+                        self.refactor_stats.rows_eliminated += rows as u64;
+                        self.refactor_stats.rows_total += n;
+                    }
+                    None => {
+                        self.refactor_stats.full += 1;
+                        self.refactor_stats.rows_eliminated += n;
+                        self.refactor_stats.rows_total += n;
+                    }
+                }
+            }
+        }
         if repivoted {
             self.repivots += 1;
         }
+        self.factor_epoch = Some(epoch);
         Ok(())
     }
 
-    /// Times this state abandoned its symbolic factorization: a frozen
-    /// sparse pivot collapsed numerically and a fresh Markowitz analysis
-    /// replaced it, or a [`retarget`](Self::retarget) to a different
-    /// topology rebuilt the state wholesale. Solver pools watch this
-    /// counter: a state that re-pivoted no longer carries the
-    /// *canonical* pivot order its siblings share, so the pool retires
-    /// it (replacing it with a fresh prototype clone) to keep results
-    /// independent of which worker solved which point.
+    /// Cumulative numeric-refresh accounting (see [`RefactorStats`]).
+    pub fn refactor_stats(&self) -> RefactorStats {
+        self.refactor_stats
+    }
+
+    /// Times a frozen sparse pivot collapsed numerically and a fresh
+    /// Markowitz analysis replaced it. A state that re-pivoted no longer
+    /// carries the *canonical* pivot order its pool siblings share, so
+    /// pools retire it (replacing it with a fresh prototype clone) to
+    /// keep results independent of which worker solved which point.
+    /// Topology changes are **not** counted here — they are reported
+    /// explicitly as [`RetargetOutcome::Topology`] by
+    /// [`retarget`](Self::retarget).
     pub fn repivots(&self) -> u64 {
         self.repivots
     }
@@ -898,10 +1191,16 @@ impl MnaState {
     /// topology** (same backend, dimension and sparsity pattern), keeping
     /// the factorization storage so the next refresh stays numeric-only —
     /// the sweep primitive behind corner/mismatch campaigns, where every
-    /// point is the same circuit graph with different device values. A
-    /// template of a different shape or pattern replaces the state
-    /// wholesale (working storage rebuilt, factorization dropped).
-    pub fn retarget(&mut self, template: MnaTemplate) {
+    /// point is the same circuit graph with different device values
+    /// (returns [`RetargetOutcome::Pattern`]). A template of a different
+    /// shape or pattern replaces the state wholesale (working storage
+    /// rebuilt, factorization dropped — [`RetargetOutcome::Topology`],
+    /// the signal on which solver pools retire the instance).
+    ///
+    /// Callers that still hold the netlist should prefer
+    /// [`retarget_values`](Self::retarget_values), which skips the
+    /// template build entirely when the topology is unchanged.
+    pub fn retarget(&mut self, template: MnaTemplate) -> RetargetOutcome {
         match (&mut self.inner, template) {
             (StateInner::Dense { template: slot, a, .. }, MnaTemplate::Dense(t))
                 if t.dim() == a.rows() =>
@@ -910,6 +1209,8 @@ impl MnaState {
                 // full, so keeping the stale `lu` slot is purely an
                 // allocation reuse.
                 *slot = t;
+                self.template_epoch += 1;
+                RetargetOutcome::Pattern
             }
             (StateInner::Sparse { template: slot, .. }, MnaTemplate::Sparse(t))
                 if t.base.same_pattern(&slot.base) =>
@@ -918,18 +1219,45 @@ impl MnaState {
                 // symbolic factorization both remain valid; assembly
                 // overwrites every value.
                 *slot = t;
+                self.template_epoch += 1;
+                RetargetOutcome::Pattern
             }
             (_, template) => {
                 // Wholesale replacement abandons whatever factorization
                 // (and, on sparse, canonical pivot order) the state
-                // carried — count it like a re-pivot so solver pools
-                // retire this instance instead of returning it to the
-                // free list with non-canonical symbolic state.
-                let repivots = self.repivots + 1;
+                // carried — reported explicitly so solver pools retire
+                // this instance instead of returning it to the free
+                // list with non-canonical symbolic state. The numeric
+                // re-pivot counter is preserved: it tracks collapsed
+                // frozen pivots, not topology changes.
+                let repivots = self.repivots;
                 *self = template.into_state();
                 self.repivots = repivots;
+                RetargetOutcome::Topology
             }
         }
+    }
+
+    /// Value-only retarget: rewrites the template's stamp values in
+    /// place from `netlist` when its topology fingerprint matches —
+    /// no template rebuild, no allocation, factorization kept. Returns
+    /// `false` (state untouched) on a mismatch; the caller then falls
+    /// back to [`retarget`](Self::retarget) with a freshly built
+    /// template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` changes the analysis kind or time step the
+    /// template was built for.
+    pub fn retarget_values(&mut self, netlist: &Netlist, ctx: &StampContext<'_>) -> bool {
+        let patched = match &mut self.inner {
+            StateInner::Dense { template, .. } => template.retarget_values(netlist, ctx),
+            StateInner::Sparse { template, .. } => template.retarget_values(netlist, ctx),
+        };
+        if patched {
+            self.template_epoch += 1;
+        }
+        patched
     }
 
     /// Re-points the underlying template at a new context of the same

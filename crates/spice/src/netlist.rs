@@ -224,6 +224,64 @@ impl Netlist {
     pub fn unknown_count(&self) -> usize {
         (self.node_count() - 1) + self.vsource_count
     }
+
+    /// A 64-bit fingerprint of the netlist **topology**: node and
+    /// voltage-source counts plus, per device in insertion order, the
+    /// device kind and its node/branch connectivity. Device *values*
+    /// (resistances, source levels, waveform parameters, MOSFET model
+    /// cards and geometry) and names are deliberately excluded — two
+    /// netlists with equal fingerprints assemble MNA systems with
+    /// identical sparsity patterns and stamp ordering, which is the
+    /// precondition for the value-only retarget fast path
+    /// (`glova_spice::mna` assembly templates key on this).
+    pub fn topology_fingerprint(&self) -> u64 {
+        // FNV-1a over the structural words; collisions are negligible at
+        // 64 bits and the consumers additionally check dimensions.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |w: u64| {
+            for byte in w.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.node_count() as u64);
+        mix(self.vsource_count as u64);
+        mix(self.devices.len() as u64);
+        for device in &self.devices {
+            match device {
+                Device::Resistor { a, b, .. } => {
+                    mix(1);
+                    mix(a.0 as u64);
+                    mix(b.0 as u64);
+                }
+                Device::Capacitor { a, b, .. } => {
+                    mix(2);
+                    mix(a.0 as u64);
+                    mix(b.0 as u64);
+                }
+                Device::Vsource { plus, minus, branch, .. } => {
+                    mix(3);
+                    mix(plus.0 as u64);
+                    mix(minus.0 as u64);
+                    mix(*branch as u64);
+                }
+                Device::Isource { from, to, .. } => {
+                    mix(4);
+                    mix(from.0 as u64);
+                    mix(to.0 as u64);
+                }
+                Device::Mosfet { drain, gate, source, .. } => {
+                    mix(5);
+                    mix(drain.0 as u64);
+                    mix(gate.0 as u64);
+                    mix(source.0 as u64);
+                }
+            }
+        }
+        h
+    }
 }
 
 /// A CMOS inverter chain biased at mid-rail: `stages` nonlinear stages,
@@ -270,6 +328,143 @@ pub fn inverter_chain_with_load(stages: usize, load_ohms: Option<f64>) -> Netlis
         }
         prev = out;
     }
+    nl
+}
+
+/// Element values for the [`ota_two_stage`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OtaParams {
+    /// Input-pair (M1/M2, NMOS) width, µm.
+    pub w_in_um: f64,
+    /// Mirror-load (M3/M4, PMOS) width, µm.
+    pub w_mir_um: f64,
+    /// Second-stage (M6, PMOS) width, µm.
+    pub w_out_um: f64,
+    /// Shared channel length, µm.
+    pub l_um: f64,
+    /// Tail bias current, µA.
+    pub itail_ua: f64,
+    /// Second-stage load resistance, kΩ.
+    pub rl_kohm: f64,
+    /// Miller compensation capacitance, fF.
+    pub cc_ff: f64,
+    /// Output load capacitance, fF.
+    pub cl_ff: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Input common-mode voltage, V.
+    pub vcm: f64,
+}
+
+impl OtaParams {
+    /// A mid-range sizing that biases every device in saturation at the
+    /// nominal 28 nm cards: ~62 dB DC gain from `vinp` to `out`.
+    pub fn nominal() -> Self {
+        Self {
+            w_in_um: 2.0,
+            w_mir_um: 1.5,
+            w_out_um: 6.0,
+            l_um: 0.1,
+            itail_ua: 20.0,
+            rl_kohm: 11.0,
+            cc_ff: 200.0,
+            cl_ff: 500.0,
+            vdd: 0.9,
+            vcm: 0.55,
+        }
+    }
+}
+
+/// Per-device model cards for [`ota_two_stage_with_cards`] — the hook
+/// through which corner- and mismatch-specialized cards enter without the
+/// generator knowing about the variation layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OtaCards {
+    /// Input pair, inverting side (M1, NMOS).
+    pub m1: MosModel,
+    /// Input pair, non-inverting side (M2, NMOS).
+    pub m2: MosModel,
+    /// Mirror diode (M3, PMOS).
+    pub m3: MosModel,
+    /// Mirror output (M4, PMOS).
+    pub m4: MosModel,
+    /// Second stage (M6, PMOS).
+    pub m6: MosModel,
+}
+
+impl OtaCards {
+    /// The nominal 28 nm cards (TT, 27 °C, no mismatch).
+    pub fn nominal() -> Self {
+        Self {
+            m1: MosModel::nmos_28nm(),
+            m2: MosModel::nmos_28nm(),
+            m3: MosModel::pmos_28nm(),
+            m4: MosModel::pmos_28nm(),
+            m6: MosModel::pmos_28nm(),
+        }
+    }
+}
+
+/// A two-stage Miller OTA: NMOS input pair (`M1`/`M2`) under a PMOS
+/// current-mirror load (`M3` diode / `M4`), current-source tail, and a
+/// PMOS common-source second stage (`M6`) with a resistive load plus
+/// Miller (`CC`) and output (`CL`) capacitors.
+///
+/// The first multi-stage amplifier testcase exercising the full solver
+/// stack: the DC operating point carries five nonlinear devices across
+/// two gain stages, and the AC small-signal system sees both the Miller
+/// pole split and the resistive output pole. Nodes: `vdd`, `vinp`
+/// (non-inverting input — the AC excitation source is `VINP`), `vinn`,
+/// `tail`, `mir` (mirror gate), `o1` (first-stage output), `out`. The
+/// second-stage load resistor pins the output operating point, so the DC
+/// solve stays robust across corner/mismatch perturbations (a pure
+/// current-source load would slam the output to a rail under a few
+/// percent of systematic current imbalance at these `λ`).
+///
+/// The topology — and therefore the MNA pattern and the value-only
+/// retarget fast path — is independent of every [`OtaParams`] /
+/// [`OtaCards`] value.
+///
+/// # Panics
+///
+/// Panics if any width, length, resistance or capacitance is
+/// non-positive.
+pub fn ota_two_stage(p: &OtaParams) -> Netlist {
+    ota_two_stage_with_cards(p, &OtaCards::nominal())
+}
+
+/// [`ota_two_stage`] with explicit per-device model cards (corner- and
+/// mismatch-specialized by the caller).
+///
+/// # Panics
+///
+/// See [`ota_two_stage`].
+pub fn ota_two_stage_with_cards(p: &OtaParams, cards: &OtaCards) -> Netlist {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vinp = nl.node("vinp");
+    let vinn = nl.node("vinn");
+    let tail = nl.node("tail");
+    let mir = nl.node("mir");
+    let o1 = nl.node("o1");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, GROUND, p.vdd);
+    nl.vsource("VINP", vinp, GROUND, p.vcm);
+    nl.vsource("VINN", vinn, GROUND, p.vcm);
+    // First stage: diff pair into the mirror; the non-inverting input
+    // (vinp) drives M1 on the diode side so the signal to `out` goes
+    // through two inversions.
+    nl.mosfet("M1", mir, vinp, tail, cards.m1, p.w_in_um, p.l_um);
+    nl.mosfet("M2", o1, vinn, tail, cards.m2, p.w_in_um, p.l_um);
+    nl.mosfet("M3", mir, mir, vdd, cards.m3, p.w_mir_um, p.l_um);
+    nl.mosfet("M4", o1, mir, vdd, cards.m4, p.w_mir_um, p.l_um);
+    nl.isource("ITAIL", tail, GROUND, p.itail_ua * 1e-6);
+    // Second stage: PMOS common source with a resistive load, Miller
+    // compensation across it, capacitive load at the output.
+    nl.mosfet("M6", out, o1, vdd, cards.m6, p.w_out_um, p.l_um);
+    nl.resistor("RL", out, GROUND, p.rl_kohm * 1e3);
+    nl.capacitor("CC", o1, out, p.cc_ff * 1e-15);
+    nl.capacitor("CL", out, GROUND, p.cl_ff * 1e-15);
     nl
 }
 
@@ -387,5 +582,57 @@ mod tests {
     #[should_panic(expected = "at least one section")]
     fn empty_rc_ladder_panics() {
         rc_ladder(0, 1e3, 1e-12);
+    }
+
+    #[test]
+    fn topology_fingerprint_ignores_values_but_not_structure() {
+        // Same topology, different values: identical fingerprints.
+        let a = inverter_chain_with_load(6, Some(10e3));
+        let b = inverter_chain_with_load(6, Some(17e3));
+        assert_eq!(a.topology_fingerprint(), b.topology_fingerprint());
+        // Structural changes move the fingerprint.
+        let longer = inverter_chain_with_load(7, Some(10e3));
+        assert_ne!(a.topology_fingerprint(), longer.topology_fingerprint());
+        let unloaded = inverter_chain_with_load(6, None);
+        assert_ne!(a.topology_fingerprint(), unloaded.topology_fingerprint());
+        // Device kind matters even with identical connectivity.
+        let mut r = Netlist::new();
+        let n1 = r.node("a");
+        r.resistor("X", n1, GROUND, 1e3);
+        let mut c = Netlist::new();
+        let n2 = c.node("a");
+        c.capacitor("X", n2, GROUND, 1e-12);
+        assert_ne!(r.topology_fingerprint(), c.topology_fingerprint());
+        // MOSFET model-card changes (corner/mismatch) are values too.
+        let mut m1 = Netlist::new();
+        let d = m1.node("d");
+        m1.mosfet("M", d, d, GROUND, MosModel::nmos_28nm(), 1.0, 0.1);
+        let mut m2 = Netlist::new();
+        let d2 = m2.node("d");
+        m2.mosfet("M", d2, d2, GROUND, MosModel::pmos_28nm().with_mismatch(0.01, 0.02), 2.0, 0.05);
+        assert_eq!(m1.topology_fingerprint(), m2.topology_fingerprint());
+    }
+
+    #[test]
+    fn ota_two_stage_shape_and_fingerprint_stability() {
+        let nominal = ota_two_stage(&OtaParams::nominal());
+        // 7 non-ground nodes + 3 V-source branches.
+        assert_eq!(nominal.node_count(), 8);
+        assert_eq!(nominal.unknown_count(), 10);
+        assert_eq!(nominal.vsource_count(), 3);
+        // 3 V + 5 M + 1 I + 1 R + 2 C.
+        assert_eq!(nominal.devices().len(), 12);
+        assert!(nominal.vsource_branch("VINP").is_some());
+        // Every params/cards combination keeps the topology — the
+        // precondition for the value-only retarget path across an OTA
+        // sizing sweep.
+        let sized = ota_two_stage_with_cards(
+            &OtaParams { w_in_um: 3.0, itail_ua: 35.0, rl_kohm: 7.0, ..OtaParams::nominal() },
+            &OtaCards {
+                m1: MosModel::nmos_28nm().with_mismatch(5e-3, -0.01),
+                ..OtaCards::nominal()
+            },
+        );
+        assert_eq!(nominal.topology_fingerprint(), sized.topology_fingerprint());
     }
 }

@@ -1,0 +1,90 @@
+//! AC sweeps through the engine layer: sequential == threaded bitwise.
+//!
+//! The frequency points of `glova::ac_sweep_with_engine` fan out over
+//! `EvalEngine` workers, each holding a pooled per-worker point solver
+//! cloned from one primed complex-symbolic prototype
+//! (`glova_spice::ac::AcSolverPool`). This battery locks in the
+//! determinism contract: results are bitwise independent of the engine,
+//! the worker count and the backend-internal pooling, and identical to
+//! the plain `ac_sweep_with_backend` reference.
+
+use glova::engine::EngineSpec;
+use glova::sweep::ac_sweep_with_engine;
+use glova_spice::ac::log_sweep;
+use glova_spice::mna::SolverBackend;
+use glova_spice::netlist::{inverter_chain_with_load, ota_two_stage, OtaParams};
+use glova_spice::{ac_sweep_with_backend, Complex};
+
+/// Collects every node voltage of a sweep as raw bits.
+fn sweep_bits(
+    netlist: &glova_spice::Netlist,
+    probes: &[glova_spice::NodeId],
+    backend: SolverBackend,
+    engine: EngineSpec,
+    freqs: &[f64],
+) -> Vec<(u64, u64)> {
+    let ac =
+        ac_sweep_with_engine(netlist, "VINP", freqs, backend, engine.build().as_ref()).unwrap();
+    let mut bits = Vec::new();
+    for i in 0..freqs.len() {
+        for &node in probes {
+            let v: Complex = ac.voltage(node, i);
+            bits.push((v.re.to_bits(), v.im.to_bits()));
+        }
+    }
+    bits
+}
+
+#[test]
+fn ac_sweep_bitwise_parity_across_engines_and_backends() {
+    let mut nl = ota_two_stage(&OtaParams::nominal());
+    let probes = [nl.node("o1"), nl.node("out"), nl.node("mir"), nl.node("tail")];
+    let freqs = log_sweep(1e3, 1e9, 4);
+    for backend in [SolverBackend::Dense, SolverBackend::Sparse, SolverBackend::Auto] {
+        let reference = sweep_bits(&nl, &probes, backend, EngineSpec::Sequential, &freqs);
+        for workers in [1, 2, 4, 8] {
+            let threaded = sweep_bits(&nl, &probes, backend, EngineSpec::Threaded(workers), &freqs);
+            assert_eq!(
+                reference, threaded,
+                "{backend} backend, {workers} workers: threaded AC sweep diverged"
+            );
+        }
+        // The engine entry point must also match the plain sweep the
+        // SPICE layer exposes (same pool, sequential drive).
+        let direct = ac_sweep_with_backend(&nl, "VINP", &freqs, backend).unwrap();
+        let mut direct_bits = Vec::new();
+        for i in 0..freqs.len() {
+            for &node in &probes {
+                let v = direct.voltage(node, i);
+                direct_bits.push((v.re.to_bits(), v.im.to_bits()));
+            }
+        }
+        assert_eq!(reference, direct_bits, "{backend}: engine path vs direct sweep");
+    }
+}
+
+#[test]
+fn ac_sweep_threads_on_a_large_sparse_system() {
+    // 64-stage chain (68 unknowns, sparse under Auto): one symbolic
+    // analysis primed at the first frequency, every worker refactoring —
+    // and the excitation source is VIN here, exercising the branch
+    // selection.
+    let mut nl = inverter_chain_with_load(64, Some(10e3));
+    let out = nl.node("n63");
+    let freqs = log_sweep(1e4, 1e8, 3);
+    let reference = ac_sweep_with_backend(&nl, "VIN", &freqs, SolverBackend::Auto).unwrap();
+    let threaded = ac_sweep_with_engine(
+        &nl,
+        "VIN",
+        &freqs,
+        SolverBackend::Auto,
+        EngineSpec::Threaded(4).build().as_ref(),
+    )
+    .unwrap();
+    for i in 0..freqs.len() {
+        let a = reference.voltage(out, i);
+        let b = threaded.voltage(out, i);
+        assert_eq!(a.re.to_bits(), b.re.to_bits(), "point {i}");
+        assert_eq!(a.im.to_bits(), b.im.to_bits(), "point {i}");
+    }
+}
