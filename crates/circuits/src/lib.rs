@@ -49,7 +49,7 @@ pub use dram::DramCoreSense;
 pub use fia::FloatingInverterAmp;
 pub use sal::StrongArmLatch;
 pub use spec::{DesignSpec, Goal, MetricSpec};
-pub use spice_backed::{SpiceInverterChain, SpiceOta};
+pub use spice_backed::{SpiceInverterChain, SpiceOta, SpiceSenseAmpArray};
 pub use toy::ToyQuadratic;
 
 use glova_variation::corner::PvtCorner;

@@ -31,7 +31,9 @@ use glova_spice::ac::{ac_sweep_with_backend_from_op, log_sweep};
 use glova_spice::dc::OpSolverPool;
 use glova_spice::mna::{NewtonOptions, SolverBackend};
 use glova_spice::model::MosModel;
-use glova_spice::netlist::{ota_two_stage_with_cards, Netlist, OtaCards, OtaParams, GROUND};
+use glova_spice::netlist::{
+    ota_two_stage_with_cards, Netlist, OtaCards, OtaParams, SenseAmpParams, GROUND,
+};
 use glova_variation::corner::PvtCorner;
 use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::MismatchVector;
@@ -447,9 +449,336 @@ impl Circuit for SpiceOta {
     }
 }
 
+/// A SPICE-backed `rows × cols` DRAM sense-amplifier array — the
+/// testcase whose MNA pattern is genuinely **2-D** (cell `(r, c)`
+/// couples wordline `r` and bitline `c`), built on
+/// [`glova_spice::netlist::sense_amp_array_with`]'s topology and
+/// evaluated by pooled DC operating-point solves like the other
+/// SPICE-backed circuits.
+///
+/// Design vector (normalized to `[0,1]`): access width, latch width,
+/// channel length, precharge resistance. Metrics (all from one DC
+/// operating point):
+///
+/// 1. `bl_diff_mv` (≥): the worst-column pre-sensing differential
+///    `v(blb) − v(bl)` — the cells load only the true bitline half
+///    (open-bitline organization), and the latch must regenerate that
+///    offset, not collapse it. Latch `ΔV_th` mismatch eats directly
+///    into this margin — the classic sense-amp yield mechanism.
+/// 2. `droop_mv` (≤): worst-column common-mode droop of the pair below
+///    the `vdd/2` precharge rail; wide access devices over-discharge
+///    the bitlines through the cell anchors.
+/// 3. `supply_current_ua` (≤): VDD branch current — the static burn of
+///    all `2·cols` latch half-cells.
+///
+/// # Determinism
+///
+/// Same contract as [`SpiceInverterChain`]: `evaluate` is a pure
+/// function of `(x, corner, h)`, the pool keeps every worker on the
+/// canonical symbolic factorization, and non-convergence reports NaN
+/// metrics deterministically.
+#[derive(Debug)]
+pub struct SpiceSenseAmpArray {
+    rows: usize,
+    cols: usize,
+    spec: DesignSpec,
+    pool: OpSolverPool,
+}
+
+/// Mismatch components contributed per column: `ΔV_th`/`Δβ` for the
+/// true-side latch NMOS, then the same for the reference side (netlist
+/// device order).
+const MISMATCH_PER_COLUMN: usize = 4;
+
+impl SpiceSenseAmpArray {
+    /// Builds the array testcase with size-based backend auto-selection
+    /// (any practical array is sparse: `rows·cols + rows + 2·cols + 4`
+    /// unknowns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_backend(rows, cols, SolverBackend::Auto)
+    }
+
+    /// Builds the array testcase on an explicit solver backend (and, via
+    /// [`with_options`](Self::with_options), explicit Newton options —
+    /// the AMD-ordering benchmarks use that hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn with_backend(rows: usize, cols: usize, backend: SolverBackend) -> Self {
+        Self::with_options(rows, cols, NewtonOptions::default().with_backend(backend))
+    }
+
+    /// Builds the array testcase with full control of the Newton options
+    /// every pooled solver runs with (backend, fill ordering, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn with_options(rows: usize, cols: usize, options: NewtonOptions) -> Self {
+        assert!(rows > 0 && cols > 0, "a sense-amp array needs at least one row and column");
+        // Measured at the typical corner, 5×4, mid-range sizing: ≈29 mV
+        // of differential, ≈14 mV of droop, ≈3.6 µA/column of static
+        // current (droop and differential grow roughly linearly with the
+        // row count — each extra row adds an access device pulling on
+        // the same bitline, hence the shape-aware thresholds). Mid-range
+        // sizings pass with ~2× headroom while minimal latch widths
+        // (differential), maximal access widths (droop) and
+        // wide-everything sizings (current) violate — a real
+        // feasibility boundary for the optimizer.
+        let spec = DesignSpec::new(vec![
+            MetricSpec::above("bl_diff_mv", 12.0),
+            MetricSpec::below("droop_mv", 3.5 * rows as f64),
+            MetricSpec::below("supply_current_ua", 5.0 * cols as f64 + 0.1 * (rows * cols) as f64),
+        ]);
+        let pool = OpSolverPool::new(
+            &Self::netlist_for(
+                rows,
+                cols,
+                &Self::static_denormalize(&[0.5; 4]),
+                &PvtCorner::typical(),
+                &MismatchVector::nominal(cols * MISMATCH_PER_COLUMN),
+            ),
+            options,
+        )
+        .expect("sense-amp array netlist is structurally sound");
+        Self { rows, cols, spec, pool }
+    }
+
+    /// Array shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The shared solver pool (counters useful in tests and benches).
+    pub fn solver_pool(&self) -> &OpSolverPool {
+        &self.pool
+    }
+
+    /// Whether evaluations run the sparse MNA backend.
+    pub fn is_sparse(&self) -> bool {
+        self.pool.is_sparse()
+    }
+
+    fn static_bounds() -> Vec<(f64, f64)> {
+        // The latch bounds are deliberately subcritical: with the loop
+        // gain `(gm_n + gm_p)·R_eff` held below one over the whole box
+        // (narrow, longer-channel latch devices against a stiff ≤2 kΩ
+        // precharge anchor), the DC solution stays in the pre-sensing
+        // small-signal regime — the regime the differential metric is
+        // meaningful in — instead of regenerating to a rail-to-rail
+        // basin-dependent latch state.
+        vec![
+            (0.5, 4.0),   // w_access_um
+            (0.1, 0.5),   // w_latch_um
+            (0.08, 0.2),  // l_um
+            (0.5e3, 2e3), // r_precharge_ohm
+        ]
+    }
+
+    fn static_denormalize(x_norm: &[f64]) -> Vec<f64> {
+        Self::static_bounds()
+            .iter()
+            .zip(x_norm)
+            .map(|(&(lo, hi), &u)| lo + (hi - lo) * u.clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Builds the netlist for one `(x, corner, h)` point: the exact
+    /// [`sense_amp_array_with`](glova_spice::netlist::sense_amp_array_with)
+    /// topology (same node names, same device order — locked in by a
+    /// fingerprint test), with the corner folded into every model card
+    /// and the mismatch vector into the per-column latch NMOS pair. The
+    /// point enters only through device values, so sweep retargets take
+    /// the value-only fast path.
+    fn netlist_for(
+        rows: usize,
+        cols: usize,
+        x_phys: &[f64],
+        corner: &PvtCorner,
+        h: &MismatchVector,
+    ) -> Netlist {
+        let (w_access, w_latch, l, r_pre) = (x_phys[0], x_phys[1], x_phys[2], x_phys[3]);
+        let p = SenseAmpParams {
+            vdd: corner.vdd,
+            r_precharge: r_pre,
+            w_latch_um: w_latch,
+            w_access_um: w_access,
+            l_um: l,
+            ..SenseAmpParams::default()
+        };
+        let hv = h.values();
+        let nmos = MosModel::nmos_28nm().at_corner(corner);
+        let pmos = MosModel::pmos_28nm().at_corner(corner);
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vpre = nl.node("vpre");
+        nl.vsource("VDD", vdd, GROUND, p.vdd);
+        nl.vsource("VPRE", vpre, GROUND, p.vdd / 2.0);
+        let wordlines: Vec<_> = (0..rows)
+            .map(|r| {
+                let wl = nl.node(&format!("wl{r}"));
+                nl.resistor(&format!("RWL{r}"), vdd, wl, p.r_wordline);
+                wl
+            })
+            .collect();
+        let bitlines: Vec<_> = (0..cols)
+            .map(|c| {
+                let bl = nl.node(&format!("bl{c}"));
+                let blb = nl.node(&format!("blb{c}"));
+                nl.resistor(&format!("RPB{c}"), vpre, bl, p.r_precharge);
+                nl.resistor(&format!("RPBB{c}"), vpre, blb, p.r_precharge);
+                nl.capacitor(&format!("CBL{c}"), bl, GROUND, p.c_bitline_f);
+                nl.capacitor(&format!("CBLB{c}"), blb, GROUND, p.c_bitline_f);
+                let base = c * MISMATCH_PER_COLUMN;
+                let n1 = nmos.with_mismatch(hv[base], hv[base + 1]);
+                let n2 = nmos.with_mismatch(hv[base + 2], hv[base + 3]);
+                nl.mosfet(&format!("MN1_{c}"), bl, blb, GROUND, n1, p.w_latch_um, p.l_um);
+                nl.mosfet(&format!("MN2_{c}"), blb, bl, GROUND, n2, p.w_latch_um, p.l_um);
+                nl.mosfet(&format!("MP1_{c}"), bl, blb, vdd, pmos, p.w_latch_um, p.l_um);
+                nl.mosfet(&format!("MP2_{c}"), blb, bl, vdd, pmos, p.w_latch_um, p.l_um);
+                bl
+            })
+            .collect();
+        for (r, &wl) in wordlines.iter().enumerate() {
+            for (c, &bl) in bitlines.iter().enumerate() {
+                let cell = nl.node(&format!("cell{r}_{c}"));
+                nl.mosfet(&format!("MA{r}_{c}"), bl, wl, cell, nmos, p.w_access_um, p.l_um);
+                nl.capacitor(&format!("CC{r}_{c}"), cell, GROUND, p.c_cell_f);
+                nl.resistor(&format!("RC{r}_{c}"), cell, GROUND, p.r_cell);
+            }
+        }
+        nl
+    }
+}
+
+impl Circuit for SpiceSenseAmpArray {
+    fn name(&self) -> &str {
+        "SPICE-SENSEAMP"
+    }
+
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        Self::static_bounds()
+    }
+
+    fn parameter_names(&self) -> Vec<String> {
+        ["w_access_um", "w_latch_um", "l_um", "r_precharge_ohm"].map(String::from).to_vec()
+    }
+
+    fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn mismatch_domain(&self, x_norm: &[f64]) -> MismatchDomain {
+        let x = Self::static_denormalize(x_norm);
+        let (w_latch, l) = (x[1], x[2]);
+        let mut devices = Vec::with_capacity(2 * self.cols);
+        for c in 0..self.cols {
+            devices.push(DeviceSpec::nmos(format!("MN1_{c}"), w_latch, l));
+            devices.push(DeviceSpec::nmos(format!("MN2_{c}"), w_latch, l));
+        }
+        MismatchDomain::new(devices, PelgromModel::cmos28())
+    }
+
+    fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.dim(), "design vector dimension mismatch");
+        assert_eq!(
+            mismatch.dim(),
+            self.cols * MISMATCH_PER_COLUMN,
+            "mismatch vector dimension mismatch"
+        );
+        let x = Self::static_denormalize(x_norm);
+        let mut nl = Self::netlist_for(self.rows, self.cols, &x, corner, mismatch);
+        let solved = self.pool.with_solver(|solver| {
+            solver.retarget(&nl);
+            solver.solve()
+        });
+        match solved {
+            Ok(op) => {
+                let vpre = corner.vdd / 2.0;
+                let mut worst_diff = f64::INFINITY;
+                let mut worst_droop = f64::NEG_INFINITY;
+                for c in 0..self.cols {
+                    let bl = op.voltage(nl.node(&format!("bl{c}")));
+                    let blb = op.voltage(nl.node(&format!("blb{c}")));
+                    worst_diff = worst_diff.min((blb - bl) * 1e3);
+                    worst_droop = worst_droop.max((vpre - 0.5 * (bl + blb)) * 1e3);
+                }
+                let branch = nl.vsource_branch("VDD").expect("VDD source present");
+                let supply_current_ua = op.branch_current(branch).abs() * 1e6;
+                vec![worst_diff, worst_droop, supply_current_ua]
+            }
+            Err(_) => vec![f64::NAN; self.spec.len()],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sense_amp_array_matches_generator_topology() {
+        use glova_spice::netlist::sense_amp_array;
+        // The circuit's per-point netlist must be the generator's
+        // topology exactly (same fingerprint ⇒ same MNA pattern and
+        // stamp order), so benches over `sense_amp_array` measure the
+        // very systems the circuit solves.
+        let nl = SpiceSenseAmpArray::netlist_for(
+            5,
+            4,
+            &SpiceSenseAmpArray::static_denormalize(&[0.5; 4]),
+            &PvtCorner::typical(),
+            &MismatchVector::nominal(4 * MISMATCH_PER_COLUMN),
+        );
+        assert_eq!(nl.topology_fingerprint(), sense_amp_array(5, 4).topology_fingerprint());
+        assert_eq!(nl.unknown_count(), sense_amp_array(5, 4).unknown_count());
+    }
+
+    #[test]
+    fn sense_amp_nominal_is_feasible_and_deterministic() {
+        let array = SpiceSenseAmpArray::new(5, 4);
+        assert!(array.is_sparse(), "any practical array resolves sparse under Auto");
+        let x = vec![0.5; array.dim()];
+        let h = MismatchVector::nominal(array.mismatch_domain(&x).dim());
+        let m = array.evaluate(&x, &PvtCorner::typical(), &h);
+        assert_eq!(m.len(), 3);
+        assert!(array.spec().satisfied(&m), "nominal array must meet spec: {m:?}");
+        let again = array.evaluate(&x, &PvtCorner::typical(), &h);
+        for (a, b) in m.iter().zip(&again) {
+            assert_eq!(a.to_bits(), b.to_bits(), "repeat evaluation drifted");
+        }
+        assert_eq!(array.solver_pool().solvers_spawned(), 1);
+    }
+
+    #[test]
+    fn sense_amp_metrics_respond_to_sizing_corner_and_mismatch() {
+        let array = SpiceSenseAmpArray::new(5, 4);
+        let x = vec![0.5; array.dim()];
+        let dim = array.mismatch_domain(&x).dim();
+        let h = MismatchVector::nominal(dim);
+        let typical = array.evaluate(&x, &PvtCorner::typical(), &h);
+        // Maximal access width over-discharges the bitlines: more droop.
+        let wide = array.evaluate(&[1.0, 0.5, 0.5, 0.5], &PvtCorner::typical(), &h);
+        assert!(wide[1] > typical[1], "wider access must increase droop");
+        // A low-supply corner moves every metric.
+        let low = PvtCorner { vdd: 0.8, ..PvtCorner::typical() };
+        assert_ne!(array.evaluate(&x, &low, &h), typical);
+        // Latch threshold mismatch on the true side eats the worst-column
+        // differential.
+        let mut skew = vec![0.0; dim];
+        skew[0] = 0.05; // ΔV_th of MN1_0 (true side conducts less… or more)
+        let skewed = array.evaluate(&x, &PvtCorner::typical(), &MismatchVector::from_values(skew));
+        assert_ne!(skewed[0], typical[0], "latch mismatch must move the differential");
+    }
 
     #[test]
     fn nominal_design_is_feasible_at_typical() {

@@ -33,12 +33,14 @@
 pub mod cholesky;
 pub mod lu;
 pub mod matrix;
+pub mod ordering;
 pub mod sparse;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use ordering::{amd_order, FillOrdering};
 pub use sparse::{CsrMatrix, Scalar, SparseLu, Triplets};
 pub use vector::{add, axpy, dot, norm2, scale, sub};
 

@@ -26,7 +26,17 @@
 //!   The symbolic phase itself runs on sorted-vec working rows with
 //!   bucketed Markowitz candidate lists (no tree maps, no full-matrix
 //!   scan per pivot), keeping the cold-start cost that solver pools
-//!   amortize low even past a hundred unknowns.
+//!   amortize low even past a hundred unknowns. For genuinely 2-D
+//!   coupling patterns (grids, sense-amp arrays) where even that scan
+//!   grows with fill, [`SparseLu::factor_with`] accepts a fill-reducing
+//!   **pre-order** ([`FillOrdering::Amd`](crate::ordering::FillOrdering),
+//!   computed by [`amd_order`](crate::ordering::amd_order)) consumed as a
+//!   static pivot sequence with Markowitz threshold pivoting retained as
+//!   the per-step numeric fallback.
+//! - **Multi-RHS solves**: [`SparseLu::solve_into_batch`] streams the
+//!   packed factor once across a whole batch of right-hand sides (the
+//!   corner-batch pattern), bitwise identical per side to repeated
+//!   [`SparseLu::solve_into`] calls.
 //! - **Partial refactorization** (KLU-style): when only a known subset of
 //!   input values changes between refreshes (in MNA terms: the nonlinear
 //!   device stamps and the `gmin` diagonal), [`SparseLu::plan_partial`]
@@ -338,6 +348,13 @@ pub struct SparseLu<T = f64> {
     a_to_lu: Vec<usize>,
     /// Dense scatter workspace for elimination and solves.
     work: Vec<T>,
+    /// Interleaved workspace for [`Self::solve_into_batch`], grown on
+    /// first use and reused across batches.
+    batch_work: Vec<T>,
+    /// Pre-ordered factorizations only: elimination steps where the
+    /// static pivot failed the numeric stability test and Markowitz
+    /// threshold pivoting chose instead. Zero for [`Self::factor`].
+    fallback_steps: usize,
     /// Identity of this symbolic analysis (shared by clones); partial
     /// plans are only valid against the analysis they were computed for.
     symbolic_id: u64,
@@ -409,6 +426,281 @@ impl<T: Scalar> SparseLu<T> {
         let mut this = Self::symbolic(a)?;
         this.refactor(a)?;
         debug_assert_eq!(this.n, n);
+        Ok(this)
+    }
+
+    /// Factors with an explicit [`FillOrdering`](crate::ordering::FillOrdering):
+    /// [`FillOrdering::Markowitz`](crate::ordering::FillOrdering::Markowitz)
+    /// is [`Self::factor`]; [`FillOrdering::Amd`](crate::ordering::FillOrdering::Amd)
+    /// computes an [`amd_order`](crate::ordering::amd_order) pre-order
+    /// over the symmetrized pattern and consumes it through
+    /// [`Self::factor_preordered`]. Both include everything a cold start
+    /// pays — ordering, symbolic analysis and the first numeric
+    /// elimination — so their costs are directly comparable.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::factor`].
+    pub fn factor_with(
+        a: &CsrMatrix<T>,
+        ordering: crate::ordering::FillOrdering,
+    ) -> Result<Self, LinalgError> {
+        match ordering {
+            crate::ordering::FillOrdering::Markowitz => Self::factor(a),
+            crate::ordering::FillOrdering::Amd => {
+                if a.rows() != a.cols() {
+                    return Err(LinalgError::DimensionMismatch {
+                        context: "sparse lu of non-square matrix",
+                    });
+                }
+                let seq = crate::ordering::amd_order(a);
+                Self::factor_preordered(a, &seq)
+            }
+        }
+    }
+
+    /// Factors down a **static pivot sequence**: step `k` proposes the
+    /// diagonal `(seq[k], seq[k])` as pivot, and only falls back to a
+    /// full Markowitz threshold search when that proposal fails the
+    /// numeric stability test (below [`Self::PIVOT_THRESHOLD`] of its
+    /// column's largest active magnitude, below the singularity floor, or
+    /// structurally absent — MNA voltage-source branch rows have zero
+    /// diagonals, for example). [`Self::preorder_fallbacks`] reports how
+    /// often the fallback fired.
+    ///
+    /// The result is an ordinary [`SparseLu`] — refactors, partial plans,
+    /// clones and solves behave identically to a Markowitz-ordered
+    /// factor, and the pivot choice is a deterministic function of the
+    /// input alone.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `a` is not square or `seq`
+    ///   is not a permutation of its indices.
+    /// - [`LinalgError::Singular`] as [`Self::factor`].
+    pub fn factor_preordered(a: &CsrMatrix<T>, seq: &[usize]) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "sparse lu of non-square matrix",
+            });
+        }
+        let n = a.rows();
+        let mut seen = vec![false; n];
+        if seq.len() != n || !seq.iter().all(|&s| s < n && !std::mem::replace(&mut seen[s], true)) {
+            return Err(LinalgError::DimensionMismatch {
+                context: "pivot sequence is not a permutation of the matrix indices",
+            });
+        }
+        let mut this = Self::symbolic_ordered(a, seq)?;
+        this.refactor(a)?;
+        Ok(this)
+    }
+
+    /// Elimination steps where a pre-ordered pivot failed the stability
+    /// test and Markowitz threshold pivoting chose instead; zero for
+    /// Markowitz-ordered factorizations. Clones share the value (it is
+    /// part of the symbolic analysis).
+    pub fn preorder_fallbacks(&self) -> usize {
+        self.fallback_steps
+    }
+
+    /// Symbolic + threshold analysis down a static pivot sequence.
+    ///
+    /// Mirrors [`Self::symbolic`]'s working-row representation (sorted
+    /// vecs, lazily pruned column candidate lists) but replaces the
+    /// bucketed pivot *search* with a cursor over `seq` — the per-step
+    /// cost is one column-max scan for the stability test plus the
+    /// elimination merge itself. The Markowitz fallback (rare: voltage
+    /// -source borders, numerically collapsed diagonals) scans the whole
+    /// active submatrix, trading speed for the exact greedy choice on
+    /// precisely the steps where the pre-order's proposal is unusable.
+    fn symbolic_ordered(a: &CsrMatrix<T>, seq: &[usize]) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        let mut rows: Vec<Vec<(usize, T)>> = (0..n)
+            .map(|i| a.row_cols(i).iter().copied().zip(a.row_values(i).iter().copied()).collect())
+            .collect();
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut col_count = vec![0usize; n];
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, _) in row {
+                col_rows[j].push(i);
+                col_count[j] += 1;
+            }
+        }
+        let mut row_active = vec![true; n];
+        let mut col_active = vec![true; n];
+        let mut colmax_step = vec![usize::MAX; n];
+        let mut colmax_val = vec![0.0f64; n];
+        let mut merge_scratch: Vec<(usize, T)> = Vec::new();
+
+        let mut perm_r = Vec::with_capacity(n);
+        let mut perm_c = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut l_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut seq_pos = 0usize;
+        let mut fallbacks = 0usize;
+
+        for step in 0..n {
+            // Largest active magnitude in column `j`, pruning the
+            // candidate list as a side effect (same invariant as
+            // `symbolic`: only the eliminated pivot column loses entries
+            // from an active row, so misses are stale fill-era
+            // candidates).
+            let mut col_max =
+                |j: usize, col_rows: &mut Vec<Vec<usize>>, rows: &Vec<Vec<(usize, T)>>| -> f64 {
+                    if colmax_step[j] == step {
+                        return colmax_val[j];
+                    }
+                    let mut mx = 0.0f64;
+                    col_rows[j].retain(|&i| {
+                        if !row_active[i] {
+                            return false;
+                        }
+                        match rows[i].binary_search_by_key(&j, |e| e.0) {
+                            Ok(p) => {
+                                mx = mx.max(rows[i][p].1.modulus());
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    });
+                    colmax_step[j] = step;
+                    colmax_val[j] = mx;
+                    mx
+                };
+
+            // Next unconsumed sequence entry whose row and column are
+            // both still active (a fallback step may have consumed one
+            // side of an earlier proposal).
+            while seq_pos < n && !(row_active[seq[seq_pos]] && col_active[seq[seq_pos]]) {
+                seq_pos += 1;
+            }
+            let mut chosen: Option<(usize, usize)> = None;
+            if seq_pos < n {
+                let s = seq[seq_pos];
+                if let Ok(pos) = rows[s].binary_search_by_key(&s, |e| e.0) {
+                    let mag = rows[s][pos].1.modulus();
+                    if mag >= Self::SINGULARITY_EPS
+                        && mag >= Self::PIVOT_THRESHOLD * col_max(s, &mut col_rows, &rows)
+                    {
+                        chosen = Some((s, s));
+                        seq_pos += 1;
+                    }
+                }
+            }
+            let (pr, pc) = match chosen {
+                Some(p) => p,
+                None => {
+                    // Markowitz threshold fallback: exact greedy search
+                    // over the remaining active submatrix for this step
+                    // (column maxima memoized per step, so the threshold
+                    // checks cost one column scan each, like the bucketed
+                    // path's).
+                    fallbacks += 1;
+                    let mut best: Option<(usize, usize, usize, f64)> = None;
+                    for (i, row) in rows.iter().enumerate() {
+                        if !row_active[i] {
+                            continue;
+                        }
+                        for &(j, v) in row {
+                            if !col_active[j] {
+                                continue;
+                            }
+                            let mag = v.modulus();
+                            if mag < Self::SINGULARITY_EPS
+                                || mag < Self::PIVOT_THRESHOLD * col_max(j, &mut col_rows, &rows)
+                            {
+                                continue;
+                            }
+                            let cost = (row.len() - 1) * (col_count[j] - 1);
+                            let better = match best {
+                                None => true,
+                                Some((_, _, c, m)) => cost < c || (cost == c && mag > m),
+                            };
+                            if better {
+                                best = Some((i, j, cost, mag));
+                            }
+                        }
+                    }
+                    let Some((pr, pc, _, _)) = best else {
+                        return Err(LinalgError::Singular { index: step });
+                    };
+                    (pr, pc)
+                }
+            };
+
+            perm_r.push(pr);
+            perm_c.push(pc);
+            row_active[pr] = false;
+            col_active[pc] = false;
+            let pivot_row: Vec<(usize, T)> = std::mem::take(&mut rows[pr]);
+            let pivot_val = pivot_row[pivot_row
+                .binary_search_by_key(&pc, |e| e.0)
+                .expect("pivot entry present in pivot row")]
+            .1;
+            u_cols.push(pivot_row.iter().map(|&(j, _)| j).collect());
+            for &(j, _) in &pivot_row {
+                col_count[j] -= 1;
+            }
+
+            // Eliminate the pivot column from every remaining active row
+            // — identical merge to `symbolic`, minus the candidate-bucket
+            // bookkeeping the ordered path doesn't need.
+            let below: Vec<usize> = std::mem::take(&mut col_rows[pc])
+                .into_iter()
+                .filter(|&r| row_active[r] && rows[r].binary_search_by_key(&pc, |e| e.0).is_ok())
+                .collect();
+            for &i in &below {
+                let old_row = std::mem::take(&mut rows[i]);
+                let pc_pos = old_row
+                    .binary_search_by_key(&pc, |e| e.0)
+                    .expect("below rows contain the pivot column");
+                let f = old_row[pc_pos].1 / pivot_val;
+                l_cols[i].push(step);
+                merge_scratch.clear();
+                let mut ai = 0;
+                let mut bi = 0;
+                while ai < old_row.len() || bi < pivot_row.len() {
+                    if ai == pc_pos {
+                        ai += 1;
+                        continue;
+                    }
+                    if bi < pivot_row.len() && pivot_row[bi].0 == pc {
+                        bi += 1;
+                        continue;
+                    }
+                    let a_col = old_row.get(ai).map(|e| e.0);
+                    let b_col = pivot_row.get(bi).map(|e| e.0);
+                    match (a_col, b_col) {
+                        (Some(ac), Some(bc)) if ac == bc => {
+                            merge_scratch.push((ac, old_row[ai].1 - f * pivot_row[bi].1));
+                            ai += 1;
+                            bi += 1;
+                        }
+                        (Some(ac), Some(bc)) if ac < bc => {
+                            merge_scratch.push((ac, old_row[ai].1));
+                            ai += 1;
+                        }
+                        (Some(ac), None) => {
+                            merge_scratch.push((ac, old_row[ai].1));
+                            ai += 1;
+                        }
+                        (_, Some(bc)) => {
+                            merge_scratch.push((bc, T::zero() - f * pivot_row[bi].1));
+                            col_rows[bc].push(i);
+                            col_count[bc] += 1;
+                            bi += 1;
+                        }
+                        (None, None) => unreachable!("loop condition"),
+                    }
+                }
+                rows[i] = std::mem::replace(&mut merge_scratch, old_row);
+                merge_scratch.clear();
+            }
+        }
+
+        let mut this = Self::pack(a, perm_r, perm_c, u_cols, l_cols);
+        this.fallback_steps = fallbacks;
         Ok(this)
     }
 
@@ -670,9 +962,24 @@ impl<T: Scalar> SparseLu<T> {
             }
         }
 
-        // Pack the frozen pattern: per pivot step, L columns (< step,
-        // already step indices) then U columns mapped through the column
-        // permutation, everything sorted ascending.
+        Ok(Self::pack(a, perm_r, perm_c, u_cols, l_cols))
+    }
+
+    /// Packs a finished elimination (pivot order + per-step `U` columns +
+    /// per-row `L` columns) into the frozen factor layout — the tail
+    /// shared by [`Self::symbolic`] and [`Self::symbolic_ordered`].
+    ///
+    /// Per pivot step: L columns (< step, already step indices) then U
+    /// columns mapped through the column permutation, everything sorted
+    /// ascending.
+    fn pack(
+        a: &CsrMatrix<T>,
+        perm_r: Vec<usize>,
+        perm_c: Vec<usize>,
+        u_cols: Vec<Vec<usize>>,
+        l_cols: Vec<Vec<usize>>,
+    ) -> Self {
+        let n = a.rows();
         let mut col_perm_inv = vec![0usize; n];
         for (p, &c) in perm_c.iter().enumerate() {
             col_perm_inv[c] = p;
@@ -712,7 +1019,7 @@ impl<T: Scalar> SparseLu<T> {
         }
 
         let nnz = lu_cols.len();
-        Ok(Self {
+        Self {
             n,
             a_nnz: a.nnz(),
             perm_r,
@@ -723,8 +1030,10 @@ impl<T: Scalar> SparseLu<T> {
             diag_idx,
             a_to_lu,
             work: vec![T::zero(); n],
+            batch_work: Vec::new(),
+            fallback_steps: 0,
             symbolic_id: SYMBOLIC_IDS.fetch_add(1, Ordering::Relaxed),
-        })
+        }
     }
 
     /// Up-looking elimination of packed row `p` over the frozen pattern —
@@ -997,6 +1306,74 @@ impl<T: Scalar> SparseLu<T> {
         self.solve_into(b, &mut x);
         x
     }
+
+    /// Solves `A X = B` for `nrhs` right-hand sides sharing this one
+    /// factorization, amortizing the triangular sweeps: the packed factor
+    /// is streamed through memory **once** with an inner loop over the
+    /// batch, instead of once per right-hand side — the corner-batch
+    /// pattern where many sweep points share a frozen factor.
+    ///
+    /// `b` holds the right-hand sides back to back (`b[r*n..(r+1)*n]` is
+    /// side `r`); `x` is laid out the same way on return. Results are
+    /// **bitwise identical** to `nrhs` separate [`Self::solve_into`]
+    /// calls: per side, every floating-point operation happens in the
+    /// same order on the same values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim() * nrhs`.
+    pub fn solve_into_batch(&mut self, b: &[T], x: &mut Vec<T>, nrhs: usize) {
+        let n = self.n;
+        assert_eq!(b.len(), n * nrhs, "batched rhs length mismatch");
+        if nrhs == 0 {
+            x.clear();
+            return;
+        }
+        // Interleaved workspace: w[p*nrhs + r] is permuted row p of side
+        // r, so the inner per-entry loops run over contiguous memory.
+        self.batch_work.clear();
+        self.batch_work.resize(n * nrhs, T::zero());
+        let w = &mut self.batch_work;
+        for p in 0..n {
+            let src = self.perm_r[p];
+            for r in 0..nrhs {
+                w[p * nrhs + r] = b[r * n + src];
+            }
+        }
+        // Unit-lower forward sweep: identical operation order per side as
+        // the single-rhs path (ascending idx, subtract-then-store).
+        for p in 0..n {
+            for idx in self.lu_ptr[p]..self.diag_idx[p] {
+                let l = self.lu_vals[idx];
+                let c = self.lu_cols[idx];
+                for r in 0..nrhs {
+                    w[p * nrhs + r] = w[p * nrhs + r] - l * w[c * nrhs + r];
+                }
+            }
+        }
+        // Upper backward sweep.
+        for p in (0..n).rev() {
+            for idx in self.diag_idx[p] + 1..self.lu_ptr[p + 1] {
+                let u = self.lu_vals[idx];
+                let c = self.lu_cols[idx];
+                for r in 0..nrhs {
+                    w[p * nrhs + r] = w[p * nrhs + r] - u * w[c * nrhs + r];
+                }
+            }
+            let d = self.lu_vals[self.diag_idx[p]];
+            for r in 0..nrhs {
+                w[p * nrhs + r] = w[p * nrhs + r] / d;
+            }
+        }
+        x.clear();
+        x.resize(n * nrhs, T::zero());
+        for p in 0..n {
+            let dst = self.perm_c[p];
+            for r in 0..nrhs {
+                x[r * n + dst] = w[p * nrhs + r];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1228,6 +1605,158 @@ mod tests {
         clone.refactor_partial(&a, &plan).unwrap();
     }
 
+    /// A `rows × cols` 2-D grid Laplacian — the coupling shape of the
+    /// sense-amp array workload, where fill-reducing ordering matters.
+    fn grid_laplacian(rows: usize, cols: usize) -> CsrMatrix<f64> {
+        let n = rows * cols;
+        let at = |r: usize, c: usize| r * cols + c;
+        let mut t = Triplets::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                t.push(at(r, c), at(r, c), 4.5);
+                if r + 1 < rows {
+                    t.push(at(r, c), at(r + 1, c), -1.0);
+                    t.push(at(r + 1, c), at(r, c), -1.0);
+                }
+                if c + 1 < cols {
+                    t.push(at(r, c), at(r, c + 1), -1.0);
+                    t.push(at(r, c + 1), at(r, c), -1.0);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn amd_factor_matches_dense_oracle_on_grid() {
+        let a = grid_laplacian(6, 7);
+        let mut lu = SparseLu::factor_with(&a, crate::FillOrdering::Amd).unwrap();
+        assert_eq!(lu.preorder_fallbacks(), 0, "SPD-ish grid diagonals pass the threshold");
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x = lu.solve(&b);
+        let x_dense = a.to_dense().lu().unwrap().solve(&b);
+        for (s, d) in x.iter().zip(&x_dense) {
+            assert!((s - d).abs() < 1e-9, "amd {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn amd_factor_handles_zero_diagonal_via_markowitz_fallback() {
+        // MNA voltage-source border: the branch row/column has a zero
+        // diagonal, so its pre-ordered pivot proposal must fail the
+        // stability test and fall through to the Markowitz search.
+        let dense = mna_shaped(8, &[0.3, -0.7, 0.5, 0.1, -0.2, 0.9], 1e-9);
+        let a = csr_from_dense(&dense);
+        let mut lu = SparseLu::factor_with(&a, crate::FillOrdering::Amd).unwrap();
+        assert!(lu.preorder_fallbacks() >= 1, "zero-diagonal branch row needs the fallback");
+        let rhs: Vec<f64> = (0..dense.rows()).map(|i| (i as f64).sin()).collect();
+        let x = lu.solve(&rhs);
+        let x_dense = dense.lu().unwrap().solve(&rhs);
+        for (s, d) in x.iter().zip(&x_dense) {
+            assert!((s - d).abs() < 1e-9, "amd {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn amd_factor_is_bitwise_stable_across_clone_and_refactor() {
+        // The pooled-solver contract must hold for pre-ordered factors
+        // exactly as for Markowitz ones: clones share the symbolic
+        // analysis, and refactor + solve is bitwise reproducible.
+        let a = grid_laplacian(5, 5);
+        let mut b = a.clone();
+        for (k, v) in b.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 1e-3 * (k % 7) as f64;
+        }
+        let proto = SparseLu::factor_with(&a, crate::FillOrdering::Amd).unwrap();
+        let rhs: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.9).sin()).collect();
+        let solve_cloned = |m: &CsrMatrix<f64>| -> Vec<f64> {
+            let mut lu = proto.clone();
+            lu.refactor(m).unwrap();
+            lu.solve(&rhs)
+        };
+        let seq = solve_cloned(&b);
+        let (t1, t2) = std::thread::scope(|s| {
+            let h1 = s.spawn(|| solve_cloned(&b));
+            let h2 = s.spawn(|| solve_cloned(&b));
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        for (a_bits, b_bits) in seq.iter().zip(t1.iter().chain(t2.iter())) {
+            assert_eq!(a_bits.to_bits(), b_bits.to_bits());
+        }
+        // Partial plans work against pre-ordered factors too.
+        let mut partial = proto.clone();
+        let mut full = proto.clone();
+        let dirty: Vec<usize> = (0..3).map(|i| a.value_index(i, i).unwrap()).collect();
+        let plan = partial.plan_partial(&dirty);
+        let mut shifted = a.clone();
+        for &k in &dirty {
+            shifted.values_mut()[k] += 0.25;
+        }
+        full.refactor(&shifted).unwrap();
+        partial.refactor_partial(&shifted, &plan).unwrap();
+        let xf = full.solve(&rhs);
+        let xp = partial.solve(&rhs);
+        for (f, p) in xf.iter().zip(&xp) {
+            assert_eq!(f.to_bits(), p.to_bits(), "partial {p} vs full {f}");
+        }
+    }
+
+    #[test]
+    fn amd_reduces_symbolic_work_on_grids() {
+        // The whole point of the pre-order: on a 2-D pattern the AMD
+        // factor must not carry grossly more fill than the greedy
+        // Markowitz one (it usually carries less; allow headroom since
+        // threshold pivoting perturbs both).
+        let a = grid_laplacian(16, 16);
+        let markowitz = SparseLu::factor(&a).unwrap();
+        let amd = SparseLu::factor_with(&a, crate::FillOrdering::Amd).unwrap();
+        assert!(
+            (amd.factor_nnz() as f64) <= 1.25 * markowitz.factor_nnz() as f64,
+            "amd fill {} vs markowitz fill {}",
+            amd.factor_nnz(),
+            markowitz.factor_nnz()
+        );
+    }
+
+    #[test]
+    fn factor_preordered_rejects_non_permutations() {
+        let a = grid_laplacian(3, 3);
+        for bad in [vec![0usize; 9], (0..8).collect::<Vec<_>>(), (1..10).collect::<Vec<_>>()] {
+            assert!(matches!(
+                SparseLu::factor_preordered(&a, &bad),
+                Err(LinalgError::DimensionMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn sparse_solve_into_batch_matches_single_solves_bitwise() {
+        let a = grid_laplacian(7, 5);
+        let n = a.rows();
+        let nrhs = 4;
+        for ordering in [crate::FillOrdering::Markowitz, crate::FillOrdering::Amd] {
+            let mut lu = SparseLu::factor_with(&a, ordering).unwrap();
+            let b: Vec<f64> = (0..n * nrhs).map(|i| (i as f64 * 0.17).sin()).collect();
+            let mut batch = Vec::new();
+            lu.solve_into_batch(&b, &mut batch, nrhs);
+            assert_eq!(batch.len(), n * nrhs);
+            let mut single = Vec::new();
+            for r in 0..nrhs {
+                lu.solve_into(&b[r * n..(r + 1) * n], &mut single);
+                for (i, &s) in single.iter().enumerate() {
+                    assert_eq!(
+                        s.to_bits(),
+                        batch[r * n + i].to_bits(),
+                        "{ordering}: side {r} row {i}"
+                    );
+                }
+            }
+            lu.solve_into_batch(&[], &mut batch, 0);
+            assert!(batch.is_empty());
+        }
+    }
+
     #[test]
     fn fill_stays_sparse_on_a_ladder() {
         // A 64-section RC-ladder-shaped tridiagonal system: the Markowitz
@@ -1354,6 +1883,49 @@ mod tests {
             let x_fresh = fresh.solve(&rhs);
             for (c, f) in thr_a.iter().zip(&x_fresh) {
                 prop_assert!((c - f).abs() < 1e-9, "clone {} vs fresh {}", c, f);
+            }
+        }
+
+        #[test]
+        fn prop_amd_order_is_a_valid_permutation(
+            edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+        ) {
+            // Any square pattern — including asymmetric, disconnected and
+            // empty-row cases — must order every index exactly once.
+            let n = 12;
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 1.0);
+            }
+            for &(i, j) in &edges {
+                t.push(i, j, -1.0);
+            }
+            let perm = crate::ordering::amd_order(&t.to_csr());
+            prop_assert_eq!(perm.len(), n);
+            let mut seen = vec![false; n];
+            for &p in &perm {
+                prop_assert!(p < n && !seen[p], "index {} repeated or out of range", p);
+                seen[p] = true;
+            }
+        }
+
+        #[test]
+        fn prop_amd_factor_matches_dense_on_mna_shaped(
+            entries in proptest::collection::vec(-1.0f64..1.0, 12),
+            gmin_exp in 3.0f64..12.0,
+        ) {
+            // Pre-ordered factorization against the dense oracle on the
+            // exact structure every SPICE solve presents (zero-diagonal
+            // voltage-source border included, which exercises the
+            // Markowitz fallback path).
+            let dense = mna_shaped(8, &entries, 10f64.powf(-gmin_exp));
+            let a = csr_from_dense(&dense);
+            let mut lu = SparseLu::factor_with(&a, crate::FillOrdering::Amd).unwrap();
+            let rhs: Vec<f64> = (0..dense.rows()).map(|i| (i as f64).sin()).collect();
+            let x = lu.solve(&rhs);
+            let x_dense = dense.lu().unwrap().solve(&rhs);
+            for (s, d) in x.iter().zip(&x_dense) {
+                prop_assert!((s - d).abs() < 1e-9, "amd {} vs dense {}", s, d);
             }
         }
 

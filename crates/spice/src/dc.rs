@@ -84,8 +84,13 @@ impl OpSolver {
         let ctx = StampContext { time: 0.0, step: None, gmin: GMIN_LADDER[0] };
         let template = MnaTemplate::new(netlist, &ctx, options.backend);
         let sparse = template.is_sparse();
+        let mut state = template.into_state();
+        // Priming happens before any solve threads the options through,
+        // so the symbolic analysis every clone shares must already know
+        // the ordering choice.
+        state.set_ordering(options.ordering);
         Self {
-            state: template.into_state(),
+            state,
             options,
             n_nodes: netlist.node_count() - 1,
             unknowns: netlist.unknown_count(),
@@ -208,6 +213,82 @@ impl OpSolver {
     /// See [`operating_point`].
     pub fn solve_from(&mut self, initial: &[f64]) -> Result<OperatingPoint, SpiceError> {
         ladder_solve(&mut self.state, initial, &self.options, self.n_nodes)
+    }
+
+    /// Batched corner sweep over **source-only** variants of one linear
+    /// netlist: a single factorization serves the entire batch, with all
+    /// right-hand sides swept through the factor in one multi-RHS
+    /// triangular pass ([`SparseLu::solve_into_batch`] /
+    /// [`Lu::solve_into_batch`]). This is the DC analogue of reusing one
+    /// LU across an AC frequency sweep — applicable exactly when the
+    /// variants share the system matrix bitwise, i.e. a linear circuit
+    /// (no MOSFETs) whose corners perturb only independent-source
+    /// values.
+    ///
+    /// Each returned operating point is the direct solution of the final
+    /// `gmin`-rung system `A·x = b_r` — for a linear circuit that is the
+    /// same fixed point the Newton ladder of [`solve`](Self::solve)
+    /// converges to (the ladder only matters for nonlinear
+    /// continuation), and per side the result is bitwise identical to a
+    /// repeated single-RHS solve against the same factor.
+    ///
+    /// [`SparseLu::solve_into_batch`]:
+    /// glova_linalg::sparse::SparseLu::solve_into_batch
+    /// [`Lu::solve_into_batch`]: glova_linalg::Lu::solve_into_batch
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidNetlist`] if the circuit is nonlinear, a
+    /// variant changes the topology, or a variant perturbs anything
+    /// besides source values (detected by a bitwise matrix-value check);
+    /// [`SpiceError::SingularMatrix`] if the shared matrix cannot be
+    /// factored.
+    pub fn solve_source_batch(
+        &mut self,
+        netlists: &[Netlist],
+    ) -> Result<Vec<OperatingPoint>, SpiceError> {
+        if netlists.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.state.nonlinear_count() != 0 {
+            return Err(SpiceError::InvalidNetlist {
+                reason: "solve_source_batch requires a linear circuit (no MOSFETs): nonlinear \
+                         corners change the matrix, so there is no shared factorization"
+                    .into(),
+            });
+        }
+        let n = self.unknowns;
+        let gmin = *GMIN_LADDER.last().unwrap();
+        let zeros = vec![0.0; n];
+        let mut b = vec![0.0; n * netlists.len()];
+        let mut matrix_hash = None;
+        for (r, nl) in netlists.iter().enumerate() {
+            if self.retarget(nl) == RetargetOutcome::Topology {
+                return Err(SpiceError::InvalidNetlist {
+                    reason: "solve_source_batch requires every variant to share one topology"
+                        .into(),
+                });
+            }
+            self.state.assemble(&zeros, gmin);
+            let hash = self.state.matrix_value_hash();
+            if *matrix_hash.get_or_insert(hash) != hash {
+                return Err(SpiceError::InvalidNetlist {
+                    reason: "solve_source_batch variants must perturb source values only (the \
+                             assembled matrices differ)"
+                        .into(),
+                });
+            }
+            self.state.rhs_into(&mut b[r * n..(r + 1) * n]);
+        }
+        // One numeric refresh for the whole batch (the matrices are
+        // bitwise equal, so the factor of the last assembly serves every
+        // side), then one batched triangular sweep.
+        self.state.refresh_factor()?;
+        let mut x = Vec::new();
+        self.state.solve_batch_into(&b, &mut x, netlists.len());
+        Ok((0..netlists.len())
+            .map(|r| OperatingPoint::new(x[r * n..(r + 1) * n].to_vec(), self.n_nodes))
+            .collect())
     }
 }
 
@@ -604,6 +685,136 @@ mod tests {
             stats.elimination_ratio() < 1.0,
             "the V-source branch rows sit outside the dirty reachable set: {stats:?}"
         );
+    }
+
+    #[test]
+    fn narrow_partial_refactor_drops_gmin_rows() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let mut solver =
+            OpSolver::primed(&inverter_chain_with_load(12, Some(10e3)), options).unwrap();
+        solver.solve().unwrap();
+        let stats = solver.refactor_stats();
+        assert!(
+            stats.narrow > 0,
+            "within-rung chord refreshes keep gmin constant and must take the narrow set: {stats:?}"
+        );
+        // The narrow (MOSFET-only) dirty set excludes the gmin diagonal,
+        // so its reachable rows are a strict subset of the full dirty
+        // set's — visible as fewer rows eliminated than even one
+        // full-dirty partial pass per refresh would give.
+        assert!(
+            stats.elimination_ratio() < 1.0,
+            "narrow refreshes must re-eliminate a strict row subset: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn narrow_refresh_matches_full_newton_fixed_point() {
+        use crate::mna::{JacobianStrategy, NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        let nl = inverter_chain_with_load(12, Some(10e3));
+        let chord = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let full = NewtonOptions {
+            strategy: JacobianStrategy::Full,
+            ..NewtonOptions::default().with_backend(SolverBackend::Sparse)
+        };
+        let op_chord = OpSolver::primed(&nl, chord).unwrap().solve().unwrap();
+        let op_full = OpSolver::primed(&nl, full).unwrap().solve().unwrap();
+        for (a, b) in op_chord.raw().iter().zip(op_full.raw()) {
+            assert!((a - b).abs() < 1e-7, "chord+narrow {a} vs full Newton {b}");
+        }
+    }
+
+    /// A `sections`-long resistive ladder driven by a variable source —
+    /// linear, so source-only corner variants share one matrix bitwise.
+    fn resistive_ladder(sections: usize, volts: f64, r_ohms: f64) -> Netlist {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        nl.vsource("VIN", vin, GROUND, volts);
+        let mut prev = vin;
+        for s in 0..sections {
+            let node = nl.node(&format!("l{s}"));
+            nl.resistor(&format!("R{s}"), prev, node, r_ohms);
+            prev = node;
+        }
+        nl.resistor("RT", prev, GROUND, r_ohms);
+        nl
+    }
+
+    #[test]
+    fn solve_source_batch_matches_per_point_solves() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let options = NewtonOptions::default().with_backend(backend);
+            let base = resistive_ladder(24, 1.0, 1e3);
+            let corners: Vec<Netlist> =
+                (0..6).map(|c| resistive_ladder(24, 0.5 + 0.1 * c as f64, 1e3)).collect();
+            let batch = OpSolver::primed(&base, options).unwrap().solve_source_batch(&corners);
+            let batch = batch.unwrap();
+            assert_eq!(batch.len(), corners.len());
+            for (op, nl) in batch.iter().zip(&corners) {
+                let reference = operating_point(nl).unwrap();
+                for (a, b) in op.raw().iter().zip(reference.raw()) {
+                    assert!((a - b).abs() < 1e-6, "{backend}: batch {a} vs ladder {b}");
+                }
+            }
+            // Deterministic: a second batch over the same corners is
+            // bitwise identical.
+            let again =
+                OpSolver::primed(&base, options).unwrap().solve_source_batch(&corners).unwrap();
+            for (x, y) in batch.iter().zip(&again) {
+                for (a, b) in x.raw().iter().zip(y.raw()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{backend}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_source_batch_rejects_inapplicable_sweeps() {
+        use crate::mna::NewtonOptions;
+        use crate::netlist::inverter_chain_with_load;
+        // Nonlinear circuit: no shared factorization exists.
+        let nl = inverter_chain_with_load(4, Some(10e3));
+        let mut solver = OpSolver::primed(&nl, NewtonOptions::default()).unwrap();
+        assert!(matches!(
+            solver.solve_source_batch(std::slice::from_ref(&nl)),
+            Err(SpiceError::InvalidNetlist { .. })
+        ));
+        // Linear circuit, but a corner perturbs a resistor: the matrices
+        // differ, which the bitwise guard must catch.
+        let base = resistive_ladder(8, 1.0, 1e3);
+        let mut solver = OpSolver::primed(&base, NewtonOptions::default()).unwrap();
+        let corners = vec![resistive_ladder(8, 1.0, 1e3), resistive_ladder(8, 1.0, 2e3)];
+        assert!(matches!(
+            solver.solve_source_batch(&corners),
+            Err(SpiceError::InvalidNetlist { .. })
+        ));
+        // Empty batch is a no-op.
+        assert!(solver.solve_source_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn amd_ordering_matches_markowitz_operating_point() {
+        use crate::mna::{NewtonOptions, SolverBackend};
+        use crate::netlist::inverter_chain_with_load;
+        use glova_linalg::FillOrdering;
+        let nl = inverter_chain_with_load(12, Some(10e3));
+        let markowitz = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let amd = markowitz.with_ordering(FillOrdering::Amd);
+        let op_m = OpSolver::primed(&nl, markowitz).unwrap().solve().unwrap();
+        let op_a = OpSolver::primed(&nl, amd).unwrap().solve().unwrap();
+        for (a, b) in op_a.raw().iter().zip(op_m.raw()) {
+            assert!((a - b).abs() < 1e-7, "amd {a} vs markowitz {b}");
+        }
+        // AMD solves are themselves bitwise deterministic (pool clones
+        // share the pre-ordered symbolic analysis like Markowitz ones).
+        let op_a2 = OpSolver::primed(&nl, amd).unwrap().solve().unwrap();
+        for (a, b) in op_a.raw().iter().zip(op_a2.raw()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

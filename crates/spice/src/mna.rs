@@ -11,7 +11,7 @@ use crate::model::MosModel;
 use crate::netlist::{Netlist, NodeId, SourceWaveform};
 use crate::SpiceError;
 use glova_linalg::sparse::{CsrMatrix, SparseLu, Triplets};
-use glova_linalg::{LinalgError, Lu, Matrix};
+use glova_linalg::{FillOrdering, LinalgError, Lu, Matrix};
 
 /// Assembly context: DC or one implicit transient step.
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +123,11 @@ pub struct RefactorStats {
     pub full: u64,
     /// Partial refactorizations (dirty reachable set only).
     pub partial: u64,
+    /// The subset of `partial` that ran on the **narrow** (gmin-free)
+    /// dirty set: consecutive refreshes under the same `gmin` differ only
+    /// at the MOSFET restamp slots, so the gmin diagonal drops out of the
+    /// reachable set entirely.
+    pub narrow: u64,
     /// Factor rows actually re-eliminated, summed over all refreshes.
     pub rows_eliminated: u64,
     /// Factor rows a full-only scheme would have re-eliminated.
@@ -625,6 +630,12 @@ pub struct SparseAssemblyTemplate {
     /// the `gmin` diagonal — the dirty-input set for KLU-style partial
     /// refactorization.
     dirty_idx: Vec<usize>,
+    /// The narrow dirty set: MOSFET restamp slots only. Valid whenever
+    /// two consecutive assemblies used the **same** `gmin` (every rung of
+    /// the ladder holds `gmin` constant across its Newton refreshes), in
+    /// which case the gmin diagonal cancels out of the value delta and
+    /// the partial refactorization touches far fewer rows.
+    mos_dirty_idx: Vec<usize>,
     n_nodes: usize,
     /// Topology fingerprint of the netlist this template was walked
     /// from — the key guarding the value-only retarget fast path.
@@ -689,10 +700,14 @@ impl SparseAssemblyTemplate {
         let gmin_idx: Vec<usize> = (0..n_nodes)
             .map(|i| base.value_index(i, i).expect("node diagonal in pattern"))
             .collect();
-        let mut dirty_idx: Vec<usize> = gmin_idx.clone();
+        let mut mos_dirty_idx: Vec<usize> = Vec::new();
         for m in &mosfets {
-            dirty_idx.extend([m.pdg, m.pdd, m.pds, m.psg, m.psd, m.pss].into_iter().flatten());
+            mos_dirty_idx.extend([m.pdg, m.pdd, m.pds, m.psg, m.psd, m.pss].into_iter().flatten());
         }
+        mos_dirty_idx.sort_unstable();
+        mos_dirty_idx.dedup();
+        let mut dirty_idx: Vec<usize> = gmin_idx.clone();
+        dirty_idx.extend_from_slice(&mos_dirty_idx);
         dirty_idx.sort_unstable();
         dirty_idx.dedup();
         let rhs = RhsTemplate::new(rhs_static, dynamic_rhs, ctx);
@@ -703,6 +718,7 @@ impl SparseAssemblyTemplate {
             gmin_idx,
             slot_of,
             dirty_idx,
+            mos_dirty_idx,
             n_nodes,
             fingerprint: netlist.topology_fingerprint(),
         }
@@ -776,6 +792,16 @@ impl SparseAssemblyTemplate {
     /// plans against factorizations of this template's systems.
     pub fn dirty_value_indices(&self) -> &[usize] {
         &self.dirty_idx
+    }
+
+    /// The **narrow** dirty set — MOSFET restamp slots only, the `gmin`
+    /// diagonal excluded. Valid for refreshes whose assembly reused the
+    /// previous refresh's `gmin`: the diagonal contribution is then
+    /// bitwise unchanged, so only the nonlinear restamps can differ
+    /// (this is every chord/Newton refresh after the first within one
+    /// ladder rung).
+    pub fn mos_dirty_value_indices(&self) -> &[usize] {
+        &self.mos_dirty_idx
     }
 
     /// Re-points the template at a new context of the same kind — the
@@ -943,6 +969,10 @@ impl MnaTemplate {
             template_epoch: 0,
             factor_epoch: None,
             partial_plan: None,
+            narrow_plan: None,
+            ordering: FillOrdering::default(),
+            assembled_gmin: f64::NAN,
+            factor_gmin: None,
             refactor_stats: RefactorStats::default(),
         }
     }
@@ -983,6 +1013,23 @@ pub struct MnaState {
     /// Cached partial-refactorization schedule for the current sparse
     /// symbolic analysis; dropped whenever the factorization re-pivots.
     partial_plan: Option<SparsePartialPlan>,
+    /// Cached **narrow** schedule (MOSFET dirty slots only, the gmin
+    /// diagonal excluded) — used when the assembly's `gmin` matches the
+    /// last factored one; dropped alongside `partial_plan` on re-pivot.
+    narrow_plan: Option<SparsePartialPlan>,
+    /// Fill-reducing ordering for fresh sparse symbolic analyses (first
+    /// factor and post-collapse re-pivots). Markowitz by default;
+    /// threaded in from [`NewtonOptions::ordering`] by the solve entry
+    /// points.
+    ordering: FillOrdering,
+    /// `gmin` of the most recent [`assemble`](Self::assemble) (NaN before
+    /// the first), compared against `factor_gmin` to pick the narrow
+    /// dirty set.
+    assembled_gmin: f64,
+    /// `gmin` under which the current factorization's values were
+    /// assembled (`None` before the first successful refresh or after a
+    /// failed one — mirrors `factor_epoch`).
+    factor_gmin: Option<f64>,
     /// Cumulative full/partial refresh accounting.
     refactor_stats: RefactorStats,
 }
@@ -1035,7 +1082,8 @@ impl MnaState {
     }
 
     /// Assembles the linearized system around `x`.
-    fn assemble(&mut self, x: &[f64], gmin: f64) {
+    pub(crate) fn assemble(&mut self, x: &[f64], gmin: f64) {
+        self.assembled_gmin = gmin;
         match &mut self.inner {
             StateInner::Dense { template, a, rhs, .. } => {
                 template.assemble_into(a, rhs, x, gmin);
@@ -1074,12 +1122,19 @@ impl MnaState {
     /// drifting values break a frozen pivot it transparently re-pivots
     /// (fresh Markowitz analysis, counted in [`Self::repivots`]) before
     /// giving up.
-    fn refresh_factor(&mut self) -> Result<(), SpiceError> {
+    pub(crate) fn refresh_factor(&mut self) -> Result<(), SpiceError> {
         let epoch = self.template_epoch;
         let partial_ok = self.factor_epoch == Some(epoch);
+        // The narrow (gmin-free) dirty set applies only when the values
+        // can differ from the factored ones *solely* at the MOSFET
+        // restamps: same template epoch AND the same gmin on the
+        // diagonal. (NaN never equals, so a pre-first-assembly state
+        // can't take this path.)
+        let narrow_ok = partial_ok && self.factor_gmin == Some(self.assembled_gmin);
         // Invalidate until the refresh succeeds: an error leaves the
         // factor values unspecified, so the next attempt must run full.
         self.factor_epoch = None;
+        self.factor_gmin = None;
         let mut repivoted = false;
         match &mut self.inner {
             StateInner::Dense { a, lu, .. } => match lu {
@@ -1095,12 +1150,18 @@ impl MnaState {
                 let mut partial_rows: Option<usize> = None;
                 let refreshed = match lu.as_mut() {
                     Some(f) if partial_ok => {
-                        let plan = self
-                            .partial_plan
-                            .get_or_insert_with(|| f.plan_partial(template.dirty_value_indices()));
+                        let (plan_slot, dirty) = if narrow_ok {
+                            (&mut self.narrow_plan, template.mos_dirty_value_indices())
+                        } else {
+                            (&mut self.partial_plan, template.dirty_value_indices())
+                        };
+                        let plan = plan_slot.get_or_insert_with(|| f.plan_partial(dirty));
                         match f.refactor_partial(a, plan) {
                             Ok(()) => {
                                 partial_rows = Some(plan.rows_eliminated());
+                                if narrow_ok {
+                                    self.refactor_stats.narrow += 1;
+                                }
                                 Ok(())
                             }
                             // A plan/symbolic mismatch cannot normally
@@ -1117,10 +1178,14 @@ impl MnaState {
                 match (refreshed, lu.is_some()) {
                     (Ok(()), _) => {}
                     // A collapsed frozen pivot (or a first-use factor):
-                    // fresh Markowitz analysis, schedule invalidated.
+                    // fresh symbolic analysis under the configured
+                    // fill-reducing ordering, schedules invalidated.
                     (Err(LinalgError::Singular { .. }), had_factor) => {
-                        *lu = Some(SparseLu::factor(a).map_err(SpiceError::from)?);
+                        *lu = Some(
+                            SparseLu::factor_with(a, self.ordering).map_err(SpiceError::from)?,
+                        );
                         self.partial_plan = None;
+                        self.narrow_plan = None;
                         repivoted = had_factor;
                     }
                     (Err(e), _) => return Err(SpiceError::from(e)),
@@ -1144,6 +1209,7 @@ impl MnaState {
             self.repivots += 1;
         }
         self.factor_epoch = Some(epoch);
+        self.factor_gmin = Some(self.assembled_gmin);
         Ok(())
     }
 
@@ -1167,6 +1233,20 @@ impl MnaState {
     /// Whether this state runs the sparse backend.
     pub fn is_sparse(&self) -> bool {
         matches!(self.inner, StateInner::Sparse { .. })
+    }
+
+    /// Sets the fill-reducing ordering used for **fresh** sparse symbolic
+    /// analyses (the first factorization and any post-collapse re-pivot).
+    /// A factorization already frozen is untouched — call this before
+    /// [`prime`](Self::prime) to control the symbolic analysis every
+    /// clone of this state will share.
+    pub fn set_ordering(&mut self, ordering: FillOrdering) {
+        self.ordering = ordering;
+    }
+
+    /// The fill-reducing ordering fresh symbolic analyses run under.
+    pub fn ordering(&self) -> FillOrdering {
+        self.ordering
     }
 
     /// Assembles the system at the all-zeros estimate under `gmin` and
@@ -1229,10 +1309,14 @@ impl MnaState {
                 // this instance instead of returning it to the free
                 // list with non-canonical symbolic state. The numeric
                 // re-pivot counter is preserved: it tracks collapsed
-                // frozen pivots, not topology changes.
+                // frozen pivots, not topology changes. The ordering
+                // choice likewise survives — it is solver configuration,
+                // not per-topology state.
                 let repivots = self.repivots;
+                let ordering = self.ordering;
                 *self = template.into_state();
                 self.repivots = repivots;
+                self.ordering = ordering;
                 RetargetOutcome::Topology
             }
         }
@@ -1288,6 +1372,68 @@ impl MnaState {
             }
         }
     }
+
+    /// Solves the factored system for `nrhs` right-hand sides stacked
+    /// back to back in `b` (side `r` at `b[r·n .. (r+1)·n]`) — one
+    /// factor streaming pass for the whole batch, bitwise identical per
+    /// side to repeated [`solve_into`](Self::solve_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorization is present or `b.len() ≠ n·nrhs`.
+    pub(crate) fn solve_batch_into(&mut self, b: &[f64], x: &mut Vec<f64>, nrhs: usize) {
+        match &mut self.inner {
+            StateInner::Dense { lu, .. } => {
+                lu.as_ref()
+                    .expect("factorization present after refresh")
+                    .solve_into_batch(b, x, nrhs);
+            }
+            StateInner::Sparse { lu, .. } => {
+                lu.as_mut()
+                    .expect("factorization present after refresh")
+                    .solve_into_batch(b, x, nrhs);
+            }
+        }
+    }
+
+    /// Number of nonlinear devices restamped per assembly.
+    pub(crate) fn nonlinear_count(&self) -> usize {
+        match &self.inner {
+            StateInner::Dense { template, .. } => template.nonlinear_count(),
+            StateInner::Sparse { template, .. } => template.nonlinear_count(),
+        }
+    }
+
+    /// Copies the most recently assembled right-hand side into `out`.
+    pub(crate) fn rhs_into(&self, out: &mut [f64]) {
+        match &self.inner {
+            StateInner::Dense { rhs, .. } => out.copy_from_slice(rhs),
+            StateInner::Sparse { rhs, .. } => out.copy_from_slice(rhs),
+        }
+    }
+
+    /// FNV-1a over the assembled matrix values' bit patterns — the guard
+    /// batched corner sweeps use to verify every variant shares one
+    /// matrix bitwise (source-only perturbations never touch it).
+    pub(crate) fn matrix_value_hash(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        match &self.inner {
+            StateInner::Dense { a, .. } => {
+                for i in 0..a.rows() {
+                    for &v in a.row(i) {
+                        acc = (acc ^ v.to_bits()).wrapping_mul(FNV_PRIME);
+                    }
+                }
+            }
+            StateInner::Sparse { a, .. } => {
+                for &v in a.values() {
+                    acc = (acc ^ v.to_bits()).wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        acc
+    }
 }
 
 /// When the Newton loop re-factors the Jacobian.
@@ -1338,6 +1484,11 @@ pub struct NewtonOptions {
     pub strategy: JacobianStrategy,
     /// Linear-solver backend (size-based auto-selection by default).
     pub backend: SolverBackend,
+    /// Fill-reducing ordering for fresh sparse symbolic analyses
+    /// (Markowitz greedy by default; [`FillOrdering::Amd`] pre-orders
+    /// the pattern with approximate minimum degree, which wins on 2-D
+    /// coupling structures like sense-amp arrays).
+    pub ordering: FillOrdering,
 }
 
 impl NewtonOptions {
@@ -1352,6 +1503,12 @@ impl NewtonOptions {
         self.backend = backend;
         self
     }
+
+    /// Overrides the sparse fill-reducing ordering (builder style).
+    pub fn with_ordering(mut self, ordering: FillOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
 }
 
 impl Default for NewtonOptions {
@@ -1362,6 +1519,7 @@ impl Default for NewtonOptions {
             max_step: 0.5,
             strategy: JacobianStrategy::default(),
             backend: SolverBackend::default(),
+            ordering: FillOrdering::default(),
         }
     }
 }
@@ -1433,6 +1591,10 @@ pub fn newton_solve_with_state(
 ) -> Result<Vec<f64>, SpiceError> {
     let n = state.dim();
     assert_eq!(initial.len(), n, "initial guess dimension mismatch");
+    // Fresh symbolic analyses inside this solve (first factor, re-pivot
+    // recovery) honor the caller's ordering choice. A factorization the
+    // state already carries is never re-ordered here.
+    state.set_ordering(options.ordering);
     let n_nodes = state.n_nodes();
     let mut x = initial.to_vec();
 

@@ -495,9 +495,184 @@ pub fn rc_ladder(sections: usize, r_ohms: f64, c_farads: f64) -> Netlist {
     nl
 }
 
+/// Device values for [`sense_amp_array`] — see
+/// [`sense_amp_array_with`] for the topology the values land on.
+///
+/// The capacitances default to the constants of the analytic
+/// `glova_circuits` DRAM testcase (10 fF cell, 85 fF bitline) so the
+/// netlist's charge-sharing signal cross-checks against its closed-form
+/// `v_sig = vdd/2 · C_cell / (C_cell + C_bl)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmpParams {
+    /// Supply voltage, volts (the precharge rail sits at `vdd / 2`).
+    pub vdd: f64,
+    /// Wordline driver resistance, ohms (vdd → each wordline).
+    pub r_wordline: f64,
+    /// Precharge resistance, ohms (vdd/2 rail → each bitline half).
+    pub r_precharge: f64,
+    /// Cell leakage/anchor resistance, ohms (each cell node → ground).
+    pub r_cell: f64,
+    /// Latch transistor width, µm (all four cross-coupled devices).
+    pub w_latch_um: f64,
+    /// Access transistor width, µm.
+    pub w_access_um: f64,
+    /// Channel length, µm (all devices).
+    pub l_um: f64,
+    /// Storage-cell capacitance, farads (cell node → ground; DC-open).
+    pub c_cell_f: f64,
+    /// Bitline capacitance, farads (each bitline half → ground; DC-open).
+    pub c_bitline_f: f64,
+}
+
+impl Default for SenseAmpParams {
+    fn default() -> Self {
+        Self {
+            vdd: 0.9,
+            r_wordline: 1e3,
+            r_precharge: 2e3,
+            r_cell: 100e3,
+            w_latch_um: 0.5,
+            w_access_um: 2.0,
+            l_um: 0.1,
+            c_cell_f: 10e-15,
+            c_bitline_f: 85e-15,
+        }
+    }
+}
+
+/// [`sense_amp_array_with`] under the default [`SenseAmpParams`].
+pub fn sense_amp_array(rows: usize, cols: usize) -> Netlist {
+    sense_amp_array_with(rows, cols, &SenseAmpParams::default())
+}
+
+/// A `rows × cols` DRAM sense-amplifier array — the repo's genuinely
+/// **2-D** MNA coupling pattern (every other generator is a chain or a
+/// ladder, i.e. 1-D).
+///
+/// Topology per the classic open-bitline organization:
+///
+/// - `vdd` and a `vpre = vdd/2` precharge rail (one V-source branch
+///   each);
+/// - one wordline node `wl{r}` per row, anchored to `vdd` through
+///   `r_wordline` (gates draw no DC current, so the wordline sits at
+///   `vdd` — every access device is on);
+/// - one bitline pair `bl{c}` / `blb{c}` per column, each half precharged
+///   to `vpre` through `r_precharge` and loaded by `c_bitline_f`, with a
+///   cross-coupled CMOS latch (two NMOS to ground, two PMOS to `vdd`)
+///   regenerating the differential signal;
+/// - one storage cell per `(r, c)`: an access NMOS from `bl{c}` gated by
+///   `wl{r}` into cell node `cell{r}_{c}`, which carries `c_cell_f` and a
+///   `r_cell` leakage anchor to ground.
+///
+/// Cell `(r, c)` therefore couples row node `wl{r}` and column node
+/// `bl{c}` in the Jacobian (drain rows pick up gate-column `gm` entries),
+/// giving the grid-like fill structure that separates fill-reducing
+/// orderings from greedy ones. Unknowns: `rows·cols + rows + 2·cols + 4`
+/// (cells + wordlines + bitline pairs + two rails + two branches).
+///
+/// The DC operating point is well-defined for every size: each node has
+/// a resistive path to a rail, and the `gmin` ladder handles the latch
+/// bistability. The organization is open-bitline — cells load only the
+/// true half of each pair — so the DC solution carries a genuine
+/// pre-sensing differential (`bl` below its `blb` reference).
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn sense_amp_array_with(rows: usize, cols: usize, p: &SenseAmpParams) -> Netlist {
+    assert!(rows > 0 && cols > 0, "a sense-amp array needs at least one row and column");
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vpre = nl.node("vpre");
+    nl.vsource("VDD", vdd, GROUND, p.vdd);
+    nl.vsource("VPRE", vpre, GROUND, p.vdd / 2.0);
+    let nmos = MosModel::nmos_28nm();
+    let pmos = MosModel::pmos_28nm();
+
+    let wordlines: Vec<NodeId> = (0..rows)
+        .map(|r| {
+            let wl = nl.node(&format!("wl{r}"));
+            nl.resistor(&format!("RWL{r}"), vdd, wl, p.r_wordline);
+            wl
+        })
+        .collect();
+
+    let bitlines: Vec<NodeId> = (0..cols)
+        .map(|c| {
+            let bl = nl.node(&format!("bl{c}"));
+            let blb = nl.node(&format!("blb{c}"));
+            nl.resistor(&format!("RPB{c}"), vpre, bl, p.r_precharge);
+            nl.resistor(&format!("RPBB{c}"), vpre, blb, p.r_precharge);
+            nl.capacitor(&format!("CBL{c}"), bl, GROUND, p.c_bitline_f);
+            nl.capacitor(&format!("CBLB{c}"), blb, GROUND, p.c_bitline_f);
+            // Cross-coupled sense-amp latch on the pair.
+            nl.mosfet(&format!("MN1_{c}"), bl, blb, GROUND, nmos, p.w_latch_um, p.l_um);
+            nl.mosfet(&format!("MN2_{c}"), blb, bl, GROUND, nmos, p.w_latch_um, p.l_um);
+            nl.mosfet(&format!("MP1_{c}"), bl, blb, vdd, pmos, p.w_latch_um, p.l_um);
+            nl.mosfet(&format!("MP2_{c}"), blb, bl, vdd, pmos, p.w_latch_um, p.l_um);
+            bl
+        })
+        .collect();
+
+    for (r, &wl) in wordlines.iter().enumerate() {
+        for (c, &bl) in bitlines.iter().enumerate() {
+            let cell = nl.node(&format!("cell{r}_{c}"));
+            nl.mosfet(&format!("MA{r}_{c}"), bl, wl, cell, nmos, p.w_access_um, p.l_um);
+            nl.capacitor(&format!("CC{r}_{c}"), cell, GROUND, p.c_cell_f);
+            nl.resistor(&format!("RC{r}_{c}"), cell, GROUND, p.r_cell);
+        }
+    }
+    nl
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sense_amp_array_counts_and_fingerprint() {
+        let nl = sense_amp_array(3, 4);
+        // cells + wordlines + bitline pairs + two rails + two branches.
+        assert_eq!(nl.unknown_count(), 3 * 4 + 3 + 2 * 4 + 4);
+        assert_eq!(nl.vsource_count(), 2);
+        // Same shape ⇒ same topology fingerprint even under different
+        // device values (the value-only retarget precondition); a
+        // different shape must differ.
+        let resized = SenseAmpParams { r_precharge: 3e3, ..SenseAmpParams::default() };
+        assert_eq!(
+            nl.topology_fingerprint(),
+            sense_amp_array_with(3, 4, &resized).topology_fingerprint()
+        );
+        assert_ne!(nl.topology_fingerprint(), sense_amp_array(4, 3).topology_fingerprint());
+    }
+
+    #[test]
+    fn sense_amp_array_operating_point_is_sane() {
+        let p = SenseAmpParams::default();
+        let mut nl = sense_amp_array(3, 3);
+        let op = crate::dc::operating_point(&nl).unwrap();
+        // Wordlines carry no DC gate current: exactly vdd.
+        let wl = nl.node("wl1");
+        assert!((op.voltage(wl) - p.vdd).abs() < 1e-6, "wordline at {}", op.voltage(wl));
+        // Open-bitline asymmetry: the cells load only the true half, so
+        // `bl` is pulled below its reference `blb` — the pre-sensing
+        // differential the latch amplifies.
+        let bl = nl.node("bl1");
+        let blb = nl.node("blb1");
+        assert!(
+            op.voltage(bl) < op.voltage(blb),
+            "cell-loaded half below reference: {} vs {}",
+            op.voltage(bl),
+            op.voltage(blb)
+        );
+        assert!(op.voltage(bl) < p.vdd / 2.0, "bitline below precharge: {}", op.voltage(bl));
+        assert!(op.voltage(bl) > 0.0, "bitline above ground: {}", op.voltage(bl));
+        assert!(op.voltage(blb) < p.vdd, "reference below vdd: {}", op.voltage(blb));
+        // Cells leak to ground through the anchor, so they sit between
+        // ground and the bitline.
+        let cell = nl.node("cell1_1");
+        assert!(op.voltage(cell) > 0.0 && op.voltage(cell) < op.voltage(bl));
+    }
 
     #[test]
     fn node_interning() {

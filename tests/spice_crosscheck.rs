@@ -3,11 +3,13 @@
 //! the same corner-aware model cards, so their qualitative predictions
 //! must agree.
 
+use glova_circuits::{Circuit, DramCoreSense};
 use glova_spice::analysis::{crossing_time, Edge};
 use glova_spice::model::MosModel;
-use glova_spice::netlist::{Netlist, SourceWaveform, GROUND};
+use glova_spice::netlist::{sense_amp_array_with, Netlist, SenseAmpParams, SourceWaveform, GROUND};
 use glova_spice::transient::{transient, TransientSpec};
 use glova_variation::corner::{CornerSet, ProcessCorner, PvtCorner};
+use glova_variation::sampler::MismatchVector;
 
 /// Simulated propagation delay of a loaded CMOS inverter at a corner.
 fn inverter_tphl(corner: &PvtCorner) -> f64 {
@@ -132,5 +134,54 @@ fn mismatch_shifts_spice_inverter_trip_point() {
     assert!(
         trip_shifted > trip_nominal + 0.005,
         "trip should rise with NMOS vth: {trip_nominal:.4} -> {trip_shifted:.4}"
+    );
+}
+
+/// Pre-sensing bitline differential of a small sense-amp array, volts.
+fn sense_amp_differential(p: &SenseAmpParams) -> f64 {
+    let mut nl = sense_amp_array_with(4, 3, p);
+    let op = glova_spice::dc::operating_point(&nl).expect("array DC converges");
+    let bl = nl.node("bl1");
+    let blb = nl.node("blb1");
+    op.voltage(blb) - op.voltage(bl)
+}
+
+#[test]
+fn sense_amp_array_shares_dram_core_charge_budget() {
+    // The MNA sense-amp array carries the same storage/bitline
+    // capacitances as the analytic OCSA + subhole model (10 fF cell over
+    // an 85 fF open bitline), so both imply the same charge-sharing
+    // signal V_sig = (V_DD/2)·C_S/(C_S+C_BL) ≈ 47 mV — the quantity the
+    // DRAM testcase's sensing margins are built from.
+    let p = SenseAmpParams::default();
+    assert_eq!(p.c_cell_f, 10e-15, "cell capacitance diverged from the DRAM model");
+    assert_eq!(p.c_bitline_f, 85e-15, "bitline capacitance diverged from the DRAM model");
+    let v_sig = 0.5 * p.vdd * p.c_cell_f / (p.c_cell_f + p.c_bitline_f);
+    assert!((v_sig - 47.4e-3).abs() < 1e-3, "charge-sharing signal off: {v_sig:.4e}");
+}
+
+#[test]
+fn sense_amp_low_supply_shrinks_differential_like_dram_margin() {
+    // Both engines agree on the supply sensitivity of sensing margin:
+    // lowering VDD shrinks the MNA array's pre-sensing bitline
+    // differential AND the analytic DRAM model's dv0 sensing margin.
+    let nominal = sense_amp_differential(&SenseAmpParams::default());
+    let low = sense_amp_differential(&SenseAmpParams { vdd: 0.75, ..SenseAmpParams::default() });
+    assert!(
+        nominal > 0.0 && low > 0.0 && low < nominal - 1e-3,
+        "SPICE differential should shrink at low VDD: {low:.4} vs {nominal:.4}"
+    );
+
+    let dram = DramCoreSense::new();
+    let x = dram.reference_design();
+    let h = MismatchVector::nominal(dram.mismatch_domain(&x).dim());
+    let m_nom = dram.evaluate(&x, &PvtCorner::typical(), &h);
+    let low_v = PvtCorner { vdd: 0.75, ..PvtCorner::typical() };
+    let m_low = dram.evaluate(&x, &low_v, &h);
+    assert!(
+        m_low[0] < m_nom[0],
+        "analytic dv0 should shrink at low VDD: {} vs {}",
+        m_low[0],
+        m_nom[0]
     );
 }
