@@ -1,0 +1,418 @@
+//! End-to-end risk-sensitive sizing campaigns over the SPICE engine.
+//!
+//! Runs [`SizingCampaign`] on the SPICE-backed testcases — the two-stage
+//! OTA, the inverter chain and the DRAM sense-amp array — twice per
+//! circuit with the same seed and goal: once on the full 30-corner
+//! industrial grid every step, once with RobustAnalog-style corner-set
+//! pruning (`k`-worst corners, full re-rank every `R` steps). Both arms
+//! batch each policy step's corner × mismatch grid into a single engine
+//! dispatch, so the per-worker SPICE solver pools, the value-only
+//! retargeting fast path and the evaluation cache stay hot across the
+//! whole run. The headline number is the **simulation ratio**
+//! `full.sims_to_success / pruned.sims_to_success` — wall-clock-free, so
+//! it gates deterministically on 1-core CI runners (see the `campaign`
+//! scenario in `perfsuite`).
+//!
+//! Usage:
+//!
+//! ```text
+//! campaign [--circuits ota,inv,senseamp|all] [--steps N] [--seed S]
+//!          [--stages N] [--k K] [--rerank R] [--yield-samples N]
+//!          [--goal f1,f2,...] [--family] [--probe]
+//!          [--engine sequential|threaded[:N]] [--report]
+//! ```
+//!
+//! `--goal f1,f2,...` overrides the per-circuit default goal factors
+//! (applies to every selected circuit — combine with `--circuits` to
+//! retarget one). `--family` additionally runs a PPAAS-style goal family
+//! on the OTA — one shared goal-conditioned agent sized against three
+//! spec targets.
+//! `--probe` skips the campaigns and prints worst-case metric ranges of
+//! Latin-hypercube seed designs over the corner grid (the data the
+//! default goal factors were chosen from). `--report` writes the full
+//! trajectory document to `BENCH_campaign.json` at the repo root; see
+//! `docs/CAMPAIGNS.md` for the schema and how to read it.
+
+use glova::cache::EvalCacheConfig;
+use glova::campaign::{CampaignConfig, CampaignResult, PruningConfig, SizingCampaign};
+use glova::engine::EngineSpec;
+use glova::problem::SizingProblem;
+use glova_bench::report::{json_f64, json_string, resolve_git_rev, SCHEMA_VERSION};
+use glova_bench::{engine_from_args, fmt_ratio, report_requested};
+use glova_circuits::spec::Goal;
+use glova_circuits::Circuit;
+use glova_stats::rng::seeded;
+use glova_turbo::latin_hypercube;
+use glova_variation::config::VerificationMethod;
+use std::sync::Arc;
+
+/// One SPICE testcase with the goal factors the campaign optimizes for.
+///
+/// The goals tighten each base spec past the feasibility of typical
+/// Latin-hypercube seed designs (verified with `--probe`), so a campaign
+/// has to actually search — a goal the seeds already satisfy would end at
+/// step 0 with identical cost in both arms.
+struct Case {
+    name: &'static str,
+    circuit: Arc<dyn Circuit>,
+    goal: Vec<f64>,
+}
+
+fn cases(selected: &str, stages: usize) -> Vec<Case> {
+    let all = selected == "all";
+    let want = |tag: &str| all || selected.split(',').any(|s| s.trim() == tag);
+    let mut out = Vec::new();
+    if want("ota") {
+        out.push(Case {
+            name: "SpiceOta",
+            circuit: Arc::new(glova_circuits::SpiceOta::new()),
+            // dc_gain_db ≥ 40·1.4 = 56, gbw ≥ 30·5 = 150 MHz,
+            // supply current ≤ 150·0.5 = 75 µA.
+            goal: vec![1.4, 5.0, 0.5],
+        });
+    }
+    if want("inv") {
+        out.push(Case {
+            name: "SpiceInverterChain",
+            circuit: Arc::new(glova_circuits::SpiceInverterChain::new(stages)),
+            // current ≤ 44% of the base budget, out_high ≥ 0.75 V,
+            // out_low ≤ 60 mV.
+            goal: vec![0.44, 1.25, 0.4],
+        });
+    }
+    if want("senseamp") {
+        out.push(Case {
+            name: "SpiceSenseAmpArray",
+            circuit: Arc::new(glova_circuits::SpiceSenseAmpArray::new(5, 4)),
+            // bl_diff ≥ 12·1.5 = 18 mV, droop ≤ 85%, current ≤ 75%.
+            goal: vec![1.5, 0.85, 0.75],
+        });
+    }
+    assert!(!out.is_empty(), "no circuit matched --circuits {selected}");
+    out
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{name} expects an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = engine_from_args(&args);
+    let selected = flag(&args, "--circuits").unwrap_or_else(|| "ota,inv".to_string());
+    let steps = flag_usize(&args, "--steps", 120);
+    let seed = flag_usize(&args, "--seed", 1) as u64;
+    let stages = flag_usize(&args, "--stages", 8);
+    let k = flag_usize(&args, "--k", 5);
+    let rerank = flag_usize(&args, "--rerank", 10);
+    let yield_samples = flag_usize(&args, "--yield-samples", 0);
+    let family = args.iter().any(|a| a == "--family");
+    let probe = args.iter().any(|a| a == "--probe");
+    let goal_override: Option<Vec<f64>> = flag(&args, "--goal").map(|v| {
+        v.split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--goal expects comma-separated floats, got `{v}`");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    });
+
+    let mut cases = cases(&selected, stages);
+    if let Some(goal) = &goal_override {
+        for case in &mut cases {
+            case.goal.clone_from(goal);
+        }
+    }
+    if probe {
+        for case in &cases {
+            probe_case(case, seed);
+        }
+        return;
+    }
+
+    let mut campaigns: Vec<(String, String, CampaignResult)> = Vec::new();
+    let mut summary: Vec<(String, Option<u64>, Option<u64>)> = Vec::new();
+    for case in &cases {
+        let base = CampaignConfig::quick(VerificationMethod::Corner)
+            .with_engine(engine)
+            .with_cache(EvalCacheConfig::default())
+            .with_goal(case.goal.clone())
+            .with_max_steps(steps)
+            .with_yield_estimate(yield_samples);
+        println!("== {} (goal {:?}, seed {seed}) ==", case.name, case.goal);
+        let full = run_arm(case, base.clone(), "full", seed);
+        let pruned =
+            run_arm(case, base.with_pruning(PruningConfig::new(k, rerank)), "pruned", seed);
+        let ratio = sim_ratio(&full, &pruned);
+        println!(
+            "   sims-to-success {} (full) vs {} (pruned)  =>  ratio {}\n",
+            full.sims_to_success.map_or("-".into(), |s| s.to_string()),
+            pruned.sims_to_success.map_or("-".into(), |s| s.to_string()),
+            fmt_ratio(ratio),
+        );
+        summary.push((case.name.to_string(), full.sims_to_success, pruned.sims_to_success));
+        campaigns.push((case.name.to_string(), "full".to_string(), full));
+        campaigns.push((case.name.to_string(), "pruned".to_string(), pruned));
+    }
+
+    let mut family_results: Vec<(Vec<f64>, CampaignResult)> = Vec::new();
+    if family {
+        family_results = run_family_demo(steps, engine, seed);
+    }
+
+    if report_requested(&args) {
+        let json = render_json(engine, seed, &campaigns, &family_results, &summary);
+        match glova_bench::report::write_json_to_repo_root("campaign", &json) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write BENCH_campaign.json: {err}"),
+        }
+    }
+}
+
+/// Runs one campaign arm and prints its trajectory summary.
+fn run_arm(case: &Case, config: CampaignConfig, mode: &str, seed: u64) -> CampaignResult {
+    let campaign = SizingCampaign::new(case.circuit.clone(), config);
+    let result = campaign.run(seed);
+    let tail = result.steps.last();
+    println!(
+        "   {mode:6} {} in {} steps  init {}  total {} sims  pruned {:.0}%  wall {:.2}s",
+        if result.success { "solved" } else { "FAILED" },
+        result.steps.len(),
+        result.init_sims,
+        result.total_sims,
+        100.0 * result.pruning.pruned_fraction(),
+        result.wall.as_secs_f64(),
+    );
+    if let Some(s) = tail {
+        println!(
+            "          last step: worst {:+.3}  best {:+.3}  pass {:.0}%  corners {}/{}",
+            s.worst_reward,
+            s.best_reward,
+            100.0 * s.pass_fraction,
+            s.active_corners,
+            s.corner_count,
+        );
+    }
+    if let Some(y) = &result.yield_estimate {
+        println!("          yield {y}");
+    }
+    result
+}
+
+/// PPAAS-style goal family on the OTA: one shared agent, three targets
+/// from relaxed to tight.
+fn run_family_demo(steps: usize, engine: EngineSpec, seed: u64) -> Vec<(Vec<f64>, CampaignResult)> {
+    let goals = vec![vec![1.1, 2.0, 0.9], vec![1.3, 4.0, 0.6], vec![1.45, 5.5, 0.5]];
+    println!("== SpiceOta goal family (shared agent, {} targets) ==", goals.len());
+    let config = CampaignConfig::quick(VerificationMethod::Corner)
+        .with_engine(engine)
+        .with_cache(EvalCacheConfig::default())
+        .with_max_steps(steps);
+    let campaign = SizingCampaign::new(Arc::new(glova_circuits::SpiceOta::new()), config);
+    let results = campaign.run_family(&goals, seed);
+    for (goal, r) in goals.iter().zip(&results) {
+        println!(
+            "   goal {goal:?}: {} after {} steps, {} sims",
+            if r.success { "solved" } else { "failed" },
+            r.steps.len(),
+            r.total_sims,
+        );
+    }
+    println!();
+    goals.into_iter().zip(results).collect()
+}
+
+/// Prints worst-case metric ranges of Latin-hypercube designs over the
+/// corner grid — the data behind the per-circuit goal factors.
+fn probe_case(case: &Case, seed: u64) {
+    let problem = SizingProblem::new(case.circuit.clone(), VerificationMethod::Corner);
+    let spec = problem.circuit().spec().clone();
+    let corners = problem.config().corners.clone();
+    let mut rng = seeded(seed);
+    let mut designs = latin_hypercube(16, problem.dim(), &mut rng);
+    designs.push(vec![0.5; problem.dim()]);
+    println!("== probe {} ({} designs x {} corners) ==", case.name, designs.len(), corners.len());
+    for m in spec.metrics() {
+        let dir = match m.goal {
+            Goal::Above => ">=",
+            Goal::Below => "<=",
+        };
+        print!("   {:18} {} {:>9.3}  worst-case per design:", m.name, dir, m.limit);
+        let mut best = f64::NEG_INFINITY;
+        for x in &designs {
+            let h = glova_variation::sampler::MismatchVector::nominal(
+                problem.circuit().mismatch_domain(x).dim(),
+            );
+            let worst = (0..corners.len())
+                .map(|ci| {
+                    let outcome = problem.simulate(x, &corners.corner(ci), &h);
+                    let idx = spec
+                        .metrics()
+                        .iter()
+                        .position(|s| s.name == m.name)
+                        .expect("metric in spec");
+                    outcome.metrics[idx]
+                })
+                .fold(
+                    match m.goal {
+                        Goal::Above => f64::INFINITY,
+                        Goal::Below => f64::NEG_INFINITY,
+                    },
+                    |acc, v| match m.goal {
+                        Goal::Above => acc.min(v),
+                        Goal::Below => acc.max(v),
+                    },
+                );
+            print!(" {worst:8.2}");
+            best = best.max(match m.goal {
+                Goal::Above => worst,
+                Goal::Below => -worst,
+            });
+        }
+        let achievable = match m.goal {
+            Goal::Above => best,
+            Goal::Below => -best,
+        };
+        println!("  | best achievable {achievable:8.2}");
+    }
+    println!();
+}
+
+fn sim_ratio(full: &CampaignResult, pruned: &CampaignResult) -> f64 {
+    match (full.sims_to_success, pruned.sims_to_success) {
+        (Some(f), Some(p)) if p > 0 => f as f64 / p as f64,
+        _ => f64::NAN,
+    }
+}
+
+// ---- JSON serialization (hand-rolled; see report.rs for the idiom) ------
+
+fn json_u64_opt(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |x| x.to_string())
+}
+
+fn json_f64_array(values: impl Iterator<Item = f64>) -> String {
+    let items: Vec<String> = values.map(json_f64).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn campaign_json(circuit: &str, mode: &str, r: &CampaignResult) -> String {
+    let goal =
+        r.goal_factors.as_ref().map_or("null".to_string(), |g| json_f64_array(g.iter().copied()));
+    let final_design =
+        r.final_design.as_ref().map_or("null".to_string(), |x| json_f64_array(x.iter().copied()));
+    let yield_json = r.yield_estimate.as_ref().map_or("null".to_string(), |y| {
+        format!(
+            concat!(
+                "{{\"samples\":{},\"passes\":{},\"yield_point\":{},",
+                "\"confidence\":{},\"interval\":[{},{}],",
+                "\"worst_corner\":{},\"worst_corner_yield\":{}}}"
+            ),
+            y.samples,
+            y.passes,
+            json_f64(y.yield_point),
+            json_f64(y.confidence),
+            json_f64(y.confidence_interval.0),
+            json_f64(y.confidence_interval.1),
+            y.worst_corner,
+            json_f64(y.worst_corner_yield),
+        )
+    });
+    let steps: Vec<String> = r.steps.iter().map(|s| s.step.to_string()).collect();
+    let active: Vec<String> = r.steps.iter().map(|s| s.active_corners.to_string()).collect();
+    let sims: Vec<String> = r.steps.iter().map(|s| s.sims.to_string()).collect();
+    let full_grid: Vec<String> = r.steps.iter().map(|s| s.full_grid.to_string()).collect();
+    format!(
+        concat!(
+            "{{\"circuit\":{},\"mode\":{},\"goal_factors\":{},\"success\":{},",
+            "\"steps_taken\":{},\"init_sims\":{},\"sims_to_success\":{},",
+            "\"total_sims\":{},\"wall_seconds\":{},\"pruned_fraction\":{},",
+            "\"full_steps\":{},\"pruned_steps\":{},\"best_reward\":{},",
+            "\"final_design\":{},\"yield\":{},\"trajectory\":{{",
+            "\"step\":[{}],\"active_corners\":[{}],\"sims\":[{}],",
+            "\"worst_reward\":{},\"best_reward\":{},\"pass_fraction\":{},",
+            "\"full_grid\":[{}],\"wall_ms\":{}}}}}"
+        ),
+        json_string(circuit),
+        json_string(mode),
+        goal,
+        r.success,
+        r.steps.len(),
+        r.init_sims,
+        json_u64_opt(r.sims_to_success),
+        r.total_sims,
+        json_f64(r.wall.as_secs_f64()),
+        json_f64(r.pruning.pruned_fraction()),
+        r.pruning.full_steps,
+        r.pruning.pruned_steps,
+        json_f64(r.best_reward),
+        final_design,
+        yield_json,
+        steps.join(","),
+        active.join(","),
+        sims.join(","),
+        json_f64_array(r.steps.iter().map(|s| s.worst_reward)),
+        json_f64_array(r.steps.iter().map(|s| s.best_reward)),
+        json_f64_array(r.steps.iter().map(|s| s.pass_fraction)),
+        full_grid.join(","),
+        json_f64_array(r.steps.iter().map(|s| s.wall.as_secs_f64() * 1000.0)),
+    )
+}
+
+fn render_json(
+    engine: EngineSpec,
+    seed: u64,
+    campaigns: &[(String, String, CampaignResult)],
+    family: &[(Vec<f64>, CampaignResult)],
+    summary: &[(String, Option<u64>, Option<u64>)],
+) -> String {
+    let git_rev = resolve_git_rev().map_or("null".to_string(), |r| json_string(&r));
+    let campaign_items: Vec<String> =
+        campaigns.iter().map(|(circuit, mode, r)| campaign_json(circuit, mode, r)).collect();
+    let family_items: Vec<String> =
+        family.iter().map(|(_, r)| campaign_json("SpiceOta", "family", r)).collect();
+    let summary_items: Vec<String> = summary
+        .iter()
+        .map(|(circuit, full, pruned)| {
+            let ratio = match (full, pruned) {
+                (Some(f), Some(p)) if *p > 0 => json_f64(*f as f64 / *p as f64),
+                _ => "null".to_string(),
+            };
+            format!(
+                concat!(
+                    "{{\"circuit\":{},\"full_sims_to_success\":{},",
+                    "\"pruned_sims_to_success\":{},\"pruning_sim_ratio\":{}}}"
+                ),
+                json_string(circuit),
+                json_u64_opt(*full),
+                json_u64_opt(*pruned),
+                ratio,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n  \"name\": \"campaign\",\n  \"schema_version\": {},\n",
+            "  \"git_rev\": {},\n  \"engine\": {},\n  \"seed\": {},\n",
+            "  \"campaigns\": [{}],\n  \"family\": [{}],\n  \"summary\": [{}]\n}}\n"
+        ),
+        SCHEMA_VERSION,
+        git_rev,
+        json_string(&format!("{engine}")),
+        seed,
+        campaign_items.join(","),
+        family_items.join(","),
+        summary_items.join(","),
+    )
+}

@@ -47,6 +47,15 @@
 //!   [`SparseLu::solve_into_batch`] sweep, gated at ≥
 //!   `--min-multirhs-speedup` (default 1.0× — the batch path streams
 //!   the factor once and must never lose to the loop).
+//! - `campaign` — end-to-end risk-sensitive sizing campaigns
+//!   ([`SizingCampaign`]) on the SPICE OTA and inverter chain, full
+//!   30-corner grid vs RobustAnalog-style corner-set pruning with the
+//!   same seed and goal. Gated on the **simulation ratio**
+//!   `full.sims_to_success / pruned.sims_to_success ≥
+//!   --min-pruning-sim-ratio` (default 1.5×) — a deterministic count,
+//!   not a timing, so the gate holds on 1-core runners — plus an
+//!   independent full-grid feasibility re-check of the pruned arm's
+//!   final design (pruning must never weaken the success criterion).
 //!
 //! The `--gate` mode enforces: per-scenario wall ceiling, best threaded
 //! speedup across the yield-grid matrix ≥ `--min-speedup` (skipped on
@@ -61,6 +70,7 @@
 //! CI-noise, not signal.
 
 use glova::cache::{CachePolicy, EvalCacheConfig};
+use glova::campaign::{CampaignConfig, PruningConfig, SizingCampaign};
 use glova::engine::EngineSpec;
 use glova::problem::SizingProblem;
 use glova::verification::Verifier;
@@ -632,6 +642,86 @@ fn main() {
             "spice_ota: nominal OTA point violates its spec at the typical corner \
              (metrics {ota_metrics:?}) — DC/AC solver stack regression"
         ));
+    }
+
+    // ---- campaign: corner-set pruning on end-to-end sizing runs --------
+    // Two identically seeded campaigns per SPICE circuit — full grid vs
+    // k-worst pruning — under a goal spec tight enough that the LHS
+    // seeds fail and the agent has to search (the factors come from the
+    // campaign bin's --probe mode; see docs/CAMPAIGNS.md). The gate is
+    // wall-clock-free: it compares deterministic simulation counts, so
+    // it holds on a 1-core runner, and it re-checks the pruned arm's
+    // final design on the full corner grid independently of the
+    // campaign's own confirmation dispatch.
+    let pruning_floor: f64 =
+        flag(&args, "--min-pruning-sim-ratio").and_then(|s| s.parse().ok()).unwrap_or(1.5);
+    let campaign_cases: Vec<(&str, Arc<dyn Circuit>, Vec<f64>)> = vec![
+        ("SpiceOta", Arc::new(glova_circuits::SpiceOta::new()), vec![1.4, 5.0, 0.5]),
+        (
+            "SpiceInverterChain",
+            Arc::new(glova_circuits::SpiceInverterChain::new(8)),
+            vec![0.44, 1.25, 0.4],
+        ),
+    ];
+    for (name, circuit, goal) in &campaign_cases {
+        let base = CampaignConfig::quick(VerificationMethod::Corner)
+            .with_cache(EvalCacheConfig::default())
+            .with_goal(goal.clone())
+            .with_max_steps(120);
+        let corner_count = 30usize;
+        let run = |config: CampaignConfig| {
+            let campaign = SizingCampaign::new(circuit.clone(), config);
+            let result = campaign.run(1);
+            (campaign, result)
+        };
+        let (_, full) = run(base.clone());
+        let full_sims = full.sims_to_success.unwrap_or(full.total_sims);
+        let full_rec =
+            BenchRecord::new("campaign", *name, "full-grid", corner_count, full_sims, full.wall);
+        print_record(&full_rec);
+        report.push(full_rec);
+
+        let (pruned_campaign, pruned) = run(base.with_pruning(PruningConfig::new(5, 10)));
+        let pruned_sims = pruned.sims_to_success.unwrap_or(pruned.total_sims);
+        let sim_ratio = full_sims as f64 / pruned_sims.max(1) as f64;
+        let pruned_rec =
+            BenchRecord::new("campaign", *name, "pruned", corner_count, pruned_sims, pruned.wall)
+                .with_speedup(sim_ratio);
+        print_record(&pruned_rec);
+        report.push(pruned_rec);
+
+        if gate {
+            if !full.success || !pruned.success {
+                failures.push(format!(
+                    "campaign: {name} arm failed to reach a feasible design \
+                     (full {}, pruned {})",
+                    full.success, pruned.success
+                ));
+                continue;
+            }
+            if sim_ratio < pruning_floor {
+                failures.push(format!(
+                    "campaign: {name} pruned arm needed {pruned_sims} sims vs \
+                     {full_sims} full-grid ({sim_ratio:.2}x, floor {pruning_floor:.1}x)"
+                ));
+            }
+            // Pruning must not weaken success: the pruned design must
+            // satisfy the goal spec at every corner of the full grid.
+            let x = pruned.final_design.as_ref().expect("successful campaign carries a design");
+            let goal_spec = circuit.spec().with_scaled_limits(goal);
+            let problem = pruned_campaign.problem();
+            let corners = problem.config().corners.clone();
+            for ci in 0..corners.len() {
+                let h = MismatchVector::nominal(circuit.mismatch_domain(x).dim());
+                let outcome = problem.simulate(x, &corners.corner(ci), &h);
+                if !goal_spec.satisfied(&outcome.metrics) {
+                    failures.push(format!(
+                        "campaign: {name} pruned design violates the goal spec at \
+                         corner {ci} on the full-grid re-check"
+                    ));
+                }
+            }
+        }
     }
 
     // ---- gate: wall ceiling over every record --------------------------

@@ -155,17 +155,44 @@ fn git_rev_from_worktree() -> Option<String> {
     }
 }
 
+/// Resolves the git revision the same way [`BenchReport::new`] does —
+/// `GLOVA_GIT_REV` first, then `GITHUB_SHA`, then `git rev-parse HEAD` —
+/// exposed for bins that serialize custom-schema artifacts (the campaign
+/// bin's `BENCH_campaign.json` trajectory document).
+pub fn resolve_git_rev() -> Option<String> {
+    std::env::var("GLOVA_GIT_REV")
+        .or_else(|_| std::env::var("GITHUB_SHA"))
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(git_rev_from_worktree)
+}
+
+/// Writes an arbitrary JSON document to `BENCH_<name>.json` at the
+/// workspace root and returns the path — the custom-schema sibling of
+/// [`BenchReport::write_to_repo_root`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json_to_repo_root(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    // crates/bench → workspace root, compile-time anchored so bins work
+    // from any cwd.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the workspace root")
+        .to_path_buf();
+    let path = root.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 impl BenchReport {
     /// Creates an empty report, picking the git revision up from the
     /// environment (`GLOVA_GIT_REV` first, then `GITHUB_SHA`, then a
     /// `git rev-parse HEAD` of the source tree).
     pub fn new(name: impl Into<String>) -> Self {
-        let git_rev = std::env::var("GLOVA_GIT_REV")
-            .or_else(|_| std::env::var("GITHUB_SHA"))
-            .ok()
-            .filter(|s| !s.is_empty())
-            .or_else(git_rev_from_worktree);
-        Self { name: name.into(), git_rev, records: Vec::new() }
+        Self { name: name.into(), git_rev: resolve_git_rev(), records: Vec::new() }
     }
 
     /// Appends a record.
@@ -197,21 +224,12 @@ impl BenchReport {
     ///
     /// Propagates filesystem errors.
     pub fn write_to_repo_root(&self) -> std::io::Result<PathBuf> {
-        // crates/bench → workspace root, compile-time anchored so bins
-        // work from any cwd.
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .expect("bench crate sits two levels below the workspace root")
-            .to_path_buf();
-        let path = root.join(self.file_name());
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        write_json_to_repo_root(&self.name, &self.to_json())
     }
 }
 
 /// JSON string escaping (control characters, quotes, backslashes).
-fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -232,7 +250,7 @@ fn json_string(s: &str) -> String {
 /// Finite floats via shortest-roundtrip `Display` (always valid JSON:
 /// Rust renders integral floats as `1` only for `{:?}`… `Display` gives
 /// `1` too, so force a decimal form), non-finite as `null`.
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
     }

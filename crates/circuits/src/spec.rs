@@ -102,6 +102,21 @@ impl MetricSpec {
     pub fn mu_sigma_pass(&self, mean: f64, std_dev: f64, beta2: f64) -> bool {
         self.satisfied(self.mu_sigma_bound(mean, std_dev, beta2))
     }
+
+    /// The same metric with its limit multiplied by `factor` — the
+    /// per-metric building block of a goal-conditioned spec family.
+    ///
+    /// Whether a factor tightens or relaxes depends on the orientation:
+    /// for a [`Goal::Below`] metric `factor < 1` tightens, for a
+    /// [`Goal::Above`] metric `factor > 1` tightens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn with_scaled_limit(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive: {factor}");
+        Self { name: self.name.clone(), goal: self.goal, limit: self.limit * factor }
+    }
 }
 
 /// The full constraint set of a sizing problem.
@@ -165,6 +180,32 @@ impl DesignSpec {
             SATISFIED_REWARD
         } else {
             self.normalized(values).iter().map(|f| f.min(0.0)).sum()
+        }
+    }
+
+    /// A goal-scaled member of this spec's family: metric `i`'s limit is
+    /// multiplied by `factors[i]` (see [`MetricSpec::with_scaled_limit`]
+    /// for the tighten/relax orientation). A factor of `1.0` leaves a
+    /// metric unchanged, so the all-ones vector reproduces this spec.
+    ///
+    /// This is the spec-family encoding behind PPAAS-style goal
+    /// conditioning: a campaign appends `factors` to the agent's
+    /// observation and rewards against the scaled spec, letting one agent
+    /// serve every member of the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != len()` or any factor is not positive
+    /// and finite.
+    pub fn with_scaled_limits(&self, factors: &[f64]) -> Self {
+        assert_eq!(factors.len(), self.metrics.len(), "one scale factor per metric");
+        Self {
+            metrics: self
+                .metrics
+                .iter()
+                .zip(factors)
+                .map(|(m, &f)| m.with_scaled_limit(f))
+                .collect(),
         }
     }
 
@@ -267,6 +308,33 @@ mod tests {
         let above = MetricSpec::above("m", 10.0);
         assert_eq!(above.violation(11.0), 0.0);
         assert!(above.violation(8.0) > 0.0);
+    }
+
+    #[test]
+    fn scaled_limits_shift_feasibility() {
+        let s = spec();
+        // Identity factors reproduce the spec exactly.
+        assert_eq!(s.with_scaled_limits(&[1.0, 1.0]), s);
+        // Tighten power (Below: factor < 1) and margin (Above: factor > 1).
+        let tight = s.with_scaled_limits(&[0.5, 1.2]);
+        assert_eq!(tight.metrics()[0].limit, 20.0);
+        assert_eq!(tight.metrics()[1].limit, 102.0);
+        // A point feasible under the base spec fails the tight member.
+        assert!(s.satisfied(&[30.0, 100.0]));
+        assert!(!tight.satisfied(&[30.0, 100.0]));
+        assert!(tight.satisfied(&[15.0, 110.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn nonpositive_scale_factor_panics() {
+        spec().with_scaled_limits(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale factor per metric")]
+    fn scale_factor_count_must_match() {
+        spec().with_scaled_limits(&[1.0]);
     }
 
     proptest! {

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod cache;
+pub mod campaign;
 pub mod engine;
 pub mod evaluation;
 pub mod optimizer;
@@ -55,6 +56,10 @@ pub mod verification;
 pub mod yield_est;
 
 pub use cache::{CachePolicy, CacheStats, EvalCache, EvalCacheConfig};
+pub use campaign::{
+    CampaignConfig, CampaignResult, CampaignStep, CornerScheduler, PruningConfig, PruningStats,
+    SizingCampaign,
+};
 pub use engine::{EngineSpec, EvalEngine, Sequential, Threaded};
 pub use evaluation::MuSigmaEvaluation;
 pub use optimizer::{GlovaConfig, GlovaOptimizer};
@@ -68,6 +73,7 @@ pub use yield_est::{estimate_yield, YieldEstimate};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::cache::{CachePolicy, EvalCacheConfig};
+    pub use crate::campaign::{CampaignConfig, PruningConfig, SizingCampaign};
     pub use crate::engine::EngineSpec;
     pub use crate::optimizer::{GlovaConfig, GlovaOptimizer};
     pub use crate::problem::SizingProblem;

@@ -240,6 +240,50 @@ impl SizingProblem {
         self.grid_over_corners(x, n, rng, Self::sample_conditions_independent)
     }
 
+    /// Simulates `x` over an arbitrary subset of this problem's corners —
+    /// `corner_indices[j]` paired with the pre-sampled `conditions[j]` —
+    /// in **one** engine dispatch, returning outcomes grouped per selected
+    /// corner in the given order.
+    ///
+    /// This is the campaign fast path behind corner-set pruning
+    /// ([`crate::campaign`]): a policy step's candidate × active-corner ×
+    /// mismatch grid flattens into a single [`map_indexed`] batch, so a
+    /// threaded engine keeps its per-worker SPICE solvers hot instead of
+    /// draining between per-corner mini-batches. Conditions are sampled by
+    /// the caller *before* dispatch (the engine-parity invariant); results
+    /// are bitwise-identical across engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or a corner index is out
+    /// of range.
+    pub fn simulate_selected_corners(
+        &self,
+        x: &[f64],
+        corner_indices: &[usize],
+        conditions: &[Vec<MismatchVector>],
+    ) -> Vec<Vec<SimOutcome>> {
+        assert_eq!(corner_indices.len(), conditions.len(), "one condition set per corner");
+        let selected: Vec<PvtCorner> =
+            corner_indices.iter().map(|&ci| self.config.corners.corner(ci)).collect();
+        let pairs: Vec<(&PvtCorner, &MismatchVector)> = selected
+            .iter()
+            .zip(conditions)
+            .flat_map(|(corner, hs)| hs.iter().map(move |h| (corner, h)))
+            .collect();
+        let outcomes = map_indexed(self.engine.as_ref(), pairs.len(), |i| {
+            let (corner, h) = pairs[i];
+            self.simulate(x, corner, h)
+        });
+        let mut grouped = Vec::with_capacity(conditions.len());
+        let mut offset = 0;
+        for hs in conditions {
+            grouped.push(outcomes[offset..offset + hs.len()].to_vec());
+            offset += hs.len();
+        }
+        grouped
+    }
+
     fn grid_over_corners(
         &self,
         x: &[f64],
@@ -344,6 +388,51 @@ mod tests {
         assert_eq!(worst_s.to_bits(), worst_t.to_bits());
         assert_eq!(seq.simulations(), 24);
         assert_eq!(thr.simulations(), 24);
+    }
+
+    #[test]
+    fn selected_corner_subset_matches_per_corner_batches() {
+        let p = problem(VerificationMethod::CornerLocalMc);
+        let x = vec![0.45; 4];
+        let mut rng = seeded(21);
+        let indices = [4usize, 0, 2];
+        let conditions: Vec<Vec<MismatchVector>> =
+            indices.iter().map(|_| p.sample_conditions(&x, 3, &mut rng)).collect();
+        let grouped = p.simulate_selected_corners(&x, &indices, &conditions);
+        assert_eq!(grouped.len(), 3);
+        for (j, &ci) in indices.iter().enumerate() {
+            let corner = p.config().corners.corner(ci);
+            let (reference, _) = p.simulate_conditions(&x, &corner, &conditions[j]);
+            assert_eq!(grouped[j], reference, "corner {ci} diverged from per-corner dispatch");
+        }
+    }
+
+    #[test]
+    fn selected_corner_subset_is_engine_invariant() {
+        let toy = Arc::new(ToyQuadratic::standard());
+        let seq = SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc);
+        let thr = SizingProblem::with_engine(
+            toy,
+            VerificationMethod::CornerLocalMc,
+            Arc::new(Threaded::new(4)),
+        );
+        let x = vec![0.6; 4];
+        let mut rng = seeded(22);
+        let indices = [1usize, 3, 5, 2];
+        let conditions: Vec<Vec<MismatchVector>> =
+            indices.iter().map(|_| seq.sample_conditions(&x, 6, &mut rng)).collect();
+        let a = seq.simulate_selected_corners(&x, &indices, &conditions);
+        let b = thr.simulate_selected_corners(&x, &indices, &conditions);
+        assert_eq!(a, b);
+        assert_eq!(seq.simulations(), 24);
+        assert_eq!(thr.simulations(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "one condition set per corner")]
+    fn selected_corner_subset_requires_matching_lengths() {
+        let p = problem(VerificationMethod::Corner);
+        p.simulate_selected_corners(&[0.5; 4], &[0, 1], &[]);
     }
 
     #[test]

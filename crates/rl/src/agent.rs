@@ -12,8 +12,14 @@ pub const SATISFIED_REWARD: f64 = 0.2;
 /// Agent hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AgentConfig {
-    /// Design-space dimension `p`.
+    /// Design-space dimension `p` — the actor's *action* width.
     pub dim: usize,
+    /// Width of the goal vector appended to every observation (PPAAS-style
+    /// goal conditioning; 0 disables it). With `goal_dim > 0` the actor and
+    /// critic take `dim + goal_dim` inputs — the design followed by the
+    /// spec-target encoding — while the actor still outputs `dim` values,
+    /// so one trained agent serves a family of spec targets.
+    pub goal_dim: usize,
     /// Number of critic base models (1 disables the ensemble — the
     /// "w/o EC" ablation of Table III).
     pub ensemble_size: usize,
@@ -50,6 +56,7 @@ impl AgentConfig {
         assert!(dim > 0, "dimension must be positive");
         Self {
             dim,
+            goal_dim: 0,
             ensemble_size: 5,
             beta1: -3.0,
             batch_size: 10,
@@ -69,6 +76,19 @@ impl AgentConfig {
         self.ensemble_size = 1;
         self
     }
+
+    /// Enables goal conditioning with a `goal_dim`-wide spec-target
+    /// encoding appended to every observation (builder style).
+    pub fn with_goal_dim(mut self, goal_dim: usize) -> Self {
+        self.goal_dim = goal_dim;
+        self
+    }
+
+    /// Observation width `dim + goal_dim` — what [`RiskSensitiveAgent::observe`]
+    /// and [`RiskSensitiveAgent::propose`] expect.
+    pub fn obs_dim(&self) -> usize {
+        self.dim + self.goal_dim
+    }
 }
 
 /// The risk-sensitive RL agent: actor, ensemble critic, worst-case replay
@@ -86,12 +106,17 @@ pub struct RiskSensitiveAgent {
 
 impl RiskSensitiveAgent {
     /// Creates an agent with freshly initialized networks.
+    ///
+    /// With `config.goal_dim > 0` both networks take the full
+    /// `dim + goal_dim` observation (design ++ goal encoding); the actor's
+    /// output stays `dim`-wide.
     pub fn new<R: Rng + ?Sized>(config: AgentConfig, rng: &mut R) -> Self {
-        let actor_cfg = MlpConfig::new(config.dim, &config.hidden, config.dim, Activation::Relu)
-            .with_output_activation(Activation::Sigmoid);
+        let actor_cfg =
+            MlpConfig::new(config.obs_dim(), &config.hidden, config.dim, Activation::Relu)
+                .with_output_activation(Activation::Sigmoid);
         let actor = Mlp::new(&actor_cfg, rng);
         let critic = EnsembleCritic::new(
-            config.dim,
+            config.obs_dim(),
             config.ensemble_size,
             &config.hidden,
             config.beta1,
@@ -143,21 +168,26 @@ impl RiskSensitiveAgent {
         &self.buffer
     }
 
-    /// Stores a `(design, worst-case reward)` observation (Algorithm 1's
+    /// Stores an `(observation, worst-case reward)` pair (Algorithm 1's
     /// "store the data in B_worst").
+    ///
+    /// Without goal conditioning the observation is the design itself; with
+    /// `goal_dim > 0` it is the design with the goal encoding appended
+    /// (see [`AgentConfig::obs_dim`]).
     ///
     /// # Panics
     ///
-    /// Panics if the design dimension is wrong.
-    pub fn observe(&mut self, design: Vec<f64>, worst_reward: f64) {
-        assert_eq!(design.len(), self.config.dim, "design dimension mismatch");
-        self.buffer.push(design, worst_reward);
+    /// Panics if the observation dimension is wrong.
+    pub fn observe(&mut self, observation: Vec<f64>, worst_reward: f64) {
+        assert_eq!(observation.len(), self.config.obs_dim(), "observation dimension mismatch");
+        self.buffer.push(observation, worst_reward);
     }
 
-    /// Proposes the next design from the last one: `A(x_last) + noise`,
-    /// clamped to the unit cube.
+    /// Proposes the next design from the last observation:
+    /// `A(x_last) + noise`, clamped to the unit cube. The returned action
+    /// is always `dim`-wide (the goal suffix, if any, is input-only).
     pub fn propose<R: Rng + ?Sized>(&self, x_last: &[f64], rng: &mut R) -> Vec<f64> {
-        assert_eq!(x_last.len(), self.config.dim, "design dimension mismatch");
+        assert_eq!(x_last.len(), self.config.obs_dim(), "observation dimension mismatch");
         let mut next = self.actor.forward(x_last);
         self.noise.perturb(&mut next, rng);
         next
@@ -184,11 +214,18 @@ impl RiskSensitiveAgent {
             let mut total = Gradients::zeros_like(&self.actor);
             for (x, _) in &batch {
                 let (action, cache) = self.actor.forward_cached(x);
-                let q = self.critic.predict(&action);
-                let dq_da = self.critic.input_gradient(&action);
+                // The critic scores the proposed action under the same goal
+                // as the replayed observation; the goal suffix is a constant
+                // input, so only the action components of ∂Q/∂input flow
+                // back through the actor.
+                let critic_in: Vec<f64> =
+                    action.iter().chain(x[self.config.dim..].iter()).copied().collect();
+                let q = self.critic.predict(&critic_in);
+                let dq_da = self.critic.input_gradient(&critic_in);
                 let dl_dq =
                     self.config.ddpg_weight * 2.0 * (q - SATISFIED_REWARD) / batch.len() as f64;
-                let mut grad_out: Vec<f64> = dq_da.iter().map(|g| dl_dq * g).collect();
+                let mut grad_out: Vec<f64> =
+                    dq_da[..self.config.dim].iter().map(|g| dl_dq * g).collect();
                 if let Some(target) = &self.proximal_target {
                     for ((g, a), t) in grad_out.iter_mut().zip(&action).zip(target) {
                         *g += self.config.proximal_weight * 2.0 * (a - t) / batch.len() as f64;
@@ -203,7 +240,10 @@ impl RiskSensitiveAgent {
         self.noise.step();
     }
 
-    /// The best stored design by worst-case reward, if any.
+    /// The best stored observation by worst-case reward, if any.
+    ///
+    /// With goal conditioning the observation carries the goal suffix; the
+    /// design part is the leading `config.dim` components.
     pub fn best_design(&self) -> Option<(&[f64], f64)> {
         self.buffer.best()
     }
@@ -333,6 +373,45 @@ mod tests {
         let (mean, std) = agent.critic().predict_detail(&x);
         assert_eq!(std, 0.0);
         assert_eq!(agent.critic().predict(&x), mean);
+    }
+
+    #[test]
+    fn goal_conditioned_agent_keeps_action_width() {
+        let mut rng = seeded(21);
+        let cfg = config().with_goal_dim(2);
+        assert_eq!(cfg.obs_dim(), 5);
+        let mut agent = RiskSensitiveAgent::new(cfg, &mut rng);
+        // Observations carry the goal suffix; actions stay 3-wide.
+        agent.observe(vec![0.2, 0.4, 0.6, 1.0, 0.8], -0.3);
+        agent.observe(vec![0.6, 0.4, 0.5, 0.9, 1.1], 0.2);
+        agent.set_proximal_target(Some(vec![0.6, 0.4, 0.5]));
+        for _ in 0..5 {
+            agent.train_step(&mut rng);
+        }
+        let action = agent.propose(&[0.6, 0.4, 0.5, 0.9, 1.1], &mut rng);
+        assert_eq!(action.len(), 3);
+        assert!(action.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn goal_suffix_changes_the_policy() {
+        // The same design under two different goal encodings must map to
+        // different proposals — the goal is a real input, not dead weight.
+        let mut rng = seeded(22);
+        let agent = RiskSensitiveAgent::new(config().with_goal_dim(1), &mut rng);
+        let mut ra = seeded(23);
+        let mut rb = seeded(23);
+        let a = agent.propose(&[0.5, 0.5, 0.5, 0.8], &mut ra);
+        let b = agent.propose(&[0.5, 0.5, 0.5, 1.2], &mut rb);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation dimension mismatch")]
+    fn goal_conditioned_agent_rejects_bare_designs() {
+        let mut rng = seeded(24);
+        let mut agent = RiskSensitiveAgent::new(config().with_goal_dim(1), &mut rng);
+        agent.observe(vec![0.5, 0.5, 0.5], 0.0);
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! assert!(next.iter().all(|v| (0.0..=1.0).contains(v)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod agent;
 pub mod critic;
 pub mod noise;

@@ -32,6 +32,8 @@
 //! assert!(best_y > -0.05, "best {best_y} at {best_x:?}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod design;
 pub mod gp;
 pub mod kernel;

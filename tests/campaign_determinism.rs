@@ -1,0 +1,159 @@
+//! Campaign determinism and pruning-parity battery.
+//!
+//! The campaign layer promises two things the in-crate unit tests only
+//! spot-check:
+//!
+//! 1. **Engine-independence** — a campaign's full trajectory (per-step
+//!    worst rewards, simulation counts, corner selections, the final
+//!    design) is bitwise-identical whether the batched dispatches run on
+//!    the sequential engine or a threaded one at any worker count. The
+//!    determinism is by construction (conditions pre-sampled corner-major
+//!    before dispatch, index-ordered collection, order-independent
+//!    NaN-propagating reductions) — this battery checks the construction
+//!    end-to-end on a SPICE-backed circuit, where every point is a real
+//!    DC operating-point solve through per-worker solver pools.
+//! 2. **Pruning parity** — RobustAnalog-style corner-set pruning may only
+//!    change *which corners are simulated*, never what "success" means: a
+//!    pruned campaign's final design must satisfy the goal spec at every
+//!    corner of the full grid, re-checked here independently of the
+//!    campaign's own confirmation dispatch.
+
+use glova::cache::EvalCacheConfig;
+use glova::campaign::{CampaignConfig, CampaignResult, PruningConfig, SizingCampaign};
+use glova::engine::EngineSpec;
+use glova_circuits::Circuit;
+use glova_variation::config::VerificationMethod;
+use glova_variation::sampler::MismatchVector;
+use std::sync::Arc;
+
+fn chain() -> Arc<dyn Circuit> {
+    Arc::new(glova_circuits::SpiceInverterChain::new(8))
+}
+
+/// The perfsuite gate's inverter-chain goal: tight enough that the LHS
+/// seeds fail and the policy loop actually runs.
+fn config() -> CampaignConfig {
+    CampaignConfig::quick(VerificationMethod::Corner)
+        .with_cache(EvalCacheConfig::default())
+        .with_goal(vec![0.44, 1.25, 0.4])
+        .with_max_steps(60)
+        .with_pruning(PruningConfig::new(5, 10))
+}
+
+fn run_with(engine: EngineSpec, seed: u64) -> CampaignResult {
+    SizingCampaign::new(chain(), config().with_engine(engine)).run(seed)
+}
+
+/// Asserts two trajectories are bitwise-identical, step by step.
+fn assert_trajectories_identical(a: &CampaignResult, b: &CampaignResult, label: &str) {
+    assert_eq!(a.success, b.success, "{label}: success mismatch");
+    assert_eq!(a.final_design, b.final_design, "{label}: final design mismatch");
+    assert_eq!(a.best_reward.to_bits(), b.best_reward.to_bits(), "{label}: best reward");
+    assert_eq!(a.init_sims, b.init_sims, "{label}: init sims");
+    assert_eq!(a.sims_to_success, b.sims_to_success, "{label}: sims to success");
+    assert_eq!(a.total_sims, b.total_sims, "{label}: total sims");
+    assert_eq!(a.pruning, b.pruning, "{label}: pruning counters");
+    assert_eq!(a.steps.len(), b.steps.len(), "{label}: step count");
+    for (sa, sb) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(
+            sa.worst_reward.to_bits(),
+            sb.worst_reward.to_bits(),
+            "{label}: step {} worst reward",
+            sa.step
+        );
+        assert_eq!(
+            sa.best_reward.to_bits(),
+            sb.best_reward.to_bits(),
+            "{label}: step {} best reward",
+            sa.step
+        );
+        assert_eq!(sa.sims, sb.sims, "{label}: step {} sims", sa.step);
+        assert_eq!(
+            sa.active_corners, sb.active_corners,
+            "{label}: step {} corner selection",
+            sa.step
+        );
+        assert_eq!(sa.full_grid, sb.full_grid, "{label}: step {} coverage", sa.step);
+        assert_eq!(
+            sa.pass_fraction.to_bits(),
+            sb.pass_fraction.to_bits(),
+            "{label}: step {} pass fraction",
+            sa.step
+        );
+    }
+}
+
+#[test]
+fn spice_campaign_trajectory_is_engine_invariant() {
+    let seq = run_with(EngineSpec::Sequential, 1);
+    assert!(seq.success, "reference campaign must solve the gate goal");
+    assert!(!seq.steps.is_empty(), "goal must force the policy loop to run");
+    for workers in [2usize, 4] {
+        let thr = run_with(EngineSpec::Threaded(workers), 1);
+        assert_trajectories_identical(&seq, &thr, &format!("threaded:{workers}"));
+    }
+}
+
+#[test]
+fn engine_invariance_holds_on_a_failing_campaign() {
+    // An unreachable goal exercises the full step budget — stagnation
+    // restarts, re-rank cadence, noise resets — with no early exit.
+    let hard = config().with_goal(vec![0.05, 1.25, 0.4]).with_max_steps(25);
+    let mk = |engine| SizingCampaign::new(chain(), hard.clone().with_engine(engine)).run(3);
+    let seq = mk(EngineSpec::Sequential);
+    assert!(!seq.success, "goal chosen to be unreachable");
+    assert_eq!(seq.steps.len(), 25, "failing campaign runs the whole budget");
+    let thr = mk(EngineSpec::Threaded(4));
+    assert_trajectories_identical(&seq, &thr, "failing campaign");
+}
+
+#[test]
+fn pruned_final_design_is_feasible_on_the_full_grid() {
+    let campaign = SizingCampaign::new(chain(), config());
+    let result = campaign.run(1);
+    assert!(result.success);
+    assert!(result.pruning.pruned_steps > 0, "campaign must actually have pruned corner sets");
+    assert!(
+        result.steps.last().is_some_and(|s| s.full_grid),
+        "the success step must have confirmed full-grid coverage"
+    );
+
+    // Independent re-check: the goal-scaled spec holds at every corner
+    // of the grid, nominal mismatch.
+    let x = result.final_design.expect("successful campaign carries a design");
+    let goal_spec = campaign
+        .problem()
+        .circuit()
+        .spec()
+        .with_scaled_limits(result.goal_factors.as_ref().expect("goal campaign"));
+    let corners = campaign.problem().config().corners.clone();
+    for ci in 0..corners.len() {
+        let h = MismatchVector::nominal(campaign.problem().circuit().mismatch_domain(&x).dim());
+        let outcome = campaign.problem().simulate(&x, &corners.corner(ci), &h);
+        assert!(
+            goal_spec.satisfied(&outcome.metrics),
+            "pruned-campaign design violates the goal spec at corner {ci}: {:?}",
+            outcome.metrics
+        );
+    }
+}
+
+#[test]
+fn pruning_only_changes_corner_selection_not_the_grid() {
+    // Structural parity between the arms: identical seeding phase
+    // (same sims before the first policy step) and identical corner
+    // grid; the pruned arm's per-step simulations never exceed the full
+    // arm's grid size times N'.
+    let full =
+        SizingCampaign::new(chain(), config().with_pruning(PruningConfig::new(30, 1))).run(1);
+    let pruned = SizingCampaign::new(chain(), config()).run(1);
+    assert_eq!(full.init_sims, pruned.init_sims, "seeding phase is pruning-independent");
+    let grid = full.steps.first().map(|s| s.corner_count);
+    assert_eq!(grid, pruned.steps.first().map(|s| s.corner_count));
+    assert!(pruned.pruning.pruned_fraction() > 0.0);
+    assert_eq!(full.pruning.pruned_fraction(), 0.0, "k = grid disables pruning");
+    for s in &pruned.steps {
+        assert!(s.active_corners <= s.corner_count);
+        assert!(s.full_grid || s.active_corners == 5, "pruned plans use k corners");
+    }
+}
