@@ -33,7 +33,10 @@
 //! section sweeps prebuilt same-topology netlist variants through one
 //! persistent solver and reports the **per-point retarget overhead** for
 //! the value-only fast path vs the template-rebuild path (`--retarget
-//! values|rebuild` restricts the modes); the symbolic section times the
+//! values|rebuild` restricts the modes); the AC-retarget section is its
+//! small-signal sibling — per-frequency-point assembly through the
+//! compiled event template vs the netlist re-walk on a forced-sparse
+//! [`AcSolverPool`]; the symbolic section times the
 //! sparse factor / full-refactor / partial-refactor trio per pattern.
 //! Timings are best-of-two; `--report` writes `BENCH_spice_op.json`.
 
@@ -42,6 +45,7 @@ use glova_bench::report::{BenchRecord, BenchReport};
 use glova_bench::{report_requested, write_report};
 use glova_linalg::sparse::SparseLu;
 use glova_linalg::FillOrdering;
+use glova_spice::ac::{log_sweep, AcSolverPool};
 use glova_spice::dc::{OpSolver, OpSolverPool};
 use glova_spice::mna::{NewtonOptions, SolverBackend, SparseAssemblyTemplate, StampContext};
 use glova_spice::netlist::{
@@ -407,6 +411,88 @@ fn main() {
                 }
             }
         }
+    }
+
+    // ---- ac-retarget: per-point AC assembly, events vs re-walk ---------
+    // The AC sibling of the DC retarget column: the pooled small-signal
+    // solver rewrites a worker's value array per frequency point either
+    // through the compiled event template (`restamp_point`) or through
+    // the per-point netlist stamp walk (`restamp_point_rebuild`). No
+    // factor or solve in the loop — the column isolates exactly the
+    // per-point assembly overhead an AC sweep pays. The pool is forced
+    // sparse (the dense backend has no per-point template to measure).
+    println!("\n--- per-point AC retarget overhead (event template vs re-walk) ---");
+    let mut ac_cases: Vec<(String, Netlist, &str)> = Vec::new();
+    if circuit_set.iter().any(|k| k == "inv") {
+        ac_cases.push(("inv_chain24".to_string(), inverter_chain(24), "VIN"));
+    }
+    if circuit_set.iter().any(|k| k == "rc") {
+        ac_cases.push(("rc_ladder64".to_string(), rc_ladder(64, 1e3, 1e-12), "VIN"));
+    }
+    if circuit_set.iter().any(|k| k == "ota") {
+        ac_cases.push(("ota_two_stage".to_string(), ota_two_stage(&OtaParams::nominal()), "VINP"));
+    }
+    if circuit_set.iter().any(|k| k == "senseamp") {
+        ac_cases.push(("senseamp21x21".to_string(), sense_amp_array(21, 21), "VPRE"));
+    }
+    let ac_freqs = log_sweep(1e3, 1e9, 4);
+    for (name, nl, source) in &ac_cases {
+        let pool = match AcSolverPool::new(nl, source, &ac_freqs, SolverBackend::Sparse) {
+            Ok(pool) => pool,
+            Err(err) => {
+                println!("{name:<14} AC pool failed to prime ({err}) — skipped");
+                continue;
+            }
+        };
+        let ac_passes = 400usize;
+        let time_restamp = |retarget: bool| -> Duration {
+            let mut best = Duration::MAX;
+            for _ in 0..2 {
+                let start = Instant::now();
+                for _ in 0..ac_passes {
+                    for &f in &ac_freqs {
+                        let events = if retarget {
+                            pool.restamp_point(f)
+                        } else {
+                            pool.restamp_point_rebuild(f)
+                        };
+                        std::hint::black_box(events);
+                    }
+                }
+                best = best.min(start.elapsed());
+            }
+            best
+        };
+        let points = (ac_freqs.len() * ac_passes) as u64;
+        let per_point_us = |d: Duration| d.as_secs_f64() * 1e6 / points as f64;
+        let rewalk_wall = time_restamp(false);
+        let events_wall = time_restamp(true);
+        let ac_speedup = rewalk_wall.as_secs_f64() / events_wall.as_secs_f64().max(1e-12);
+        println!(
+            "{name:<14} sparse  rewalk {:8.3} us/point  events {:8.3} us/point  \
+             {ac_speedup:6.2}x vs rewalk",
+            per_point_us(rewalk_wall),
+            per_point_us(events_wall),
+        );
+        report.push(BenchRecord::new(
+            "spice_ac_retarget",
+            name.clone(),
+            "sparse+rewalk",
+            ac_freqs.len(),
+            points,
+            rewalk_wall,
+        ));
+        report.push(
+            BenchRecord::new(
+                "spice_ac_retarget",
+                name.clone(),
+                "sparse+events",
+                ac_freqs.len(),
+                points,
+                events_wall,
+            )
+            .with_speedup(ac_speedup),
+        );
     }
 
     // ---- symbolic: sparse cold-start + partial refactorization ---------

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod cholesky;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod ordering;
@@ -38,6 +39,7 @@ pub mod sparse;
 pub mod vector;
 
 pub use cholesky::Cholesky;
+pub use kernel::NumericKernel;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use ordering::{amd_order, FillOrdering};

@@ -73,6 +73,7 @@
 //! assert!((back[0] - 1.0).abs() < 1e-12);
 //! ```
 
+use crate::kernel::{self, NumericKernel};
 use crate::LinalgError;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -358,6 +359,11 @@ pub struct SparseLu<T = f64> {
     /// Identity of this symbolic analysis (shared by clones); partial
     /// plans are only valid against the analysis they were computed for.
     symbolic_id: u64,
+    /// Numeric elimination kernel used by [`Self::refactor`].
+    kernel: NumericKernel,
+    /// Lazily compiled elimination schedule for the blocked kernel
+    /// (plan shared by clones; invalidated with the symbolic analysis).
+    blocked: Option<kernel::BlockedState>,
 }
 
 /// A precomputed partial-refactorization schedule: the set of factor rows
@@ -1033,7 +1039,28 @@ impl<T: Scalar> SparseLu<T> {
             batch_work: Vec::new(),
             fallback_steps: 0,
             symbolic_id: SYMBOLIC_IDS.fetch_add(1, Ordering::Relaxed),
+            kernel: NumericKernel::Scalar,
+            blocked: None,
         }
+    }
+
+    /// Selects the numeric elimination kernel used by [`Self::refactor`]
+    /// (builder form). The blocked panel schedule is built lazily on the
+    /// first blocked refactor and shared by clones made afterwards.
+    #[must_use]
+    pub fn with_numeric_kernel(mut self, kernel: NumericKernel) -> Self {
+        self.set_numeric_kernel(kernel);
+        self
+    }
+
+    /// Selects the numeric elimination kernel used by [`Self::refactor`].
+    pub fn set_numeric_kernel(&mut self, kernel: NumericKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The active numeric elimination kernel.
+    pub fn numeric_kernel(&self) -> NumericKernel {
+        self.kernel
     }
 
     /// Up-looking elimination of packed row `p` over the frozen pattern —
@@ -1098,23 +1125,42 @@ impl<T: Scalar> SparseLu<T> {
         for (k, &dst) in self.a_to_lu.iter().enumerate() {
             self.lu_vals[dst] = a.values()[k];
         }
-        // Up-looking row elimination over the frozen pattern: every
-        // update lands inside the pattern by construction, so the inner
-        // loops are pure arithmetic.
-        for p in 0..self.n {
-            Self::eliminate_row(
-                &self.lu_ptr,
-                &self.lu_cols,
-                &self.diag_idx,
-                &mut self.lu_vals,
-                &mut self.work,
-                p,
-            );
-            if self.lu_vals[self.diag_idx[p]].modulus() < Self::SINGULARITY_EPS {
-                return Err(LinalgError::Singular { index: p });
+        match self.kernel {
+            NumericKernel::Scalar => {
+                // Up-looking row elimination over the frozen pattern:
+                // every update lands inside the pattern by construction,
+                // so the inner loops are pure arithmetic.
+                for p in 0..self.n {
+                    Self::eliminate_row(
+                        &self.lu_ptr,
+                        &self.lu_cols,
+                        &self.diag_idx,
+                        &mut self.lu_vals,
+                        &mut self.work,
+                        p,
+                    );
+                    if self.lu_vals[self.diag_idx[p]].modulus() < Self::SINGULARITY_EPS {
+                        return Err(LinalgError::Singular { index: p });
+                    }
+                }
+                Ok(())
+            }
+            NumericKernel::Blocked => {
+                let state = self.blocked.get_or_insert_with(|| {
+                    kernel::BlockedState::new(kernel::build_plan(
+                        &self.lu_ptr,
+                        &self.lu_cols,
+                        &self.diag_idx,
+                    ))
+                });
+                kernel::refactor_blocked(
+                    state,
+                    &self.diag_idx,
+                    &mut self.lu_vals,
+                    Self::SINGULARITY_EPS,
+                )
             }
         }
-        Ok(())
     }
 
     /// Computes the partial-refactorization schedule for a fixed set of

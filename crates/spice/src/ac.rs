@@ -169,19 +169,62 @@ pub fn ac_sweep_with_backend_from_op(
     Ok(AcResult::from_parts(frequencies.to_vec(), solutions, pool.n_nodes()))
 }
 
+/// One compiled small-signal stamp event: the value added to packed CSR
+/// slot `slot` at angular frequency ω is `re + j·ω·c`. Every stamp the
+/// linearized system produces is purely real (conductances, source
+/// couplings) or purely ω-proportional imaginary (capacitive
+/// admittances), so this two-scalar form loses nothing — and because
+/// IEEE-754 multiplication is sign-magnitude exact, `ω·(−c)` is bitwise
+/// `−(ω·c)`, making the replayed value bitwise identical to the one the
+/// full stamp walk computes.
+#[derive(Debug, Clone, Copy)]
+struct AcEvent {
+    slot: u32,
+    re: f64,
+    c: f64,
+}
+
 /// Per-worker state for one sparse AC point solve: the CSR system (value
-/// array rewritten per point through the shared push-order map) and a
+/// array rewritten per point through the shared event template) and a
 /// complex [`SparseLu`] cloned from the pool's primed prototype, so
 /// every worker refactors over the same canonical symbolic analysis.
 #[derive(Debug, Clone)]
 struct AcWorker {
     system: CsrMatrix<Complex>,
+    /// Push-order → packed-slot map for the rebuild (re-walk) path.
     slot_of: Arc<Vec<usize>>,
+    /// Compiled value-retarget template: the stamp walk flattened into
+    /// `(slot, re, c)` events replayed per point without touching the
+    /// netlist.
+    events: Arc<Vec<AcEvent>>,
     lu: SparseLu<Complex>,
     x: Vec<Complex>,
     /// Whether this worker abandoned the canonical pivot order (fresh
     /// factorization after a refactor failure) — retired on return.
     repivoted: bool,
+}
+
+/// Returns the worker on every exit path, retiring non-canonical or
+/// unwound checkouts (mirrors `OpSolverPool`).
+struct Checkout<'p, 'a> {
+    pool: &'p AcSolverPool<'a>,
+    worker: Option<AcWorker>,
+}
+
+impl Drop for Checkout<'_, '_> {
+    fn drop(&mut self) {
+        let Some(worker) = self.worker.take() else { return };
+        let canonical = !std::thread::panicking() && !worker.repivoted;
+        let returned = if canonical {
+            worker
+        } else {
+            self.pool.retired.fetch_add(1, Ordering::Relaxed);
+            self.pool.proto.clone().expect("sparse pool has a prototype")
+        };
+        if let Ok(mut free) = self.pool.free.lock() {
+            free.push(returned);
+        }
+    }
 }
 
 /// A thread-safe pool of per-worker AC point solvers sharing one complex
@@ -266,12 +309,19 @@ impl<'a> AcSolverPool<'a> {
         let proto = if backend.resolves_to_sparse(n) && !frequencies.is_empty() {
             // The stamp pattern is frequency-invariant (only the jωC
             // values change) and the device walk is deterministic, so
-            // the CSR and the push-order → value-index map are built
-            // once; the symbolic analysis is primed at the first sweep
-            // frequency and shared by every worker clone.
+            // the stamp walk is run exactly once here, in `(re, c)`
+            // parts form: it yields the CSR pattern, the push-order →
+            // value-index map for the rebuild path, and the compiled
+            // event template the per-point fast path replays. The
+            // symbolic analysis is primed at the first sweep frequency
+            // and shared by every worker clone.
             let omega = 2.0 * std::f64::consts::PI * frequencies[0];
+            let mut parts: Vec<(usize, usize, f64, f64)> = Vec::new();
+            stamp_ac_parts(netlist, &op, &mut |i, j, re, c| parts.push((i, j, re, c)));
             let mut t = Triplets::new(n, n);
-            stamp_ac(netlist, &op, omega, &mut |i, j, v| t.push(i, j, v));
+            for &(i, j, re, c) in &parts {
+                t.push(i, j, Complex::new(re, omega * c));
+            }
             let system = t.to_csr();
             let slot_of: Arc<Vec<usize>> = Arc::new(
                 t.entries()
@@ -281,8 +331,15 @@ impl<'a> AcSolverPool<'a> {
                     })
                     .collect(),
             );
+            let events: Arc<Vec<AcEvent>> = Arc::new(
+                parts
+                    .iter()
+                    .zip(slot_of.iter())
+                    .map(|(&(_, _, re, c), &slot)| AcEvent { slot: slot as u32, re, c })
+                    .collect(),
+            );
             let lu = SparseLu::factor(&system).map_err(|_| SpiceError::SingularMatrix)?;
-            Some(AcWorker { system, slot_of, lu, x: Vec::new(), repivoted: false })
+            Some(AcWorker { system, slot_of, events, lu, x: Vec::new(), repivoted: false })
         } else {
             None
         };
@@ -318,63 +375,45 @@ impl<'a> AcSolverPool<'a> {
     /// Solves the small-signal system at `freq_hz` (unit excitation on
     /// the AC source), returning the non-ground node voltages.
     ///
+    /// On the sparse backend the per-point values come from the compiled
+    /// event template (value-only retargeting) — no netlist walk per
+    /// point. Bitwise identical to
+    /// [`solve_point_rebuild`](Self::solve_point_rebuild); the
+    /// `sweep_fastpaths` battery locks the parity in.
+    ///
     /// # Errors
     ///
     /// [`SpiceError::SingularMatrix`] if the point's system cannot be
     /// factored even freshly.
     pub fn solve_point(&self, freq_hz: f64) -> Result<Vec<Complex>, SpiceError> {
+        self.solve_point_impl(freq_hz, true)
+    }
+
+    /// [`solve_point`](Self::solve_point) without the value-retarget
+    /// fast path: re-walks the netlist's stamp loop at every point — the
+    /// parity oracle and benchmark baseline for the event template.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve_point`](Self::solve_point).
+    pub fn solve_point_rebuild(&self, freq_hz: f64) -> Result<Vec<Complex>, SpiceError> {
+        self.solve_point_impl(freq_hz, false)
+    }
+
+    fn solve_point_impl(&self, freq_hz: f64, retarget: bool) -> Result<Vec<Complex>, SpiceError> {
         let omega = 2.0 * std::f64::consts::PI * freq_hz;
         let mut b = vec![Complex::ZERO; self.n];
         b[self.n_nodes + self.ac_branch] = Complex::ONE;
-        let Some(proto) = &self.proto else {
+        if self.proto.is_none() {
             // Dense backend: each point is an independent full solve.
             let mut a = ComplexMatrix::zeros(self.n);
             stamp_ac(self.netlist, &self.op, omega, &mut |i, j, v| a.add_at(i, j, v));
             let x = a.solve(&b).map_err(|_| SpiceError::SingularMatrix)?;
             return Ok(x[..self.n_nodes].to_vec());
-        };
-
-        /// Returns the worker on every exit path, retiring non-canonical
-        /// or unwound checkouts (mirrors `OpSolverPool`).
-        struct Checkout<'p, 'a> {
-            pool: &'p AcSolverPool<'a>,
-            worker: Option<AcWorker>,
         }
-        impl Drop for Checkout<'_, '_> {
-            fn drop(&mut self) {
-                let Some(worker) = self.worker.take() else { return };
-                let canonical = !std::thread::panicking() && !worker.repivoted;
-                let returned = if canonical {
-                    worker
-                } else {
-                    self.pool.retired.fetch_add(1, Ordering::Relaxed);
-                    self.pool.proto.clone().expect("sparse pool has a prototype")
-                };
-                if let Ok(mut free) = self.pool.free.lock() {
-                    free.push(returned);
-                }
-            }
-        }
-
-        let worker = self.free.lock().expect("ac pool poisoned").pop().unwrap_or_else(|| {
-            self.spawned.fetch_add(1, Ordering::Relaxed);
-            proto.clone()
-        });
-        let mut checkout = Checkout { pool: self, worker: Some(worker) };
+        let mut checkout = self.checkout();
         let w = checkout.worker.as_mut().expect("worker present until drop");
-        // Rewrite every stored value for this point — no state carries
-        // over from whatever point this worker solved last.
-        let values = w.system.values_mut();
-        for v in values.iter_mut() {
-            *v = Complex::ZERO;
-        }
-        let mut push = 0usize;
-        let slot_of = &w.slot_of;
-        stamp_ac(self.netlist, &self.op, omega, &mut |_, _, v| {
-            values[slot_of[push]] += v;
-            push += 1;
-        });
-        debug_assert_eq!(push, slot_of.len(), "stamp walk changed shape");
+        Self::restamp_worker(self.netlist, &self.op, w, omega, retarget);
         // Numeric-only refresh over the canonical symbolic analysis; a
         // pivot that collapsed at this frequency falls back to a fresh
         // factorization (pure per point) and retires the worker.
@@ -388,16 +427,107 @@ impl<'a> AcSolverPool<'a> {
         w.x = x;
         Ok(solution)
     }
+
+    /// Rewrites a worker's value array for `freq_hz` through the
+    /// compiled event template and returns the number of events
+    /// replayed, without factoring or solving — the benchmark probe for
+    /// the per-point assembly cost in isolation. Returns 0 on the dense
+    /// backend (no template exists there).
+    pub fn restamp_point(&self, freq_hz: f64) -> usize {
+        self.restamp_impl(freq_hz, true)
+    }
+
+    /// [`restamp_point`](Self::restamp_point) through the full netlist
+    /// re-walk instead of the template — the baseline the
+    /// `spice_ac_retarget` gate measures against.
+    pub fn restamp_point_rebuild(&self, freq_hz: f64) -> usize {
+        self.restamp_impl(freq_hz, false)
+    }
+
+    fn restamp_impl(&self, freq_hz: f64, retarget: bool) -> usize {
+        if self.proto.is_none() {
+            return 0;
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq_hz;
+        let mut checkout = self.checkout();
+        let w = checkout.worker.as_mut().expect("worker present until drop");
+        Self::restamp_worker(self.netlist, &self.op, w, omega, retarget)
+    }
+
+    /// Checks a worker out of the free list (cloning the prototype when
+    /// empty). Only valid on the sparse backend.
+    fn checkout(&self) -> Checkout<'_, 'a> {
+        let proto = self.proto.as_ref().expect("sparse pool has a prototype");
+        let worker = self.free.lock().expect("ac pool poisoned").pop().unwrap_or_else(|| {
+            self.spawned.fetch_add(1, Ordering::Relaxed);
+            proto.clone()
+        });
+        Checkout { pool: self, worker: Some(worker) }
+    }
+
+    /// Rewrites every stored value of `w` for angular frequency `omega`
+    /// — no state carries over from whatever point the worker solved
+    /// last. `retarget` replays the compiled event template; otherwise
+    /// the netlist stamp loop is re-walked (the two are bitwise
+    /// identical: same slots, same addends, same order). Returns the
+    /// number of stamp events applied.
+    fn restamp_worker(
+        netlist: &Netlist,
+        op: &OperatingPoint,
+        w: &mut AcWorker,
+        omega: f64,
+        retarget: bool,
+    ) -> usize {
+        let values = w.system.values_mut();
+        for v in values.iter_mut() {
+            *v = Complex::ZERO;
+        }
+        if retarget {
+            for ev in w.events.iter() {
+                values[ev.slot as usize] += Complex::new(ev.re, omega * ev.c);
+            }
+            w.events.len()
+        } else {
+            let mut push = 0usize;
+            let slot_of = &w.slot_of;
+            stamp_ac(netlist, op, omega, &mut |_, _, v| {
+                values[slot_of[push]] += v;
+                push += 1;
+            });
+            debug_assert_eq!(push, slot_of.len(), "stamp walk changed shape");
+            push
+        }
+    }
 }
 
 /// Stamps the linearized (small-signal) system at angular frequency ω
 /// into an `(i, j, value)` sink — shared by the dense and sparse
 /// assembly paths, so both backends stamp identical systems.
+///
+/// A thin wrapper over [`stamp_ac_parts`]: every small-signal stamp is
+/// purely real or purely ω-proportional imaginary, and IEEE-754
+/// multiplication is sign-magnitude exact, so reconstructing
+/// `re + j·ω·c` here is bitwise identical to computing each stamp
+/// directly at ω.
 fn stamp_ac(
     netlist: &Netlist,
     op: &OperatingPoint,
     omega: f64,
     add: &mut impl FnMut(usize, usize, Complex),
+) {
+    stamp_ac_parts(netlist, op, &mut |i, j, re, c| add(i, j, Complex::new(re, omega * c)));
+}
+
+/// The frequency-independent decomposition of the small-signal stamp
+/// walk: each emitted `(i, j, re, c)` contributes `re + j·ω·c` at
+/// angular frequency ω. Run once per pool, this walk yields the compiled
+/// event template [`AcSolverPool`] replays per point; signed zeros in
+/// the `re`/`c` parts are chosen so the reconstruction matches the
+/// direct stamps (which negate whole [`Complex`] values) bitwise.
+fn stamp_ac_parts(
+    netlist: &Netlist,
+    op: &OperatingPoint,
+    add: &mut impl FnMut(usize, usize, f64, f64),
 ) {
     let n_nodes = netlist.node_count() - 1;
     let idx = |node: NodeId| -> Option<usize> {
@@ -409,40 +539,39 @@ fn stamp_ac(
     };
     // Small gmin keeps floating nodes solvable.
     for i in 0..n_nodes {
-        add(i, i, Complex::real(1e-12));
+        add(i, i, 1e-12, 0.0);
     }
 
-    let mut stamp = |i: Option<usize>, j: Option<usize>, v: Complex| {
+    let mut stamp = |i: Option<usize>, j: Option<usize>, re: f64, c: f64| {
         if let (Some(i), Some(j)) = (i, j) {
-            add(i, j, v);
+            add(i, j, re, c);
         }
     };
 
     for device in netlist.devices() {
         match device {
             Device::Resistor { a: na, b: nb, ohms, .. } => {
-                let g = Complex::real(1.0 / ohms);
+                let g = 1.0 / ohms;
                 let (i, j) = (idx(*na), idx(*nb));
-                stamp(i, i, g);
-                stamp(j, j, g);
-                stamp(i, j, -g);
-                stamp(j, i, -g);
+                stamp(i, i, g, 0.0);
+                stamp(j, j, g, 0.0);
+                stamp(i, j, -g, -0.0);
+                stamp(j, i, -g, -0.0);
             }
             Device::Capacitor { a: na, b: nb, farads, .. } => {
-                let y = Complex::imag(omega * farads);
                 let (i, j) = (idx(*na), idx(*nb));
-                stamp(i, j, -y);
-                stamp(j, i, -y);
-                stamp(i, i, y);
-                stamp(j, j, y);
+                stamp(i, j, -0.0, -farads);
+                stamp(j, i, -0.0, -farads);
+                stamp(i, i, 0.0, *farads);
+                stamp(j, j, 0.0, *farads);
             }
             Device::Vsource { plus, minus, branch, .. } => {
                 let k = Some(n_nodes + branch);
                 let (p, m) = (idx(*plus), idx(*minus));
-                stamp(p, k, Complex::ONE);
-                stamp(m, k, -Complex::ONE);
-                stamp(k, p, Complex::ONE);
-                stamp(k, m, -Complex::ONE);
+                stamp(p, k, 1.0, 0.0);
+                stamp(m, k, -1.0, -0.0);
+                stamp(k, p, 1.0, 0.0);
+                stamp(k, m, -1.0, -0.0);
                 // RHS handled by the caller (AC source selection).
             }
             Device::Isource { .. } => {
@@ -463,18 +592,17 @@ fn stamp_ac(
                     if wd >= ws { (*drain, *source, wd, ws) } else { (*source, *drain, ws, wd) };
                 let ratio = w_um / l_um;
                 let (_, gm0, gds0) = model.ids(wg - wss, wdd - wss);
-                let gm = Complex::real(gm0 * ratio);
-                let gds = Complex::real(gds0 * ratio);
+                let gm = gm0 * ratio;
+                let gds = gds0 * ratio;
                 let (d, s, g) = (idx(nd), idx(ns), idx(*gate));
-                stamp(d, g, gm);
-                stamp(d, d, gds);
-                stamp(d, s, -(gm + gds));
-                stamp(s, g, -gm);
-                stamp(s, d, -gds);
-                stamp(s, s, gm + gds);
+                stamp(d, g, gm, 0.0);
+                stamp(d, d, gds, 0.0);
+                stamp(d, s, -(gm + gds), -0.0);
+                stamp(s, g, -gm, -0.0);
+                stamp(s, d, -gds, -0.0);
+                stamp(s, s, gm + gds, 0.0);
                 // Gate capacitance loads the driving node.
-                let cgg = Complex::imag(omega * crate::model_gate_cap(*w_um, *l_um));
-                stamp(g, g, cgg);
+                stamp(g, g, 0.0, crate::model_gate_cap(*w_um, *l_um));
             }
         }
     }

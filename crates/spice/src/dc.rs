@@ -1,8 +1,8 @@
 //! DC operating-point analysis with `gmin` stepping.
 
 use crate::mna::{
-    newton_solve_with_state, MnaState, MnaTemplate, NewtonOptions, RefactorStats, RetargetOutcome,
-    StampContext,
+    newton_solve_with_state, newton_solve_with_state_warm, MnaState, MnaTemplate, NewtonOptions,
+    PartialPlanMode, RefactorStats, RetargetOutcome, StampContext,
 };
 use crate::netlist::{Netlist, NodeId};
 use crate::SpiceError;
@@ -197,6 +197,14 @@ impl OpSolver {
         self.state.refactor_stats()
     }
 
+    /// Sets the dirty-set policy for sparse partial refactorizations
+    /// (see [`PartialPlanMode`]) — exposed for the benchmark scenarios
+    /// that compare the exact per-device closures against the monolithic
+    /// template dirty set; results are bitwise identical either way.
+    pub fn set_partial_plan_mode(&mut self, mode: PartialPlanMode) {
+        self.state.set_partial_plan_mode(mode);
+    }
+
     /// Computes the operating point from an all-zeros initial guess.
     ///
     /// # Errors
@@ -289,6 +297,78 @@ impl OpSolver {
         Ok((0..netlists.len())
             .map(|r| OperatingPoint::new(x[r * n..(r + 1) * n].to_vec(), self.n_nodes))
             .collect())
+    }
+
+    /// Cumulative Newton/chord iterations this solver has run (all
+    /// solves, all `gmin` rungs) — the deterministic work measure the
+    /// warm-started corner-sweep gate compares against the cold ladder.
+    pub fn newton_iterations(&self) -> u64 {
+        self.state.newton_iterations()
+    }
+
+    /// **Warm-started** batched corner sweep over nonlinear variants of
+    /// one topology — the nonlinear counterpart of
+    /// [`solve_source_batch`](Self::solve_source_batch). Corners of a
+    /// sweep share a converged operating region, so after the first
+    /// corner's full `gmin` ladder each subsequent corner seeds its
+    /// Newton iteration from the previous corner's solution and runs a
+    /// **single** solve at the final `gmin` rung, taking the first step
+    /// through the inherited factorization (a chord step through the
+    /// neighboring corner's Jacobian — see
+    /// [`newton_solve_with_state_warm`]). The continuation ladder only
+    /// exists to walk from the all-zeros guess into the operating
+    /// region; a neighboring corner's solution is already there.
+    ///
+    /// A corner whose warm solve fails to converge (a corner that jumped
+    /// operating regions) transparently falls back to the full ladder
+    /// from the all-zeros guess — bitwise identical to what
+    /// [`solve`](Self::solve) computes for that corner, since ladder,
+    /// guess and canonical symbolic state all match. Warm-converged
+    /// corners reach the same operating point through a different
+    /// iterate path, so they agree with the cold ladder to solver
+    /// tolerance rather than bitwise; the `sweep_fastpaths` battery pins
+    /// both properties.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`solve`](Self::solve) on the corner that failed
+    /// (after the ladder fallback also failed).
+    pub fn solve_corner_sweep(
+        &mut self,
+        netlists: &[Netlist],
+    ) -> Result<Vec<OperatingPoint>, SpiceError> {
+        let mut out = Vec::with_capacity(netlists.len());
+        let mut prev: Option<Vec<f64>> = None;
+        let final_gmin = *GMIN_LADDER.last().unwrap();
+        for nl in netlists {
+            if self.retarget(nl) == RetargetOutcome::Topology {
+                // A topology change voids the warm seed (different
+                // unknown vector) along with the symbolic state.
+                prev = None;
+            }
+            let op = match prev.as_deref() {
+                Some(seed) if seed.len() == self.unknowns => {
+                    match newton_solve_with_state_warm(
+                        &mut self.state,
+                        seed,
+                        final_gmin,
+                        &self.options,
+                    ) {
+                        Ok(x) => OperatingPoint::new(x, self.n_nodes),
+                        // Non-convergence or a numeric collapse at the
+                        // warm iterate: this corner pays the cold ladder.
+                        Err(SpiceError::NonConvergent { .. } | SpiceError::SingularMatrix) => {
+                            self.solve()?
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                _ => self.solve()?,
+            };
+            prev = Some(op.raw().to_vec());
+            out.push(op);
+        }
+        Ok(out)
     }
 }
 

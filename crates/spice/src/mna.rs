@@ -111,6 +111,51 @@ pub enum RetargetOutcome {
     Topology,
 }
 
+/// How the sparse numeric refresh picks its partial-refactorization
+/// dirty set (see `MnaState::refresh_factor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialPlanMode {
+    /// Template-declared dirty sets: every MOSFET restamp slot plus the
+    /// `gmin` diagonal (or the gmin-free **narrow** subset when `gmin`
+    /// is unchanged), regardless of which devices actually moved — the
+    /// PR 5 behavior, kept as the benchmark baseline.
+    Monolithic,
+    /// Exact per-device dirty sets: the assembled values are bitwise
+    /// diffed against a snapshot of the last successfully factored
+    /// input, so the reachable-row closure is computed from the slots of
+    /// the devices that actually changed (converged linear subnetworks
+    /// and untouched devices drop out entirely). Bitwise identical to a
+    /// full refactorization by the partial-refactorization contract —
+    /// the diff *proves* the contract's "unchanged outside the dirty
+    /// set" premise.
+    #[default]
+    PerDevice,
+}
+
+impl PartialPlanMode {
+    /// Parses a CLI-style mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "monolithic" => Ok(Self::Monolithic),
+            "per-device" => Ok(Self::PerDevice),
+            other => Err(format!("unknown plan mode `{other}` (use monolithic|per-device)")),
+        }
+    }
+}
+
+impl std::fmt::Display for PartialPlanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Monolithic => write!(f, "monolithic"),
+            Self::PerDevice => write!(f, "per-device"),
+        }
+    }
+}
+
 /// Cumulative numeric-refactorization accounting for one [`MnaState`]
 /// (sparse backend; the dense backend always refreshes in full and
 /// reports zeros). The partial/full split — and especially
@@ -124,10 +169,18 @@ pub struct RefactorStats {
     /// Partial refactorizations (dirty reachable set only).
     pub partial: u64,
     /// The subset of `partial` that ran on the **narrow** (gmin-free)
-    /// dirty set: consecutive refreshes under the same `gmin` differ only
-    /// at the MOSFET restamp slots, so the gmin diagonal drops out of the
-    /// reachable set entirely.
+    /// dirty set: refreshes under an unchanged `gmin` whose dirty values
+    /// exclude the gmin diagonal entirely, so it drops out of the
+    /// reachable set (the monolithic MOSFET-slots schedule, or an exact
+    /// per-device schedule under the same `gmin`).
     pub narrow: u64,
+    /// The subset of `partial` that ran on an **exact per-device** dirty
+    /// set ([`PartialPlanMode::PerDevice`]): the changed input slots were
+    /// discovered by a bitwise diff against the last factored values, so
+    /// the reachable closure covers only rows the devices that actually
+    /// moved can influence — never more, usually strictly fewer, than
+    /// the monolithic template dirty set.
+    pub device: u64,
     /// Factor rows actually re-eliminated, summed over all refreshes.
     pub rows_eliminated: u64,
     /// Factor rows a full-only scheme would have re-eliminated.
@@ -973,6 +1026,10 @@ impl MnaTemplate {
             ordering: FillOrdering::default(),
             assembled_gmin: f64::NAN,
             factor_gmin: None,
+            plan_mode: PartialPlanMode::default(),
+            factored_values: None,
+            device_plans: Vec::new(),
+            newton_iterations: 0,
             refactor_stats: RefactorStats::default(),
         }
     }
@@ -1030,9 +1087,31 @@ pub struct MnaState {
     /// assembled (`None` before the first successful refresh or after a
     /// failed one — mirrors `factor_epoch`).
     factor_gmin: Option<f64>,
+    /// Dirty-set selection policy for sparse partial refactorizations.
+    plan_mode: PartialPlanMode,
+    /// Snapshot of the assembled input values the current factorization
+    /// was computed from (sparse backend, [`PartialPlanMode::PerDevice`]
+    /// only; `None` before the first successful refresh or after a
+    /// failed one). The bitwise diff of the next assembly against it is
+    /// the exact per-device dirty set.
+    factored_values: Option<Vec<f64>>,
+    /// Small move-to-front cache of per-device partial schedules keyed
+    /// by their exact dirty slot set — Newton chord refreshes and
+    /// value-retargeted sweeps revisit the same few sets; dropped
+    /// whenever the factorization re-pivots.
+    device_plans: Vec<(Vec<usize>, SparsePartialPlan)>,
+    /// Cumulative Newton/chord iterations run through this state — the
+    /// deterministic work measure warm-started corner sweeps are gated
+    /// on (wall time would be noisy; iteration count is exact).
+    newton_iterations: u64,
     /// Cumulative full/partial refresh accounting.
     refactor_stats: RefactorStats,
 }
+
+/// Capacity of [`MnaState::device_plans`] — big enough for the handful
+/// of dirty-set shapes one solve sequence revisits (per-rung MOSFET
+/// sets, the post-retarget set), small enough that a linear scan wins.
+const DEVICE_PLAN_CACHE: usize = 8;
 
 /// Alias kept local so the `glova_linalg` type stays an implementation
 /// detail of the state.
@@ -1113,28 +1192,40 @@ impl MnaState {
     }
 
     /// Factors (first use) or numerically re-factors the assembled
-    /// system. The sparse path reuses the frozen pivot order/pattern;
-    /// when the template's epoch confirms that only the dirty value set
-    /// (MOSFET restamps + the `gmin` diagonal) changed since the last
-    /// successful refresh, the numeric pass is further restricted to the
-    /// factor rows reachable from those inputs (KLU-style partial
-    /// refactorization — bitwise identical to the full pass). If
+    /// system. The sparse path reuses the frozen pivot order/pattern and
+    /// restricts the numeric pass to the factor rows reachable from the
+    /// inputs that changed since the last successful refresh (KLU-style
+    /// partial refactorization — bitwise identical to the full pass).
+    /// Under [`PartialPlanMode::PerDevice`] (the default) the changed
+    /// inputs are discovered **exactly**, by bitwise-diffing the
+    /// assembled values against a snapshot of the last factored ones —
+    /// so only the slots of devices that actually moved seed the
+    /// closure, and an assembly identical to the factored one skips the
+    /// elimination entirely. Under [`PartialPlanMode::Monolithic`] the
+    /// template's declared dirty set (all MOSFET restamps + the `gmin`
+    /// diagonal, or its gmin-free narrow subset) is used instead,
+    /// requiring the template epoch to confirm no other value moved. If
     /// drifting values break a frozen pivot it transparently re-pivots
     /// (fresh Markowitz analysis, counted in [`Self::repivots`]) before
     /// giving up.
     pub(crate) fn refresh_factor(&mut self) -> Result<(), SpiceError> {
         let epoch = self.template_epoch;
         let partial_ok = self.factor_epoch == Some(epoch);
-        // The narrow (gmin-free) dirty set applies only when the values
-        // can differ from the factored ones *solely* at the MOSFET
-        // restamps: same template epoch AND the same gmin on the
-        // diagonal. (NaN never equals, so a pre-first-assembly state
-        // can't take this path.)
-        let narrow_ok = partial_ok && self.factor_gmin == Some(self.assembled_gmin);
+        // Whether the gmin diagonal is unchanged since the factored
+        // assembly. (NaN never equals, so a pre-first-assembly state
+        // can't take the gmin-free paths.)
+        let gmin_clean = self.factor_gmin == Some(self.assembled_gmin);
+        // The monolithic narrow (gmin-free) dirty set applies only when
+        // the values can differ from the factored ones *solely* at the
+        // MOSFET restamps: same template epoch AND the same gmin.
+        let narrow_ok = partial_ok && gmin_clean;
         // Invalidate until the refresh succeeds: an error leaves the
         // factor values unspecified, so the next attempt must run full.
+        // The snapshot is likewise consumed up front — it only describes
+        // the factor again once this refresh lands.
         self.factor_epoch = None;
         self.factor_gmin = None;
+        let snapshot = self.factored_values.take();
         let mut repivoted = false;
         match &mut self.inner {
             StateInner::Dense { a, lu, .. } => match lu {
@@ -1148,31 +1239,76 @@ impl MnaState {
                 // use). Stats are recorded only after the refresh
                 // succeeds, classified by the path that actually ran.
                 let mut partial_rows: Option<usize> = None;
+                let mut device_pass = false;
+                let mut narrow_pass = false;
                 let refreshed = match lu.as_mut() {
-                    Some(f) if partial_ok => {
-                        let (plan_slot, dirty) = if narrow_ok {
-                            (&mut self.narrow_plan, template.mos_dirty_value_indices())
-                        } else {
-                            (&mut self.partial_plan, template.dirty_value_indices())
-                        };
-                        let plan = plan_slot.get_or_insert_with(|| f.plan_partial(dirty));
-                        match f.refactor_partial(a, plan) {
-                            Ok(()) => {
-                                partial_rows = Some(plan.rows_eliminated());
-                                if narrow_ok {
-                                    self.refactor_stats.narrow += 1;
-                                }
-                                Ok(())
+                    Some(f) => {
+                        // Exact per-device dirty set: the bitwise diff
+                        // against the snapshot is valid whenever the
+                        // snapshot exists — it is ground truth about
+                        // what changed, independent of template epochs.
+                        let exact: Option<Vec<usize>> = match (&snapshot, self.plan_mode) {
+                            (Some(s), PartialPlanMode::PerDevice)
+                                if s.len() == a.values().len() =>
+                            {
+                                Some(
+                                    a.values()
+                                        .iter()
+                                        .zip(s.iter())
+                                        .enumerate()
+                                        .filter(|(_, (v, o))| v.to_bits() != o.to_bits())
+                                        .map(|(k, _)| k)
+                                        .collect(),
+                                )
                             }
-                            // A plan/symbolic mismatch cannot normally
-                            // happen (the plan is dropped on re-pivot);
-                            // fall back to the full pass defensively
-                            // rather than failing the solve.
-                            Err(LinalgError::DimensionMismatch { .. }) => f.refactor(a),
-                            other => other,
+                            _ => None,
+                        };
+                        match exact {
+                            Some(dirty) => {
+                                device_pass = true;
+                                narrow_pass = gmin_clean;
+                                if dirty.is_empty() {
+                                    // The assembly is bitwise the input
+                                    // the factor was computed from — it
+                                    // is already fresh.
+                                    partial_rows = Some(0);
+                                    Ok(())
+                                } else {
+                                    let plan = Self::device_plan(&mut self.device_plans, f, dirty);
+                                    match f.refactor_partial(a, plan) {
+                                        Ok(()) => {
+                                            partial_rows = Some(plan.rows_eliminated());
+                                            Ok(())
+                                        }
+                                        // A plan/symbolic mismatch cannot
+                                        // normally happen (plans drop on
+                                        // re-pivot); fall back to the full
+                                        // pass defensively.
+                                        Err(LinalgError::DimensionMismatch { .. }) => f.refactor(a),
+                                        other => other,
+                                    }
+                                }
+                            }
+                            None if partial_ok => {
+                                let (plan_slot, dirty) = if narrow_ok {
+                                    (&mut self.narrow_plan, template.mos_dirty_value_indices())
+                                } else {
+                                    (&mut self.partial_plan, template.dirty_value_indices())
+                                };
+                                let plan = plan_slot.get_or_insert_with(|| f.plan_partial(dirty));
+                                match f.refactor_partial(a, plan) {
+                                    Ok(()) => {
+                                        partial_rows = Some(plan.rows_eliminated());
+                                        narrow_pass = narrow_ok;
+                                        Ok(())
+                                    }
+                                    Err(LinalgError::DimensionMismatch { .. }) => f.refactor(a),
+                                    other => other,
+                                }
+                            }
+                            None => f.refactor(a),
                         }
                     }
-                    Some(f) => f.refactor(a),
                     None => Err(LinalgError::Singular { index: 0 }),
                 };
                 match (refreshed, lu.is_some()) {
@@ -1186,6 +1322,7 @@ impl MnaState {
                         );
                         self.partial_plan = None;
                         self.narrow_plan = None;
+                        self.device_plans.clear();
                         repivoted = had_factor;
                     }
                     (Err(e), _) => return Err(SpiceError::from(e)),
@@ -1194,6 +1331,12 @@ impl MnaState {
                 match partial_rows {
                     Some(rows) => {
                         self.refactor_stats.partial += 1;
+                        if device_pass {
+                            self.refactor_stats.device += 1;
+                        }
+                        if narrow_pass {
+                            self.refactor_stats.narrow += 1;
+                        }
                         self.refactor_stats.rows_eliminated += rows as u64;
                         self.refactor_stats.rows_total += n;
                     }
@@ -1208,9 +1351,38 @@ impl MnaState {
         if repivoted {
             self.repivots += 1;
         }
+        // Record what this factor was computed from so the next refresh
+        // can diff against it (reusing the consumed snapshot's buffer).
+        if self.plan_mode == PartialPlanMode::PerDevice {
+            if let StateInner::Sparse { a, .. } = &self.inner {
+                let mut buf = snapshot.unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(a.values());
+                self.factored_values = Some(buf);
+            }
+        }
         self.factor_epoch = Some(epoch);
         self.factor_gmin = Some(self.assembled_gmin);
         Ok(())
+    }
+
+    /// Looks up — or computes and caches — the partial schedule for an
+    /// exact dirty slot set (move-to-front, capped at
+    /// [`DEVICE_PLAN_CACHE`]).
+    fn device_plan<'p>(
+        cache: &'p mut Vec<(Vec<usize>, SparsePartialPlan)>,
+        f: &SparseLu<f64>,
+        dirty: Vec<usize>,
+    ) -> &'p SparsePartialPlan {
+        if let Some(i) = cache.iter().position(|(d, _)| *d == dirty) {
+            let hit = cache.remove(i);
+            cache.insert(0, hit);
+        } else {
+            let plan = f.plan_partial(&dirty);
+            cache.insert(0, (dirty, plan));
+            cache.truncate(DEVICE_PLAN_CACHE);
+        }
+        &cache[0].1
     }
 
     /// Cumulative numeric-refresh accounting (see [`RefactorStats`]).
@@ -1247,6 +1419,30 @@ impl MnaState {
     /// The fill-reducing ordering fresh symbolic analyses run under.
     pub fn ordering(&self) -> FillOrdering {
         self.ordering
+    }
+
+    /// Sets the dirty-set policy for sparse partial refactorizations
+    /// (see [`PartialPlanMode`]); solver configuration, so it survives
+    /// topology retargets. Switching drops the exact-diff snapshot so
+    /// the next refresh re-establishes its invariant from scratch.
+    pub fn set_partial_plan_mode(&mut self, mode: PartialPlanMode) {
+        if self.plan_mode != mode {
+            self.plan_mode = mode;
+            self.factored_values = None;
+            self.device_plans.clear();
+        }
+    }
+
+    /// The dirty-set policy sparse partial refactorizations run under.
+    pub fn partial_plan_mode(&self) -> PartialPlanMode {
+        self.plan_mode
+    }
+
+    /// Cumulative Newton/chord iterations run through this state (all
+    /// solves, all `gmin` rungs) — survives topology retargets, like the
+    /// re-pivot counter.
+    pub fn newton_iterations(&self) -> u64 {
+        self.newton_iterations
     }
 
     /// Assembles the system at the all-zeros estimate under `gmin` and
@@ -1314,9 +1510,13 @@ impl MnaState {
                 // not per-topology state.
                 let repivots = self.repivots;
                 let ordering = self.ordering;
+                let plan_mode = self.plan_mode;
+                let newton_iterations = self.newton_iterations;
                 *self = template.into_state();
                 self.repivots = repivots;
                 self.ordering = ordering;
+                self.plan_mode = plan_mode;
+                self.newton_iterations = newton_iterations;
                 RetargetOutcome::Topology
             }
         }
@@ -1589,6 +1789,42 @@ pub fn newton_solve_with_state(
     gmin: f64,
     options: &NewtonOptions,
 ) -> Result<Vec<f64>, SpiceError> {
+    newton_solve_inner(state, initial, gmin, options, false)
+}
+
+/// [`newton_solve_with_state`] with a **warm first iteration**: when the
+/// state already carries a factorization (e.g. from the previous corner
+/// of a sweep) and the strategy is chord, the first step reuses it
+/// instead of refreshing — a chord step through the neighboring corner's
+/// Jacobian. The residual is always evaluated against the *current*
+/// system, so the converged fixed point is unchanged; only the path
+/// (and the saved first refactorization) differs. If the inherited
+/// Jacobian steps poorly, the ordinary chord stall rule triggers a
+/// refresh on the next iteration.
+///
+/// # Errors
+///
+/// See [`newton_solve_with_state`].
+///
+/// # Panics
+///
+/// Panics if `initial.len()` differs from the state dimension.
+pub fn newton_solve_with_state_warm(
+    state: &mut MnaState,
+    initial: &[f64],
+    gmin: f64,
+    options: &NewtonOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    newton_solve_inner(state, initial, gmin, options, true)
+}
+
+fn newton_solve_inner(
+    state: &mut MnaState,
+    initial: &[f64],
+    gmin: f64,
+    options: &NewtonOptions,
+    warm: bool,
+) -> Result<Vec<f64>, SpiceError> {
     let n = state.dim();
     assert_eq!(initial.len(), n, "initial guess dimension mismatch");
     // Fresh symbolic analyses inside this solve (first factor, re-pivot
@@ -1610,8 +1846,13 @@ pub fn newton_solve_with_state(
     // convergence is never accepted off a boosted factor.
     let mut boosted = false;
     let mut last_max_delta = f64::INFINITY;
+    // Warm start: take the very first step through the inherited factor
+    // (chord only — a factor to inherit must exist). Consumed once; the
+    // stall rule governs every later refresh as usual.
+    let mut skip_refresh_once = warm && state.has_factor();
 
     for _ in 0..options.max_iterations {
+        state.newton_iterations += 1;
         state.assemble(&x, gmin);
         // residual = rhs − A·x; the Newton/chord step solves J·dx = residual.
         state.residual_into(&x, &mut residual);
@@ -1619,7 +1860,8 @@ pub fn newton_solve_with_state(
         let refresh = match options.strategy {
             JacobianStrategy::Full => true,
             JacobianStrategy::Chord { refactor_threshold, .. } => {
-                !state.has_factor() || refresh_next || last_max_delta > refactor_threshold
+                !std::mem::take(&mut skip_refresh_once)
+                    && (!state.has_factor() || refresh_next || last_max_delta > refactor_threshold)
             }
         };
         if refresh {

@@ -7,15 +7,32 @@
 //! - **partial refactorization** ([`SparseLu::refactor_partial`]) must be
 //!   bitwise identical to a full [`SparseLu::refactor`] for arbitrary
 //!   dirty-value subsets on the inverter-chain and RC-ladder patterns,
-//!   and both must agree with the dense LU oracle to ≤ 1e-9.
+//!   and both must agree with the dense LU oracle to ≤ 1e-9;
+//! - **AC value retargeting** ([`AcSolverPool::solve_point`]) must be
+//!   bitwise identical to the per-point netlist re-walk
+//!   ([`AcSolverPool::solve_point_rebuild`]) on both backends;
+//! - the **blocked numeric kernel** must agree with the scalar kernel to
+//!   ≤ 1e-12 on SPICE-assembled systems and repeat bitwise with itself;
+//! - **per-device refactor plans** ([`PartialPlanMode::PerDevice`]) must
+//!   solve bitwise identically to the monolithic schedule for random
+//!   device dirty sets while eliminating no more rows;
+//! - **warm-started corner sweeps** ([`OpSolver::solve_corner_sweep`])
+//!   must reach the cold gmin-ladder operating points on the
+//!   inverter-chain, OTA and sense-amp testcases.
 
 use glova_linalg::sparse::SparseLu;
+use glova_linalg::NumericKernel;
+use glova_spice::ac::{log_sweep, AcSolverPool};
 use glova_spice::dc::OpSolver;
 use glova_spice::mna::{
-    NewtonOptions, RetargetOutcome, SolverBackend, SparseAssemblyTemplate, StampContext,
+    NewtonOptions, PartialPlanMode, RetargetOutcome, SolverBackend, SparseAssemblyTemplate,
+    StampContext,
 };
 use glova_spice::model::MosModel;
-use glova_spice::netlist::{inverter_chain_with_load, rc_ladder, Netlist, GROUND};
+use glova_spice::netlist::{
+    inverter_chain_with_load, ota_two_stage, rc_ladder, sense_amp_array, sense_amp_array_with,
+    Netlist, OtaParams, SenseAmpParams, GROUND,
+};
 use proptest::prelude::*;
 
 /// A mixed DC netlist exercising every stamp kind the DC walk emits
@@ -132,6 +149,120 @@ proptest! {
         template.assemble_into(&mut a, &mut rhs, &vec![0.0; n], 1e-6);
         prop_check_partial(a, &mask, &bumps)?;
     }
+
+    // AC event-template retargeting == per-point netlist re-walk,
+    // bitwise, across random device parameters and both backends. The
+    // mixed netlist covers every AC stamp kind (resistor conductances,
+    // source branch rows, MOSFET gm/gds and gate caps).
+    #[test]
+    fn prop_ac_retarget_matches_rebuild_bitwise(
+        p in proptest::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let nl = mixed_netlist(&p);
+        let freqs = log_sweep(1e3, 1e9, 2);
+        for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+            let pool = AcSolverPool::new(&nl, "VIN", &freqs, backend).unwrap();
+            for &f in &freqs {
+                let fast = pool.solve_point(f).unwrap();
+                let slow = pool.solve_point_rebuild(f).unwrap();
+                prop_assert_eq!(fast.len(), slow.len());
+                for (a, b) in fast.iter().zip(&slow) {
+                    prop_assert_eq!(a.re.to_bits(), b.re.to_bits(),
+                        "{} backend @ {} Hz: retarget {} vs rebuild {}", backend, f, a.re, b.re);
+                    prop_assert_eq!(a.im.to_bits(), b.im.to_bits(),
+                        "{} backend @ {} Hz: retarget {} vs rebuild {}", backend, f, a.im, b.im);
+                }
+            }
+        }
+    }
+
+    // Blocked numeric kernel vs scalar on the SPICE-assembled sense-amp
+    // system: solutions agree to ≤ 1e-12, and the blocked kernel repeats
+    // bitwise on a second refactor of the same values.
+    #[test]
+    fn prop_blocked_kernel_matches_scalar_on_senseamp(
+        bumps in proptest::collection::vec(0.7f64..1.4, 10),
+        estimate in -0.2f64..0.9,
+    ) {
+        let ctx = StampContext { time: 0.0, step: None, gmin: 1e-9 };
+        let template = SparseAssemblyTemplate::new(&sense_amp_array(4, 4), &ctx);
+        let n = template.dim();
+        let mut a = template.new_system();
+        let mut rhs = vec![0.0; n];
+        template.assemble_into(&mut a, &mut rhs, &vec![estimate; n], 1e-9);
+        let mut scalar = SparseLu::factor(&a).unwrap();
+        let mut blocked = SparseLu::factor(&a).unwrap().with_numeric_kernel(NumericKernel::Blocked);
+        // Perturb every value (a full Newton re-assembly) and refresh
+        // both kernels over the frozen pivot order.
+        let mut b = a.clone();
+        for (k, v) in b.values_mut().iter_mut().enumerate() {
+            *v *= bumps[k % bumps.len()];
+        }
+        let scalar_ok = scalar.refactor(&b).is_ok();
+        prop_assert_eq!(scalar_ok, blocked.refactor(&b).is_ok(),
+            "kernels disagree on pivot viability");
+        if !scalar_ok {
+            return Ok(());
+        }
+        let x_s = scalar.solve(&rhs);
+        let x_b = blocked.solve(&rhs);
+        for (s, bl) in x_s.iter().zip(&x_b) {
+            prop_assert!((s - bl).abs() <= 1e-12 * (1.0 + s.abs()),
+                "blocked {} vs scalar {}", bl, s);
+        }
+        // Repeat-bitwise: the compiled schedule is deterministic.
+        blocked.refactor(&b).unwrap();
+        let x_b2 = blocked.solve(&rhs);
+        for (one, two) in x_b.iter().zip(&x_b2) {
+            prop_assert_eq!(one.to_bits(), two.to_bits(), "blocked repeat {} vs {}", two, one);
+        }
+    }
+
+    // Per-device refactor plans == monolithic schedule, bitwise, across
+    // random retarget sequences where only a random subset of device
+    // parameters moves per step — the exact-diff schedule may skip or
+    // shrink eliminations but never change a bit of the solution.
+    #[test]
+    fn prop_device_plan_matches_monolithic_bitwise(
+        base in proptest::collection::vec(-1.0f64..1.0, 8),
+        steps in proptest::collection::vec(
+            (proptest::collection::vec(-1.0f64..1.0, 8), 1u64..256), 3),
+    ) {
+        let base_nl = mixed_netlist(&base);
+        let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let mut dev = OpSolver::primed(&base_nl, options).unwrap();
+        let mut mono = OpSolver::primed(&base_nl, options).unwrap();
+        mono.set_partial_plan_mode(PartialPlanMode::Monolithic);
+        prop_assert_eq!(dev.refactor_stats().device, 0);
+        let mut cur = base.clone();
+        let mut nls = vec![base_nl];
+        for (delta, mask) in &steps {
+            // The mask picks which parameters (device dirty set) move.
+            for (i, d) in delta.iter().enumerate() {
+                if *mask & (1u64 << (i % 8)) != 0 {
+                    cur[i] = *d;
+                }
+            }
+            nls.push(mixed_netlist(&cur));
+        }
+        for nl in &nls {
+            prop_assert!(dev.retarget(nl) != RetargetOutcome::Topology);
+            prop_assert!(mono.retarget(nl) != RetargetOutcome::Topology);
+            let x_dev = dev.solve().unwrap();
+            let x_mono = mono.solve().unwrap();
+            for (d, m) in x_dev.raw().iter().zip(x_mono.raw()) {
+                prop_assert_eq!(d.to_bits(), m.to_bits(),
+                    "per-device {} vs monolithic {}", d, m);
+            }
+        }
+        // The exact-diff schedule engaged, and never re-eliminated more
+        // rows than the monolithic template dirty set.
+        prop_assert!(dev.refactor_stats().device > 0);
+        prop_assert!(
+            dev.refactor_stats().rows_eliminated <= mono.refactor_stats().rows_eliminated,
+            "device rows {} > monolithic rows {}",
+            dev.refactor_stats().rows_eliminated, mono.refactor_stats().rows_eliminated);
+    }
 }
 
 /// Shared body: factor `a`, perturb a masked subset of its values, then
@@ -229,4 +360,91 @@ fn value_retarget_rejects_context_kind_change() {
     let prev = vec![0.0; template.dim()];
     let transient = StampContext { time: 1e-9, step: Some((1e-9, &prev)), gmin: 1e-9 };
     template.retarget_values(&nl, &transient);
+}
+
+/// The sparse AC pool actually compiles an event template (the fast path
+/// engages, it does not silently fall back to the re-walk), and the
+/// template replay is bitwise-stable across repeated solves of the same
+/// point.
+#[test]
+fn ac_pool_compiles_event_template_on_ota() {
+    let nl = ota_two_stage(&OtaParams::nominal());
+    let freqs = log_sweep(1e3, 1e9, 3);
+    // The OTA has 10 unknowns — below the dense cutoff — so force the
+    // sparse backend to exercise the pooled event-template path.
+    let pool = AcSolverPool::new(&nl, "VINP", &freqs, SolverBackend::Sparse).unwrap();
+    for &f in &freqs {
+        assert!(pool.restamp_point(f) > 0, "no events replayed at {f} Hz");
+        let once = pool.solve_point(f).unwrap();
+        let twice = pool.solve_point(f).unwrap();
+        let rebuild = pool.solve_point_rebuild(f).unwrap();
+        for ((a, b), c) in once.iter().zip(&twice).zip(&rebuild) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+            assert_eq!(a.re.to_bits(), c.re.to_bits(), "retarget {} vs rebuild {}", a.re, c.re);
+            assert_eq!(a.im.to_bits(), c.im.to_bits(), "retarget {} vs rebuild {}", a.im, c.im);
+        }
+    }
+}
+
+/// Warm-started corner sweeps reach the cold gmin-ladder operating
+/// points on the inverter-chain, OTA and sense-amp testcases, using no
+/// more Newton iterations than the cold per-corner solves.
+#[test]
+fn warm_corner_sweep_matches_cold_ladder() {
+    let inv: Vec<Netlist> =
+        (0..8).map(|k| inverter_chain_with_load(6, Some(8e3 + 1.5e3 * k as f64))).collect();
+    let ota: Vec<Netlist> = (0..8)
+        .map(|k| {
+            let s = 1.0 + 0.04 * k as f64;
+            ota_two_stage(&OtaParams {
+                itail_ua: 20.0 * s,
+                rl_kohm: 11.0 / s,
+                w_out_um: 6.0 * (2.0 - s).max(0.5),
+                ..OtaParams::nominal()
+            })
+        })
+        .collect();
+    let senseamp: Vec<Netlist> = (0..8)
+        .map(|k| {
+            let s = 1.0 + 0.05 * k as f64;
+            sense_amp_array_with(
+                3,
+                3,
+                &SenseAmpParams {
+                    r_precharge: 2e3 * s,
+                    r_wordline: 1e3 / s,
+                    ..SenseAmpParams::default()
+                },
+            )
+        })
+        .collect();
+    for (label, family) in [("inverter", inv), ("ota", ota), ("senseamp", senseamp)] {
+        let options = NewtonOptions::default().with_backend(SolverBackend::Sparse);
+        let mut warm = OpSolver::primed(&family[0], options).unwrap();
+        let warm_ops = warm.solve_corner_sweep(&family).unwrap();
+        let mut cold = OpSolver::primed(&family[0], options).unwrap();
+        let cold_ops: Vec<_> = family
+            .iter()
+            .map(|nl| {
+                cold.retarget(nl);
+                cold.solve().unwrap()
+            })
+            .collect();
+        assert_eq!(warm_ops.len(), cold_ops.len());
+        for (corner, (w, c)) in warm_ops.iter().zip(&cold_ops).enumerate() {
+            for (a, b) in w.raw().iter().zip(c.raw()) {
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "{label} corner {corner}: warm {a} vs cold {b}"
+                );
+            }
+        }
+        assert!(
+            warm.newton_iterations() < cold.newton_iterations(),
+            "{label}: warm sweep took {} Newton iterations vs cold {}",
+            warm.newton_iterations(),
+            cold.newton_iterations()
+        );
+    }
 }
