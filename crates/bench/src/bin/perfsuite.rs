@@ -80,6 +80,14 @@
 //!   not a timing, so the gate holds on 1-core runners — plus an
 //!   independent full-grid feasibility re-check of the pruned arm's
 //!   final design (pruning must never weaken the success criterion).
+//! - `serve` — K=4 same-topology sizing jobs through the
+//!   [`glova-serve`](glova_serve) campaign server: one-at-a-time on
+//!   fresh registries vs one 4-worker fleet sharing a
+//!   [`SolverRegistry`] and [`CacheRegistry`]. Gated on the
+//!   deterministic aggregate symbolic-prime count (shared must pay
+//!   strictly fewer, ratio ≥ `--min-serve-prime-ratio`, default 2.0)
+//!   and on cross-arm agreement of every job's simulation count;
+//!   throughput is reported ungated.
 //!
 //! The `--gate` mode enforces: per-scenario wall ceiling, best threaded
 //! speedup across the yield-grid matrix ≥ `--min-speedup` (skipped on
@@ -93,7 +101,7 @@
 //! measurement — single samples of millisecond-scale batches are
 //! CI-noise, not signal.
 
-use glova::cache::{CachePolicy, EvalCacheConfig};
+use glova::cache::{CachePolicy, CacheRegistry, EvalCacheConfig};
 use glova::campaign::{CampaignConfig, PruningConfig, SizingCampaign};
 use glova::engine::EngineSpec;
 use glova::problem::SizingProblem;
@@ -104,6 +112,7 @@ use glova_bench::{report_requested, write_report};
 use glova_circuits::{Circuit, ToyQuadratic};
 use glova_linalg::sparse::SparseLu;
 use glova_linalg::{FillOrdering, NumericKernel};
+use glova_serve::{CampaignServer, CircuitSpec, SizingRequest};
 use glova_spice::ac::{log_sweep, AcSolverPool};
 use glova_spice::dc::OpSolver;
 use glova_spice::mna::{
@@ -114,6 +123,7 @@ use glova_spice::netlist::{
     inverter_chain, inverter_chain_with_load, ota_two_stage_with_cards, sense_amp_array, Netlist,
     OtaCards, OtaParams,
 };
+use glova_spice::registry::SolverRegistry;
 use glova_stats::rng::seeded;
 use glova_variation::config::VerificationMethod;
 use glova_variation::corner::{CornerSet, PvtCorner};
@@ -173,22 +183,33 @@ fn verify_twice(problem: &SizingProblem, x: &[f64]) -> (u64, Duration) {
     (problem.simulations(), start.elapsed())
 }
 
-/// Best-of-two [`verify_twice`] over **fresh problems** (cache state
-/// must not leak between timing repeats); sims and cache stats come
-/// from the first repeat — identical across repeats by construction —
-/// while the gated wall time takes the minimum, the same
-/// noise-hardening the yield-grid scenario uses.
-fn verify_twice_best(
-    make_problem: impl Fn() -> SizingProblem,
+/// Best-of-five [`verify_twice`] per arm over **fresh problems** (cache
+/// state must not leak between timing repeats), with the arms' repeats
+/// interleaved round-robin instead of timed back to back. Each timed
+/// sweep here is only a few ms and the gated quantity is a *ratio* of
+/// two such walls: with disjoint per-arm windows, a scheduler or host
+/// load spike landing inside one arm's window skews the ratio past the
+/// 0.95× cache-regression bound no matter how many best-of repeats that
+/// arm takes. Round-robin draws every arm's minimum from the same noise
+/// environment. Sims and cache stats come from each arm's first repeat —
+/// identical across repeats by construction.
+fn verify_interleaved_best(
+    arms: &[&dyn Fn() -> SizingProblem],
     x: &[f64],
-) -> (u64, Duration, Option<glova::cache::CacheStats>) {
-    let first = make_problem();
-    let (sims, mut best) = verify_twice(&first, x);
-    let stats = first.cache_stats();
-    let repeat = make_problem();
-    let (_, wall) = verify_twice(&repeat, x);
-    best = best.min(wall);
-    (sims, best, stats)
+) -> Vec<(u64, Duration, Option<glova::cache::CacheStats>)> {
+    let mut out: Vec<(u64, Duration, Option<glova::cache::CacheStats>)> = Vec::new();
+    for round in 0..5 {
+        for (i, make) in arms.iter().enumerate() {
+            let problem = make();
+            let (sims, wall) = verify_twice(&problem, x);
+            if round == 0 {
+                out.push((sims, wall, problem.cache_stats()));
+            } else {
+                out[i].1 = out[i].1.min(wall);
+            }
+        }
+    }
+    out
 }
 
 /// Repeated DC operating-point solves through a persistent
@@ -292,22 +313,27 @@ fn main() {
     // below cache-off.
     let toy: Arc<dyn Circuit> = Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05));
     let x_opt = ToyQuadratic::standard().optimum().to_vec();
-    let (off_sims, off_wall, _) = verify_twice_best(
-        || SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc),
+    let resweep_arms = verify_interleaved_best(
+        &[
+            &|| SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc),
+            &|| {
+                SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc)
+                    .with_cache(EvalCacheConfig::with_policy(CachePolicy::On))
+            },
+            &|| {
+                SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc)
+                    .with_cache(EvalCacheConfig::default())
+            },
+        ],
         &x_opt,
     );
+    let (off_sims, off_wall, _) = resweep_arms[0];
     let off =
         BenchRecord::new("verify_resweep", "ToyQuadratic", "sequential", 2, off_sims, off_wall);
     print_record(&off);
     report.push(off);
 
-    let (on_sims, on_wall, on_stats) = verify_twice_best(
-        || {
-            SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc)
-                .with_cache(EvalCacheConfig::with_policy(CachePolicy::On))
-        },
-        &x_opt,
-    );
+    let (on_sims, on_wall, on_stats) = resweep_arms[1];
     let stats = on_stats.expect("cache attached");
     let cache_speedup = off_wall.as_secs_f64() / on_wall.as_secs_f64().max(1e-12);
     let on =
@@ -320,13 +346,7 @@ fn main() {
         failures.push("verify_resweep: cache hit rate is zero".to_string());
     }
 
-    let (auto_sims, auto_wall, auto_stats) = verify_twice_best(
-        || {
-            SizingProblem::new(toy.clone(), VerificationMethod::CornerLocalMc)
-                .with_cache(EvalCacheConfig::default())
-        },
-        &x_opt,
-    );
+    let (auto_sims, auto_wall, auto_stats) = resweep_arms[2];
     let auto_stats = auto_stats.expect("cache attached");
     let auto_speedup = off_wall.as_secs_f64() / auto_wall.as_secs_f64().max(1e-12);
     let auto = BenchRecord::new(
@@ -1033,6 +1053,104 @@ fn main() {
                     ));
                 }
             }
+        }
+    }
+
+    // ---- serve: concurrent campaigns over shared registries ------------
+    // K=4 same-topology sizing jobs through `glova-serve`: one-at-a-time
+    // on fresh registries (the pre-registry cost model — every campaign
+    // pays its own symbolic prime) vs one 4-worker server sharing a
+    // SolverRegistry and CacheRegistry. Gated on the deterministic
+    // aggregate prime count: the shared fleet must pay strictly fewer
+    // primes, with the ratio floored at `--min-serve-prime-ratio`
+    // (default 2.0; one prime instead of four measures 4.0) — and on
+    // cross-arm agreement of every job's simulation count, since
+    // registry sharing must be unobservable in the trajectories.
+    // Throughput is reported ungated: on a 1-core runner the concurrent
+    // fleet cannot win wall time, but it still pays 1 prime instead
+    // of 4.
+    let serve_floor: f64 =
+        flag(&args, "--min-serve-prime-ratio").and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let serve_config = CampaignConfig::quick(VerificationMethod::Corner)
+        .with_cache(EvalCacheConfig::default())
+        .with_max_steps(if quick { 3 } else { 6 });
+    let serve_jobs: Vec<SizingRequest> = (1..=4)
+        .map(|seed| {
+            SizingRequest::new(CircuitSpec::InverterChain { stages: 8 }, serve_config.clone(), seed)
+        })
+        .collect();
+
+    let mut solo_primes = 0u64;
+    let mut solo_sims: Vec<u64> = Vec::new();
+    let solo_start = Instant::now();
+    for request in &serve_jobs {
+        let solvers = Arc::new(SolverRegistry::new());
+        let server =
+            CampaignServer::with_registries(1, solvers.clone(), Arc::new(CacheRegistry::new()));
+        let id = server.submit(request.clone()).expect("serve request is valid");
+        let result = server.wait(id).expect("job exists").result.expect("campaign completes");
+        solo_sims.push(result.total_sims);
+        server.shutdown();
+        solo_primes += solvers.primes();
+    }
+    let solo_wall = solo_start.elapsed();
+    let solo_rec = BenchRecord::new(
+        "serve",
+        "SpiceInverterChain",
+        "one-at-a-time",
+        4,
+        solo_sims.iter().sum(),
+        solo_wall,
+    );
+    print_record(&solo_rec);
+    report.push(solo_rec);
+
+    let shared_solvers = Arc::new(SolverRegistry::new());
+    let server =
+        CampaignServer::with_registries(4, shared_solvers.clone(), Arc::new(CacheRegistry::new()));
+    let shared_start = Instant::now();
+    let serve_ids: Vec<_> = serve_jobs
+        .iter()
+        .map(|r| server.submit(r.clone()).expect("serve request is valid"))
+        .collect();
+    let shared_sims: Vec<u64> = serve_ids
+        .iter()
+        .map(|&id| {
+            server.wait(id).expect("job exists").result.expect("campaign completes").total_sims
+        })
+        .collect();
+    let shared_wall = shared_start.elapsed();
+    let shared_primes = shared_solvers.primes();
+    server.shutdown();
+    let prime_ratio = solo_primes as f64 / shared_primes.max(1) as f64;
+    let shared_rec = BenchRecord::new(
+        "serve",
+        "SpiceInverterChain",
+        "4-concurrent",
+        4,
+        shared_sims.iter().sum(),
+        shared_wall,
+    )
+    .with_speedup(prime_ratio);
+    print_record(&shared_rec);
+    report.push(shared_rec);
+    println!(
+        "  serve: symbolic primes {solo_primes} one-at-a-time vs {shared_primes} \
+         shared ({prime_ratio:.1}x)"
+    );
+    if gate {
+        if shared_primes >= solo_primes || prime_ratio < serve_floor {
+            failures.push(format!(
+                "serve: shared fleet paid {shared_primes} symbolic primes vs {solo_primes} \
+                 one-at-a-time ({prime_ratio:.2}x, floor {serve_floor:.1}x)"
+            ));
+        }
+        if solo_sims != shared_sims {
+            failures.push(format!(
+                "serve: per-job simulation counts diverged between arms \
+                 (one-at-a-time {solo_sims:?}, concurrent {shared_sims:?}) — registry \
+                 sharing must be unobservable in the trajectories"
+            ));
         }
     }
 

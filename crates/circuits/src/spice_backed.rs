@@ -34,9 +34,11 @@ use glova_spice::model::MosModel;
 use glova_spice::netlist::{
     ota_two_stage_with_cards, Netlist, OtaCards, OtaParams, SenseAmpParams, GROUND,
 };
+use glova_spice::registry::SolverRegistry;
 use glova_variation::corner::PvtCorner;
 use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::MismatchVector;
+use std::sync::Arc;
 
 /// A `stages`-stage CMOS inverter chain sized by 4 parameters and
 /// evaluated by DC operating-point SPICE solves.
@@ -60,7 +62,7 @@ use glova_variation::sampler::MismatchVector;
 pub struct SpiceInverterChain {
     stages: usize,
     spec: DesignSpec,
-    pool: OpSolverPool,
+    pool: Arc<OpSolverPool>,
 }
 
 /// Mismatch components contributed per stage: `ΔV_th`/`Δβ` for the PMOS,
@@ -86,38 +88,71 @@ impl SpiceInverterChain {
     /// Panics if `stages < 2`.
     pub fn with_backend(stages: usize, backend: SolverBackend) -> Self {
         assert!(stages >= 2, "the chain metrics need at least two stages");
+        // The pool prototype fixes the topology (and on the sparse
+        // backend the symbolic factorization); its device *values* are
+        // irrelevant — every evaluation retargets the solver at its own
+        // netlist. Nominal mid-range sizing keeps the primed system well
+        // conditioned.
+        let pool = Arc::new(
+            OpSolverPool::new(
+                &Self::prototype_netlist(stages),
+                NewtonOptions::default().with_backend(backend),
+            )
+            .expect("inverter chain netlist is structurally sound"),
+        );
+        Self { stages, spec: Self::static_spec(stages), pool }
+    }
+
+    /// Builds the chain testcase on a pool resolved through `registry`,
+    /// so every concurrent campaign over a `stages`-stage chain shares
+    /// one primed symbolic analysis instead of paying its own (the
+    /// `glova-serve` path; trajectories are unaffected — see the
+    /// determinism notes on [`SolverRegistry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2`.
+    pub fn from_registry(stages: usize, registry: &SolverRegistry) -> Self {
+        assert!(stages >= 2, "the chain metrics need at least two stages");
+        let pool = registry
+            .pool_for(&Self::prototype_netlist(stages), NewtonOptions::default())
+            .expect("inverter chain netlist is structurally sound");
+        Self { stages, spec: Self::static_spec(stages), pool }
+    }
+
+    /// Number of inverter stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Fingerprint of the evaluated topology — the key this circuit's
+    /// pool registers under, and an identity word for shared eval
+    /// caches.
+    pub fn topology_fingerprint(&self) -> u64 {
+        Self::prototype_netlist(self.stages).topology_fingerprint()
+    }
+
+    fn static_spec(stages: usize) -> DesignSpec {
         // The static current grows ~linearly with the stage count
         // (~37 µA/stage at nominal sizing, worst-corner ~1.1× that), so
         // the power budget scales with the chain: mid-range sizings pass
         // at every corner with ~1.5× headroom while aggressive
         // wide/short-channel sizings (~2–3× the nominal current) violate
         // it — a non-trivial feasibility boundary for the optimizer.
-        let spec = DesignSpec::new(vec![
+        DesignSpec::new(vec![
             MetricSpec::below("supply_current_ua", 60.0 * stages as f64 + 60.0),
             MetricSpec::above("out_high_v", 0.6),
             MetricSpec::below("out_low_v", 0.15),
-        ]);
-        // The pool prototype fixes the topology (and on the sparse
-        // backend the symbolic factorization); its device *values* are
-        // irrelevant — every evaluation retargets the solver at its own
-        // netlist. Nominal mid-range sizing keeps the primed system well
-        // conditioned.
-        let pool = OpSolverPool::new(
-            &Self::netlist_for(
-                stages,
-                &Self::static_denormalize(&[0.5; 4]),
-                &PvtCorner::typical(),
-                &MismatchVector::nominal(stages * MISMATCH_PER_STAGE),
-            ),
-            NewtonOptions::default().with_backend(backend),
-        )
-        .expect("inverter chain netlist is structurally sound");
-        Self { stages, spec, pool }
+        ])
     }
 
-    /// Number of inverter stages.
-    pub fn stages(&self) -> usize {
-        self.stages
+    fn prototype_netlist(stages: usize) -> Netlist {
+        Self::netlist_for(
+            stages,
+            &Self::static_denormalize(&[0.5; 4]),
+            &PvtCorner::typical(),
+            &MismatchVector::nominal(stages * MISMATCH_PER_STAGE),
+        )
     }
 
     /// The shared solver pool (counters are useful in tests and benches:
@@ -283,7 +318,7 @@ impl Circuit for SpiceInverterChain {
 #[derive(Debug)]
 pub struct SpiceOta {
     spec: DesignSpec,
-    pool: OpSolverPool,
+    pool: Arc<OpSolverPool>,
     backend: SolverBackend,
     freqs: Vec<f64>,
 }
@@ -300,31 +335,63 @@ impl SpiceOta {
 
     /// Builds the OTA testcase on an explicit solver backend.
     pub fn with_backend(backend: SolverBackend) -> Self {
-        // Thresholds sit under the nominal point (≈63 dB, ≈300 MHz GBW,
-        // ≈73 µA at mid-range sizing, feasible across the industrial
-        // 30-corner set) while e.g. maximal wide/short sizings drop the
-        // gain to ~35 dB — a real feasibility boundary for the
-        // optimizer.
-        let spec = DesignSpec::new(vec![
-            MetricSpec::above("dc_gain_db", 40.0),
-            MetricSpec::above("gbw_mhz", 30.0),
-            MetricSpec::below("supply_current_ua", 150.0),
-        ]);
-        let pool = OpSolverPool::new(
-            &Self::netlist_for(
-                &Self::static_denormalize(&[0.5; 6]),
-                &PvtCorner::typical(),
-                &MismatchVector::nominal(OTA_MISMATCH_DIM),
-            ),
-            NewtonOptions::default().with_backend(backend),
-        )
-        .expect("OTA netlist is structurally sound");
-        Self { spec, pool, backend, freqs: log_sweep(1e3, 1e9, 3) }
+        let pool = Arc::new(
+            OpSolverPool::new(
+                &Self::prototype_netlist(),
+                NewtonOptions::default().with_backend(backend),
+            )
+            .expect("OTA netlist is structurally sound"),
+        );
+        Self { spec: Self::static_spec(), pool, backend, freqs: log_sweep(1e3, 1e9, 3) }
+    }
+
+    /// Builds the OTA testcase on a pool resolved through `registry`
+    /// (the `glova-serve` path — concurrent campaigns share one primed
+    /// symbolic analysis; see the determinism notes on
+    /// [`SolverRegistry`]).
+    pub fn from_registry(registry: &SolverRegistry) -> Self {
+        let pool = registry
+            .pool_for(&Self::prototype_netlist(), NewtonOptions::default())
+            .expect("OTA netlist is structurally sound");
+        Self {
+            spec: Self::static_spec(),
+            pool,
+            backend: SolverBackend::Auto,
+            freqs: log_sweep(1e3, 1e9, 3),
+        }
     }
 
     /// The shared DC solver pool (counters useful in tests/benches).
     pub fn solver_pool(&self) -> &OpSolverPool {
         &self.pool
+    }
+
+    /// Fingerprint of the evaluated DC topology — the key this
+    /// circuit's pool registers under, and an identity word for shared
+    /// eval caches.
+    pub fn topology_fingerprint(&self) -> u64 {
+        Self::prototype_netlist().topology_fingerprint()
+    }
+
+    fn static_spec() -> DesignSpec {
+        // Thresholds sit under the nominal point (≈63 dB, ≈300 MHz GBW,
+        // ≈73 µA at mid-range sizing, feasible across the industrial
+        // 30-corner set) while e.g. maximal wide/short sizings drop the
+        // gain to ~35 dB — a real feasibility boundary for the
+        // optimizer.
+        DesignSpec::new(vec![
+            MetricSpec::above("dc_gain_db", 40.0),
+            MetricSpec::above("gbw_mhz", 30.0),
+            MetricSpec::below("supply_current_ua", 150.0),
+        ])
+    }
+
+    fn prototype_netlist() -> Netlist {
+        Self::netlist_for(
+            &Self::static_denormalize(&[0.5; 6]),
+            &PvtCorner::typical(),
+            &MismatchVector::nominal(OTA_MISMATCH_DIM),
+        )
     }
 
     fn static_bounds() -> Vec<(f64, f64)> {
@@ -482,7 +549,7 @@ pub struct SpiceSenseAmpArray {
     rows: usize,
     cols: usize,
     spec: DesignSpec,
-    pool: OpSolverPool,
+    pool: Arc<OpSolverPool>,
 }
 
 /// Mismatch components contributed per column: `ΔV_th`/`Δβ` for the
@@ -521,6 +588,42 @@ impl SpiceSenseAmpArray {
     /// Panics if `rows == 0` or `cols == 0`.
     pub fn with_options(rows: usize, cols: usize, options: NewtonOptions) -> Self {
         assert!(rows > 0 && cols > 0, "a sense-amp array needs at least one row and column");
+        let pool = Arc::new(
+            OpSolverPool::new(&Self::prototype_netlist(rows, cols), options)
+                .expect("sense-amp array netlist is structurally sound"),
+        );
+        Self { rows, cols, spec: Self::static_spec(rows, cols), pool }
+    }
+
+    /// Builds the array testcase on a pool resolved through `registry`
+    /// (the `glova-serve` path — concurrent campaigns over one array
+    /// shape share one primed symbolic analysis; see the determinism
+    /// notes on [`SolverRegistry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn from_registry(rows: usize, cols: usize, registry: &SolverRegistry) -> Self {
+        assert!(rows > 0 && cols > 0, "a sense-amp array needs at least one row and column");
+        let pool = registry
+            .pool_for(&Self::prototype_netlist(rows, cols), NewtonOptions::default())
+            .expect("sense-amp array netlist is structurally sound");
+        Self { rows, cols, spec: Self::static_spec(rows, cols), pool }
+    }
+
+    /// Array shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Fingerprint of the evaluated topology — the key this circuit's
+    /// pool registers under, and an identity word for shared eval
+    /// caches.
+    pub fn topology_fingerprint(&self) -> u64 {
+        Self::prototype_netlist(self.rows, self.cols).topology_fingerprint()
+    }
+
+    fn static_spec(rows: usize, cols: usize) -> DesignSpec {
         // Measured at the typical corner, 5×4, mid-range sizing: ≈29 mV
         // of differential, ≈14 mV of droop, ≈3.6 µA/column of static
         // current (droop and differential grow roughly linearly with the
@@ -530,28 +633,21 @@ impl SpiceSenseAmpArray {
         // (differential), maximal access widths (droop) and
         // wide-everything sizings (current) violate — a real
         // feasibility boundary for the optimizer.
-        let spec = DesignSpec::new(vec![
+        DesignSpec::new(vec![
             MetricSpec::above("bl_diff_mv", 12.0),
             MetricSpec::below("droop_mv", 3.5 * rows as f64),
             MetricSpec::below("supply_current_ua", 5.0 * cols as f64 + 0.1 * (rows * cols) as f64),
-        ]);
-        let pool = OpSolverPool::new(
-            &Self::netlist_for(
-                rows,
-                cols,
-                &Self::static_denormalize(&[0.5; 4]),
-                &PvtCorner::typical(),
-                &MismatchVector::nominal(cols * MISMATCH_PER_COLUMN),
-            ),
-            options,
-        )
-        .expect("sense-amp array netlist is structurally sound");
-        Self { rows, cols, spec, pool }
+        ])
     }
 
-    /// Array shape as `(rows, cols)`.
-    pub fn shape(&self) -> (usize, usize) {
-        (self.rows, self.cols)
+    fn prototype_netlist(rows: usize, cols: usize) -> Netlist {
+        Self::netlist_for(
+            rows,
+            cols,
+            &Self::static_denormalize(&[0.5; 4]),
+            &PvtCorner::typical(),
+            &MismatchVector::nominal(cols * MISMATCH_PER_COLUMN),
+        )
     }
 
     /// The shared solver pool (counters useful in tests and benches).
@@ -757,6 +853,35 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "repeat evaluation drifted");
         }
         assert_eq!(array.solver_pool().solvers_spawned(), 1);
+    }
+
+    #[test]
+    fn registry_circuits_share_one_pool_and_match_locals() {
+        let registry = SolverRegistry::new();
+        let a = SpiceInverterChain::from_registry(4, &registry);
+        let b = SpiceInverterChain::from_registry(4, &registry);
+        assert_eq!(registry.primes(), 1, "one topology must prime once");
+        assert!(std::ptr::eq(a.solver_pool(), b.solver_pool()), "same shape shares one pool");
+        assert_eq!(a.topology_fingerprint(), b.topology_fingerprint());
+        // Registry-resolved evaluations must be bitwise identical to a
+        // privately-pooled circuit's — sharing is unobservable in the
+        // outcomes.
+        let local = SpiceInverterChain::new(4);
+        let x = vec![0.5; local.dim()];
+        let h = MismatchVector::nominal(local.mismatch_domain(&x).dim());
+        let corner = PvtCorner::typical();
+        let shared = a.evaluate(&x, &corner, &h);
+        let private = local.evaluate(&x, &corner, &h);
+        for (s, p) in shared.iter().zip(&private) {
+            assert_eq!(s.to_bits(), p.to_bits(), "registry sharing changed results");
+        }
+        // Distinct circuits register distinct entries under the same
+        // registry.
+        let ota = SpiceOta::from_registry(&registry);
+        let array = SpiceSenseAmpArray::from_registry(5, 4, &registry);
+        assert_eq!(registry.primes(), 3);
+        assert_ne!(a.topology_fingerprint(), ota.topology_fingerprint());
+        assert_ne!(ota.topology_fingerprint(), array.topology_fingerprint());
     }
 
     #[test]

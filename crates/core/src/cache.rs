@@ -34,7 +34,7 @@ use glova_variation::sampler::MismatchVector;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Pass-through hasher: cache keys are already 64-bit FNV digests, so
 /// running them through SipHash again would only burn lookup-path cycles.
@@ -83,11 +83,16 @@ pub enum CachePolicy {
 /// Evaluation-cache tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalCacheConfig {
-    /// Maximum resident entries before LRU eviction.
+    /// Maximum resident entries before LRU eviction (summed over shards).
     pub capacity: usize,
     /// Memoization policy (cost-probing [`CachePolicy::Auto`] by
     /// default).
     pub policy: CachePolicy,
+    /// Lock shards the key space is striped over (clamped to
+    /// `1..=capacity`). One shard recovers the strict global-LRU order;
+    /// the default spreads concurrent lookups over
+    /// [`Self::DEFAULT_SHARDS`] independent mutexes.
+    pub shards: usize,
 }
 
 impl EvalCacheConfig {
@@ -95,15 +100,32 @@ impl EvalCacheConfig {
     /// × 100-sample campaign is 3 000 points) without unbounded growth.
     pub const DEFAULT_CAPACITY: usize = 8192;
 
+    /// Default shard count. A single coarse map mutex serializes every
+    /// lookup of every worker of every concurrent campaign once the
+    /// cache is a process-wide registry resident; 8 shards keep the
+    /// critical sections disjoint for typical fleet widths while the
+    /// per-shard LRU stays a good approximation of the global one.
+    pub const DEFAULT_SHARDS: usize = 8;
+
     /// Default config with an explicit policy.
     pub fn with_policy(policy: CachePolicy) -> Self {
         Self { policy, ..Self::default() }
+    }
+
+    /// Overrides the shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
 impl Default for EvalCacheConfig {
     fn default() -> Self {
-        Self { capacity: Self::DEFAULT_CAPACITY, policy: CachePolicy::default() }
+        Self {
+            capacity: Self::DEFAULT_CAPACITY,
+            policy: CachePolicy::default(),
+            shards: Self::DEFAULT_SHARDS,
+        }
     }
 }
 
@@ -170,10 +192,31 @@ const MODE_OFF: u8 = 2;
 /// A bounded, thread-safe memo table over simulation points.
 ///
 /// Shared by every worker of a [`Threaded`](crate::engine::Threaded)
-/// engine; lookups and inserts take a single mutex, while circuit
-/// evaluations (the expensive part) happen outside it — two threads
-/// racing on the same point at worst both evaluate and insert the same
-/// deterministic value.
+/// engine — and, when resident in the process-wide
+/// [`CacheRegistry`], by every worker of every concurrent campaign on
+/// the same circuit. The key space is striped over
+/// [`EvalCacheConfig::shards`] independently locked shards (selected by
+/// key bits, so a given point always resolves to the same shard);
+/// lookups and inserts lock only their shard, while circuit evaluations
+/// (the expensive part) happen outside any lock — two threads racing on
+/// the same point at worst both evaluate and insert the same
+/// deterministic value. Each shard runs its own LRU bound of
+/// `capacity / shards`; with one shard this degenerates to the exact
+/// global LRU order.
+///
+/// # Counter accuracy (the `Relaxed` audit)
+///
+/// `tick`, `hits`, `misses` and `evictions` are `AtomicU64`s updated
+/// with `fetch_add(Relaxed)`. A relaxed atomic RMW cannot lose updates —
+/// every `fetch_add` is serialized on the cell — so the counters are
+/// exact under any concurrency; `Relaxed` only waives ordering *between*
+/// cells, which nothing here relies on ([`Self::stats`] reads the three
+/// counters non-atomically, so a snapshot taken mid-lookup may be torn
+/// by one in-flight event — a display artifact, not drift; totals are
+/// exact once the dispatch quiesces, which is what the accounting tests
+/// assert). The LRU `tick` is allocated from the same atomic, so ticks
+/// are unique across shards and recency comparisons stay globally
+/// meaningful.
 ///
 /// # Per-worker safety under SPICE-backed circuits
 ///
@@ -191,7 +234,9 @@ const MODE_OFF: u8 = 2;
 /// `CachePolicy` × engine combination.
 #[derive(Debug)]
 pub struct EvalCache {
-    map: Mutex<KeyMap>,
+    shards: Box<[Mutex<KeyMap>]>,
+    /// LRU bound per shard; the total bound is `shards.len() ×` this.
+    shard_capacity: usize,
     capacity: usize,
     tick: AtomicU64,
     hits: AtomicU64,
@@ -217,16 +262,20 @@ impl EvalCache {
     /// decision costs nothing beyond a few clock reads.
     pub const AUTO_PROBE_EVALS: u64 = 32;
 
-    /// Creates an empty cache (capacity clamped to ≥ 1).
+    /// Creates an empty cache (capacity clamped to ≥ 1, shard count
+    /// clamped to `1..=capacity` so per-shard capacities stay ≥ 1).
     pub fn new(config: EvalCacheConfig) -> Self {
         let mode = match config.policy {
             CachePolicy::Auto => MODE_PROBING,
             CachePolicy::On => MODE_ON,
             CachePolicy::Off => MODE_OFF,
         };
+        let capacity = config.capacity.max(1);
+        let shard_count = config.shards.clamp(1, capacity);
         Self {
-            map: Mutex::new(KeyMap::default()),
-            capacity: config.capacity.max(1),
+            shards: (0..shard_count).map(|_| Mutex::new(KeyMap::default())).collect(),
+            shard_capacity: capacity.div_ceil(shard_count),
+            capacity,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -237,9 +286,22 @@ impl EvalCache {
         }
     }
 
-    /// The configured LRU bound.
+    /// The configured LRU bound (summed over shards).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The resolved shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key is striped to. The map's `IdentityHasher` feeds
+    /// the key's *low* bits to the bucket index, so the stripe reads the
+    /// *high* bits — shard choice and in-shard placement stay
+    /// uncorrelated.
+    fn shard(&self, key: u64) -> &Mutex<KeyMap> {
+        &self.shards[(key >> 48) as usize % self.shards.len()]
     }
 
     /// Whether [`Self::get_or_compute`] currently memoizes (`false` once
@@ -249,14 +311,21 @@ impl EvalCache {
         self.mode.load(Ordering::Relaxed) != MODE_OFF
     }
 
-    /// Resident entries.
+    /// Resident entries (summed over shards).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.shards.iter().map(|s| s.lock().expect("cache poisoned").len()).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drops every resident entry (counters are untouched).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache poisoned").clear();
+        }
     }
 
     /// Counter snapshot.
@@ -296,7 +365,7 @@ impl EvalCache {
         corner: &PvtCorner,
         h: &MismatchVector,
     ) -> Option<SimOutcome> {
-        let mut map = self.map.lock().expect("cache poisoned");
+        let mut map = self.shard(key).lock().expect("cache poisoned");
         if let Some(entry) = map.get_mut(&key) {
             // Exact-bits validation: a digest collision is a miss, never
             // an aliased answer.
@@ -333,11 +402,11 @@ impl EvalCache {
             outcome,
             tick: self.tick.fetch_add(1, Ordering::Relaxed) + 1,
         };
-        let mut map = self.map.lock().expect("cache poisoned");
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            // O(n) LRU scan: eviction is rare relative to the simulation
-            // cost a resident entry amortizes, so a linked-list LRU isn't
-            // worth the per-hit bookkeeping.
+        let mut map = self.shard(key).lock().expect("cache poisoned");
+        if map.len() >= self.shard_capacity && !map.contains_key(&key) {
+            // O(n) LRU scan over the shard: eviction is rare relative to
+            // the simulation cost a resident entry amortizes, so a
+            // linked-list LRU isn't worth the per-hit bookkeeping.
             if let Some(&oldest) = map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
                 map.remove(&oldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -388,14 +457,37 @@ impl EvalCache {
                         if mean < Self::AUTO_MIN_COMPUTE_NANOS { MODE_OFF } else { MODE_ON };
                     // Racing probers agree on direction within noise; a
                     // compare_exchange keeps the first decision.
-                    let _ = self.mode.compare_exchange(
-                        MODE_PROBING,
-                        decided,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    );
+                    let won = self
+                        .mode
+                        .compare_exchange(
+                            MODE_PROBING,
+                            decided,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok();
+                    if decided == MODE_OFF {
+                        // Pass-through never consults the map again, so
+                        // entries memoized during the probe would sit
+                        // stranded for the cache's lifetime — a real leak
+                        // once caches are long-lived registry residents.
+                        // Drop them (and skip the insert below); stragglers
+                        // who lost the race or were still mid-evaluation
+                        // fall through to the insert, so the winner's
+                        // clear is followed by at most a probe-window's
+                        // worth of stragglers — bounded, not a leak.
+                        if won {
+                            self.clear();
+                        }
+                        return outcome;
+                    }
                 }
-                self.insert_keyed(key, x, corner, h, outcome.clone());
+                // Re-check the mode: a racer may have flipped to OFF (and
+                // cleared) while this evaluation ran — inserting now would
+                // re-strand an entry behind the pass-through fast path.
+                if self.mode.load(Ordering::Relaxed) != MODE_OFF {
+                    self.insert_keyed(key, x, corner, h, outcome.clone());
+                }
                 outcome
             }
             _ => {
@@ -408,6 +500,131 @@ impl EvalCache {
                 outcome
             }
         }
+    }
+}
+
+/// One registered cache: the full identity it was created for plus the
+/// shared cache itself.
+#[derive(Debug)]
+struct CacheRegistryEntry {
+    identity: Vec<u64>,
+    config: EvalCacheConfig,
+    cache: Arc<EvalCache>,
+}
+
+/// A process-wide map from circuit identity to a shared [`EvalCache`] —
+/// the memo-table sibling of `glova_spice::SolverRegistry`.
+///
+/// Concurrent campaigns on the same circuit revisit each other's
+/// `(design, corner, mismatch)` points (seed grids, confirmation sweeps,
+/// goal families re-deriving rewards from the same raw metrics), so a
+/// server should hand them **one** cache per circuit instead of a cold
+/// private cache per request.
+///
+/// # Identity, not topology
+///
+/// Keying by netlist topology alone would be wrong for caches: a
+/// [`SimOutcome`] bakes in the circuit's metric extraction and base-spec
+/// reward, so two *different* circuits sharing one topology must not
+/// share memoized outcomes. Callers therefore present a full **identity
+/// word sequence** — circuit name, dimension, bounds bits, spec digest,
+/// topology fingerprint, whatever distinguishes evaluation semantics
+/// (`glova-serve` builds this per circuit). Like the solver registry,
+/// hits confirm the entire sequence against the stored one, so a digest
+/// collision creates a separate entry and can never alias outcomes; the
+/// cache *config* is part of the match too, so requests with different
+/// capacity or policy get distinct caches rather than surprising each
+/// other.
+///
+/// Goal conditioning stays safe under sharing: campaigns re-derive
+/// goal-spec rewards from the cached raw metrics, so one cache serves a
+/// whole goal family (see [`crate::campaign`]).
+#[derive(Debug, Default)]
+pub struct CacheRegistry {
+    /// Digest → entries; multiple entries under one digest only on a
+    /// genuine collision or a config difference.
+    buckets: Mutex<HashMap<u64, Vec<CacheRegistryEntry>>>,
+    creations: AtomicU64,
+    hits: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl CacheRegistry {
+    /// Creates an empty registry (tests and scoped servers; production
+    /// code normally shares [`Self::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry instance.
+    pub fn global() -> &'static CacheRegistry {
+        static GLOBAL: OnceLock<CacheRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(CacheRegistry::new)
+    }
+
+    /// Returns the shared cache for `identity` under `config`, creating
+    /// (and registering) one if no confirmed entry exists. Hits confirm
+    /// the full identity sequence and the config; a digest collision
+    /// creates a separate entry, it never aliases.
+    pub fn cache_for(&self, identity: &[u64], config: EvalCacheConfig) -> Arc<EvalCache> {
+        let mut hasher = Fnv1a::new();
+        for &w in identity {
+            hasher.write_word(w);
+        }
+        self.cache_for_keyed(hasher.finish(), identity, config)
+    }
+
+    /// [`Self::cache_for`] with a caller-supplied digest — internal seam
+    /// for the collision-confirm test.
+    fn cache_for_keyed(
+        &self,
+        digest: u64,
+        identity: &[u64],
+        config: EvalCacheConfig,
+    ) -> Arc<EvalCache> {
+        let mut buckets = self.buckets.lock().expect("cache registry poisoned");
+        let bucket = buckets.entry(digest).or_default();
+        if let Some(entry) = bucket.iter().find(|e| e.config == config && e.identity == identity) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.cache.clone();
+        }
+        if bucket.iter().any(|e| e.identity != identity) {
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        let cache = Arc::new(EvalCache::new(config));
+        self.creations.fetch_add(1, Ordering::Relaxed);
+        bucket.push(CacheRegistryEntry {
+            identity: identity.to_vec(),
+            config,
+            cache: cache.clone(),
+        });
+        cache
+    }
+
+    /// Caches created (unique identity × config keys).
+    pub fn creations(&self) -> u64 {
+        self.creations.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered by an existing confirmed entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Digest matches whose identity confirm failed (each resolved by a
+    /// separate entry, never by aliasing).
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Registered entries.
+    pub fn len(&self) -> usize {
+        self.buckets.lock().expect("cache registry poisoned").values().map(Vec::len).sum()
+    }
+
+    /// Whether the registry holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -467,7 +684,9 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = EvalCache::new(EvalCacheConfig { capacity: 2, ..Default::default() });
+        // One shard pins the exact global LRU order the assertions need.
+        let cache =
+            EvalCache::new(EvalCacheConfig { capacity: 2, shards: 1, ..Default::default() });
         let h = MismatchVector::nominal(1);
         cache.insert(&[0.1], &corner(), &h, outcome(1.0));
         cache.insert(&[0.2], &corner(), &h, outcome(2.0));
@@ -489,6 +708,85 @@ mod tests {
         cache.insert(&[0.1], &corner(), &h, outcome(1.0));
         cache.insert(&[0.2], &corner(), &h, outcome(2.0));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_reported() {
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        assert_eq!(cache.shard_count(), EvalCacheConfig::DEFAULT_SHARDS);
+        // Shards never outnumber capacity (per-shard bound stays ≥ 1)…
+        let tiny = EvalCache::new(EvalCacheConfig { capacity: 3, ..Default::default() });
+        assert_eq!(tiny.shard_count(), 3);
+        // …and zero shards degrade to one.
+        let one = EvalCache::new(EvalCacheConfig::default().with_shards(0));
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_roundtrips_and_respects_total_bound() {
+        // Many distinct points through a small sharded cache: every
+        // lookup right after its insert must hit regardless of which
+        // shard the key stripes to, and residency must never exceed the
+        // summed per-shard bounds.
+        let config = EvalCacheConfig { capacity: 8, shards: 4, ..Default::default() };
+        let cache = EvalCache::new(config);
+        let h = MismatchVector::nominal(1);
+        for i in 0..100 {
+            let x = [i as f64 * 0.01];
+            cache.insert(&x, &corner(), &h, outcome(i as f64));
+            assert_eq!(cache.lookup(&x, &corner(), &h), Some(outcome(i as f64)));
+            assert!(cache.len() <= 8, "resident entries exceeded the bound");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 100, "atomic hit counting is exact");
+        assert_eq!(stats.misses, 0);
+        assert!(stats.evictions >= 92, "displaced entries are counted per shard");
+    }
+
+    #[test]
+    fn concurrent_workers_count_exactly_under_sharding() {
+        // 8 threads × 200 disjoint points: the relaxed atomic counters
+        // must not drop a single event (fetch_add is a read-modify-write;
+        // Relaxed waives ordering, not atomicity).
+        let cache = std::sync::Arc::new(EvalCache::new(EvalCacheConfig {
+            capacity: 4096,
+            policy: CachePolicy::On,
+            shards: 8,
+        }));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    let h = MismatchVector::nominal(1);
+                    for i in 0..200u64 {
+                        let x = [(t * 1000 + i) as f64];
+                        // Miss + insert, then a guaranteed hit.
+                        cache.get_or_compute(&x, &corner(), &h, || outcome(i as f64));
+                        cache.get_or_compute(&x, &corner(), &h, || outcome(i as f64));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1600, "every evaluation counted");
+        assert_eq!(stats.hits, 1600, "every hit counted");
+        assert_eq!(cache.len(), 1600);
+    }
+
+    #[test]
+    fn auto_probe_off_clears_probe_entries() {
+        // Regression: entries memoized during the probe window used to
+        // stay resident after the probe decided pass-through — never
+        // consulted again (OFF bypasses the map), never evicted, pinned
+        // for the cache's lifetime. The decision must drop them.
+        let cache = EvalCache::new(EvalCacheConfig::default());
+        let h = MismatchVector::nominal(1);
+        for i in 0..EvalCache::AUTO_PROBE_EVALS {
+            let x = [i as f64];
+            cache.get_or_compute(&x, &corner(), &h, || outcome(i as f64));
+        }
+        assert!(!cache.memoizing(), "cheap problem degrades to pass-through");
+        assert!(cache.is_empty(), "probe-window entries must not stay stranded");
     }
 
     #[test]
@@ -555,6 +853,56 @@ mod tests {
             outcome(0.0)
         });
         assert!(reran);
+    }
+
+    // ---- CacheRegistry --------------------------------------------------
+
+    #[test]
+    fn registry_shares_one_cache_per_identity() {
+        let registry = CacheRegistry::new();
+        let config = EvalCacheConfig::default();
+        let id = [1u64, 2, 3];
+        let a = registry.cache_for(&id, config);
+        let b = registry.cache_for(&id, config);
+        assert!(Arc::ptr_eq(&a, &b), "one identity must resolve to one shared cache");
+        assert_eq!((registry.creations(), registry.hits()), (1, 1));
+        // Writes through one handle are visible through the other.
+        let h = MismatchVector::nominal(1);
+        a.insert(&[0.5], &corner(), &h, outcome(1.0));
+        assert_eq!(b.lookup(&[0.5], &corner(), &h), Some(outcome(1.0)));
+    }
+
+    #[test]
+    fn registry_separates_identities_and_configs() {
+        let registry = CacheRegistry::new();
+        let config = EvalCacheConfig::default();
+        let a = registry.cache_for(&[1, 2, 3], config);
+        let b = registry.cache_for(&[1, 2, 4], config);
+        assert!(!Arc::ptr_eq(&a, &b), "distinct identities must not share outcomes");
+        // Same identity under a different config is a distinct cache.
+        let c = registry.cache_for(&[1, 2, 3], EvalCacheConfig::with_policy(CachePolicy::Off));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(registry.creations(), 3);
+        assert_eq!(registry.collisions(), 0);
+    }
+
+    #[test]
+    fn registry_digest_clash_confirms_identity_and_never_aliases() {
+        // Force two different identities under one digest: the confirm
+        // must refuse the hit, count a collision, and create a separate
+        // cache — aliasing outcomes across circuits is the failure mode
+        // the identity confirm exists to rule out.
+        let registry = CacheRegistry::new();
+        let config = EvalCacheConfig::default();
+        let forced = 0xfeed_face_dead_beef;
+        let a = registry.cache_for_keyed(forced, &[1, 2, 3], config);
+        let b = registry.cache_for_keyed(forced, &[9, 9, 9], config);
+        assert!(!Arc::ptr_eq(&a, &b), "digest collision must not alias caches");
+        assert_eq!(registry.collisions(), 1);
+        assert_eq!(registry.len(), 2);
+        // Both entries stay individually reachable.
+        assert!(Arc::ptr_eq(&a, &registry.cache_for_keyed(forced, &[1, 2, 3], config)));
+        assert!(Arc::ptr_eq(&b, &registry.cache_for_keyed(forced, &[9, 9, 9], config)));
     }
 
     #[test]

@@ -222,10 +222,24 @@ impl CornerScheduler {
         StepPlan { corners, full }
     }
 
-    /// Notes that full-grid coverage happened outside [`Self::plan_step`]
-    /// (a feasibility confirmation dispatch) — resets the re-rank clock.
-    pub fn note_full_coverage(&mut self) {
+    /// Notes that a feasibility-confirmation dispatch simulated
+    /// `corners_confirmed` extra corner slots outside
+    /// [`Self::plan_step`]: resets the re-rank clock (the confirmation
+    /// refreshed every ranking) and counts the slots into
+    /// [`PruningStats::corners_simulated`].
+    ///
+    /// The counting half fixes a real accounting bug: confirmations used
+    /// to go uncounted, so [`PruningStats::pruned_fraction`] over-stated
+    /// pruning savings on exactly the campaigns where confirmations fire
+    /// most (`corners_simulated × N'` must equal the simulations the
+    /// policy loop actually paid — the invariant the campaign accounting
+    /// regression tests pin down). `corners_available` is untouched: the
+    /// step's full-grid denominator was already added by
+    /// [`Self::plan_step`], and a confirmed step costs exactly a
+    /// full-grid step, driving its marginal pruned fraction to zero.
+    pub fn note_confirmation(&mut self, corners_confirmed: usize) {
         self.steps_since_rerank = 0;
+        self.stats.corners_simulated += corners_confirmed as u64;
     }
 }
 
@@ -445,6 +459,32 @@ impl SizingCampaign {
         Self { problem, config }
     }
 
+    /// Like [`Self::new`], but memoizing through a **shared**
+    /// [`EvalCache`](crate::cache::EvalCache) handle (normally obtained
+    /// from the process-wide
+    /// [`CacheRegistry`](crate::cache::CacheRegistry)) instead of a
+    /// private cache — the serving path, where concurrent campaigns on
+    /// one circuit answer each other's repeated points. Overrides
+    /// `config.cache`; trajectories are bitwise-identical to a private
+    /// cache (hits return the outcome a recompute would produce).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_shared_cache(
+        circuit: Arc<dyn Circuit>,
+        config: CampaignConfig,
+        cache: Arc<crate::cache::EvalCache>,
+    ) -> Self {
+        assert!(config.init_designs > 0, "need at least one seed design");
+        if let Some(factors) = &config.goal_factors {
+            assert_eq!(factors.len(), circuit.spec().len(), "one goal factor per spec metric");
+        }
+        let problem = SizingProblem::with_engine(circuit, config.method, config.engine.build())
+            .with_cache_handle(cache);
+        Self { problem, config }
+    }
+
     /// The underlying problem (simulation counters, cache stats, …).
     pub fn problem(&self) -> &SizingProblem {
         &self.problem
@@ -461,9 +501,26 @@ impl SizingCampaign {
     /// goal-conditioned on that single target; otherwise it optimizes the
     /// circuit's base spec with no goal observation.
     pub fn run(&self, seed: u64) -> CampaignResult {
+        self.run_with(seed, &mut |_| {})
+    }
+
+    /// [`Self::run`] with a streaming step observer: `on_step` is called
+    /// with every [`CampaignStep`] the moment it completes, **before**
+    /// the next proposal is made — the hook `glova-serve` uses to publish
+    /// pollable progress snapshots while a job is still running. The
+    /// observer cannot influence the trajectory; `run_with(seed, …)` and
+    /// `run(seed)` produce identical results.
+    pub fn run_with(&self, seed: u64, on_step: &mut dyn FnMut(&CampaignStep)) -> CampaignResult {
         let (goal_spec, goal_obs) = self.goal(self.config.goal_factors.as_deref());
         let mut agent = self.make_agent(goal_obs.len(), &mut forked(seed, 2));
-        self.run_goal(&mut agent, &goal_spec, &goal_obs, self.config.goal_factors.clone(), seed)
+        self.run_goal(
+            &mut agent,
+            &goal_spec,
+            &goal_obs,
+            self.config.goal_factors.clone(),
+            seed,
+            on_step,
+        )
     }
 
     /// Runs one campaign per goal **sharing a single agent** — the
@@ -493,6 +550,7 @@ impl SizingCampaign {
                     &goal_obs,
                     Some(factors.clone()),
                     glova_stats::rng::fork(seed, 100 + i as u64),
+                    &mut |_| {},
                 )
             })
             .collect()
@@ -521,6 +579,7 @@ impl SizingCampaign {
     /// The campaign loop for one goal. `agent` may carry experience from
     /// earlier goals of a family run; its `goal_dim` must equal
     /// `goal_obs.len()`.
+    #[allow(clippy::too_many_arguments)]
     fn run_goal(
         &self,
         agent: &mut RiskSensitiveAgent,
@@ -528,6 +587,7 @@ impl SizingCampaign {
         goal_obs: &[f64],
         goal_factors: Option<Vec<f64>>,
         seed: u64,
+        on_step: &mut dyn FnMut(&CampaignStep),
     ) -> CampaignResult {
         let start = Instant::now();
         let sims_start = self.problem.simulations();
@@ -642,7 +702,7 @@ impl SizingCampaign {
                     &mut trials,
                 );
                 worst = worst.min(rest_worst);
-                scheduler.note_full_coverage();
+                scheduler.note_confirmation(rest.len());
                 full_grid = true;
             }
             if worst >= SATISFIED_REWARD && full_grid {
@@ -666,7 +726,7 @@ impl SizingCampaign {
             agent.train_step(&mut agent_rng);
 
             let sims_now = self.problem.simulations();
-            steps.push(CampaignStep {
+            let step_record = CampaignStep {
                 step,
                 active_corners: plan.corners.len(),
                 corner_count: n_corners,
@@ -676,7 +736,9 @@ impl SizingCampaign {
                 pass_fraction: if trials == 0 { 0.0 } else { passes as f64 / trials as f64 },
                 full_grid,
                 wall: t0.elapsed(),
-            });
+            };
+            on_step(&step_record);
+            steps.push(step_record);
             if success {
                 sims_to_success = Some(sims_now - sims_start);
                 break;
@@ -858,6 +920,29 @@ mod tests {
         PruningConfig::new(1, 0);
     }
 
+    #[test]
+    fn confirmation_slots_count_as_simulated() {
+        // Regression: a feasibility confirmation simulates the complement
+        // of the pruned set, but those slots used to go uncounted —
+        // `pruned_fraction` over-stated savings on every confirmed step.
+        let mut s = CornerScheduler::new(6, Some(PruningConfig::new(2, 100)));
+        assert!(s.plan_step().full); // unranked corners force a full step
+        for ci in 0..6 {
+            s.record(ci, ci as f64);
+        }
+        let plan = s.plan_step();
+        assert_eq!(plan.corners.len(), 2);
+        s.note_confirmation(4); // the confirmation covered the other 4
+        let stats = s.stats();
+        assert_eq!(stats.corners_simulated, 6 + 2 + 4);
+        assert_eq!(stats.corners_available, 12);
+        // A confirmed pruned step costs exactly a full step: its marginal
+        // pruned fraction is zero.
+        assert_eq!(stats.pruned_fraction(), 0.0);
+        // The confirmation also reset the re-rank clock.
+        assert!(!s.plan_step().full, "fresh clock: next step prunes again");
+    }
+
     // ---- Campaign runs --------------------------------------------------
 
     #[test]
@@ -911,6 +996,74 @@ mod tests {
                 "corner {ci} infeasible after pruned success"
             );
         }
+    }
+
+    #[test]
+    fn pruning_accounting_matches_simulations_paid() {
+        // With confirmations counted, the policy loop's simulation bill
+        // must reconcile exactly: corner slots simulated × N' conditions
+        // per slot == the per-step sims total. (Failed before the
+        // confirmation-accounting fix whenever a confirmation fired.)
+        let campaign = SizingCampaign::new(toy(), quick().with_pruning(PruningConfig::new(2, 5)));
+        let result = campaign.run(11);
+        assert!(result.success, "fixture must exercise a confirmation (success step)");
+        let n_prime = campaign.problem().config().optim_samples as u64;
+        let step_sims: u64 = result.steps.iter().map(|s| s.sims).sum();
+        assert_eq!(
+            result.pruning.corners_simulated * n_prime,
+            step_sims,
+            "PruningStats must account for every simulation the policy loop paid"
+        );
+        assert_eq!(step_sims + result.init_sims, result.total_sims);
+    }
+
+    #[test]
+    fn stagnation_restarts_keep_accounting_exact() {
+        // Force the restart path to fire on every non-improving step: the
+        // noise reset must not disturb per-step simulation accounting or
+        // the sims_to_success bookkeeping.
+        let config = CampaignConfig { stagnation_restart: 1, ..quick() };
+        let result = SizingCampaign::new(toy(), config).run(7);
+        let step_sims: u64 = result.steps.iter().map(|s| s.sims).sum();
+        assert_eq!(step_sims + result.init_sims, result.total_sims);
+        if let Some(to_success) = result.sims_to_success {
+            assert!(result.success);
+            assert_eq!(to_success, result.total_sims, "no yield estimate: success ends the run");
+        }
+    }
+
+    #[test]
+    fn family_goal_switches_keep_per_goal_accounting_exact() {
+        // The problem's simulation counter accumulates across a family;
+        // each per-goal result must still reconcile against its own
+        // baseline, and sims_to_success must stay within the goal's own
+        // total (regression guard for the run_goal baseline capture).
+        let campaign = SizingCampaign::new(toy(), quick().with_pruning(PruningConfig::new(2, 5)));
+        let results = campaign.run_family(&[vec![1.0], vec![0.9]], 19);
+        let n_prime = campaign.problem().config().optim_samples as u64;
+        for r in &results {
+            let step_sims: u64 = r.steps.iter().map(|s| s.sims).sum();
+            assert_eq!(step_sims + r.init_sims, r.total_sims);
+            assert_eq!(r.pruning.corners_simulated * n_prime, step_sims);
+            if let Some(to_success) = r.sims_to_success {
+                assert!(to_success <= r.total_sims);
+                assert!(to_success >= r.init_sims);
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_streams_every_step_and_matches_run() {
+        let campaign = SizingCampaign::new(toy(), quick().with_pruning(PruningConfig::new(2, 5)));
+        let mut streamed: Vec<CampaignStep> = Vec::new();
+        let observed = campaign.run_with(7, &mut |s| streamed.push(s.clone()));
+        assert_eq!(streamed, observed.steps, "observer sees exactly the recorded trajectory");
+        // The observer must not perturb the run.
+        let plain =
+            SizingCampaign::new(toy(), quick().with_pruning(PruningConfig::new(2, 5))).run(7);
+        assert_eq!(observed.final_design, plain.final_design);
+        assert_eq!(observed.total_sims, plain.total_sims);
+        assert_eq!(observed.steps.len(), plain.steps.len());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod sweep;
 pub mod verification;
 pub mod yield_est;
 
-pub use cache::{CachePolicy, CacheStats, EvalCache, EvalCacheConfig};
+pub use cache::{CachePolicy, CacheRegistry, CacheStats, EvalCache, EvalCacheConfig};
 pub use campaign::{
     CampaignConfig, CampaignResult, CampaignStep, CornerScheduler, PruningConfig, PruningStats,
     SizingCampaign,

@@ -102,6 +102,18 @@ impl SizingProblem {
         self
     }
 
+    /// Attaches an **existing** [`EvalCache`] handle (builder style) —
+    /// the sharing entry point behind the process-wide
+    /// [`CacheRegistry`](crate::cache::CacheRegistry): concurrent
+    /// campaigns on the same circuit answer each other's repeated points.
+    /// Outcomes are unchanged by sharing (a hit is bitwise-identical to a
+    /// recompute), so per-problem accounting and trajectories stay
+    /// exactly as with a private cache.
+    pub fn with_cache_handle(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The evaluation cache, if one is attached.
     pub fn cache(&self) -> Option<&Arc<EvalCache>> {
         self.cache.as_ref()

@@ -1,0 +1,658 @@
+//! # glova-serve — sizing as a service
+//!
+//! A long-running process answering sizing requests needs more than the
+//! one-shot [`SizingCampaign`] API: requests arrive concurrently, each
+//! with its own circuit / verification method / goal, and clients want
+//! to watch progress while a campaign is still running. This crate is
+//! that serving layer, built entirely on `std` (no async runtime, no
+//! network — the transport is whatever embeds the server):
+//!
+//! - [`CampaignServer`] — a fixed fleet of worker threads multiplexing
+//!   any number of queued [`SizingRequest`]s; submission returns a
+//!   [`JobId`] immediately.
+//! - [`JobSnapshot`] — a pollable point-in-time view of one job: its
+//!   [`JobStatus`], every [`CampaignStep`] completed so far (streamed by
+//!   the campaign's step observer the moment each step finishes), and
+//!   the final [`CampaignResult`] once done.
+//! - Process-wide sharing: circuits resolve their solver pools through a
+//!   [`SolverRegistry`] and their evaluation caches through a
+//!   [`CacheRegistry`], so N concurrent campaigns on one topology pay
+//!   **one** symbolic prime (instead of N) and answer each other's
+//!   repeated evaluation points.
+//!
+//! # Determinism
+//!
+//! A campaign's trajectory is bitwise identical whether it runs alone or
+//! beside K concurrent campaigns, on any worker-fleet size. The chain of
+//! custody: every evaluation is a pure function of
+//! `(design, corner, mismatch)`; registry-shared solver pools clone one
+//! canonical primed prototype and retire non-canonical solvers (see
+//! [`SolverRegistry`]); shared cache hits return bitwise-identical
+//! `SimOutcome`s keyed by the full identity of the evaluation semantics
+//! (see [`CacheRegistry`]); and each campaign draws from its own
+//! seed-derived RNG streams, never from shared state. Which worker runs
+//! a job — and what runs beside it — is therefore unobservable in the
+//! results. `tests/serve_concurrency.rs` is the battery that locks this
+//! in.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use glova::prelude::*;
+//! use glova_serve::{CampaignServer, CircuitSpec, SizingRequest};
+//!
+//! let server = CampaignServer::new(2);
+//! let request = SizingRequest::new(
+//!     CircuitSpec::InverterChain { stages: 2 },
+//!     CampaignConfig::quick(VerificationMethod::Corner).with_max_steps(5),
+//!     42,
+//! );
+//! let id = server.submit(request).unwrap();
+//! let snapshot = server.wait(id).unwrap();
+//! assert!(snapshot.status.is_terminal());
+//! let report = server.shutdown();
+//! assert_eq!(report.jobs_completed, 1);
+//! ```
+
+use glova::cache::CacheRegistry;
+use glova::campaign::{CampaignConfig, CampaignResult, CampaignStep, SizingCampaign};
+use glova_circuits::{Circuit, SpiceInverterChain, SpiceOta, SpiceSenseAmpArray};
+use glova_spice::registry::SolverRegistry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Which circuit a request sizes — the serving-layer catalogue of the
+/// SPICE-backed testcases (each resolves its solver pool through the
+/// server's [`SolverRegistry`], so topology-sharing requests share one
+/// primed symbolic analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitSpec {
+    /// [`SpiceInverterChain`] with the given stage count (`stages ≥ 2`).
+    InverterChain {
+        /// Number of inverter stages.
+        stages: usize,
+    },
+    /// The two-stage [`SpiceOta`].
+    Ota,
+    /// [`SpiceSenseAmpArray`] with the given shape (both sides `> 0`).
+    SenseAmpArray {
+        /// Word lines.
+        rows: usize,
+        /// Bit-line columns.
+        cols: usize,
+    },
+}
+
+impl CircuitSpec {
+    /// Rejects shapes the circuit constructors would panic on.
+    fn validate(&self) -> Result<(), ServeError> {
+        match *self {
+            CircuitSpec::InverterChain { stages } if stages < 2 => Err(ServeError::InvalidRequest(
+                format!("inverter chain needs at least 2 stages, got {stages}"),
+            )),
+            CircuitSpec::SenseAmpArray { rows, cols } if rows == 0 || cols == 0 => {
+                Err(ServeError::InvalidRequest(format!(
+                    "sense-amp array needs a non-empty shape, got {rows}×{cols}"
+                )))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the circuit on a registry-shared pool, returning it with
+    /// its topology fingerprint (one of the cache identity words).
+    fn build(&self, solvers: &SolverRegistry) -> (Arc<dyn Circuit>, u64) {
+        match *self {
+            CircuitSpec::InverterChain { stages } => {
+                let c = SpiceInverterChain::from_registry(stages, solvers);
+                let fp = c.topology_fingerprint();
+                (Arc::new(c), fp)
+            }
+            CircuitSpec::Ota => {
+                let c = SpiceOta::from_registry(solvers);
+                let fp = c.topology_fingerprint();
+                (Arc::new(c), fp)
+            }
+            CircuitSpec::SenseAmpArray { rows, cols } => {
+                let c = SpiceSenseAmpArray::from_registry(rows, cols, solvers);
+                let fp = c.topology_fingerprint();
+                (Arc::new(c), fp)
+            }
+        }
+    }
+
+    /// The identity words a shared evaluation cache is keyed by.
+    ///
+    /// Cached `SimOutcome`s bake in the circuit's metric extraction and
+    /// base-spec reward, so the identity must pin everything those
+    /// depend on: the catalogue variant, its shape parameters (which fix
+    /// the spec thresholds), and the evaluated topology. Verification
+    /// method, engine, and goal factors deliberately do **not**
+    /// participate — they select *which* points are evaluated (and goal
+    /// rewards are re-derived from cached raw metrics), so requests
+    /// differing only in those share one cache. That sharing is the
+    /// serving win.
+    fn cache_identity(&self, fingerprint: u64) -> Vec<u64> {
+        match *self {
+            CircuitSpec::InverterChain { stages } => vec![1, stages as u64, fingerprint],
+            CircuitSpec::Ota => vec![2, fingerprint],
+            CircuitSpec::SenseAmpArray { rows, cols } => {
+                vec![3, rows as u64, cols as u64, fingerprint]
+            }
+        }
+    }
+}
+
+/// One sizing job: a circuit, a full campaign configuration (method,
+/// engine, cache, pruning, goal factors, budgets — per request), and the
+/// campaign seed.
+#[derive(Debug, Clone)]
+pub struct SizingRequest {
+    /// Circuit to size.
+    pub circuit: CircuitSpec,
+    /// Campaign configuration. `config.cache` selects the shared-cache
+    /// configuration this job resolves through the server's
+    /// [`CacheRegistry`] (`None` runs uncached).
+    pub config: CampaignConfig,
+    /// Campaign seed — with the same `circuit` and `config`, the seed
+    /// fully determines the trajectory, no matter what else the server
+    /// is running.
+    pub seed: u64,
+}
+
+impl SizingRequest {
+    /// Bundles a request.
+    pub fn new(circuit: CircuitSpec, config: CampaignConfig, seed: u64) -> Self {
+        Self { circuit, config, seed }
+    }
+}
+
+/// Serving-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request can never run (bad circuit shape, empty config).
+    InvalidRequest(String),
+    /// No job with the given id was ever submitted to this server.
+    UnknownJob(JobId),
+    /// The server is shutting down and no longer accepts submissions.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidRequest(why) => write!(f, "invalid sizing request: {why}"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Opaque handle to a submitted job (process-unique per server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running the campaign.
+    Running,
+    /// The campaign finished; the snapshot carries its result.
+    Done,
+    /// The campaign panicked; the snapshot carries the panic message.
+    /// The worker survives — one poisoned request cannot take down the
+    /// fleet.
+    Failed,
+}
+
+impl JobStatus {
+    /// Whether the job has finished (successfully or not).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+/// Point-in-time view of one job, cheap to poll while it runs.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job this snapshot describes.
+    pub id: JobId,
+    /// Lifecycle state at snapshot time.
+    pub status: JobStatus,
+    /// Every campaign step completed so far, streamed in step order the
+    /// moment each completes (the full trajectory once `Done`).
+    pub steps: Vec<CampaignStep>,
+    /// The campaign result (populated once `Done`).
+    pub result: Option<CampaignResult>,
+    /// The panic message (populated once `Failed`).
+    pub error: Option<String>,
+}
+
+/// Final tally returned by [`CampaignServer::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Jobs that reached [`JobStatus::Done`].
+    pub jobs_completed: u64,
+    /// Jobs that reached [`JobStatus::Failed`].
+    pub jobs_failed: u64,
+}
+
+#[derive(Debug)]
+struct JobState {
+    status: JobStatus,
+    steps: Vec<CampaignStep>,
+    result: Option<CampaignResult>,
+    error: Option<String>,
+}
+
+#[derive(Debug)]
+struct Job {
+    id: JobId,
+    request: SizingRequest,
+    state: Mutex<JobState>,
+    /// Signalled when the job reaches a terminal status.
+    done: Condvar,
+}
+
+impl Job {
+    fn snapshot(&self) -> JobSnapshot {
+        let state = self.state.lock().expect("job state poisoned");
+        JobSnapshot {
+            id: self.id,
+            status: state.status,
+            steps: state.steps.clone(),
+            result: state.result.clone(),
+            error: state.error.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<Arc<Job>>,
+    shutting_down: bool,
+}
+
+#[derive(Debug)]
+struct ServerShared {
+    queue: Mutex<QueueState>,
+    /// Signalled on submission and on shutdown.
+    work_available: Condvar,
+    jobs: Mutex<HashMap<JobId, Arc<Job>>>,
+    solvers: Arc<SolverRegistry>,
+    caches: Arc<CacheRegistry>,
+}
+
+/// A fixed worker fleet multiplexing queued sizing campaigns (see the
+/// [crate docs](self)).
+///
+/// Dropping the server without calling [`shutdown`](Self::shutdown)
+/// also drains the queue and joins the workers.
+#[derive(Debug)]
+pub struct CampaignServer {
+    shared: Arc<ServerShared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: Mutex<u64>,
+}
+
+impl CampaignServer {
+    /// Spawns a server with `workers` worker threads and its own (fresh)
+    /// solver and cache registries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        Self::with_registries(
+            workers,
+            Arc::new(SolverRegistry::new()),
+            Arc::new(CacheRegistry::new()),
+        )
+    }
+
+    /// Spawns a server resolving solver pools and evaluation caches
+    /// through the given registries — the hook for sharing registries
+    /// across servers (or with non-served library code) and for
+    /// inspecting registry counters in tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_registries(
+        workers: usize,
+        solvers: Arc<SolverRegistry>,
+        caches: Arc<CacheRegistry>,
+    ) -> Self {
+        assert!(workers > 0, "a server needs at least one worker");
+        let shared = Arc::new(ServerShared {
+            queue: Mutex::new(QueueState::default()),
+            work_available: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            solvers,
+            caches,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("glova-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawn")
+            })
+            .collect();
+        Self { shared, workers: handles, next_id: Mutex::new(0) }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The solver registry this server resolves pools through.
+    pub fn solver_registry(&self) -> &SolverRegistry {
+        &self.shared.solvers
+    }
+
+    /// The cache registry this server resolves evaluation caches
+    /// through.
+    pub fn cache_registry(&self) -> &CacheRegistry {
+        &self.shared.caches
+    }
+
+    /// Validates and enqueues a request, returning its job id
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for shapes the circuit
+    /// constructors reject or an empty seeding phase;
+    /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown)
+    /// has begun.
+    pub fn submit(&self, request: SizingRequest) -> Result<JobId, ServeError> {
+        request.circuit.validate()?;
+        if request.config.init_designs == 0 {
+            return Err(ServeError::InvalidRequest("init_designs must be positive".into()));
+        }
+        let id = {
+            let mut next = self.next_id.lock().expect("id counter poisoned");
+            *next += 1;
+            JobId(*next)
+        };
+        let job = Arc::new(Job {
+            id,
+            request,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                steps: Vec::new(),
+                result: None,
+                error: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            if queue.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue.pending.push_back(job.clone());
+        }
+        self.shared.jobs.lock().expect("job table poisoned").insert(id, job);
+        self.shared.work_available.notify_one();
+        Ok(id)
+    }
+
+    /// A point-in-time view of the job (non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] if the id was never issued.
+    pub fn snapshot(&self, id: JobId) -> Result<JobSnapshot, ServeError> {
+        Ok(self.job(id)?.snapshot())
+    }
+
+    /// Blocks until the job reaches a terminal status, returning its
+    /// final snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] if the id was never issued.
+    pub fn wait(&self, id: JobId) -> Result<JobSnapshot, ServeError> {
+        let job = self.job(id)?;
+        let mut state = job.state.lock().expect("job state poisoned");
+        while !state.status.is_terminal() {
+            state = job.done.wait(state).expect("job state poisoned");
+        }
+        drop(state);
+        Ok(job.snapshot())
+    }
+
+    /// Graceful shutdown: stops accepting submissions, drains every
+    /// queued job, joins the workers, and tallies the outcomes.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let jobs = self.shared.jobs.lock().expect("job table poisoned");
+        let mut report = ShutdownReport { jobs_completed: 0, jobs_failed: 0 };
+        for job in jobs.values() {
+            match job.state.lock().expect("job state poisoned").status {
+                JobStatus::Done => report.jobs_completed += 1,
+                JobStatus::Failed => report.jobs_failed += 1,
+                JobStatus::Queued | JobStatus::Running => {
+                    unreachable!("drained shutdown left a live job")
+                }
+            }
+        }
+        report
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.queue.lock().expect("queue poisoned").shutting_down = true;
+        self.shared.work_available.notify_all();
+    }
+
+    fn job(&self, id: JobId) -> Result<Arc<Job>, ServeError> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("job table poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownJob(id))
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &ServerShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pending.pop_front() {
+                    break job;
+                }
+                if queue.shutting_down {
+                    return;
+                }
+                queue = shared.work_available.wait(queue).expect("queue poisoned");
+            }
+        };
+        run_job(shared, &job);
+    }
+}
+
+fn run_job(shared: &ServerShared, job: &Job) {
+    job.state.lock().expect("job state poisoned").status = JobStatus::Running;
+    // A panicking campaign (solver assertion, config mismatch the cheap
+    // validation missed) fails its own job, never the fleet.
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, job)));
+    let mut state = job.state.lock().expect("job state poisoned");
+    match outcome {
+        Ok(result) => {
+            state.result = Some(result);
+            state.status = JobStatus::Done;
+        }
+        Err(payload) => {
+            state.error = Some(panic_message(payload.as_ref()));
+            state.status = JobStatus::Failed;
+        }
+    }
+    drop(state);
+    job.done.notify_all();
+}
+
+fn execute(shared: &ServerShared, job: &Job) -> CampaignResult {
+    let request = &job.request;
+    let (circuit, fingerprint) = request.circuit.build(&shared.solvers);
+    let campaign = match request.config.cache {
+        Some(cache_config) => {
+            let identity = request.circuit.cache_identity(fingerprint);
+            let cache = shared.caches.cache_for(&identity, cache_config);
+            SizingCampaign::with_shared_cache(circuit, request.config.clone(), cache)
+        }
+        None => SizingCampaign::new(circuit, request.config.clone()),
+    };
+    campaign.run_with(request.seed, &mut |step| {
+        job.state.lock().expect("job state poisoned").steps.push(step.clone());
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "campaign panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glova_variation::config::VerificationMethod;
+
+    fn quick_request(seed: u64) -> SizingRequest {
+        SizingRequest::new(
+            CircuitSpec::InverterChain { stages: 2 },
+            CampaignConfig::quick(VerificationMethod::Corner)
+                .with_max_steps(4)
+                .with_cache(glova::cache::EvalCacheConfig::default()),
+            seed,
+        )
+    }
+
+    #[test]
+    fn submit_poll_wait_roundtrip() {
+        let server = CampaignServer::new(2);
+        let id = server.submit(quick_request(42)).unwrap();
+        // Snapshots are valid at any point in the lifecycle.
+        let early = server.snapshot(id).unwrap();
+        assert!(matches!(early.status, JobStatus::Queued | JobStatus::Running | JobStatus::Done));
+        let done = server.wait(id).unwrap();
+        assert_eq!(done.status, JobStatus::Done);
+        let result = done.result.expect("done job carries its result");
+        assert_eq!(done.steps, result.steps, "streamed steps are the trajectory");
+        let report = server.shutdown();
+        assert_eq!(report, ShutdownReport { jobs_completed: 1, jobs_failed: 0 });
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected_at_submission() {
+        let server = CampaignServer::new(1);
+        let bad_chain = SizingRequest::new(
+            CircuitSpec::InverterChain { stages: 1 },
+            CampaignConfig::quick(VerificationMethod::Corner),
+            1,
+        );
+        assert!(matches!(server.submit(bad_chain), Err(ServeError::InvalidRequest(_))));
+        let bad_array = SizingRequest::new(
+            CircuitSpec::SenseAmpArray { rows: 0, cols: 4 },
+            CampaignConfig::quick(VerificationMethod::Corner),
+            1,
+        );
+        assert!(matches!(server.submit(bad_array), Err(ServeError::InvalidRequest(_))));
+        let mut empty_init = quick_request(1);
+        empty_init.config.init_designs = 0;
+        assert!(matches!(server.submit(empty_init), Err(ServeError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn unknown_job_is_an_error() {
+        let server = CampaignServer::new(1);
+        let bogus = JobId(999);
+        match server.snapshot(bogus) {
+            Err(ServeError::UnknownJob(id)) => assert_eq!(id, bogus),
+            other => panic!("expected UnknownJob, got {other:?}"),
+        }
+        match server.wait(bogus) {
+            Err(ServeError::UnknownJob(id)) => assert_eq!(id, bogus),
+            other => panic!("expected UnknownJob, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_without_killing_the_fleet() {
+        let server = CampaignServer::new(1);
+        // A goal-factor count that does not match the 3-metric spec
+        // passes the cheap submission validation but panics inside the
+        // campaign constructor — the worker must absorb it.
+        let mut poisoned = quick_request(7);
+        poisoned.config.goal_factors = Some(vec![1.0]);
+        let bad = server.submit(poisoned).unwrap();
+        let failed = server.wait(bad).unwrap();
+        assert_eq!(failed.status, JobStatus::Failed);
+        assert!(failed.error.is_some());
+        // The same (sole) worker then serves a healthy job.
+        let good = server.submit(quick_request(42)).unwrap();
+        assert_eq!(server.wait(good).unwrap().status, JobStatus::Done);
+        let report = server.shutdown();
+        assert_eq!(report, ShutdownReport { jobs_completed: 1, jobs_failed: 1 });
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_blocks_new_ones() {
+        // One worker, several jobs: shutdown must finish them all.
+        let server = CampaignServer::new(1);
+        let ids: Vec<_> = (0..3).map(|s| server.submit(quick_request(s)).unwrap()).collect();
+        let shared = server.shared.clone();
+        let report = server.shutdown();
+        assert_eq!(report.jobs_completed, 3);
+        assert_eq!(report.jobs_failed, 0);
+        let jobs = shared.jobs.lock().unwrap();
+        for id in ids {
+            assert_eq!(jobs[&id].state.lock().unwrap().status, JobStatus::Done);
+        }
+    }
+
+    #[test]
+    fn concurrent_same_topology_jobs_share_one_prime_and_one_cache() {
+        let solvers = Arc::new(SolverRegistry::new());
+        let caches = Arc::new(CacheRegistry::new());
+        let server = CampaignServer::with_registries(4, solvers.clone(), caches.clone());
+        let ids: Vec<_> = (0..4).map(|s| server.submit(quick_request(100 + s)).unwrap()).collect();
+        for id in ids {
+            assert_eq!(server.wait(id).unwrap().status, JobStatus::Done);
+        }
+        assert_eq!(solvers.primes(), 1, "four same-topology jobs share one symbolic prime");
+        assert_eq!(solvers.hits(), 3);
+        assert_eq!(caches.len(), 1, "one shared cache for one circuit identity");
+        drop(server);
+    }
+}

@@ -401,11 +401,26 @@ impl OpSolver {
 pub struct OpSolverPool {
     prototype: OpSolver,
     free: Mutex<Vec<OpSolver>>,
+    /// Upper bound on the free list — see [`Self::DEFAULT_FREE_CAPACITY`].
+    free_capacity: usize,
     spawned: AtomicUsize,
     retired: AtomicUsize,
+    dropped: AtomicUsize,
 }
 
 impl OpSolverPool {
+    /// Default bound on idle solvers retained by the free list.
+    ///
+    /// The free list grows to the *peak* concurrent checkout count, and —
+    /// before this cap existed — never shrank. That was harmless for a
+    /// sweep-local pool that dies with its sweep, but a process-wide
+    /// registry resident would pin peak-burst × per-solver factorization
+    /// memory forever. Solvers returned while the list is full are
+    /// dropped instead (counted by [`Self::solvers_dropped`]); a later
+    /// burst simply re-clones the prototype, which is cheap next to the
+    /// symbolic analysis the prototype already amortizes.
+    pub const DEFAULT_FREE_CAPACITY: usize = 32;
+
     /// Builds and primes the prototype solver for `netlist`.
     ///
     /// # Errors
@@ -415,9 +430,17 @@ impl OpSolverPool {
         Ok(Self {
             prototype: OpSolver::primed(netlist, options)?,
             free: Mutex::new(Vec::new()),
+            free_capacity: Self::DEFAULT_FREE_CAPACITY,
             spawned: AtomicUsize::new(0),
             retired: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
         })
+    }
+
+    /// Overrides the free-list bound (clamped to ≥ 1; builder style).
+    pub fn with_free_capacity(mut self, capacity: usize) -> Self {
+        self.free_capacity = capacity.max(1);
+        self
     }
 
     /// Whether the pooled solvers run the sparse backend.
@@ -441,6 +464,17 @@ impl OpSolverPool {
     /// prototype clone on return).
     pub fn solvers_retired(&self) -> usize {
         self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Solvers dropped on return because the free list was at its bound.
+    pub fn solvers_dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Idle solvers currently parked on the free list (bounded by the
+    /// configured free capacity).
+    pub fn free_len(&self) -> usize {
+        self.free.lock().expect("solver pool poisoned").len()
     }
 
     /// Runs `f` with a checked-out per-worker solver, returning it to the
@@ -484,9 +518,16 @@ impl OpSolverPool {
                 };
                 // During an unwind a poisoned lock must not escalate to
                 // a double panic; losing the return there only costs a
-                // future re-clone.
+                // future re-clone. A full free list drops the solver
+                // instead of parking it, bounding a long-lived pool's
+                // memory at `free_capacity` idle factorizations.
                 if let Ok(mut free) = self.pool.free.lock() {
-                    free.push(returned);
+                    if free.len() < self.pool.free_capacity {
+                        free.push(returned);
+                    } else {
+                        drop(free);
+                        self.pool.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -916,6 +957,39 @@ mod tests {
         });
         assert_eq!(pool.solvers_retired(), 1);
         assert_eq!(pool.solvers_spawned(), 1, "retirement replaces in place, never re-spawns");
+    }
+
+    #[test]
+    fn pool_free_list_is_bounded() {
+        use crate::mna::NewtonOptions;
+        use crate::netlist::inverter_chain_with_load;
+        let pool =
+            OpSolverPool::new(&inverter_chain_with_load(4, Some(10e3)), NewtonOptions::default())
+                .unwrap()
+                .with_free_capacity(2);
+        // Nested checkouts force four concurrent solvers into existence…
+        pool.with_solver(|a| {
+            a.solve().unwrap();
+            pool.with_solver(|b| {
+                b.solve().unwrap();
+                pool.with_solver(|c| {
+                    c.solve().unwrap();
+                    pool.with_solver(|d| {
+                        d.solve().unwrap();
+                    });
+                });
+            });
+        });
+        assert_eq!(pool.solvers_spawned(), 4, "peak concurrency materializes four solvers");
+        // …but only `free_capacity` of them are parked; the rest are
+        // dropped on return instead of pinning memory forever.
+        assert_eq!(pool.free_len(), 2, "free list must not exceed its bound");
+        assert_eq!(pool.solvers_dropped(), 2);
+        // The pool still serves checkouts normally afterwards.
+        pool.with_solver(|solver| {
+            solver.solve().unwrap();
+        });
+        assert_eq!(pool.solvers_spawned(), 4, "parked solvers are reused, not re-cloned");
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod device;
 pub mod mna;
 pub mod model;
 pub mod netlist;
+pub mod registry;
 pub mod transient;
 
 pub use ac::{ac_sweep, ac_sweep_with_backend, log_sweep, AcResult, AcSolverPool};
@@ -54,6 +55,7 @@ pub use netlist::{
     inverter_chain, ota_two_stage, rc_ladder, sense_amp_array, sense_amp_array_with, Netlist,
     NodeId, OtaCards, OtaParams, SenseAmpParams, GROUND,
 };
+pub use registry::SolverRegistry;
 pub use transient::{TransientResult, TransientSpec};
 
 /// Gate capacitance of a `w × l` µm device, farads (30 fF/µm² at 28 nm) —

@@ -236,51 +236,55 @@ impl Netlist {
     /// (`glova_spice::mna` assembly templates key on this).
     pub fn topology_fingerprint(&self) -> u64 {
         // FNV-1a over the structural words; collisions are negligible at
-        // 64 bits and the consumers additionally check dimensions.
+        // 64 bits and the consumers additionally check dimensions. The
+        // process-wide solver registry (`glova_spice::registry`) cannot
+        // tolerate even a negligible collision silently reusing a wrong
+        // symbolic analysis, so it confirms hits against the full
+        // [`structural_signature`](Self::structural_signature) word
+        // sequence this digest is computed from.
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
-        let mut mix = |w: u64| {
+        for w in self.structural_signature() {
             for byte in w.to_le_bytes() {
                 h ^= u64::from(byte);
                 h = h.wrapping_mul(PRIME);
             }
-        };
-        mix(self.node_count() as u64);
-        mix(self.vsource_count as u64);
-        mix(self.devices.len() as u64);
+        }
+        h
+    }
+
+    /// The exact structural word sequence [`Self::topology_fingerprint`]
+    /// digests: counts, then per device (in insertion order) a kind tag
+    /// and the node/branch connectivity. Two netlists are
+    /// topology-equivalent — identical MNA sparsity pattern and stamp
+    /// order — **iff** their signatures are equal, which makes this the
+    /// collision-proof confirm behind fingerprint-keyed registries.
+    pub fn structural_signature(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(3 + 4 * self.devices.len());
+        words.push(self.node_count() as u64);
+        words.push(self.vsource_count as u64);
+        words.push(self.devices.len() as u64);
         for device in &self.devices {
             match device {
                 Device::Resistor { a, b, .. } => {
-                    mix(1);
-                    mix(a.0 as u64);
-                    mix(b.0 as u64);
+                    words.extend([1, a.0 as u64, b.0 as u64]);
                 }
                 Device::Capacitor { a, b, .. } => {
-                    mix(2);
-                    mix(a.0 as u64);
-                    mix(b.0 as u64);
+                    words.extend([2, a.0 as u64, b.0 as u64]);
                 }
                 Device::Vsource { plus, minus, branch, .. } => {
-                    mix(3);
-                    mix(plus.0 as u64);
-                    mix(minus.0 as u64);
-                    mix(*branch as u64);
+                    words.extend([3, plus.0 as u64, minus.0 as u64, *branch as u64]);
                 }
                 Device::Isource { from, to, .. } => {
-                    mix(4);
-                    mix(from.0 as u64);
-                    mix(to.0 as u64);
+                    words.extend([4, from.0 as u64, to.0 as u64]);
                 }
                 Device::Mosfet { drain, gate, source, .. } => {
-                    mix(5);
-                    mix(drain.0 as u64);
-                    mix(gate.0 as u64);
-                    mix(source.0 as u64);
+                    words.extend([5, drain.0 as u64, gate.0 as u64, source.0 as u64]);
                 }
             }
         }
-        h
+        words
     }
 }
 

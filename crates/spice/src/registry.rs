@@ -1,0 +1,254 @@
+//! Process-wide solver-pool registry — one primed symbolic analysis per
+//! topology, shared across every concurrent campaign.
+//!
+//! A sweep-local [`OpSolverPool`] amortizes its prototype's symbolic
+//! factorization across the points of *one* sweep. A long-running server
+//! multiplexing N campaigns over the same circuit topology should pay
+//! that prime exactly **once per process**, not once per request —
+//! [`SolverRegistry`] is the map that makes pools process-wide residents,
+//! keyed by [`Netlist::topology_fingerprint`].
+//!
+//! # Collision safety
+//!
+//! The fingerprint is a 64-bit digest; a collision is negligible but not
+//! impossible, and silently reusing a wrong symbolic analysis would be a
+//! correctness bug (wrong sparsity pattern ⇒ wrong solves), not a slow
+//! path. Every registry hit therefore **confirms** the candidate entry
+//! against the requesting netlist's full
+//! [`structural_signature`](Netlist::structural_signature) word sequence
+//! (and the requested [`NewtonOptions`], since the options bake into the
+//! primed prototype). A fingerprint match whose confirm fails is counted
+//! as a collision and resolved by priming a *separate* entry under the
+//! same fingerprint bucket — never by aliasing.
+//!
+//! # Determinism
+//!
+//! Sharing a pool cannot change results: every pooled solver is a clone
+//! of one canonical primed prototype, a solve is a pure function of the
+//! retargeted netlist, and non-canonical solvers are retired on return
+//! (see [`OpSolverPool`]). Which campaign's worker happens to check a
+//! given solver out is therefore unobservable in the outcomes — the
+//! property the concurrent-campaign determinism battery locks in.
+//!
+//! Lookup-or-prime holds the registry lock across the prime, so exactly
+//! one prime happens per unique key no matter how many campaigns race on
+//! a cold topology — which also makes the registry's
+//! [`primes`](SolverRegistry::primes) counter a deterministic quantity
+//! the perfsuite `serve` scenario can gate on.
+
+use crate::dc::OpSolverPool;
+use crate::mna::NewtonOptions;
+use crate::netlist::Netlist;
+use crate::SpiceError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One registered pool: the full structural identity it was primed for
+/// plus the shared pool itself.
+#[derive(Debug)]
+struct RegistryEntry {
+    signature: Vec<u64>,
+    options: NewtonOptions,
+    pool: Arc<OpSolverPool>,
+}
+
+/// A process-wide map from netlist topology to a shared, primed
+/// [`OpSolverPool`] (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct SolverRegistry {
+    /// Fingerprint → entries. A bucket normally holds one entry; it holds
+    /// several only under a genuine fingerprint collision or when the
+    /// same topology is requested under different Newton options.
+    buckets: Mutex<HashMap<u64, Vec<RegistryEntry>>>,
+    primes: AtomicU64,
+    hits: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl SolverRegistry {
+    /// Creates an empty registry (tests and scoped servers; production
+    /// code normally shares [`Self::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry instance.
+    pub fn global() -> &'static SolverRegistry {
+        static GLOBAL: OnceLock<SolverRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SolverRegistry::new)
+    }
+
+    /// Returns the shared pool for `netlist`'s topology under `options`,
+    /// priming (and registering) one if no confirmed entry exists.
+    ///
+    /// Hits are confirmed against the full structural signature and the
+    /// Newton options — a fingerprint collision primes a separate entry,
+    /// it never aliases. The registry lock is held across a cold prime,
+    /// so racing requesters of one topology produce exactly one prime.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for structurally singular netlists
+    /// (nothing is registered on error).
+    pub fn pool_for(
+        &self,
+        netlist: &Netlist,
+        options: NewtonOptions,
+    ) -> Result<Arc<OpSolverPool>, SpiceError> {
+        self.pool_for_keyed(netlist.topology_fingerprint(), netlist, options)
+    }
+
+    /// [`Self::pool_for`] with a caller-supplied fingerprint — internal
+    /// seam that lets the collision-confirm test force two distinct
+    /// topologies into one bucket.
+    fn pool_for_keyed(
+        &self,
+        fingerprint: u64,
+        netlist: &Netlist,
+        options: NewtonOptions,
+    ) -> Result<Arc<OpSolverPool>, SpiceError> {
+        let signature = netlist.structural_signature();
+        let mut buckets = self.buckets.lock().expect("solver registry poisoned");
+        let bucket = buckets.entry(fingerprint).or_default();
+        if let Some(entry) =
+            bucket.iter().find(|e| e.options == options && e.signature == signature)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry.pool.clone());
+        }
+        if bucket.iter().any(|e| e.signature != signature) {
+            // Same fingerprint, different structure: a genuine digest
+            // collision. Count it and fall through to priming a separate
+            // entry in the same bucket.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        let pool = Arc::new(OpSolverPool::new(netlist, options)?);
+        self.primes.fetch_add(1, Ordering::Relaxed);
+        bucket.push(RegistryEntry { signature, options, pool: pool.clone() });
+        Ok(pool)
+    }
+
+    /// Prototype primes performed (cold topologies × option sets). Under
+    /// registry sharing this counts **unique keys**, not requests — the
+    /// deterministic quantity the perfsuite `serve` gate compares against
+    /// one-pool-per-campaign construction.
+    pub fn primes(&self) -> u64 {
+        self.primes.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered by an existing confirmed entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fingerprint matches whose structural confirm failed (each resolved
+    /// by priming a separate entry, never by aliasing).
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Registered entries (unique topology × options keys).
+    pub fn len(&self) -> usize {
+        self.buckets.lock().expect("solver registry poisoned").values().map(Vec::len).sum()
+    }
+
+    /// Whether the registry holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::SolverBackend;
+    use crate::netlist::{inverter_chain, rc_ladder};
+
+    #[test]
+    fn same_topology_shares_one_pool() {
+        let registry = SolverRegistry::new();
+        let options = NewtonOptions::default();
+        let a = registry.pool_for(&inverter_chain(8), options).unwrap();
+        let b = registry.pool_for(&inverter_chain(8), options).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one topology must resolve to one shared pool");
+        assert_eq!((registry.primes(), registry.hits()), (1, 1));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn distinct_topologies_and_options_get_distinct_pools() {
+        let registry = SolverRegistry::new();
+        let options = NewtonOptions::default();
+        let chain = registry.pool_for(&inverter_chain(8), options).unwrap();
+        let ladder = registry.pool_for(&rc_ladder(8, 1e3, 1e-12), options).unwrap();
+        assert!(!Arc::ptr_eq(&chain, &ladder));
+        // Same topology under different options is a different prime:
+        // the options bake into the prototype.
+        let sparse = registry
+            .pool_for(
+                &inverter_chain(8),
+                NewtonOptions::default().with_backend(SolverBackend::Sparse),
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&chain, &sparse));
+        assert!(sparse.is_sparse() && !chain.is_sparse());
+        assert_eq!(registry.primes(), 3);
+        assert_eq!(registry.collisions(), 0, "distinct fingerprints are not collisions");
+    }
+
+    #[test]
+    fn forced_fingerprint_clash_confirms_structure_and_never_aliases() {
+        // Force two structurally different netlists into one bucket by
+        // keying both under the same fingerprint: the confirm must refuse
+        // to reuse the first entry, count a collision, and prime a
+        // separate pool — silently aliasing the wrong symbolic analysis
+        // is the failure mode this registry exists to rule out.
+        let registry = SolverRegistry::new();
+        let options = NewtonOptions::default();
+        let forced_key = 0xdead_beef_cafe_f00d;
+        let chain = registry.pool_for_keyed(forced_key, &inverter_chain(8), options).unwrap();
+        let ladder =
+            registry.pool_for_keyed(forced_key, &rc_ladder(8, 1e3, 1e-12), options).unwrap();
+        assert!(!Arc::ptr_eq(&chain, &ladder), "collision must not alias pools");
+        assert_eq!(registry.collisions(), 1);
+        assert_eq!(registry.primes(), 2);
+        assert_eq!(registry.len(), 2, "both entries live under one bucket");
+        // Both entries stay individually reachable and confirmed.
+        let chain2 = registry.pool_for_keyed(forced_key, &inverter_chain(8), options).unwrap();
+        let ladder2 =
+            registry.pool_for_keyed(forced_key, &rc_ladder(8, 1e3, 1e-12), options).unwrap();
+        assert!(Arc::ptr_eq(&chain, &chain2));
+        assert!(Arc::ptr_eq(&ladder, &ladder2));
+        assert_eq!(registry.hits(), 2);
+    }
+
+    #[test]
+    fn racing_cold_requests_prime_exactly_once() {
+        let registry = SolverRegistry::new();
+        let options = NewtonOptions::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    registry.pool_for(&inverter_chain(8), options).unwrap();
+                });
+            }
+        });
+        assert_eq!(registry.primes(), 1, "racing requesters must share one prime");
+        assert_eq!(registry.hits(), 7);
+    }
+
+    #[test]
+    fn singular_netlist_registers_nothing() {
+        // Two voltage sources across the same node pair duplicate the
+        // branch rows — singular regardless of `gmin` regularization.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, crate::netlist::GROUND, 1.0);
+        nl.vsource("V2", a, crate::netlist::GROUND, 2.0);
+        let registry = SolverRegistry::new();
+        assert!(registry.pool_for(&nl, NewtonOptions::default()).is_err());
+        assert!(registry.is_empty());
+        assert_eq!(registry.primes(), 0);
+    }
+}

@@ -58,7 +58,7 @@ fn repeated_sweeps_hit_the_cache_and_counters_stay_request_based() {
 fn lru_bound_caps_residency_and_counts_evictions() {
     let toy: Arc<dyn Circuit> = Arc::new(ToyQuadratic::standard().with_mismatch_sensitivity(0.05));
     let problem = SizingProblem::new(toy, VerificationMethod::CornerLocalMc)
-        .with_cache(EvalCacheConfig { capacity: 8, policy: CachePolicy::On });
+        .with_cache(EvalCacheConfig { capacity: 8, policy: CachePolicy::On, shards: 1 });
     let x = vec![0.5; 4];
     let corner = problem.config().corners.corner(0);
     let mut rng = seeded(4);

@@ -1,0 +1,155 @@
+//! Concurrent-campaign determinism battery for `glova-serve`.
+//!
+//! The serving contract: a campaign's trajectory is **bitwise
+//! identical** whether it runs alone or beside K concurrent campaigns —
+//! sharing solver pools through a `SolverRegistry` and evaluation
+//! caches through a `CacheRegistry` must be unobservable in the
+//! results. Each scenario runs the same seed-1 request on a solo server
+//! and again on a multi-worker server saturated with neighbours, then
+//! compares the full trajectory and result bit-for-bit (wall-clock
+//! timings excluded — they are the one field allowed to differ).
+
+use glova::campaign::{
+    CampaignConfig, CampaignResult, CampaignStep, PruningConfig, SizingCampaign,
+};
+use glova::prelude::*;
+use glova_serve::{CampaignServer, CircuitSpec, JobStatus, SizingRequest};
+use glova_spice::registry::SolverRegistry;
+use std::sync::Arc;
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig::quick(VerificationMethod::Corner)
+        .with_max_steps(5)
+        .with_cache(glova::cache::EvalCacheConfig::default())
+        .with_pruning(PruningConfig::new(2, 3))
+}
+
+fn chain_request(seed: u64) -> SizingRequest {
+    SizingRequest::new(CircuitSpec::InverterChain { stages: 2 }, quick_config(), seed)
+}
+
+/// Everything observable about a step except its wall-clock time, with
+/// floats captured as bits (bitwise identity, not approximate).
+fn step_bits(s: &CampaignStep) -> (usize, usize, usize, u64, u64, u64, u64, bool) {
+    (
+        s.step,
+        s.active_corners,
+        s.corner_count,
+        s.sims,
+        s.worst_reward.to_bits(),
+        s.best_reward.to_bits(),
+        s.pass_fraction.to_bits(),
+        s.full_grid,
+    )
+}
+
+fn design_bits(x: &[f64]) -> Vec<u64> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_same_trajectory(a: &CampaignResult, b: &CampaignResult) {
+    assert_eq!(a.success, b.success);
+    assert_eq!(
+        a.final_design.as_deref().map(design_bits),
+        b.final_design.as_deref().map(design_bits)
+    );
+    assert_eq!(design_bits(&a.best_design), design_bits(&b.best_design));
+    assert_eq!(a.best_reward.to_bits(), b.best_reward.to_bits());
+    assert_eq!(a.init_sims, b.init_sims);
+    assert_eq!(a.sims_to_success, b.sims_to_success);
+    assert_eq!(a.total_sims, b.total_sims);
+    assert_eq!(a.pruning, b.pruning);
+    assert_eq!(a.steps.len(), b.steps.len());
+    for (sa, sb) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(step_bits(sa), step_bits(sb), "step {} diverged", sa.step);
+    }
+}
+
+fn run_solo(request: SizingRequest) -> CampaignResult {
+    let server = CampaignServer::new(1);
+    let id = server.submit(request).unwrap();
+    let snapshot = server.wait(id).unwrap();
+    assert_eq!(snapshot.status, JobStatus::Done);
+    snapshot.result.unwrap()
+}
+
+#[test]
+fn served_campaign_matches_direct_library_run() {
+    // Serving is a transport, not a semantics change: the same request
+    // through the server must reproduce a direct SizingCampaign run.
+    let registry = SolverRegistry::new();
+    let circuit = Arc::new(glova_circuits::SpiceInverterChain::from_registry(2, &registry));
+    let direct = SizingCampaign::new(circuit, quick_config()).run(1);
+    let served = run_solo(chain_request(1));
+    assert_same_trajectory(&direct, &served);
+}
+
+#[test]
+fn trajectory_is_identical_beside_concurrent_same_topology() {
+    let reference = run_solo(chain_request(1));
+    // Same request again, now racing three same-topology neighbours on
+    // a four-worker fleet — shared pool, shared cache.
+    let server = CampaignServer::new(4);
+    let target = server.submit(chain_request(1)).unwrap();
+    let neighbours: Vec<_> =
+        (2..=4).map(|seed| server.submit(chain_request(seed)).unwrap()).collect();
+    let crowded = server.wait(target).unwrap();
+    assert_eq!(crowded.status, JobStatus::Done);
+    for id in neighbours {
+        assert_eq!(server.wait(id).unwrap().status, JobStatus::Done);
+    }
+    assert_eq!(
+        server.solver_registry().primes(),
+        1,
+        "four same-topology campaigns must share one symbolic prime"
+    );
+    assert_same_trajectory(&reference, &crowded.result.unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn trajectory_is_identical_beside_concurrent_different_topologies() {
+    let reference = run_solo(chain_request(1));
+    // The same seed-1 chain now races an OTA, a sense-amp array, and a
+    // longer chain — distinct topologies, distinct pools and caches,
+    // one shared registry pair.
+    let server = CampaignServer::new(4);
+    let target = server.submit(chain_request(1)).unwrap();
+    let neighbours = vec![
+        server.submit(SizingRequest::new(CircuitSpec::Ota, quick_config(), 2)).unwrap(),
+        server
+            .submit(SizingRequest::new(
+                CircuitSpec::SenseAmpArray { rows: 3, cols: 3 },
+                quick_config(),
+                3,
+            ))
+            .unwrap(),
+        server
+            .submit(SizingRequest::new(CircuitSpec::InverterChain { stages: 3 }, quick_config(), 4))
+            .unwrap(),
+    ];
+    let crowded = server.wait(target).unwrap();
+    assert_eq!(crowded.status, JobStatus::Done);
+    for id in neighbours {
+        assert_eq!(server.wait(id).unwrap().status, JobStatus::Done);
+    }
+    assert_eq!(server.solver_registry().primes(), 4, "four distinct topologies, four primes");
+    assert_eq!(server.cache_registry().len(), 4, "distinct identities never share a cache");
+    assert_same_trajectory(&reference, &crowded.result.unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn repeated_requests_replay_identically_from_a_warm_registry() {
+    // A long-lived server answers the same request twice: the second
+    // run hits warm solver pools and a warm cache, and must still
+    // replay the identical trajectory.
+    let server = CampaignServer::new(2);
+    let first = server.submit(chain_request(9)).unwrap();
+    let cold = server.wait(first).unwrap().result.unwrap();
+    let second = server.submit(chain_request(9)).unwrap();
+    let warm = server.wait(second).unwrap().result.unwrap();
+    assert_same_trajectory(&cold, &warm);
+    assert_eq!(server.solver_registry().primes(), 1);
+    server.shutdown();
+}
