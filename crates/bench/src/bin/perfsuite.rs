@@ -104,6 +104,7 @@
 use glova::cache::{CachePolicy, CacheRegistry, EvalCacheConfig};
 use glova::campaign::{CampaignConfig, PruningConfig, SizingCampaign};
 use glova::engine::EngineSpec;
+use glova::fault::{FaultKind, FaultPlan};
 use glova::problem::SizingProblem;
 use glova::verification::Verifier;
 use glova::yield_est::estimate_yield;
@@ -112,7 +113,7 @@ use glova_bench::{report_requested, write_report};
 use glova_circuits::{Circuit, ToyQuadratic};
 use glova_linalg::sparse::SparseLu;
 use glova_linalg::{FillOrdering, NumericKernel};
-use glova_serve::{CampaignServer, CircuitSpec, SizingRequest};
+use glova_serve::{CampaignServer, CircuitSpec, JobBudget, JobStatus, SizingRequest};
 use glova_spice::ac::{log_sweep, AcSolverPool};
 use glova_spice::dc::OpSolver;
 use glova_spice::mna::{
@@ -1153,6 +1154,131 @@ fn main() {
             ));
         }
     }
+
+    // ---- serve_robust: fault-injected and budget-capped neighbours -----
+    // K=4 same-topology jobs again, but the robust arm injects
+    // deterministic non-convergence faults into the seed-2 job and caps
+    // the seed-3 job at roughly half its fault-free simulation budget.
+    // Gates: (a) the two *unaffected* jobs' simulation counts are
+    // bitwise equal to the fault-free arm — fault isolation and budget
+    // enforcement must be unobservable outside the afflicted jobs; (b)
+    // the budgeted job terminates BudgetExhausted with sims ≤ cap, with
+    // the cap/spent headroom floored at `--min-budget-headroom`
+    // (default 1.0 — "never exceeds the cap"; enforcement exactness is
+    // the property, not slack).
+    let headroom_floor: f64 =
+        flag(&args, "--min-budget-headroom").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let clean_server = CampaignServer::with_registries(
+        4,
+        Arc::new(SolverRegistry::new()),
+        Arc::new(CacheRegistry::new()),
+    );
+    let clean_start = Instant::now();
+    let clean_ids: Vec<_> = serve_jobs
+        .iter()
+        .map(|r| clean_server.submit(r.clone()).expect("serve request is valid"))
+        .collect();
+    let clean_sims: Vec<u64> = clean_ids
+        .iter()
+        .map(|&id| {
+            clean_server.wait(id).expect("job exists").result.expect("campaign ran").total_sims
+        })
+        .collect();
+    let clean_wall = clean_start.elapsed();
+    let clean_rec = BenchRecord::new(
+        "serve_robust",
+        "SpiceInverterChain",
+        "fault-free",
+        4,
+        clean_sims.iter().sum(),
+        clean_wall,
+    );
+    print_record(&clean_rec);
+    report.push(clean_rec);
+
+    let sim_cap = (clean_sims[2] / 2).max(1);
+    let robust_jobs: Vec<SizingRequest> = serve_jobs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| match i {
+            1 => r.clone().with_fault_plan(Arc::new(FaultPlan::seeded(
+                2,
+                clean_sims[1],
+                8,
+                FaultKind::NonConvergence,
+            ))),
+            2 => r.clone().with_budget(JobBudget::unlimited().with_max_sims(sim_cap)),
+            _ => r.clone(),
+        })
+        .collect();
+    let robust_server = CampaignServer::with_registries(
+        4,
+        Arc::new(SolverRegistry::new()),
+        Arc::new(CacheRegistry::new()),
+    );
+    let robust_start = Instant::now();
+    let robust_ids: Vec<_> = robust_jobs
+        .iter()
+        .map(|r| robust_server.submit(r.clone()).expect("serve request is valid"))
+        .collect();
+    let robust: Vec<(JobStatus, u64)> = robust_ids
+        .iter()
+        .map(|&id| {
+            let snapshot = robust_server.wait(id).expect("job exists");
+            (snapshot.status, snapshot.result.expect("campaign ran").total_sims)
+        })
+        .collect();
+    let robust_wall = robust_start.elapsed();
+    robust_server.shutdown();
+    let budget_headroom = sim_cap as f64 / robust[2].1.max(1) as f64;
+    let robust_rec = BenchRecord::new(
+        "serve_robust",
+        "SpiceInverterChain",
+        "faulted+budgeted",
+        4,
+        robust.iter().map(|&(_, sims)| sims).sum(),
+        robust_wall,
+    )
+    .with_speedup(budget_headroom);
+    print_record(&robust_rec);
+    report.push(robust_rec);
+    println!(
+        "  serve_robust: budgeted job spent {} of {sim_cap} sims \
+         ({budget_headroom:.2}x headroom), statuses {:?}",
+        robust[2].1,
+        robust.iter().map(|&(status, _)| status).collect::<Vec<_>>()
+    );
+    if gate {
+        for &i in &[0usize, 3] {
+            if robust[i].1 != clean_sims[i] || robust[i].0 != JobStatus::Done {
+                failures.push(format!(
+                    "serve_robust: unaffected job {i} diverged from the fault-free arm \
+                     ({:?} with {} sims vs Done with {})",
+                    robust[i].0, robust[i].1, clean_sims[i]
+                ));
+            }
+        }
+        if robust[2].0 != JobStatus::BudgetExhausted {
+            failures.push(format!(
+                "serve_robust: budget-capped job ended {:?}, expected BudgetExhausted",
+                robust[2].0
+            ));
+        }
+        if budget_headroom < headroom_floor {
+            failures.push(format!(
+                "serve_robust: budgeted job spent {} sims against a cap of {sim_cap} \
+                 ({budget_headroom:.2}x, floor {headroom_floor:.1}x)",
+                robust[2].1
+            ));
+        }
+        if robust[1].0 != JobStatus::Done {
+            failures.push(format!(
+                "serve_robust: fault-injected job must degrade, not die (got {:?})",
+                robust[1].0
+            ));
+        }
+    }
+    clean_server.shutdown();
 
     // ---- gate: wall ceiling over every record --------------------------
     if gate {

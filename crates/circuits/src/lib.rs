@@ -56,6 +56,37 @@ use glova_variation::corner::PvtCorner;
 use glova_variation::mismatch::MismatchDomain;
 use glova_variation::sampler::MismatchVector;
 
+/// Cumulative solver-failure ledger of one circuit instance.
+///
+/// SPICE-backed circuits do not unwind when a pooled Newton solve fails
+/// to converge: the point retries once on an escalated cold solve
+/// (full-Newton Jacobian, enlarged iteration budget, fresh `gmin`
+/// ladder) and, if that also fails, degrades to NaN metrics — a
+/// deterministic worst-reward observation. These counters record how
+/// often each path fired, so campaigns can report transient-failure
+/// handling instead of silently absorbing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureStats {
+    /// Pooled solves that failed to converge (each triggers the retry).
+    pub nonconvergent: u64,
+    /// Failures recovered by the escalated cold retry.
+    pub recovered: u64,
+    /// Failures that degraded to NaN metrics after the retry also failed.
+    pub degraded: u64,
+}
+
+impl FailureStats {
+    /// Counters accumulated since `baseline` (saturating — a reset
+    /// between snapshots yields zeros rather than wrapping).
+    pub fn since(self, baseline: FailureStats) -> FailureStats {
+        FailureStats {
+            nonconvergent: self.nonconvergent.saturating_sub(baseline.nonconvergent),
+            recovered: self.recovered.saturating_sub(baseline.recovered),
+            degraded: self.degraded.saturating_sub(baseline.degraded),
+        }
+    }
+}
+
 /// A sizing problem's circuit: the paper's performance map `F(x | t, h)`.
 ///
 /// Implementations must be deterministic: identical `(x, t, h)` inputs give
@@ -89,6 +120,14 @@ pub trait Circuit: Send + Sync {
     /// Implementations may panic if `x_norm.len() != dim()` or the mismatch
     /// dimension is wrong.
     fn evaluate(&self, x_norm: &[f64], corner: &PvtCorner, mismatch: &MismatchVector) -> Vec<f64>;
+
+    /// Cumulative solver-failure ledger for this instance. Analytic
+    /// circuits never fail and report zeros (the default); SPICE-backed
+    /// circuits count non-convergent solves, escalated-retry recoveries
+    /// and degraded evaluations (see [`FailureStats`]).
+    fn failure_stats(&self) -> FailureStats {
+        FailureStats::default()
+    }
 
     /// Maps a normalized point into physical parameter values.
     fn denormalize(&self, x_norm: &[f64]) -> Vec<f64> {

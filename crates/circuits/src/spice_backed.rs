@@ -26,10 +26,10 @@
 //! `tests/spice_engine_parity.rs` is the battery that locks this in.
 
 use crate::spec::{DesignSpec, MetricSpec};
-use crate::Circuit;
+use crate::{Circuit, FailureStats};
 use glova_spice::ac::{ac_sweep_with_backend_from_op, log_sweep};
-use glova_spice::dc::OpSolverPool;
-use glova_spice::mna::{NewtonOptions, SolverBackend};
+use glova_spice::dc::{OpSolver, OpSolverPool, OperatingPoint};
+use glova_spice::mna::{JacobianStrategy, NewtonOptions, SolverBackend};
 use glova_spice::model::MosModel;
 use glova_spice::netlist::{
     ota_two_stage_with_cards, Netlist, OtaCards, OtaParams, SenseAmpParams, GROUND,
@@ -38,7 +38,59 @@ use glova_spice::registry::SolverRegistry;
 use glova_variation::corner::PvtCorner;
 use glova_variation::mismatch::{DeviceSpec, MismatchDomain, PelgromModel};
 use glova_variation::sampler::MismatchVector;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-instance atomic counters behind [`Circuit::failure_stats`].
+#[derive(Debug, Default)]
+struct FailureCounters {
+    nonconvergent: AtomicU64,
+    recovered: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl FailureCounters {
+    fn snapshot(&self) -> FailureStats {
+        FailureStats {
+            nonconvergent: self.nonconvergent.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One-shot escalated recovery for a non-convergent pooled solve: a
+/// fresh cold solver running the full `gmin` ladder from zeros with a
+/// full-Newton Jacobian and a much larger iteration budget. A transient
+/// failure (a chord iteration stalling on an extreme point the pooled
+/// solver's reused LU linearized badly) recovers here; a genuinely
+/// unsolvable point fails again and the caller degrades to NaN metrics.
+///
+/// Deterministic: the retry is a pure function of `(netlist, options)`,
+/// so engine parity and trajectory bitwise identity are preserved —
+/// every engine retries the same points the same way.
+fn recover_nonconvergent(
+    nl: &Netlist,
+    base: &NewtonOptions,
+    counters: &FailureCounters,
+) -> Option<OperatingPoint> {
+    counters.nonconvergent.fetch_add(1, Ordering::Relaxed);
+    let escalated = NewtonOptions {
+        max_iterations: (base.max_iterations * 4).max(800),
+        strategy: JacobianStrategy::Full,
+        ..*base
+    };
+    match OpSolver::new(nl, escalated).solve() {
+        Ok(op) => {
+            counters.recovered.fetch_add(1, Ordering::Relaxed);
+            Some(op)
+        }
+        Err(_) => {
+            counters.degraded.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
 
 /// A `stages`-stage CMOS inverter chain sized by 4 parameters and
 /// evaluated by DC operating-point SPICE solves.
@@ -63,6 +115,7 @@ pub struct SpiceInverterChain {
     stages: usize,
     spec: DesignSpec,
     pool: Arc<OpSolverPool>,
+    failures: FailureCounters,
 }
 
 /// Mismatch components contributed per stage: `ΔV_th`/`Δβ` for the PMOS,
@@ -100,7 +153,7 @@ impl SpiceInverterChain {
             )
             .expect("inverter chain netlist is structurally sound"),
         );
-        Self { stages, spec: Self::static_spec(stages), pool }
+        Self { stages, spec: Self::static_spec(stages), pool, failures: FailureCounters::default() }
     }
 
     /// Builds the chain testcase on a pool resolved through `registry`,
@@ -117,7 +170,7 @@ impl SpiceInverterChain {
         let pool = registry
             .pool_for(&Self::prototype_netlist(stages), NewtonOptions::default())
             .expect("inverter chain netlist is structurally sound");
-        Self { stages, spec: Self::static_spec(stages), pool }
+        Self { stages, spec: Self::static_spec(stages), pool, failures: FailureCounters::default() }
     }
 
     /// Number of inverter stages.
@@ -278,25 +331,34 @@ impl Circuit for SpiceInverterChain {
             solver.retarget(&nl);
             solver.solve()
         });
-        match solved {
-            Ok(op) => {
+        let recovered = match solved {
+            Ok(op) => Some(op),
+            // Retry once on an escalated cold solve before degrading —
+            // both paths are deterministic properties of the point.
+            Err(_) => recover_nonconvergent(&nl, self.pool.options(), &self.failures),
+        };
+        match recovered {
+            Some(op) => {
                 let branch = nl.vsource_branch("VDD").expect("VDD source present");
                 let supply_current_ua = op.branch_current(branch).abs() * 1e6;
                 let va = op.voltage(nl.node(&format!("n{}", self.stages - 1)));
                 let vb = op.voltage(nl.node(&format!("n{}", self.stages - 2)));
                 vec![supply_current_ua, va.max(vb), va.min(vb)]
             }
-            // Non-convergence is a deterministic property of the point;
             // NaN metrics fail every constraint.
-            Err(_) => vec![f64::NAN; self.spec.len()],
+            None => vec![f64::NAN; self.spec.len()],
         }
+    }
+
+    fn failure_stats(&self) -> FailureStats {
+        self.failures.snapshot()
     }
 }
 
 /// A SPICE-backed two-stage Miller OTA: every evaluation is a **DC plus
 /// AC** solve of [`ota_two_stage_with_cards`] — the first testcase whose
 /// metrics exercise the whole solver stack (Newton DC through the pooled
-/// per-worker [`OpSolver`](glova_spice::dc::OpSolver)s with value-only
+/// per-worker [`OpSolver`]s with value-only
 /// retargeting, then a complex small-signal sweep linearized around that
 /// same operating point).
 ///
@@ -321,6 +383,7 @@ pub struct SpiceOta {
     pool: Arc<OpSolverPool>,
     backend: SolverBackend,
     freqs: Vec<f64>,
+    failures: FailureCounters,
 }
 
 /// Mismatch components: `ΔV_th`/`Δβ` for M1, M2, M3, M4, M6 in order.
@@ -342,7 +405,13 @@ impl SpiceOta {
             )
             .expect("OTA netlist is structurally sound"),
         );
-        Self { spec: Self::static_spec(), pool, backend, freqs: log_sweep(1e3, 1e9, 3) }
+        Self {
+            spec: Self::static_spec(),
+            pool,
+            backend,
+            freqs: log_sweep(1e3, 1e9, 3),
+            failures: FailureCounters::default(),
+        }
     }
 
     /// Builds the OTA testcase on a pool resolved through `registry`
@@ -358,6 +427,7 @@ impl SpiceOta {
             pool,
             backend: SolverBackend::Auto,
             freqs: log_sweep(1e3, 1e9, 3),
+            failures: FailureCounters::default(),
         }
     }
 
@@ -497,7 +567,12 @@ impl Circuit for SpiceOta {
         });
         let op = match solved {
             Ok(op) => op,
-            Err(_) => return vec![f64::NAN; self.spec.len()],
+            // Retry the DC solve once on an escalated cold ladder before
+            // degrading the point to NaN metrics.
+            Err(_) => match recover_nonconvergent(&nl, self.pool.options(), &self.failures) {
+                Some(op) => op,
+                None => return vec![f64::NAN; self.spec.len()],
+            },
         };
         let branch = nl.vsource_branch("VDD").expect("VDD source present");
         let supply_current_ua = op.branch_current(branch).abs() * 1e6;
@@ -511,8 +586,19 @@ impl Circuit for SpiceOta {
                 let gbw_mhz = f3 * 10f64.powf(gain_db / 20.0) / 1e6;
                 vec![gain_db, gbw_mhz, supply_current_ua]
             }
-            Err(_) => vec![f64::NAN; self.spec.len()],
+            Err(_) => {
+                // A failed small-signal sweep has no retry path (it is
+                // already a direct factorization, not an iteration);
+                // count the failure and the degradation together.
+                self.failures.nonconvergent.fetch_add(1, Ordering::Relaxed);
+                self.failures.degraded.fetch_add(1, Ordering::Relaxed);
+                vec![f64::NAN; self.spec.len()]
+            }
         }
+    }
+
+    fn failure_stats(&self) -> FailureStats {
+        self.failures.snapshot()
     }
 }
 
@@ -550,6 +636,7 @@ pub struct SpiceSenseAmpArray {
     cols: usize,
     spec: DesignSpec,
     pool: Arc<OpSolverPool>,
+    failures: FailureCounters,
 }
 
 /// Mismatch components contributed per column: `ΔV_th`/`Δβ` for the
@@ -592,7 +679,13 @@ impl SpiceSenseAmpArray {
             OpSolverPool::new(&Self::prototype_netlist(rows, cols), options)
                 .expect("sense-amp array netlist is structurally sound"),
         );
-        Self { rows, cols, spec: Self::static_spec(rows, cols), pool }
+        Self {
+            rows,
+            cols,
+            spec: Self::static_spec(rows, cols),
+            pool,
+            failures: FailureCounters::default(),
+        }
     }
 
     /// Builds the array testcase on a pool resolved through `registry`
@@ -608,7 +701,13 @@ impl SpiceSenseAmpArray {
         let pool = registry
             .pool_for(&Self::prototype_netlist(rows, cols), NewtonOptions::default())
             .expect("sense-amp array netlist is structurally sound");
-        Self { rows, cols, spec: Self::static_spec(rows, cols), pool }
+        Self {
+            rows,
+            cols,
+            spec: Self::static_spec(rows, cols),
+            pool,
+            failures: FailureCounters::default(),
+        }
     }
 
     /// Array shape as `(rows, cols)`.
@@ -797,8 +896,12 @@ impl Circuit for SpiceSenseAmpArray {
             solver.retarget(&nl);
             solver.solve()
         });
-        match solved {
-            Ok(op) => {
+        let recovered = match solved {
+            Ok(op) => Some(op),
+            Err(_) => recover_nonconvergent(&nl, self.pool.options(), &self.failures),
+        };
+        match recovered {
+            Some(op) => {
                 let vpre = corner.vdd / 2.0;
                 let mut worst_diff = f64::INFINITY;
                 let mut worst_droop = f64::NEG_INFINITY;
@@ -812,8 +915,12 @@ impl Circuit for SpiceSenseAmpArray {
                 let supply_current_ua = op.branch_current(branch).abs() * 1e6;
                 vec![worst_diff, worst_droop, supply_current_ua]
             }
-            Err(_) => vec![f64::NAN; self.spec.len()],
+            None => vec![f64::NAN; self.spec.len()],
         }
+    }
+
+    fn failure_stats(&self) -> FailureStats {
+        self.failures.snapshot()
     }
 }
 

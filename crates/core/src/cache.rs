@@ -28,6 +28,7 @@
 //! for.
 
 use crate::problem::SimOutcome;
+pub use glova_spice::registry::RegistryConfig;
 use glova_stats::hash::Fnv1a;
 use glova_variation::corner::{ProcessCorner, PvtCorner};
 use glova_variation::sampler::MismatchVector;
@@ -35,6 +36,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Pass-through hasher: cache keys are already 64-bit FNV digests, so
 /// running them through SipHash again would only burn lookup-path cycles.
@@ -510,6 +512,8 @@ struct CacheRegistryEntry {
     identity: Vec<u64>,
     config: EvalCacheConfig,
     cache: Arc<EvalCache>,
+    last_used: Instant,
+    expired: bool,
 }
 
 /// A process-wide map from circuit identity to a shared [`EvalCache`] —
@@ -544,9 +548,11 @@ pub struct CacheRegistry {
     /// Digest → entries; multiple entries under one digest only on a
     /// genuine collision or a config difference.
     buckets: Mutex<HashMap<u64, Vec<CacheRegistryEntry>>>,
+    config: RegistryConfig,
     creations: AtomicU64,
     hits: AtomicU64,
     collisions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CacheRegistry {
@@ -554,6 +560,15 @@ impl CacheRegistry {
     /// code normally shares [`Self::global`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry under an eviction policy (shared
+    /// [`RegistryConfig`] from `glova_spice` — the same LRU/TTL semantics
+    /// as the solver registry, and the same `Arc`-safety: an evicted
+    /// cache stays alive for in-flight holders, the registry merely
+    /// re-creates on the next miss).
+    pub fn with_config(config: RegistryConfig) -> Self {
+        Self { config, ..Self::default() }
     }
 
     /// The process-wide registry instance.
@@ -583,8 +598,12 @@ impl CacheRegistry {
         config: EvalCacheConfig,
     ) -> Arc<EvalCache> {
         let mut buckets = self.buckets.lock().expect("cache registry poisoned");
+        self.sweep_expired(&mut buckets);
         let bucket = buckets.entry(digest).or_default();
-        if let Some(entry) = bucket.iter().find(|e| e.config == config && e.identity == identity) {
+        if let Some(entry) =
+            bucket.iter_mut().find(|e| e.config == config && e.identity == identity)
+        {
+            entry.last_used = Instant::now();
             self.hits.fetch_add(1, Ordering::Relaxed);
             return entry.cache.clone();
         }
@@ -597,8 +616,74 @@ impl CacheRegistry {
             identity: identity.to_vec(),
             config,
             cache: cache.clone(),
+            last_used: Instant::now(),
+            expired: false,
         });
+        self.enforce_capacity(&mut buckets);
         cache
+    }
+
+    /// Drops TTL-expired and force-expired entries (lock held by caller).
+    fn sweep_expired(&self, buckets: &mut HashMap<u64, Vec<CacheRegistryEntry>>) {
+        let ttl = self.config.ttl;
+        let now = Instant::now();
+        let mut evicted = 0u64;
+        buckets.retain(|_, bucket| {
+            bucket.retain(|e| {
+                let stale =
+                    e.expired || ttl.is_some_and(|ttl| now.duration_since(e.last_used) >= ttl);
+                if stale {
+                    evicted += 1;
+                }
+                !stale
+            });
+            !bucket.is_empty()
+        });
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Evicts globally-LRU entries until `max_entries` holds (lock held
+    /// by caller). The just-inserted entry is the newest, so it is never
+    /// the victim.
+    fn enforce_capacity(&self, buckets: &mut HashMap<u64, Vec<CacheRegistryEntry>>) {
+        let Some(max) = self.config.max_entries else { return };
+        loop {
+            let total: usize = buckets.values().map(Vec::len).sum();
+            if total <= max {
+                return;
+            }
+            let Some((&fp, idx)) = buckets
+                .iter()
+                .flat_map(|(fp, bucket)| {
+                    bucket.iter().enumerate().map(move |(i, e)| ((fp, i), e.last_used))
+                })
+                .min_by_key(|&(_, last_used)| last_used)
+                .map(|((fp, i), _)| (fp, i))
+            else {
+                return;
+            };
+            let bucket = buckets.get_mut(&fp).expect("victim bucket exists");
+            bucket.remove(idx);
+            if bucket.is_empty() {
+                buckets.remove(&fp);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks every resident entry expired, forcing eviction on the next
+    /// registry access — the wall-clock-free TTL test seam (mirrors
+    /// `SolverRegistry::force_expire_all`). Outstanding `Arc` handles
+    /// keep their caches alive and usable.
+    pub fn force_expire_all(&self) {
+        let mut buckets = self.buckets.lock().expect("cache registry poisoned");
+        for bucket in buckets.values_mut() {
+            for entry in bucket.iter_mut() {
+                entry.expired = true;
+            }
+        }
     }
 
     /// Caches created (unique identity × config keys).
@@ -615,6 +700,12 @@ impl CacheRegistry {
     /// separate entry, never by aliasing).
     pub fn collisions(&self) -> u64 {
         self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by TTL expiry, forced expiry or the
+    /// `max_entries` LRU cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Registered entries.
@@ -903,6 +994,55 @@ mod tests {
         // Both entries stay individually reachable.
         assert!(Arc::ptr_eq(&a, &registry.cache_for_keyed(forced, &[1, 2, 3], config)));
         assert!(Arc::ptr_eq(&b, &registry.cache_for_keyed(forced, &[9, 9, 9], config)));
+    }
+
+    #[test]
+    fn registry_lru_cap_bounds_entries_under_churn() {
+        let registry = CacheRegistry::with_config(RegistryConfig::default().with_max_entries(8));
+        let config = EvalCacheConfig::default();
+        for i in 0..1000u64 {
+            registry.cache_for(&[i], config);
+            assert!(registry.len() <= 8, "cap must hold at every step");
+        }
+        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.evictions(), 992);
+        assert_eq!(registry.creations(), 1000);
+    }
+
+    #[test]
+    fn registry_forced_expiry_recreates_once_and_keeps_old_handles_alive() {
+        let registry = CacheRegistry::new();
+        let config = EvalCacheConfig::default();
+        let old = registry.cache_for(&[7, 7, 7], config);
+        let h = MismatchVector::nominal(1);
+        old.insert(&[0.5], &corner(), &h, outcome(2.0));
+        registry.force_expire_all();
+        let fresh = registry.cache_for(&[7, 7, 7], config);
+        assert!(!Arc::ptr_eq(&old, &fresh), "expired entry must re-create, not alias");
+        assert_eq!(registry.evictions(), 1);
+        assert_eq!(registry.creations(), 2);
+        // The held handle keeps its contents; the fresh cache is cold.
+        assert_eq!(old.lookup(&[0.5], &corner(), &h), Some(outcome(2.0)));
+        assert_eq!(fresh.lookup(&[0.5], &corner(), &h), None);
+    }
+
+    #[test]
+    fn registry_racing_requests_after_expiry_recreate_exactly_once() {
+        let registry = CacheRegistry::new();
+        let config = EvalCacheConfig::default();
+        let held = registry.cache_for(&[42], config);
+        registry.force_expire_all();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let cache = registry.cache_for(&[42], config);
+                    assert!(!Arc::ptr_eq(&held, &cache), "evicted cache must not be handed out");
+                });
+            }
+        });
+        assert_eq!(registry.creations(), 2, "one original creation + exactly one re-create");
+        assert_eq!(registry.evictions(), 1);
+        assert_eq!(registry.len(), 1);
     }
 
     #[test]

@@ -54,10 +54,11 @@
 
 use crate::cache::EvalCacheConfig;
 use crate::engine::EngineSpec;
+use crate::fault::FaultPlan;
 use crate::problem::SizingProblem;
 use crate::yield_est::YieldEstimate;
 use glova_circuits::spec::{DesignSpec, SATISFIED_REWARD};
-use glova_circuits::Circuit;
+use glova_circuits::{Circuit, FailureStats};
 use glova_rl::{AgentConfig, RiskSensitiveAgent};
 use glova_stats::binomial::clopper_pearson;
 use glova_stats::reduce::{self, finite_worst};
@@ -65,7 +66,8 @@ use glova_stats::rng::{forked, Rng64};
 use glova_turbo::latin_hypercube;
 use glova_variation::config::VerificationMethod;
 use glova_variation::sampler::MismatchVector;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Corner-set pruning parameters (RobustAnalog-style).
@@ -185,12 +187,13 @@ impl CornerScheduler {
         self.worst[corner_index] = worst_reward;
     }
 
-    /// Plans the next step's corner set and updates the counters.
-    ///
-    /// Full-grid plans are issued when pruning is disabled, `k` covers the
-    /// grid, any corner is still unranked, or the re-rank cadence is due;
-    /// otherwise the current `k`-worst corners are selected.
-    pub fn plan_step(&mut self) -> StepPlan {
+    /// Computes the next step's corner plan **without** committing it:
+    /// no counters move and the re-rank cadence does not advance, so an
+    /// immediately following [`Self::plan_step`] returns the identical
+    /// plan. Campaigns use this to price the next dispatch against a
+    /// simulation budget before deciding to take the step at all —
+    /// pricing an untaken step must not disturb the accounting.
+    pub fn peek_plan(&self) -> StepPlan {
         let n = self.worst.len();
         let full = match &self.pruning {
             None => true,
@@ -210,16 +213,26 @@ impl CornerScheduler {
             selected.sort_unstable();
             selected
         };
-        if full {
+        StepPlan { corners, full }
+    }
+
+    /// Plans the next step's corner set and updates the counters.
+    ///
+    /// Full-grid plans are issued when pruning is disabled, `k` covers the
+    /// grid, any corner is still unranked, or the re-rank cadence is due;
+    /// otherwise the current `k`-worst corners are selected.
+    pub fn plan_step(&mut self) -> StepPlan {
+        let plan = self.peek_plan();
+        if plan.full {
             self.steps_since_rerank = 0;
             self.stats.full_steps += 1;
         } else {
             self.steps_since_rerank += 1;
             self.stats.pruned_steps += 1;
         }
-        self.stats.corners_simulated += corners.len() as u64;
-        self.stats.corners_available += n as u64;
-        StepPlan { corners, full }
+        self.stats.corners_simulated += plan.corners.len() as u64;
+        self.stats.corners_available += self.worst.len() as u64;
+        plan
     }
 
     /// Notes that a feasibility-confirmation dispatch simulated
@@ -240,6 +253,108 @@ impl CornerScheduler {
     pub fn note_confirmation(&mut self, corners_confirmed: usize) {
         self.steps_since_rerank = 0;
         self.stats.corners_simulated += corners_confirmed as u64;
+    }
+}
+
+/// Why a campaign stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignTermination {
+    /// Ran to success or to the step budget — the pre-control semantics.
+    Completed,
+    /// Stopped at a checkpoint because [`CampaignControl::cancel`] fired.
+    Cancelled,
+    /// Stopped because the next dispatch would burst the simulation
+    /// budget, or the wall-clock deadline passed.
+    BudgetExhausted,
+}
+
+/// Cooperative cancellation / budget token for one campaign run.
+///
+/// A control is checked at every dispatch boundary of
+/// [`SizingCampaign::run_controlled`] — before each seeding dispatch,
+/// each policy step, each feasibility-confirmation sweep and the final
+/// yield estimate. Checks are **pre-dispatch and exact**: a simulation
+/// budget of `max_sims` is never exceeded, because a dispatch whose cost
+/// would cross it is not started. Cancellation and deadlines stop the
+/// run at the same boundaries, so the partial trajectory recorded up to
+/// that point is complete and bitwise-identical to the same prefix of an
+/// uninterrupted run.
+///
+/// The token is `Sync`: hand an `Arc<CampaignControl>` to the running
+/// thread and call [`cancel`](Self::cancel) from any other.
+#[derive(Debug, Default)]
+pub struct CampaignControl {
+    cancelled: AtomicBool,
+    max_sims: Option<u64>,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl CampaignControl {
+    /// An unlimited control: never cancels, never exhausts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps total simulations for the run (builder style). The campaign
+    /// stops with [`CampaignTermination::BudgetExhausted`] *before* the
+    /// dispatch that would cross the cap — the count never exceeds it.
+    pub fn with_max_sims(mut self, max_sims: u64) -> Self {
+        self.max_sims = Some(max_sims);
+        self
+    }
+
+    /// Sets (or tightens) an absolute wall-clock deadline (builder
+    /// style).
+    pub fn with_deadline(self, deadline: Instant) -> Self {
+        self.tighten_deadline(deadline);
+        self
+    }
+
+    /// Requests cancellation: the run stops at its next checkpoint with
+    /// [`CampaignTermination::Cancelled`]. Idempotent; safe from any
+    /// thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The simulation cap, if one is set.
+    pub fn max_sims(&self) -> Option<u64> {
+        self.max_sims
+    }
+
+    /// Moves the deadline to `deadline` if that is earlier than the
+    /// current one (a deadline never moves later) — how `glova-serve`
+    /// applies a per-job `max_wall` measured from job *start*, not
+    /// submission.
+    pub fn tighten_deadline(&self, deadline: Instant) {
+        let mut slot = self.deadline.lock().expect("campaign control poisoned");
+        *slot = Some(slot.map_or(deadline, |d| d.min(deadline)));
+    }
+
+    /// The checkpoint test: with `sims_used` spent so far and a next
+    /// dispatch costing `next_cost` simulations, returns why the run
+    /// must stop now — or `None` to proceed. Cancellation outranks
+    /// budget exhaustion when both hold.
+    pub fn interruption(&self, sims_used: u64, next_cost: u64) -> Option<CampaignTermination> {
+        if self.is_cancelled() {
+            return Some(CampaignTermination::Cancelled);
+        }
+        if let Some(deadline) = *self.deadline.lock().expect("campaign control poisoned") {
+            if Instant::now() >= deadline {
+                return Some(CampaignTermination::BudgetExhausted);
+            }
+        }
+        if let Some(max) = self.max_sims {
+            if sims_used + next_cost > max {
+                return Some(CampaignTermination::BudgetExhausted);
+            }
+        }
+        None
     }
 }
 
@@ -428,6 +543,15 @@ pub struct CampaignResult {
     pub pruning: PruningStats,
     /// Goal factors this campaign optimized for (`None` = base spec).
     pub goal_factors: Option<Vec<f64>>,
+    /// Why the run stopped — [`CampaignTermination::Completed`] unless a
+    /// [`CampaignControl`] interrupted it. An interrupted result carries
+    /// the partial trajectory in [`steps`](Self::steps), bitwise
+    /// identical to the same prefix of an uninterrupted run.
+    pub termination: CampaignTermination,
+    /// Solver-failure ledger accumulated during this run (escalated
+    /// retries and degraded evaluations — see
+    /// [`glova_circuits::FailureStats`]).
+    pub failures: FailureStats,
     /// Total wall-clock time.
     pub wall: Duration,
 }
@@ -485,6 +609,14 @@ impl SizingCampaign {
         Self { problem, config }
     }
 
+    /// Attaches a deterministic [`FaultPlan`] to the underlying problem
+    /// (builder style) — the test seam that forces chosen simulation
+    /// ordinals to fail, panic or stall (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.problem = self.problem.with_fault_plan(plan);
+        self
+    }
+
     /// The underlying problem (simulation counters, cache stats, …).
     pub fn problem(&self) -> &SizingProblem {
         &self.problem
@@ -511,6 +643,23 @@ impl SizingCampaign {
     /// observer cannot influence the trajectory; `run_with(seed, …)` and
     /// `run(seed)` produce identical results.
     pub fn run_with(&self, seed: u64, on_step: &mut dyn FnMut(&CampaignStep)) -> CampaignResult {
+        self.run_controlled(seed, &CampaignControl::new(), on_step)
+    }
+
+    /// [`Self::run_with`] under a [`CampaignControl`]: the run honours
+    /// cooperative cancellation and simulation / wall-clock budgets,
+    /// checked at every dispatch boundary. With an unlimited control the
+    /// trajectory is identical to [`Self::run`]; an interrupted run
+    /// returns a [`CampaignResult`] whose
+    /// [`termination`](CampaignResult::termination) names the cause and
+    /// whose partial trajectory matches the same prefix of the
+    /// uninterrupted run bitwise.
+    pub fn run_controlled(
+        &self,
+        seed: u64,
+        control: &CampaignControl,
+        on_step: &mut dyn FnMut(&CampaignStep),
+    ) -> CampaignResult {
         let (goal_spec, goal_obs) = self.goal(self.config.goal_factors.as_deref());
         let mut agent = self.make_agent(goal_obs.len(), &mut forked(seed, 2));
         self.run_goal(
@@ -519,6 +668,7 @@ impl SizingCampaign {
             &goal_obs,
             self.config.goal_factors.clone(),
             seed,
+            control,
             on_step,
         )
     }
@@ -539,6 +689,7 @@ impl SizingCampaign {
             assert_eq!(g.len(), m, "one goal factor per spec metric");
         }
         let mut agent = self.make_agent(m, &mut forked(seed, 2));
+        let control = CampaignControl::new();
         goals
             .iter()
             .enumerate()
@@ -550,6 +701,7 @@ impl SizingCampaign {
                     &goal_obs,
                     Some(factors.clone()),
                     glova_stats::rng::fork(seed, 100 + i as u64),
+                    &control,
                     &mut |_| {},
                 )
             })
@@ -587,10 +739,12 @@ impl SizingCampaign {
         goal_obs: &[f64],
         goal_factors: Option<Vec<f64>>,
         seed: u64,
+        control: &CampaignControl,
         on_step: &mut dyn FnMut(&CampaignStep),
     ) -> CampaignResult {
         let start = Instant::now();
         let sims_start = self.problem.simulations();
+        let failures_start = self.problem.circuit().failure_stats();
         let mut init_rng = forked(seed, 1);
         let mut agent_rng = forked(seed, 4);
         let mut sample_rng = forked(seed, 3);
@@ -607,7 +761,15 @@ impl SizingCampaign {
         let init_points =
             latin_hypercube(self.config.init_designs, self.problem.dim(), &mut init_rng);
         let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut termination = CampaignTermination::Completed;
+        let seed_cost = all_corners.len() as u64 * n_prime as u64;
         for x in &init_points {
+            if let Some(t) =
+                control.interruption(self.problem.simulations() - sims_start, seed_cost)
+            {
+                termination = t;
+                break;
+            }
             let worst = self.dispatch(
                 x,
                 &all_corners,
@@ -623,8 +785,27 @@ impl SizingCampaign {
                 best = Some((x.clone(), worst));
             }
         }
-        let mut best = best.expect("at least one seed design");
         let init_sims = self.problem.simulations() - sims_start;
+        let Some(mut best) = best else {
+            // Interrupted before the first seed dispatch: no incumbent
+            // exists, only the (empty) accounting does.
+            return CampaignResult {
+                success: false,
+                final_design: None,
+                best_design: Vec::new(),
+                best_reward: f64::NEG_INFINITY,
+                steps: Vec::new(),
+                init_sims,
+                sims_to_success: None,
+                total_sims: self.problem.simulations() - sims_start,
+                yield_estimate: None,
+                pruning: scheduler.stats().clone(),
+                goal_factors,
+                termination,
+                failures: self.problem.circuit().failure_stats().since(failures_start),
+                wall: start.elapsed(),
+            };
+        };
 
         // A seed design can already satisfy the goal on the full grid —
         // the campaign is then complete before any policy step.
@@ -641,12 +822,16 @@ impl SizingCampaign {
                 yield_estimate: None,
                 pruning: scheduler.stats().clone(),
                 goal_factors,
+                termination: CampaignTermination::Completed,
+                failures: self.problem.circuit().failure_stats().since(failures_start),
                 wall: start.elapsed(),
             };
         }
 
-        agent.pretrain_actor_towards(&best.0, self.config.pretrain_steps, &mut agent_rng);
-        agent.set_proximal_target(Some(best.0.clone()));
+        if termination == CampaignTermination::Completed {
+            agent.pretrain_actor_towards(&best.0, self.config.pretrain_steps, &mut agent_rng);
+            agent.set_proximal_target(Some(best.0.clone()));
+        }
 
         // ---- Policy loop ------------------------------------------------
         let mut steps: Vec<CampaignStep> = Vec::new();
@@ -655,6 +840,19 @@ impl SizingCampaign {
         let mut final_design: Option<Vec<f64>> = None;
         let mut sims_to_success: Option<u64> = None;
         for step in 1..=self.config.max_steps {
+            if termination != CampaignTermination::Completed {
+                break;
+            }
+            // Price the next dispatch before committing to the step:
+            // peeking moves no scheduler counters, so an untaken step
+            // leaves the accounting (and the RNG streams) untouched.
+            let step_cost = scheduler.peek_plan().corners.len() as u64 * n_prime as u64;
+            if let Some(t) =
+                control.interruption(self.problem.simulations() - sims_start, step_cost)
+            {
+                termination = t;
+                break;
+            }
             let t0 = Instant::now();
             let sims_before = self.problem.simulations();
 
@@ -691,19 +889,29 @@ impl SizingCampaign {
             if worst >= SATISFIED_REWARD && !plan.full {
                 let rest: Vec<usize> =
                     (0..n_corners).filter(|ci| !plan.corners.contains(ci)).collect();
-                let rest_worst = self.dispatch(
-                    &x_new,
-                    &rest,
-                    n_prime,
-                    goal_spec,
-                    &mut scheduler,
-                    &mut sample_rng,
-                    &mut passes,
-                    &mut trials,
-                );
-                worst = worst.min(rest_worst);
-                scheduler.note_confirmation(rest.len());
-                full_grid = true;
+                let rest_cost = rest.len() as u64 * n_prime as u64;
+                if let Some(t) =
+                    control.interruption(self.problem.simulations() - sims_start, rest_cost)
+                {
+                    // The control cannot pay the confirmation sweep, so the
+                    // candidate stays unconfirmed — pruning never weakens
+                    // the success criterion, not even at the budget edge.
+                    termination = t;
+                } else {
+                    let rest_worst = self.dispatch(
+                        &x_new,
+                        &rest,
+                        n_prime,
+                        goal_spec,
+                        &mut scheduler,
+                        &mut sample_rng,
+                        &mut passes,
+                        &mut trials,
+                    );
+                    worst = worst.min(rest_worst);
+                    scheduler.note_confirmation(rest.len());
+                    full_grid = true;
+                }
             }
             if worst >= SATISFIED_REWARD && full_grid {
                 success = true;
@@ -743,11 +951,22 @@ impl SizingCampaign {
                 sims_to_success = Some(sims_now - sims_start);
                 break;
             }
+            if termination != CampaignTermination::Completed {
+                break;
+            }
         }
 
         // ---- Final yield estimate (goal-spec, fresh dies) ---------------
+        // The estimate is a post-success extra: it never fires on an
+        // interrupted campaign and is itself subject to the budget.
+        let yield_cost = (n_corners * self.config.yield_samples) as u64;
         let yield_estimate = match (&final_design, self.config.yield_samples) {
-            (Some(x), samples) if samples > 0 => {
+            (Some(x), samples)
+                if samples > 0
+                    && control
+                        .interruption(self.problem.simulations() - sims_start, yield_cost)
+                        .is_none() =>
+            {
                 Some(self.goal_yield(x, goal_spec, samples, &mut sample_rng))
             }
             _ => None,
@@ -765,6 +984,8 @@ impl SizingCampaign {
             yield_estimate,
             pruning: scheduler.stats().clone(),
             goal_factors,
+            termination,
+            failures: self.problem.circuit().failure_stats().since(failures_start),
             wall: start.elapsed(),
         }
     }

@@ -1,0 +1,145 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] maps *simulation ordinals* — the 0-based sequence
+//! number a [`SizingProblem`](crate::problem::SizingProblem) assigns to
+//! each `simulate` call — to a [`FaultKind`] forced at that point.
+//! Because the `Sequential` engine (the `CampaignConfig::quick` /
+//! `::paper` default) dispatches simulations in a deterministic order,
+//! the ordinal stream of a seeded campaign is reproducible, so a plan
+//! hits the *same* evaluation on every run: fault batteries can assert
+//! bitwise trajectory properties around the injection points instead of
+//! statistical ones.
+//!
+//! Injection happens in `SizingProblem::simulate`, after the ordinal is
+//! assigned but before the cache is consulted:
+//!
+//! - [`FaultKind::NonConvergence`] returns the degraded NaN-metric
+//!   outcome a real unrecovered Newton failure produces, **bypassing the
+//!   cache** so an injected failure can never alias a clean outcome for
+//!   another campaign sharing the cache.
+//! - [`FaultKind::Panic`] panics, exercising worker-level unwind
+//!   isolation (`catch_unwind` in `glova-serve`, pool hygiene in
+//!   `OpSolverPool`).
+//! - [`FaultKind::Slow`] sleeps before evaluating normally, widening
+//!   cancellation windows in latency tests without changing any outcome.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What to force at an injection point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The evaluation degrades to NaN metrics / worst reward, exactly as
+    /// an unrecovered non-convergent solve would.
+    NonConvergence,
+    /// The evaluation panics (worker isolation test).
+    Panic,
+    /// The evaluation sleeps for the given duration, then completes
+    /// normally (cancellation-latency test).
+    Slow(Duration),
+}
+
+/// A seeded, ordinal-indexed injection schedule.
+///
+/// The default plan is empty (injects nothing), so threading an
+/// `Option<Arc<FaultPlan>>` through production paths costs one pointer
+/// check per simulation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault at the given simulation ordinal (builder style).
+    /// A later fault at the same ordinal replaces the earlier one.
+    pub fn with_fault(mut self, ordinal: u64, kind: FaultKind) -> Self {
+        self.faults.insert(ordinal, kind);
+        self
+    }
+
+    /// A plan with `count` distinct ordinals drawn from `[0, range)`
+    /// under a splitmix64 stream, all injecting `kind`. The draw is a
+    /// pure function of `(seed, range, count)` — two plans built with
+    /// the same arguments hit the same ordinals.
+    pub fn seeded(seed: u64, range: u64, count: usize, kind: FaultKind) -> Self {
+        assert!(count as u64 <= range, "cannot draw {count} distinct ordinals from [0, {range})");
+        let mut state = seed ^ 0xFA17_F1A6_D15E_A5ED;
+        let mut faults = HashMap::with_capacity(count);
+        while faults.len() < count {
+            let ordinal = splitmix64(&mut state) % range;
+            faults.entry(ordinal).or_insert_with(|| kind.clone());
+        }
+        Self { faults }
+    }
+
+    /// The fault scheduled at `ordinal`, if any.
+    pub fn fault_at(&self, ordinal: u64) -> Option<&FaultKind> {
+        self.faults.get(&ordinal)
+    }
+
+    /// Number of scheduled injection points.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Scheduled ordinals in ascending order (test diagnostics).
+    pub fn ordinals(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.faults.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// One step of the splitmix64 generator (public-domain constants).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_registers_and_replaces() {
+        let plan = FaultPlan::new()
+            .with_fault(3, FaultKind::Panic)
+            .with_fault(3, FaultKind::NonConvergence)
+            .with_fault(7, FaultKind::Slow(Duration::from_millis(5)));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fault_at(3), Some(&FaultKind::NonConvergence));
+        assert_eq!(plan.fault_at(7), Some(&FaultKind::Slow(Duration::from_millis(5))));
+        assert_eq!(plan.fault_at(0), None);
+        assert_eq!(plan.ordinals(), vec![3, 7]);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_distinct_by_seed() {
+        let a = FaultPlan::seeded(11, 500, 8, FaultKind::NonConvergence);
+        let b = FaultPlan::seeded(11, 500, 8, FaultKind::NonConvergence);
+        let c = FaultPlan::seeded(12, 500, 8, FaultKind::NonConvergence);
+        assert_eq!(a.ordinals(), b.ordinals());
+        assert_ne!(a.ordinals(), c.ordinals());
+        assert_eq!(a.len(), 8);
+        assert!(a.ordinals().iter().all(|&o| o < 500));
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::default().len(), 0);
+    }
+}

@@ -46,6 +46,7 @@ pub mod cache;
 pub mod campaign;
 pub mod engine;
 pub mod evaluation;
+pub mod fault;
 pub mod optimizer;
 pub mod problem;
 pub mod reorder;
@@ -55,13 +56,16 @@ pub mod sweep;
 pub mod verification;
 pub mod yield_est;
 
-pub use cache::{CachePolicy, CacheRegistry, CacheStats, EvalCache, EvalCacheConfig};
+pub use cache::{
+    CachePolicy, CacheRegistry, CacheStats, EvalCache, EvalCacheConfig, RegistryConfig,
+};
 pub use campaign::{
-    CampaignConfig, CampaignResult, CampaignStep, CornerScheduler, PruningConfig, PruningStats,
-    SizingCampaign,
+    CampaignConfig, CampaignControl, CampaignResult, CampaignStep, CampaignTermination,
+    CornerScheduler, PruningConfig, PruningStats, SizingCampaign,
 };
 pub use engine::{EngineSpec, EvalEngine, Sequential, Threaded};
 pub use evaluation::MuSigmaEvaluation;
+pub use fault::{FaultKind, FaultPlan};
 pub use optimizer::{GlovaConfig, GlovaOptimizer};
 pub use problem::SizingProblem;
 pub use report::{IterationTrace, RunResult};

@@ -3,6 +3,7 @@
 
 use crate::cache::{CacheStats, EvalCache, EvalCacheConfig};
 use crate::engine::{map_indexed, EvalEngine, Sequential};
+use crate::fault::{FaultKind, FaultPlan};
 use glova_circuits::Circuit;
 use glova_stats::reduce;
 use glova_stats::rng::Rng64;
@@ -43,6 +44,7 @@ pub struct SizingProblem {
     config: OperatingConfig,
     engine: Arc<dyn EvalEngine>,
     cache: Option<Arc<EvalCache>>,
+    fault_plan: Option<Arc<FaultPlan>>,
     simulations: AtomicU64,
 }
 
@@ -53,6 +55,7 @@ impl Clone for SizingProblem {
             config: self.config.clone(),
             engine: self.engine.clone(),
             cache: self.cache.clone(),
+            fault_plan: self.fault_plan.clone(),
             simulations: AtomicU64::new(self.simulations()),
         }
     }
@@ -65,6 +68,7 @@ impl std::fmt::Debug for SizingProblem {
             .field("method", &self.config.method)
             .field("engine", &self.engine.name())
             .field("cache", &self.cache.as_ref().map(|c| c.stats()))
+            .field("fault_plan", &self.fault_plan.as_ref().map(|p| p.len()))
             .field("simulations", &self.simulations())
             .finish()
     }
@@ -88,6 +92,7 @@ impl SizingProblem {
             config: method.operating_config(),
             engine,
             cache: None,
+            fault_plan: None,
             simulations: AtomicU64::new(0),
         }
     }
@@ -111,6 +116,15 @@ impl SizingProblem {
     /// exactly as with a private cache.
     pub fn with_cache_handle(mut self, cache: Arc<EvalCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a deterministic [`FaultPlan`] (builder style): simulation
+    /// ordinals named by the plan are forced to fail, panic or stall (see
+    /// [`crate::fault`]). Production problems carry no plan and pay one
+    /// pointer check per simulation.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -160,7 +174,22 @@ impl SizingProblem {
     /// answered from memory (bitwise-identical outcome, the counter still
     /// increments); the circuit is only consulted on misses.
     pub fn simulate(&self, x: &[f64], corner: &PvtCorner, h: &MismatchVector) -> SimOutcome {
-        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let ordinal = self.simulations.fetch_add(1, Ordering::Relaxed);
+        if let Some(kind) = self.fault_plan.as_ref().and_then(|p| p.fault_at(ordinal)) {
+            match kind {
+                FaultKind::Panic => panic!("injected fault: panic at simulation {ordinal}"),
+                FaultKind::Slow(pause) => std::thread::sleep(*pause),
+                FaultKind::NonConvergence => {
+                    // Degrade exactly as an unrecovered solve would —
+                    // and bypass the cache, so the injected outcome can
+                    // never alias a clean result for a campaign sharing
+                    // this cache.
+                    let metrics = vec![f64::NAN; self.circuit.spec().len()];
+                    let reward = self.circuit.spec().reward(&metrics);
+                    return SimOutcome { metrics, reward };
+                }
+            }
+        }
         if let Some(cache) = &self.cache {
             return cache.get_or_compute(x, corner, h, || self.evaluate_uncached(x, corner, h));
         }

@@ -39,30 +39,41 @@
 //!
 //! ```
 //! use glova::prelude::*;
-//! use glova_serve::{CampaignServer, CircuitSpec, SizingRequest};
+//! use glova_serve::{CampaignServer, CircuitSpec, JobBudget, SizingRequest};
 //!
 //! let server = CampaignServer::new(2);
+//! // A budgeted submit: the campaign stops cooperatively before it
+//! // would exceed 4000 simulations, keeping its partial trajectory.
 //! let request = SizingRequest::new(
 //!     CircuitSpec::InverterChain { stages: 2 },
 //!     CampaignConfig::quick(VerificationMethod::Corner).with_max_steps(5),
 //!     42,
-//! );
+//! )
+//! .with_budget(JobBudget::unlimited().with_max_sims(4000));
 //! let id = server.submit(request).unwrap();
 //! let snapshot = server.wait(id).unwrap();
 //! assert!(snapshot.status.is_terminal());
+//! let result = snapshot.result.expect("budgeted jobs keep their result");
+//! assert!(result.total_sims <= 4000);
 //! let report = server.shutdown();
-//! assert_eq!(report.jobs_completed, 1);
+//! assert_eq!(report.jobs_completed + report.jobs_budget_exhausted, 1);
 //! ```
 
 use glova::cache::CacheRegistry;
-use glova::campaign::{CampaignConfig, CampaignResult, CampaignStep, SizingCampaign};
+use glova::campaign::{
+    CampaignConfig, CampaignControl, CampaignResult, CampaignStep, CampaignTermination,
+    SizingCampaign,
+};
+use glova::fault::FaultPlan;
 use glova_circuits::{Circuit, SpiceInverterChain, SpiceOta, SpiceSenseAmpArray};
 use glova_spice::registry::SolverRegistry;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Which circuit a request sizes — the serving-layer catalogue of the
 /// SPICE-backed testcases (each resolves its solver pool through the
@@ -146,6 +157,63 @@ impl CircuitSpec {
     }
 }
 
+/// Scheduling class of a job. Workers always pop the interactive queue
+/// first, so an interactive probe submitted behind a long batch backlog
+/// overtakes every queued batch job (it never preempts one already
+/// running — priorities order the queue, they don't interrupt work).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JobPriority {
+    /// Latency-sensitive probes: popped before any queued batch job.
+    Interactive,
+    /// Throughput work (family sweeps, parameter studies) — the default.
+    #[default]
+    Batch,
+}
+
+/// Per-job resource budget, enforced cooperatively by the campaign loop
+/// (checked before every simulation dispatch, so `max_sims` is **exact**:
+/// a budgeted job never runs a simulation past the cap).
+///
+/// A budget violation terminates the job with
+/// [`JobStatus::BudgetExhausted`]; everything computed up to that point —
+/// trajectory steps, incumbent design, accounting — is preserved in the
+/// snapshot's partial [`CampaignResult`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Hard cap on simulations. `None` = unlimited.
+    pub max_sims: Option<u64>,
+    /// Wall-clock allowance measured from the moment the job **starts
+    /// running** (queue time excluded). `None` = unlimited.
+    pub max_wall: Option<Duration>,
+    /// Absolute deadline (queue time included). `None` = no deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl JobBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps total simulations (builder style).
+    pub fn with_max_sims(mut self, max_sims: u64) -> Self {
+        self.max_sims = Some(max_sims);
+        self
+    }
+
+    /// Caps running wall time (builder style).
+    pub fn with_max_wall(mut self, max_wall: Duration) -> Self {
+        self.max_wall = Some(max_wall);
+        self
+    }
+
+    /// Sets an absolute deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// One sizing job: a circuit, a full campaign configuration (method,
 /// engine, cache, pruning, goal factors, budgets — per request), and the
 /// campaign seed.
@@ -161,12 +229,47 @@ pub struct SizingRequest {
     /// fully determines the trajectory, no matter what else the server
     /// is running.
     pub seed: u64,
+    /// Resource budget (default: unlimited).
+    pub budget: JobBudget,
+    /// Scheduling class (default: [`JobPriority::Batch`]).
+    pub priority: JobPriority,
+    /// Deterministic fault-injection schedule (default: none). A plan
+    /// applies only to this job's own simulation stream — injected
+    /// outcomes bypass the shared cache, so they can never leak into a
+    /// concurrent job (see [`glova::fault`]).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl SizingRequest {
-    /// Bundles a request.
+    /// Bundles a request with no budget, batch priority and no faults.
     pub fn new(circuit: CircuitSpec, config: CampaignConfig, seed: u64) -> Self {
-        Self { circuit, config, seed }
+        Self {
+            circuit,
+            config,
+            seed,
+            budget: JobBudget::default(),
+            priority: JobPriority::default(),
+            fault_plan: None,
+        }
+    }
+
+    /// Attaches a resource budget (builder style).
+    pub fn with_budget(mut self, budget: JobBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the scheduling class (builder style).
+    pub fn with_priority(mut self, priority: JobPriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a deterministic fault plan (builder style; test/bench
+    /// harness hook).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -179,6 +282,12 @@ pub enum ServeError {
     UnknownJob(JobId),
     /// The server is shutting down and no longer accepts submissions.
     ShuttingDown,
+    /// The bounded queue is full — shed-load backpressure. The request
+    /// was **not** enqueued; clients retry later or submit elsewhere.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -187,6 +296,9 @@ impl fmt::Display for ServeError {
             ServeError::InvalidRequest(why) => write!(f, "invalid sizing request: {why}"),
             ServeError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submit queue is full (capacity {capacity})")
+            }
         }
     }
 }
@@ -210,12 +322,25 @@ pub enum JobStatus {
     /// The worker survives — one poisoned request cannot take down the
     /// fleet.
     Failed,
+    /// The job was cancelled — by [`CampaignServer::cancel`] or by
+    /// [`CampaignServer::shutdown_now`]/`Drop`. A job cancelled while
+    /// running keeps its partial trajectory and partial
+    /// [`CampaignResult`] in the snapshot; a job cancelled while queued
+    /// has neither (it never ran).
+    Cancelled,
+    /// The job hit its [`JobBudget`] (`max_sims`, `max_wall` or
+    /// `deadline`). The snapshot carries the partial trajectory and
+    /// partial result; simulations never exceed `max_sims`.
+    BudgetExhausted,
 }
 
 impl JobStatus {
     /// Whether the job has finished (successfully or not).
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobStatus::Done | JobStatus::Failed)
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::BudgetExhausted
+        )
     }
 }
 
@@ -235,13 +360,29 @@ pub struct JobSnapshot {
     pub error: Option<String>,
 }
 
-/// Final tally returned by [`CampaignServer::shutdown`].
+/// Final tally returned by [`CampaignServer::shutdown`] and
+/// [`CampaignServer::shutdown_now`].
+///
+/// Every job ever submitted appears in exactly one terminal bucket —
+/// nothing is silently dropped: graceful [`shutdown`] runs every queued
+/// job to completion, while [`shutdown_now`] drains queued-but-unstarted
+/// jobs into a terminal [`JobStatus::Cancelled`] (still visible through
+/// any snapshot handle held by a client).
+///
+/// [`shutdown`]: CampaignServer::shutdown
+/// [`shutdown_now`]: CampaignServer::shutdown_now
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShutdownReport {
     /// Jobs that reached [`JobStatus::Done`].
     pub jobs_completed: u64,
     /// Jobs that reached [`JobStatus::Failed`].
     pub jobs_failed: u64,
+    /// Jobs that reached [`JobStatus::Cancelled`].
+    pub jobs_cancelled: u64,
+    /// Jobs that reached [`JobStatus::BudgetExhausted`].
+    pub jobs_budget_exhausted: u64,
+    /// Peak queue depth ever observed (both priority classes combined).
+    pub queue_high_water: usize,
 }
 
 #[derive(Debug)]
@@ -259,6 +400,9 @@ struct Job {
     state: Mutex<JobState>,
     /// Signalled when the job reaches a terminal status.
     done: Condvar,
+    /// Cooperative cancellation/budget token, checked by the campaign
+    /// loop before every dispatch.
+    control: Arc<CampaignControl>,
 }
 
 impl Job {
@@ -276,8 +420,23 @@ impl Job {
 
 #[derive(Debug, Default)]
 struct QueueState {
-    pending: VecDeque<Arc<Job>>,
+    /// Interactive jobs — always popped before any batch job.
+    interactive: VecDeque<Arc<Job>>,
+    /// Batch jobs — popped only when no interactive job waits.
+    batch: VecDeque<Arc<Job>>,
+    /// Peak combined depth ever observed (reported at shutdown).
+    high_water: usize,
     shutting_down: bool,
+}
+
+impl QueueState {
+    fn depth(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+
+    fn pop(&mut self) -> Option<Arc<Job>> {
+        self.interactive.pop_front().or_else(|| self.batch.pop_front())
+    }
 }
 
 #[derive(Debug)]
@@ -286,6 +445,8 @@ struct ServerShared {
     /// Signalled on submission and on shutdown.
     work_available: Condvar,
     jobs: Mutex<HashMap<JobId, Arc<Job>>>,
+    /// Queue bound for shed-load backpressure (`usize::MAX` = unbounded).
+    queue_capacity: AtomicUsize,
     solvers: Arc<SolverRegistry>,
     caches: Arc<CacheRegistry>,
 }
@@ -335,6 +496,7 @@ impl CampaignServer {
             queue: Mutex::new(QueueState::default()),
             work_available: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
+            queue_capacity: AtomicUsize::new(usize::MAX),
             solvers,
             caches,
         });
@@ -350,9 +512,23 @@ impl CampaignServer {
         Self { shared, workers: handles, next_id: Mutex::new(0) }
     }
 
+    /// Bounds the submit queue (builder style): once `capacity` jobs are
+    /// queued (both priority classes combined, running jobs excluded),
+    /// further submissions fail fast with [`ServeError::QueueFull`]
+    /// instead of growing the backlog without bound. Clamped to ≥ 1.
+    pub fn with_queue_capacity(self, capacity: usize) -> Self {
+        self.shared.queue_capacity.store(capacity.max(1), Ordering::Relaxed);
+        self
+    }
+
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs currently queued (both priority classes, running excluded).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").depth()
     }
 
     /// The solver registry this server resolves pools through.
@@ -374,17 +550,29 @@ impl CampaignServer {
     /// [`ServeError::InvalidRequest`] for shapes the circuit
     /// constructors reject or an empty seeding phase;
     /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown)
-    /// has begun.
+    /// has begun (checked under the queue lock, so a submit racing a
+    /// concurrent shutdown either lands in the drain or fails fast —
+    /// never limbo); [`ServeError::QueueFull`] when a configured
+    /// [queue bound](Self::with_queue_capacity) is hit (the request is
+    /// not enqueued).
     pub fn submit(&self, request: SizingRequest) -> Result<JobId, ServeError> {
         request.circuit.validate()?;
         if request.config.init_designs == 0 {
             return Err(ServeError::InvalidRequest("init_designs must be positive".into()));
+        }
+        let mut control = CampaignControl::new();
+        if let Some(max_sims) = request.budget.max_sims {
+            control = control.with_max_sims(max_sims);
+        }
+        if let Some(deadline) = request.budget.deadline {
+            control = control.with_deadline(deadline);
         }
         let id = {
             let mut next = self.next_id.lock().expect("id counter poisoned");
             *next += 1;
             JobId(*next)
         };
+        let priority = request.priority;
         let job = Arc::new(Job {
             id,
             request,
@@ -395,17 +583,63 @@ impl CampaignServer {
                 error: None,
             }),
             done: Condvar::new(),
+            control: Arc::new(control),
         });
         {
+            // Job-table insertion happens under the queue lock, so a
+            // concurrent shutdown that observes the queue also observes
+            // every job that will ever be in it — the shutdown tally can
+            // never miss a submit that raced it.
             let mut queue = self.shared.queue.lock().expect("queue poisoned");
             if queue.shutting_down {
                 return Err(ServeError::ShuttingDown);
             }
-            queue.pending.push_back(job.clone());
+            let capacity = self.shared.queue_capacity.load(Ordering::Relaxed);
+            if queue.depth() >= capacity {
+                return Err(ServeError::QueueFull { capacity });
+            }
+            self.shared.jobs.lock().expect("job table poisoned").insert(id, job.clone());
+            match priority {
+                JobPriority::Interactive => queue.interactive.push_back(job),
+                JobPriority::Batch => queue.batch.push_back(job),
+            }
+            queue.high_water = queue.high_water.max(queue.depth());
         }
-        self.shared.jobs.lock().expect("job table poisoned").insert(id, job);
         self.shared.work_available.notify_one();
         Ok(id)
+    }
+
+    /// Cancels a job. Queued jobs transition to a terminal
+    /// [`JobStatus::Cancelled`] immediately and never run; running jobs
+    /// stop cooperatively at the campaign loop's next control check,
+    /// preserving the partial trajectory in the snapshot. Cancelling an
+    /// already-terminal job is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] if the id was never issued.
+    pub fn cancel(&self, id: JobId) -> Result<(), ServeError> {
+        let job = self.job(id)?;
+        job.control.cancel();
+        // Remove it from the queue (if still there) under the queue
+        // lock, then finalize: a job a worker already popped is Running
+        // or about to be — its own control check finishes the cancel.
+        let was_queued = {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            let before = queue.depth();
+            queue.interactive.retain(|j| j.id != id);
+            queue.batch.retain(|j| j.id != id);
+            queue.depth() != before
+        };
+        if was_queued {
+            let mut state = job.state.lock().expect("job state poisoned");
+            if state.status == JobStatus::Queued {
+                state.status = JobStatus::Cancelled;
+                drop(state);
+                job.done.notify_all();
+            }
+        }
+        Ok(())
     }
 
     /// A point-in-time view of the job (non-blocking).
@@ -433,19 +667,47 @@ impl CampaignServer {
         Ok(job.snapshot())
     }
 
-    /// Graceful shutdown: stops accepting submissions, drains every
-    /// queued job, joins the workers, and tallies the outcomes.
+    /// Graceful shutdown: stops accepting submissions, **runs every
+    /// queued job to completion**, joins the workers, and tallies the
+    /// outcomes. Every job ever submitted lands in exactly one terminal
+    /// bucket of the report.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.begin_shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        self.tally()
+    }
+
+    /// Immediate shutdown: stops accepting submissions, drains
+    /// queued-but-unstarted jobs into a terminal [`JobStatus::Cancelled`]
+    /// (visible through any held snapshot handle), cooperatively cancels
+    /// running jobs (they keep their partial trajectories), joins the
+    /// workers, and tallies. `Drop` uses the same semantics.
+    pub fn shutdown_now(mut self) -> ShutdownReport {
+        self.cancel_pending_and_running();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.tally()
+    }
+
+    fn tally(&self) -> ShutdownReport {
+        let high_water = self.shared.queue.lock().expect("queue poisoned").high_water;
         let jobs = self.shared.jobs.lock().expect("job table poisoned");
-        let mut report = ShutdownReport { jobs_completed: 0, jobs_failed: 0 };
+        let mut report = ShutdownReport {
+            jobs_completed: 0,
+            jobs_failed: 0,
+            jobs_cancelled: 0,
+            jobs_budget_exhausted: 0,
+            queue_high_water: high_water,
+        };
         for job in jobs.values() {
             match job.state.lock().expect("job state poisoned").status {
                 JobStatus::Done => report.jobs_completed += 1,
                 JobStatus::Failed => report.jobs_failed += 1,
+                JobStatus::Cancelled => report.jobs_cancelled += 1,
+                JobStatus::BudgetExhausted => report.jobs_budget_exhausted += 1,
                 JobStatus::Queued | JobStatus::Running => {
                     unreachable!("drained shutdown left a live job")
                 }
@@ -457,6 +719,35 @@ impl CampaignServer {
     fn begin_shutdown(&self) {
         self.shared.queue.lock().expect("queue poisoned").shutting_down = true;
         self.shared.work_available.notify_all();
+    }
+
+    /// Flips the server into shutdown, drains the queue into terminal
+    /// `Cancelled` states, and cancels every live job's control token.
+    fn cancel_pending_and_running(&self) {
+        let drained: Vec<Arc<Job>> = {
+            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            queue.shutting_down = true;
+            let mut drained: Vec<Arc<Job>> = queue.interactive.drain(..).collect();
+            drained.extend(queue.batch.drain(..));
+            drained
+        };
+        self.shared.work_available.notify_all();
+        for job in &drained {
+            job.control.cancel();
+            let mut state = job.state.lock().expect("job state poisoned");
+            if state.status == JobStatus::Queued {
+                state.status = JobStatus::Cancelled;
+                drop(state);
+                job.done.notify_all();
+            }
+        }
+        // Jobs a worker already picked up stop cooperatively at their
+        // next control check (terminal jobs ignore the stale flag).
+        for job in self.shared.jobs.lock().expect("job table poisoned").values() {
+            if !job.state.lock().expect("job state poisoned").status.is_terminal() {
+                job.control.cancel();
+            }
+        }
     }
 
     fn job(&self, id: JobId) -> Result<Arc<Job>, ServeError> {
@@ -472,7 +763,11 @@ impl CampaignServer {
 
 impl Drop for CampaignServer {
     fn drop(&mut self) {
-        self.begin_shutdown();
+        // Drop is the impatient path (shutdown_now semantics): queued
+        // jobs are drained to terminal `Cancelled`, running jobs stop at
+        // their next control check. Call `shutdown()` for a graceful
+        // full drain.
+        self.cancel_pending_and_running();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -484,7 +779,7 @@ fn worker_loop(shared: &ServerShared) {
         let job = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
-                if let Some(job) = queue.pending.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 if queue.shutting_down {
@@ -498,15 +793,40 @@ fn worker_loop(shared: &ServerShared) {
 }
 
 fn run_job(shared: &ServerShared, job: &Job) {
-    job.state.lock().expect("job state poisoned").status = JobStatus::Running;
+    {
+        let mut state = job.state.lock().expect("job state poisoned");
+        // A cancel may have landed between the queue pop and here (or
+        // the cancel lost the queue-removal race) — honor it before
+        // spending any work.
+        if job.control.is_cancelled() {
+            state.status = JobStatus::Cancelled;
+            drop(state);
+            job.done.notify_all();
+            return;
+        }
+        state.status = JobStatus::Running;
+    }
+    // `max_wall` is measured from run start (queue time excluded):
+    // translate it to an absolute deadline now, tightening any absolute
+    // deadline already on the control.
+    if let Some(max_wall) = job.request.budget.max_wall {
+        job.control.tighten_deadline(Instant::now() + max_wall);
+    }
     // A panicking campaign (solver assertion, config mismatch the cheap
     // validation missed) fails its own job, never the fleet.
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, job)));
     let mut state = job.state.lock().expect("job state poisoned");
     match outcome {
         Ok(result) => {
+            // An interrupted campaign still returns a (partial) result —
+            // trajectory, incumbent and accounting survive in the
+            // snapshot whatever the terminal status.
+            state.status = match result.termination {
+                CampaignTermination::Completed => JobStatus::Done,
+                CampaignTermination::Cancelled => JobStatus::Cancelled,
+                CampaignTermination::BudgetExhausted => JobStatus::BudgetExhausted,
+            };
             state.result = Some(result);
-            state.status = JobStatus::Done;
         }
         Err(payload) => {
             state.error = Some(panic_message(payload.as_ref()));
@@ -520,7 +840,7 @@ fn run_job(shared: &ServerShared, job: &Job) {
 fn execute(shared: &ServerShared, job: &Job) -> CampaignResult {
     let request = &job.request;
     let (circuit, fingerprint) = request.circuit.build(&shared.solvers);
-    let campaign = match request.config.cache {
+    let mut campaign = match request.config.cache {
         Some(cache_config) => {
             let identity = request.circuit.cache_identity(fingerprint);
             let cache = shared.caches.cache_for(&identity, cache_config);
@@ -528,7 +848,10 @@ fn execute(shared: &ServerShared, job: &Job) -> CampaignResult {
         }
         None => SizingCampaign::new(circuit, request.config.clone()),
     };
-    campaign.run_with(request.seed, &mut |step| {
+    if let Some(plan) = &request.fault_plan {
+        campaign = campaign.with_fault_plan(plan.clone());
+    }
+    campaign.run_controlled(request.seed, &job.control, &mut |step| {
         job.state.lock().expect("job state poisoned").steps.push(step.clone());
     })
 }
@@ -570,7 +893,16 @@ mod tests {
         let result = done.result.expect("done job carries its result");
         assert_eq!(done.steps, result.steps, "streamed steps are the trajectory");
         let report = server.shutdown();
-        assert_eq!(report, ShutdownReport { jobs_completed: 1, jobs_failed: 0 });
+        assert_eq!(
+            report,
+            ShutdownReport {
+                jobs_completed: 1,
+                jobs_failed: 0,
+                jobs_cancelled: 0,
+                jobs_budget_exhausted: 0,
+                queue_high_water: 1,
+            }
+        );
     }
 
     #[test]
@@ -623,7 +955,9 @@ mod tests {
         let good = server.submit(quick_request(42)).unwrap();
         assert_eq!(server.wait(good).unwrap().status, JobStatus::Done);
         let report = server.shutdown();
-        assert_eq!(report, ShutdownReport { jobs_completed: 1, jobs_failed: 1 });
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_failed, 1);
+        assert_eq!(report.jobs_cancelled, 0);
     }
 
     #[test]

@@ -405,6 +405,7 @@ pub struct OpSolverPool {
     free_capacity: usize,
     spawned: AtomicUsize,
     retired: AtomicUsize,
+    retired_panic: AtomicUsize,
     dropped: AtomicUsize,
 }
 
@@ -433,6 +434,7 @@ impl OpSolverPool {
             free_capacity: Self::DEFAULT_FREE_CAPACITY,
             spawned: AtomicUsize::new(0),
             retired: AtomicUsize::new(0),
+            retired_panic: AtomicUsize::new(0),
             dropped: AtomicUsize::new(0),
         })
     }
@@ -461,9 +463,17 @@ impl OpSolverPool {
     }
 
     /// Solvers retired after a re-pivot (each replaced by a fresh
-    /// prototype clone on return).
+    /// prototype clone on return). Includes panic retirements.
     pub fn solvers_retired(&self) -> usize {
         self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Solvers retired specifically because their checkout unwound —
+    /// the pool-hygiene counter fault-injection batteries assert on
+    /// (every injected panic inside a solve must show up here, never as
+    /// a leaked or aliased solver).
+    pub fn solvers_retired_panic(&self) -> usize {
+        self.retired_panic.load(Ordering::Relaxed)
     }
 
     /// Solvers dropped on return because the free list was at its bound.
@@ -514,6 +524,9 @@ impl OpSolverPool {
                     // retire it so every future checkout still sees the
                     // prototype's symbolic factorization.
                     self.pool.retired.fetch_add(1, Ordering::Relaxed);
+                    if std::thread::panicking() {
+                        self.pool.retired_panic.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.pool.prototype.clone()
                 };
                 // During an unwind a poisoned lock must not escalate to
@@ -1009,9 +1022,17 @@ mod tests {
         // stays bounded and usable.
         assert_eq!(pool.solvers_spawned(), 1, "unwinds must not leak checkouts");
         assert_eq!(pool.solvers_retired(), 3);
+        assert_eq!(
+            pool.solvers_retired_panic(),
+            3,
+            "panic retirements must be attributed to the unwind path"
+        );
         pool.with_solver(|solver| {
             assert_eq!(solver.repivots(), 0, "post-panic checkout is a canonical clone");
             solver.solve().unwrap();
         });
+        // A clean checkout after the panics must not move the panic
+        // counter; only repivot/topology retirements are reason-neutral.
+        assert_eq!(pool.solvers_retired_panic(), 3);
     }
 }

@@ -55,7 +55,7 @@ pub use netlist::{
     inverter_chain, ota_two_stage, rc_ladder, sense_amp_array, sense_amp_array_with, Netlist,
     NodeId, OtaCards, OtaParams, SenseAmpParams, GROUND,
 };
-pub use registry::SolverRegistry;
+pub use registry::{RegistryConfig, SolverRegistry};
 pub use transient::{TransientResult, TransientSpec};
 
 /// Gate capacitance of a `w × l` µm device, farads (30 fF/µm² at 28 nm) —

@@ -43,6 +43,45 @@ use crate::SpiceError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Eviction policy shared by the process-wide registries
+/// ([`SolverRegistry`] here, `CacheRegistry` in the core crate).
+///
+/// The default policy is unbounded — exactly the pre-eviction behavior.
+/// Eviction is `Arc`-safe by construction: the registries hand out
+/// `Arc` handles, so evicting an entry only drops the *registry's*
+/// reference. In-flight holders keep the evicted pool or cache alive
+/// and fully usable; the next registry miss on that key re-primes a
+/// fresh entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Maximum resident entries; the least-recently-used entry is
+    /// evicted when an insert would exceed this. `None` = unbounded.
+    pub max_entries: Option<usize>,
+    /// Entries untouched for longer than this are evicted on the next
+    /// registry access. `None` = entries never expire.
+    pub ttl: Option<Duration>,
+}
+
+impl RegistryConfig {
+    /// Unbounded, non-expiring (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps resident entries (builder style).
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = Some(max_entries.max(1));
+        self
+    }
+
+    /// Expires idle entries after `ttl` (builder style).
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+}
 
 /// One registered pool: the full structural identity it was primed for
 /// plus the shared pool itself.
@@ -51,6 +90,8 @@ struct RegistryEntry {
     signature: Vec<u64>,
     options: NewtonOptions,
     pool: Arc<OpSolverPool>,
+    last_used: Instant,
+    expired: bool,
 }
 
 /// A process-wide map from netlist topology to a shared, primed
@@ -61,9 +102,11 @@ pub struct SolverRegistry {
     /// several only under a genuine fingerprint collision or when the
     /// same topology is requested under different Newton options.
     buckets: Mutex<HashMap<u64, Vec<RegistryEntry>>>,
+    config: RegistryConfig,
     primes: AtomicU64,
     hits: AtomicU64,
     collisions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SolverRegistry {
@@ -71,6 +114,11 @@ impl SolverRegistry {
     /// code normally shares [`Self::global`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry under an eviction policy.
+    pub fn with_config(config: RegistryConfig) -> Self {
+        Self { config, ..Self::default() }
     }
 
     /// The process-wide registry instance.
@@ -110,10 +158,12 @@ impl SolverRegistry {
     ) -> Result<Arc<OpSolverPool>, SpiceError> {
         let signature = netlist.structural_signature();
         let mut buckets = self.buckets.lock().expect("solver registry poisoned");
+        self.sweep_expired(&mut buckets);
         let bucket = buckets.entry(fingerprint).or_default();
         if let Some(entry) =
-            bucket.iter().find(|e| e.options == options && e.signature == signature)
+            bucket.iter_mut().find(|e| e.options == options && e.signature == signature)
         {
+            entry.last_used = Instant::now();
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(entry.pool.clone());
         }
@@ -125,8 +175,79 @@ impl SolverRegistry {
         }
         let pool = Arc::new(OpSolverPool::new(netlist, options)?);
         self.primes.fetch_add(1, Ordering::Relaxed);
-        bucket.push(RegistryEntry { signature, options, pool: pool.clone() });
+        bucket.push(RegistryEntry {
+            signature,
+            options,
+            pool: pool.clone(),
+            last_used: Instant::now(),
+            expired: false,
+        });
+        self.enforce_capacity(&mut buckets);
         Ok(pool)
+    }
+
+    /// Drops TTL-expired and force-expired entries (lock held by caller).
+    fn sweep_expired(&self, buckets: &mut HashMap<u64, Vec<RegistryEntry>>) {
+        let ttl = self.config.ttl;
+        let now = Instant::now();
+        let mut evicted = 0u64;
+        buckets.retain(|_, bucket| {
+            bucket.retain(|e| {
+                let stale =
+                    e.expired || ttl.is_some_and(|ttl| now.duration_since(e.last_used) >= ttl);
+                if stale {
+                    evicted += 1;
+                }
+                !stale
+            });
+            !bucket.is_empty()
+        });
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Evicts globally-LRU entries until `max_entries` holds (lock held
+    /// by caller). The just-inserted entry is the newest, so it is never
+    /// the victim.
+    fn enforce_capacity(&self, buckets: &mut HashMap<u64, Vec<RegistryEntry>>) {
+        let Some(max) = self.config.max_entries else { return };
+        loop {
+            let total: usize = buckets.values().map(Vec::len).sum();
+            if total <= max {
+                return;
+            }
+            let Some((&fp, idx)) = buckets
+                .iter()
+                .flat_map(|(fp, bucket)| {
+                    bucket.iter().enumerate().map(move |(i, e)| ((fp, i), e.last_used))
+                })
+                .min_by_key(|&(_, last_used)| last_used)
+                .map(|((fp, i), _)| (fp, i))
+            else {
+                return;
+            };
+            let bucket = buckets.get_mut(&fp).expect("victim bucket exists");
+            bucket.remove(idx);
+            if bucket.is_empty() {
+                buckets.remove(&fp);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks every resident entry expired, forcing eviction on the next
+    /// registry access — a test seam standing in for TTL elapse, so
+    /// contention batteries need no wall-clock sleeps. Outstanding `Arc`
+    /// handles are unaffected (eviction only drops the registry's
+    /// reference).
+    pub fn force_expire_all(&self) {
+        let mut buckets = self.buckets.lock().expect("solver registry poisoned");
+        for bucket in buckets.values_mut() {
+            for entry in bucket.iter_mut() {
+                entry.expired = true;
+            }
+        }
     }
 
     /// Prototype primes performed (cold topologies × option sets). Under
@@ -146,6 +267,12 @@ impl SolverRegistry {
     /// by priming a separate entry, never by aliasing).
     pub fn collisions(&self) -> u64 {
         self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by TTL expiry, forced expiry or the
+    /// `max_entries` LRU cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Registered entries (unique topology × options keys).
@@ -236,6 +363,74 @@ mod tests {
         });
         assert_eq!(registry.primes(), 1, "racing requesters must share one prime");
         assert_eq!(registry.hits(), 7);
+    }
+
+    #[test]
+    fn lru_cap_bounds_entries_under_churn() {
+        let registry = SolverRegistry::with_config(RegistryConfig::default().with_max_entries(4));
+        let options = NewtonOptions::default();
+        for i in 0..100 {
+            registry.pool_for(&rc_ladder(2 + i, 1e3, 1e-12), options).unwrap();
+            assert!(registry.len() <= 4, "cap must hold at every step");
+        }
+        assert_eq!(registry.len(), 4);
+        assert_eq!(registry.evictions(), 96);
+        assert_eq!(registry.primes(), 100);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_first() {
+        let registry = SolverRegistry::with_config(RegistryConfig::default().with_max_entries(2));
+        let options = NewtonOptions::default();
+        let a = registry.pool_for(&rc_ladder(2, 1e3, 1e-12), options).unwrap();
+        registry.pool_for(&rc_ladder(3, 1e3, 1e-12), options).unwrap();
+        // Touch `a` so the size-3 ladder becomes the LRU victim.
+        let a2 = registry.pool_for(&rc_ladder(2, 1e3, 1e-12), options).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        registry.pool_for(&rc_ladder(4, 1e3, 1e-12), options).unwrap();
+        assert_eq!(registry.evictions(), 1);
+        // `a` survived the eviction; the size-3 ladder did not.
+        let a3 = registry.pool_for(&rc_ladder(2, 1e3, 1e-12), options).unwrap();
+        assert!(Arc::ptr_eq(&a, &a3), "recently-used entry must survive");
+        assert_eq!(registry.primes(), 3, "no re-prime for the surviving entry");
+    }
+
+    #[test]
+    fn forced_expiry_reprimes_once_and_keeps_old_handles_alive() {
+        let registry = SolverRegistry::new();
+        let options = NewtonOptions::default();
+        let old = registry.pool_for(&inverter_chain(8), options).unwrap();
+        registry.force_expire_all();
+        // The held Arc stays alive and usable across the eviction.
+        let fresh = registry.pool_for(&inverter_chain(8), options).unwrap();
+        assert!(!Arc::ptr_eq(&old, &fresh), "expired entry must re-prime, not alias");
+        assert_eq!(registry.evictions(), 1);
+        assert_eq!(registry.primes(), 2);
+        old.with_solver(|s| s.solve().unwrap());
+        fresh.with_solver(|s| s.solve().unwrap());
+    }
+
+    #[test]
+    fn racing_requests_after_forced_expiry_reprime_exactly_once() {
+        let registry = SolverRegistry::with_config(
+            RegistryConfig::default().with_ttl(Duration::from_secs(3600)),
+        );
+        let options = NewtonOptions::default();
+        let held = registry.pool_for(&inverter_chain(8), options).unwrap();
+        registry.force_expire_all();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let pool = registry.pool_for(&inverter_chain(8), options).unwrap();
+                    assert!(!Arc::ptr_eq(&held, &pool), "evicted pool must not be handed out");
+                });
+            }
+        });
+        assert_eq!(registry.primes(), 2, "one original prime + exactly one re-prime");
+        assert_eq!(registry.evictions(), 1);
+        assert_eq!(registry.len(), 1);
+        // The racing holder's handle still works after all of it.
+        held.with_solver(|s| s.solve().unwrap());
     }
 
     #[test]
